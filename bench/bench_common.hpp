@@ -1,0 +1,93 @@
+// Shared glue for the bench binaries: dataset -> matrices, stock CLI flags,
+// and the Table I example block used by the didactic figures.
+#pragma once
+
+#include <iostream>
+#include <memory>
+
+#include "benchlib/bandwidth.hpp"
+#include "benchlib/engines.hpp"
+#include "core/analysis.hpp"
+#include "benchlib/runner.hpp"
+#include "benchlib/workloads.hpp"
+#include "ct/system_matrix.hpp"
+#include "sparse/convert.hpp"
+#include "simd/isa.hpp"
+#include "util/cli.hpp"
+#include "util/table.hpp"
+
+namespace cscv::benchlib {
+
+/// Matrices of one dataset in both layouts (CSC built directly, CSR derived).
+template <typename T>
+struct MatrixPair {
+  sparse::CscMatrix<T> csc;
+  sparse::CsrMatrix<T> csr;
+  core::OperatorLayout layout;
+};
+
+template <typename T>
+MatrixPair<T> build_matrices(const Dataset& dataset,
+                             ct::FootprintModel model = ct::FootprintModel::kRect) {
+  MatrixPair<T> out;
+  out.csc = ct::build_system_matrix_csc<T>(dataset.geometry, model);
+  out.csr = sparse::csr_from_csc(out.csc);
+  out.layout = core::OperatorLayout::from_geometry(dataset.geometry);
+  return out;
+}
+
+/// Standard bench flags: --scale (divisor of paper sizes), --iters, --csv.
+struct BenchFlags {
+  int scale = 8;
+  int iters = 12;
+  bool csv = false;
+};
+
+inline BenchFlags parse_bench_flags(util::CliFlags& cli) {
+  BenchFlags f;
+  f.scale = cli.get_int("scale", f.scale);
+  f.iters = cli.get_int("iters", f.iters);
+  f.csv = cli.get_bool("csv");
+  return f;
+}
+
+inline void print_table(const util::Table& table, bool csv) {
+  if (csv) {
+    table.print_csv(std::cout);
+  } else {
+    table.print(std::cout);
+  }
+}
+
+inline void print_header(const std::string& what) {
+  std::cout << "# " << what << "\n# " << simd::describe_isa()
+            << ", omp max threads = " << util::max_threads() << "\n";
+}
+
+/// The paper's Table I example: 25x25 image, 38 bins, 4-degree steps, view
+/// group starting at 32 degrees, pixel block rows/cols [5, 9], S_VVec = 8.
+struct ExampleBlock {
+  ct::ParallelGeometry geometry;
+  core::OperatorLayout layout;
+  core::BlockSpec spec;
+};
+
+inline ExampleBlock table1_example() {
+  ExampleBlock e;
+  e.geometry.image_size = 25;
+  e.geometry.num_bins = 38;
+  e.geometry.num_views = 45;  // full half-turn at 4-degree steps
+  e.geometry.start_angle_deg = 0.0;
+  e.geometry.delta_angle_deg = 4.0;
+  e.geometry.validate();
+  e.layout = core::OperatorLayout::from_geometry(e.geometry);
+  e.spec.v0 = 8;  // block start angle 32 deg = view 8
+  e.spec.s_vvec = 8;
+  e.spec.px0 = 5;
+  e.spec.px1 = 10;  // paper's inclusive [5, 9]
+  e.spec.py0 = 5;
+  e.spec.py1 = 10;
+  return e;
+}
+
+}  // namespace cscv::benchlib

@@ -1,0 +1,51 @@
+// Extension bench — x = A^T y (CT backprojection), the paper's stated
+// future work ("We will implement CSCV on x = A^T y in CT backward
+// projection"). Compares the CSR scatter-transpose, the CSC
+// gather-transpose (the natural winner: CSC of A is CSR of A^T), and the
+// CSCV transpose kernels implemented here.
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace cscv;
+  util::CliFlags cli(argc, argv);
+  auto flags = benchlib::parse_bench_flags(cli);
+  cli.finish();
+
+  auto dataset = benchlib::tuning_dataset(flags.scale);
+  benchlib::print_header("Extension: backprojection x = A^T y, dataset " + dataset.name +
+                         " (single precision)");
+  auto m = benchlib::build_matrices<float>(dataset);
+  const auto rows = static_cast<std::size_t>(m.csc.rows());
+  const auto cols = static_cast<std::size_t>(m.csc.cols());
+  const auto y = sparse::random_vector<float>(rows, 3, 0.0, 1.0);
+  util::AlignedVector<float> x(cols);
+  const int threads = util::max_threads();
+
+  core::CscvParams p{.s_vvec = 8, .s_imgb = 16, .s_vxg = 4};
+  auto cz = core::CscvMatrix<float>::build(m.csc, m.layout, p,
+                                           core::CscvMatrix<float>::Variant::kZ);
+  auto cm = core::CscvMatrix<float>::build(m.csc, m.layout, p,
+                                           core::CscvMatrix<float>::Variant::kM);
+
+  struct Row {
+    std::string name;
+    std::function<void()> run;
+  };
+  const std::vector<Row> engines = {
+      {"CSR (scatter + reduce)", [&] { m.csr.spmv_transpose(y, x); }},
+      {"CSC (row gather)", [&] { m.csc.spmv_transpose(y, x); }},
+      {"CSCV-Z (block dot)", [&] { cz.spmv_transpose(y, x); }},
+      {"CSCV-M (masked dot)", [&] { cm.spmv_transpose(y, x); }},
+  };
+
+  util::Table t({"engine", "GFLOP/s", "time/iter"});
+  for (const auto& engine : engines) {
+    util::set_num_threads(threads);
+    const double seconds = util::min_time_seconds(flags.iters, engine.run);
+    t.add(engine.name,
+          util::fmt_fixed(util::spmv_gflops(static_cast<std::uint64_t>(m.csc.nnz()), seconds), 2),
+          util::fmt_fixed(seconds * 1e3, 2) + " ms");
+  }
+  benchlib::print_table(t, flags.csv);
+  return 0;
+}

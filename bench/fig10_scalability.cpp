@@ -1,0 +1,44 @@
+// Fig. 10 — scalability of the SpMV implementations in GFLOP/s over thread
+// counts, both precisions.
+//
+// NOTE (environment substitution, see DESIGN.md): the paper sweeps 1..64
+// threads on dual-socket machines; this container exposes a single
+// hardware core, so thread counts beyond 1 show oversubscription rather
+// than scaling. The harness still sweeps 1 .. 2x hardware threads so the
+// figure regenerates faithfully on real multi-core machines.
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace cscv;
+  util::CliFlags cli(argc, argv);
+  auto flags = benchlib::parse_bench_flags(cli);
+  cli.finish();
+
+  auto dataset = benchlib::tuning_dataset(flags.scale);
+  benchlib::print_header("Fig. 10: scalability in GFLOP/s, dataset " + dataset.name);
+  const auto threads = benchlib::scalability_thread_counts();
+
+  auto run = [&]<typename T>(const char* precision) {
+    auto m = benchlib::build_matrices<T>(dataset);
+    auto engines = benchlib::build_engines<T>(m.csr, m.csc, m.layout);
+    const auto cols = static_cast<std::size_t>(m.csc.cols());
+    const auto rows = static_cast<std::size_t>(m.csc.rows());
+
+    std::vector<std::string> header{"implementation"};
+    for (int t : threads) header.push_back(std::to_string(t) + " thr");
+    util::Table table(header);
+    for (const auto& engine : engines) {
+      std::vector<std::string> row{engine.name};
+      for (int t : threads) {
+        auto meas = benchlib::measure_spmv(engine, cols, rows, t, flags.iters);
+        row.push_back(util::fmt_fixed(meas.gflops, 2));
+      }
+      table.add_row(std::move(row));
+    }
+    std::cout << "\n## precision: " << precision << "\n";
+    benchlib::print_table(table, flags.csv);
+  };
+  run.operator()<float>("single");
+  run.operator()<double>("double");
+  return 0;
+}

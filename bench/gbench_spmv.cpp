@@ -1,0 +1,80 @@
+// google-benchmark harness over every SpMV engine on a small CT matrix.
+//
+// The paper-protocol tables (min time over N iterations) live in the
+// per-figure binaries; this binary provides the standard google-benchmark
+// view of the same kernels — statistical timing, --benchmark_filter,
+// --benchmark_format=json for tooling. Counters: GFLOPS (useful flops) and
+// bytes (matrix + vector traffic per iteration).
+#include <benchmark/benchmark.h>
+
+#include "bench_common.hpp"
+
+namespace {
+
+using namespace cscv;
+
+template <typename T>
+struct Context {
+  benchlib::MatrixPair<T> matrices;
+  std::vector<benchlib::Engine<T>> engines;
+  util::AlignedVector<T> x;
+  util::AlignedVector<T> y;
+};
+
+template <typename T>
+Context<T>& context() {
+  static Context<T> ctx = [] {
+    Context<T> c;
+    // Small fixed dataset so google-benchmark's auto-iteration stays quick.
+    auto dataset = benchlib::standard_datasets(8)[0];
+    c.matrices = benchlib::build_matrices<T>(dataset);
+    c.engines = benchlib::build_engines<T>(c.matrices.csr, c.matrices.csc,
+                                           c.matrices.layout);
+    c.x = sparse::random_vector<T>(static_cast<std::size_t>(c.matrices.csc.cols()), 1,
+                                   0.0, 1.0);
+    c.y.resize(static_cast<std::size_t>(c.matrices.csc.rows()));
+    return c;
+  }();
+  return ctx;
+}
+
+template <typename T>
+void bench_engine(benchmark::State& state, std::size_t engine_index) {
+  auto& ctx = context<T>();
+  const auto& engine = ctx.engines[engine_index];
+  for (auto _ : state) {
+    engine.apply(ctx.x, ctx.y);
+    benchmark::DoNotOptimize(ctx.y.data());
+  }
+  state.counters["GFLOPS"] = benchmark::Counter(
+      2.0 * static_cast<double>(engine.nnz), benchmark::Counter::kIsIterationInvariantRate,
+      benchmark::Counter::kIs1000);
+  state.counters["bytes"] = benchmark::Counter(
+      static_cast<double>(engine.matrix_bytes +
+                          benchlib::vector_bytes<T>(ctx.x.size(), ctx.y.size())),
+      benchmark::Counter::kIsIterationInvariantRate, benchmark::Counter::kIs1024);
+}
+
+void register_all() {
+  for (std::size_t i = 0; i < context<float>().engines.size(); ++i) {
+    benchmark::RegisterBenchmark(
+        ("spmv_single/" + context<float>().engines[i].name).c_str(),
+        [i](benchmark::State& s) { bench_engine<float>(s, i); });
+  }
+  for (std::size_t i = 0; i < context<double>().engines.size(); ++i) {
+    benchmark::RegisterBenchmark(
+        ("spmv_double/" + context<double>().engines[i].name).c_str(),
+        [i](benchmark::State& s) { bench_engine<double>(s, i); });
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  register_all();
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,79 @@
+// SPECT-style reconstruction with the attenuated X-ray transform — the
+// paper's Eq. (1) with L != 1, end to end.
+//
+//   ./spect_attenuated [--image=96] [--views=120] [--iters=80] [--mu=0.01]
+//
+// An emission phantom (activity) sits inside an attenuating body. The
+// system matrix carries per-(pixel, view) attenuation factors; we project
+// with CSCV, add emission Poisson noise, and reconstruct with OS-SART using
+// the *matched* attenuated operator, then once more with the unmatched
+// plain-CT operator to show the quantitative bias attenuation correction
+// removes.
+#include <iostream>
+
+#include "core/format.hpp"
+#include "ct/attenuated.hpp"
+#include "ct/noise.hpp"
+#include "ct/phantom.hpp"
+#include "ct/system_matrix.hpp"
+#include "recon/os_sart.hpp"
+#include "sparse/convert.hpp"
+#include "util/cli.hpp"
+#include "util/stats.hpp"
+
+int main(int argc, char** argv) {
+  using namespace cscv;
+  util::CliFlags cli(argc, argv);
+  const int image = cli.get_int("image", 96);
+  const int views = cli.get_int("views", 120);
+  const int iters = cli.get_int("iters", 80);
+  const double mu_value = cli.get_double("mu", 0.01);
+  cli.finish();
+
+  const auto geometry = ct::standard_geometry(image, views);
+
+  // Attenuation map: the head outline attenuates; activity concentrates in
+  // the small interior ellipses.
+  auto mu_img = ct::rasterize<double>(ct::shepp_logan_modified(), image);
+  util::AlignedVector<double> mu(mu_img.size());
+  for (std::size_t i = 0; i < mu.size(); ++i) mu[i] = mu_img[i] > 0.0 ? mu_value : 0.0;
+
+  std::cout << "building attenuated system matrix (mu = " << mu_value << "/px)...\n";
+  const auto csc = ct::build_attenuated_system_matrix_csc<double>(geometry, mu);
+  const auto plain = ct::build_system_matrix_csc<double>(geometry);
+  const auto layout = core::OperatorLayout::from_geometry(geometry);
+  const auto cscv = core::CscvMatrix<double>::build(
+      csc, layout, {.s_vvec = 8, .s_imgb = 16, .s_vxg = 4},
+      core::CscvMatrix<double>::Variant::kM);
+  std::cout << "  " << csc.nnz() << " nnz, CSCV R_nnzE = " << cscv.r_nnze()
+            << " (identical structure to the unattenuated matrix)\n";
+
+  // Emission phantom: activity in the small lesions only.
+  util::AlignedVector<double> activity(static_cast<std::size_t>(csc.cols()), 0.0);
+  auto full = ct::rasterize<double>(ct::shepp_logan_modified(), image);
+  for (std::size_t i = 0; i < activity.size(); ++i) {
+    if (full[i] > 0.15) activity[i] = full[i];  // lesions, not background
+  }
+
+  util::AlignedVector<double> sinogram(static_cast<std::size_t>(csc.rows()));
+  cscv.spmv(activity, sinogram);
+  util::Rng rng(21);
+  ct::add_emission_poisson_noise<double>(std::span<double>(sinogram), 50.0, rng);
+
+  auto reconstruct = [&](const sparse::CscMatrix<double>& op_matrix) {
+    auto csr = sparse::csr_from_csc(op_matrix);
+    util::AlignedVector<double> x(static_cast<std::size_t>(csc.cols()), 0.0);
+    recon::os_sart<double>(csr, layout, sinogram, x,
+                           {.iterations = iters, .num_subsets = 10, .relaxation = 0.7});
+    return x;
+  };
+
+  const auto matched = reconstruct(csc);
+  const auto unmatched = reconstruct(plain);
+  std::cout << "RMSE vs activity, matched (attenuation-corrected) operator:   "
+            << util::rmse<double>(matched, activity) << "\n";
+  std::cout << "RMSE vs activity, unmatched (no attenuation model) operator:  "
+            << util::rmse<double>(unmatched, activity) << "\n";
+  std::cout << "(the matched operator should win; the gap grows with --mu)\n";
+  return 0;
+}

@@ -1,0 +1,62 @@
+// Memory-traffic model and peak-bandwidth measurement.
+//
+// The paper reports an "effective memory bandwidth usage ratio"
+//   R_EM = (M(A) + M(x) + M(y)) / (T * M_PBw)
+// where M_PBw is the machine's peak read bandwidth (the authors used Intel
+// MLC). We measure M_PBw in-process with a STREAM-style read kernel over a
+// buffer much larger than LLC.
+#pragma once
+
+#include <cstddef>
+
+#include "util/aligned_vector.hpp"
+#include "util/parallel.hpp"
+#include "util/timing.hpp"
+
+namespace cscv::benchlib {
+
+/// Bytes of vector traffic per SpMV iteration: x read once + y written once
+/// (the model the paper's M_Rit uses; indirect re-reads of x are charged to
+/// cache, not DRAM).
+template <typename T>
+std::size_t vector_bytes(std::size_t cols, std::size_t rows) {
+  return (cols + rows) * sizeof(T);
+}
+
+/// M_Rit: minimum bytes moved per y = Ax iteration for a given engine.
+inline std::size_t memory_requirement(std::size_t matrix_bytes, std::size_t vec_bytes) {
+  return matrix_bytes + vec_bytes;
+}
+
+/// Effective bandwidth usage ratio R_EM.
+inline double bandwidth_usage_ratio(std::size_t m_rit, double seconds,
+                                    double peak_bytes_per_sec) {
+  if (seconds <= 0.0 || peak_bytes_per_sec <= 0.0) return 0.0;
+  return static_cast<double>(m_rit) / (seconds * peak_bytes_per_sec);
+}
+
+/// Measures peak read bandwidth (bytes/s) with a parallel strided-sum sweep
+/// over `mib` MiB, `repeats` passes, best pass reported.
+inline double measure_peak_bandwidth(std::size_t mib = 256, int repeats = 5) {
+  const std::size_t n = mib * 1024 * 1024 / sizeof(double);
+  util::AlignedVector<double> buf(n, 1.0);
+  volatile double sink = 0.0;
+  double best_seconds = -1.0;
+  for (int r = 0; r < repeats; ++r) {
+    util::WallTimer t;
+    double total = 0.0;
+#ifdef _OPENMP
+#pragma omp parallel for schedule(static) reduction(+ : total)
+#endif
+    for (std::ptrdiff_t i = 0; i < static_cast<std::ptrdiff_t>(n); i += 8) {
+      total += buf[static_cast<std::size_t>(i)];
+    }
+    const double s = t.seconds();
+    sink = sink + total;
+    if (best_seconds < 0.0 || s < best_seconds) best_seconds = s;
+  }
+  // One double per cache line touched -> the sweep streams the whole buffer.
+  return static_cast<double>(n) * sizeof(double) / best_seconds;
+}
+
+}  // namespace cscv::benchlib

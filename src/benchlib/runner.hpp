@@ -1,0 +1,49 @@
+// Measurement protocol of Section V-C: minimum SpMV wall time over N
+// iterations at a fixed thread count, reported as GFLOP/s over the
+// *original* nonzeros (padding never counts as useful work).
+#pragma once
+
+#include <span>
+#include <string>
+
+#include "benchlib/engines.hpp"
+#include "sparse/random.hpp"
+#include "util/parallel.hpp"
+#include "util/timing.hpp"
+
+namespace cscv::benchlib {
+
+struct Measurement {
+  double seconds = 0.0;  // minimum per-iteration wall time
+  double gflops = 0.0;
+};
+
+/// Runs `engine` with `threads` threads for `iterations` repetitions of
+/// y = A x and returns the paper-protocol measurement. The input vector is
+/// seeded deterministically; the first iteration doubles as warm-up since
+/// the minimum is reported.
+template <typename T>
+Measurement measure_spmv(const Engine<T>& engine, std::size_t cols, std::size_t rows,
+                         int threads, int iterations) {
+  auto x = sparse::random_vector<T>(cols, 12345, 0.0, 1.0);
+  util::AlignedVector<T> y(rows);
+  const int saved = util::max_threads();
+  util::set_num_threads(threads);
+  Measurement m;
+  m.seconds = util::min_time_seconds(iterations, [&] { engine.apply(x, y); });
+  util::set_num_threads(saved);
+  m.gflops = util::spmv_gflops(static_cast<std::uint64_t>(engine.nnz), m.seconds);
+  return m;
+}
+
+/// Thread counts to sweep for the scalability figure: 1, 2, 4, ... up to
+/// 2x the hardware threads (the paper sweeps into hyper-threading range).
+inline std::vector<int> scalability_thread_counts() {
+  std::vector<int> out;
+  const int max_t = util::max_threads();
+  for (int t = 1; t <= 2 * max_t; t *= 2) out.push_back(t);
+  if (out.empty()) out.push_back(1);
+  return out;
+}
+
+}  // namespace cscv::benchlib

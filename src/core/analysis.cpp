@@ -1,0 +1,174 @@
+#include "core/analysis.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <map>
+#include <set>
+
+#include "util/assertx.hpp"
+
+namespace cscv::core {
+
+namespace {
+
+using sparse::index_t;
+
+/// Collects one column's in-block nonzeros as (view lane, bin) pairs.
+template <typename T>
+std::vector<std::pair<int, int>> column_entries(const sparse::CscMatrix<T>& a,
+                                                const OperatorLayout& layout,
+                                                const BlockSpec& spec, index_t col) {
+  std::vector<std::pair<int, int>> out;
+  const index_t row_lo = layout.row_of(spec.v0, 0);
+  const int v_end = std::min(spec.v0 + spec.s_vvec, layout.num_views);
+  const index_t row_hi = layout.row_of(v_end - 1, layout.num_bins - 1) + 1;
+  auto rows = a.row_idx();
+  const auto begin = a.col_ptr()[static_cast<std::size_t>(col)];
+  const auto end = a.col_ptr()[static_cast<std::size_t>(col) + 1];
+  auto it = std::lower_bound(rows.begin() + begin, rows.begin() + end, row_lo);
+  for (; it != rows.begin() + end && *it < row_hi; ++it) {
+    out.emplace_back(layout.view_of_row(*it) - spec.v0, layout.bin_of_row(*it));
+  }
+  return out;
+}
+
+/// Min-bin curve of one pixel over the block's views; -1 where the column
+/// has no nonzero at that view.
+template <typename T>
+std::vector<int> min_bin_curve(const sparse::CscMatrix<T>& a, const OperatorLayout& layout,
+                               const BlockSpec& spec, int px, int py) {
+  std::vector<int> curve(static_cast<std::size_t>(spec.s_vvec), -1);
+  for (const auto& [vi, bin] : column_entries(a, layout, spec, layout.col_of_pixel(px, py))) {
+    auto& slot = curve[static_cast<std::size_t>(vi)];
+    if (slot < 0 || bin < slot) slot = bin;
+  }
+  return curve;
+}
+
+void accumulate(SimdEfficiency& eff, int covered) {
+  if (eff.vectors == 0) {
+    eff.min = eff.max = covered;
+  } else {
+    eff.min = std::min(eff.min, covered);
+    eff.max = std::max(eff.max, covered);
+  }
+  eff.mean += covered;
+  ++eff.vectors;
+}
+
+}  // namespace
+
+template <typename T>
+SimdEfficiency simd_efficiency(const sparse::CscMatrix<T>& a, const OperatorLayout& layout,
+                               const BlockSpec& spec, YLayout y_layout) {
+  CSCV_CHECK(spec.px0 < spec.px1 && spec.py0 < spec.py1 && spec.s_vvec > 0);
+  SimdEfficiency eff;
+  for (int py = spec.py0; py < spec.py1; ++py) {
+    for (int px = spec.px0; px < spec.px1; ++px) {
+      const auto entries = column_entries(a, layout, spec, layout.col_of_pixel(px, py));
+      if (entries.empty()) continue;
+      switch (y_layout) {
+        case YLayout::kBinMajor: {
+          // One vector covers the column's contiguous bin run of one view;
+          // it holds as many nonzeros as that view contributes (the rest of
+          // the s_vvec-wide register is other bins the column never uses).
+          std::map<int, int> per_view;
+          for (const auto& [vi, bin] : entries) per_view[vi]++;
+          for (const auto& [vi, count] : per_view) accumulate(eff, count);
+          break;
+        }
+        case YLayout::kViewMajor: {
+          // One vector covers a single bin across the s_vvec views of the
+          // group (the BTB transpose); the column hits that bin for however
+          // many views its trajectory stays on it.
+          std::map<int, int> per_bin;
+          for (const auto& [vi, bin] : entries) per_bin[bin]++;
+          for (const auto& [bin, count] : per_bin) accumulate(eff, count);
+          break;
+        }
+        case YLayout::kIoblr: {
+          // One vector is a CSCVE: a fixed offset from the block-center
+          // reference trajectory across the view group.
+          const int cx = std::min(spec.px0 + (spec.px1 - spec.px0) / 2, spec.px1 - 1);
+          const int cy = std::min(spec.py0 + (spec.py1 - spec.py0) / 2, spec.py1 - 1);
+          const auto ref = min_bin_curve(a, layout, spec, cx, cy);
+          std::map<int, int> per_offset;
+          for (const auto& [vi, bin] : entries) {
+            const int r = ref[static_cast<std::size_t>(vi)];
+            if (r < 0) continue;  // reference empty at this view: rare edge
+            per_offset[bin - r]++;
+          }
+          for (const auto& [o, count] : per_offset) accumulate(eff, count);
+          break;
+        }
+      }
+    }
+  }
+  if (eff.vectors > 0) eff.mean /= static_cast<double>(eff.vectors);
+  return eff;
+}
+
+template <typename T>
+RefPixelStats reference_pixel_stats(const sparse::CscMatrix<T>& a,
+                                    const OperatorLayout& layout, const BlockSpec& spec,
+                                    int ref_px, int ref_py) {
+  RefPixelStats st;
+  st.ref_px = ref_px;
+  st.ref_py = ref_py;
+  const auto ref = min_bin_curve(a, layout, spec, ref_px, ref_py);
+  st.offset_min = std::numeric_limits<int>::max();
+  st.offset_max = std::numeric_limits<int>::min();
+  long nnz = 0;
+  for (int py = spec.py0; py < spec.py1; ++py) {
+    for (int px = spec.px0; px < spec.px1; ++px) {
+      std::set<int> offsets;
+      for (const auto& [vi, bin] : column_entries(a, layout, spec, layout.col_of_pixel(px, py))) {
+        const int r = ref[static_cast<std::size_t>(vi)];
+        if (r < 0) continue;
+        const int o = bin - r;
+        offsets.insert(o);
+        st.offset_min = std::min(st.offset_min, o);
+        st.offset_max = std::max(st.offset_max, o);
+        ++nnz;
+      }
+      st.cscve_count += static_cast<long>(offsets.size());
+    }
+  }
+  st.padding_zeros = st.cscve_count * spec.s_vvec - nnz;
+  if (st.cscve_count == 0) {
+    st.offset_min = st.offset_max = 0;
+  }
+  return st;
+}
+
+template <typename T>
+std::vector<RefPixelStats> all_reference_pixel_stats(const sparse::CscMatrix<T>& a,
+                                                     const OperatorLayout& layout,
+                                                     const BlockSpec& spec) {
+  std::vector<RefPixelStats> out;
+  for (int py = spec.py0; py < spec.py1; ++py) {
+    for (int px = spec.px0; px < spec.px1; ++px) {
+      out.push_back(reference_pixel_stats(a, layout, spec, px, py));
+    }
+  }
+  return out;
+}
+
+template SimdEfficiency simd_efficiency<float>(const sparse::CscMatrix<float>&,
+                                               const OperatorLayout&, const BlockSpec&,
+                                               YLayout);
+template SimdEfficiency simd_efficiency<double>(const sparse::CscMatrix<double>&,
+                                                const OperatorLayout&, const BlockSpec&,
+                                                YLayout);
+template RefPixelStats reference_pixel_stats<float>(const sparse::CscMatrix<float>&,
+                                                    const OperatorLayout&, const BlockSpec&,
+                                                    int, int);
+template RefPixelStats reference_pixel_stats<double>(const sparse::CscMatrix<double>&,
+                                                     const OperatorLayout&, const BlockSpec&,
+                                                     int, int);
+template std::vector<RefPixelStats> all_reference_pixel_stats<float>(
+    const sparse::CscMatrix<float>&, const OperatorLayout&, const BlockSpec&);
+template std::vector<RefPixelStats> all_reference_pixel_stats<double>(
+    const sparse::CscMatrix<double>&, const OperatorLayout&, const BlockSpec&);
+
+}  // namespace cscv::core

@@ -1,0 +1,89 @@
+// Layout analyses behind the paper's didactic figures.
+//
+//  * Fig. 4 — "SIMD efficiency" of a y layout: how many of the S_VVec slots
+//    a vector register covers are actual nonzeros of one column, under
+//    bin-major, view-major, and IOBLR-major orderings of y.
+//  * Fig. 5 — quality of each candidate reference pixel of a block: number
+//    of CSCVEs, padding zeros, and the bin-offset span its trajectory
+//    induces.
+//
+// These run on a single matrix block (the paper uses the Table I example)
+// and are exposed separately from the CSCV builder so the benches can sweep
+// reference pixels without constructing full matrices.
+#pragma once
+
+#include <vector>
+
+#include "core/layout.hpp"
+#include "sparse/csc.hpp"
+
+namespace cscv::core {
+
+/// One matrix block: view group [v0, v0 + s_vvec) x pixel rectangle
+/// [px0, px1) x [py0, py1).
+struct BlockSpec {
+  int v0 = 0;
+  int s_vvec = 8;
+  int px0 = 0, px1 = 0;
+  int py0 = 0, py1 = 0;
+};
+
+enum class YLayout {
+  kBinMajor,   // vector = s_vvec consecutive bins of one view (CT default)
+  kViewMajor,  // vector = one bin across s_vvec consecutive views (BTB)
+  kIoblr,      // vector = one bin offset across the view group (CSCV)
+};
+
+/// Distribution of nonzeros covered per S_VVec-wide vector, over all
+/// vectors any column of the block needs to touch.
+struct SimdEfficiency {
+  int min = 0;
+  int max = 0;
+  double mean = 0.0;
+  long vectors = 0;  // how many vector operations the block costs
+};
+
+template <typename T>
+SimdEfficiency simd_efficiency(const sparse::CscMatrix<T>& a, const OperatorLayout& layout,
+                               const BlockSpec& spec, YLayout y_layout);
+
+/// Fig. 5 statistics for one candidate reference pixel.
+struct RefPixelStats {
+  int ref_px = 0;
+  int ref_py = 0;
+  long cscve_count = 0;   // CSCVEs the block needs with this reference
+  long padding_zeros = 0; // cscve_count * s_vvec - block nnz
+  int offset_min = 0;     // span of parallel-curve offsets
+  int offset_max = 0;
+};
+
+template <typename T>
+RefPixelStats reference_pixel_stats(const sparse::CscMatrix<T>& a,
+                                    const OperatorLayout& layout, const BlockSpec& spec,
+                                    int ref_px, int ref_py);
+
+/// Convenience: stats for every pixel of the block as reference (the full
+/// Fig. 5 heat map).
+template <typename T>
+std::vector<RefPixelStats> all_reference_pixel_stats(const sparse::CscMatrix<T>& a,
+                                                     const OperatorLayout& layout,
+                                                     const BlockSpec& spec);
+
+extern template SimdEfficiency simd_efficiency<float>(const sparse::CscMatrix<float>&,
+                                                      const OperatorLayout&, const BlockSpec&,
+                                                      YLayout);
+extern template SimdEfficiency simd_efficiency<double>(const sparse::CscMatrix<double>&,
+                                                       const OperatorLayout&,
+                                                       const BlockSpec&, YLayout);
+extern template RefPixelStats reference_pixel_stats<float>(const sparse::CscMatrix<float>&,
+                                                           const OperatorLayout&,
+                                                           const BlockSpec&, int, int);
+extern template RefPixelStats reference_pixel_stats<double>(const sparse::CscMatrix<double>&,
+                                                            const OperatorLayout&,
+                                                            const BlockSpec&, int, int);
+extern template std::vector<RefPixelStats> all_reference_pixel_stats<float>(
+    const sparse::CscMatrix<float>&, const OperatorLayout&, const BlockSpec&);
+extern template std::vector<RefPixelStats> all_reference_pixel_stats<double>(
+    const sparse::CscMatrix<double>&, const OperatorLayout&, const BlockSpec&);
+
+}  // namespace cscv::core

@@ -1,0 +1,52 @@
+// Automatic CSCV parameter selection — the paper's Section V-D procedure as
+// a library call.
+//
+// The paper stresses that CSCV's "parameter selection does not need to be
+// carried out on a case-by-case basis" within one acquisition family; this
+// tuner is for crossing families (new geometry, new sampling): it sweeps a
+// small grid, measures real SpMV time per candidate, and returns the best
+// configuration under the paper's selection rule (single-thread for
+// CSCV-Z's latency-bound regime, all-threads for CSCV-M's bandwidth-bound
+// regime).
+#pragma once
+
+#include <vector>
+
+#include "core/format.hpp"
+
+namespace cscv::core {
+
+struct AutotuneOptions {
+  std::vector<int> s_vvec_candidates = {4, 8, 16};
+  std::vector<int> s_imgb_candidates = {8, 16, 32, 64};
+  std::vector<int> s_vxg_candidates = {1, 2, 4, 8};
+  int iterations = 8;          // timing repetitions per candidate (min taken)
+  int threads = 0;             // 0 = OpenMP max
+  double max_r_nnze = 4.0;     // skip candidates whose padding explodes
+};
+
+struct AutotuneResult {
+  CscvParams params;
+  double gflops = 0.0;
+  double r_nnze = 0.0;
+  int candidates_tried = 0;
+  int candidates_skipped = 0;  // rejected by the max_r_nnze cap
+};
+
+/// Sweeps the grid for one variant and returns the fastest configuration.
+/// CSCV-Z is timed single-threaded, CSCV-M at `threads` (the paper's rule).
+template <typename T>
+AutotuneResult autotune(const sparse::CscMatrix<T>& a, const OperatorLayout& layout,
+                        typename CscvMatrix<T>::Variant variant,
+                        const AutotuneOptions& options = {});
+
+extern template AutotuneResult autotune<float>(const sparse::CscMatrix<float>&,
+                                               const OperatorLayout&,
+                                               CscvMatrix<float>::Variant,
+                                               const AutotuneOptions&);
+extern template AutotuneResult autotune<double>(const sparse::CscMatrix<double>&,
+                                                const OperatorLayout&,
+                                                CscvMatrix<double>::Variant,
+                                                const AutotuneOptions&);
+
+}  // namespace cscv::core

@@ -1,0 +1,385 @@
+// CSCV construction: IOBLR reordering + CSCVE/VxG packing (Section IV).
+#include <algorithm>
+#include <limits>
+#include <vector>
+
+#include "core/format.hpp"
+#include "util/assertx.hpp"
+#include "util/parallel.hpp"
+#include "util/prefix_sum.hpp"
+
+namespace cscv::core {
+
+namespace {
+
+using sparse::index_t;
+using sparse::offset_t;
+
+/// One VxG under construction: S_VxG consecutive-offset CSCVEs of `col`.
+struct VxgRec {
+  index_t col = 0;       // global column
+  std::int32_t o_start = 0;
+  std::size_t arena_off = 0;  // into the block's dense value arena
+  std::int32_t nnz_count = 0;
+};
+
+/// Build output of a single block, concatenated into the flat arrays later.
+template <typename T>
+struct BlockResult {
+  std::int32_t o_min = 0;
+  std::int32_t o_count = 0;
+  std::vector<index_t> refs;        // s_vvec reference bins
+  std::vector<VxgRec> vxgs;         // in final processing order
+  std::vector<T> arena;             // dense values, V*S per VxG (build order)
+  offset_t nnz = 0;                 // original nonzeros in this block
+};
+
+template <typename T>
+BlockResult<T> build_block(const sparse::CscMatrix<T>& a, const OperatorLayout& layout,
+                           const CscvParams& params, const BlockGrid& grid, int block_id) {
+  const int s = params.s_vvec;
+  const int vxg = params.s_vxg;
+  const int g = grid.group_of(block_id);
+  const int ty = grid.tile_y_of(block_id);
+  const int tx = grid.tile_x_of(block_id);
+  const int v0 = grid.first_view(g);
+  const int s_eff = std::min(s, layout.num_views - v0);
+
+  const int px0 = tx * params.s_imgb;
+  const int py0 = ty * params.s_imgb;
+  const int px1 = std::min(px0 + params.s_imgb, layout.image_size);
+  const int py1 = std::min(py0 + params.s_imgb, layout.image_size);
+
+  BlockResult<T> out;
+  out.refs.assign(static_cast<std::size_t>(s), 0);
+
+  // ---- Pass 1: slice each column's entries inside the view window -----
+  // One walk over the block's nonzeros; everything later (envelope,
+  // reference curve, offset bucketing) reuses these slices.
+  struct Entry {
+    std::int32_t vi;
+    std::int32_t bin;
+    T val;
+  };
+  std::vector<Entry> entries;                 // all block entries, column-major
+  std::vector<std::size_t> col_begin;         // per block column, into entries
+  std::vector<index_t> col_ids;
+  const int ncols_blk = (px1 - px0) * (py1 - py0);
+  col_begin.reserve(static_cast<std::size_t>(ncols_blk) + 1);
+  col_ids.reserve(static_cast<std::size_t>(ncols_blk));
+
+  auto rows = a.row_idx();
+  auto vals = a.values();
+  const index_t row_lo = layout.row_of(v0, 0);
+  const index_t row_hi = row_lo + static_cast<index_t>(s_eff) * layout.num_bins;
+
+  for (int py = py0; py < py1; ++py) {
+    for (int px = px0; px < px1; ++px) {
+      const index_t col = layout.col_of_pixel(px, py);
+      col_ids.push_back(col);
+      col_begin.push_back(entries.size());
+      const auto cbegin = a.col_ptr()[static_cast<std::size_t>(col)];
+      const auto cend = a.col_ptr()[static_cast<std::size_t>(col) + 1];
+      auto first = std::lower_bound(rows.begin() + cbegin, rows.begin() + cend, row_lo);
+      for (auto it = first; it != rows.begin() + cend && *it < row_hi; ++it) {
+        const index_t row = *it;
+        entries.push_back({layout.view_of_row(row) - v0, layout.bin_of_row(row),
+                           vals[static_cast<std::size_t>(it - rows.begin())]});
+      }
+    }
+  }
+  col_begin.push_back(entries.size());
+  out.nnz = static_cast<offset_t>(entries.size());
+  if (entries.empty()) return out;
+
+  // ---- Reference trajectory r_k(v) -----------------------------------
+  // The envelope (per-view min bin over the block) doubles as the fallback
+  // when the chosen reference pixel has no nonzero at some view.
+  std::vector<int> envelope(static_cast<std::size_t>(s_eff),
+                            std::numeric_limits<int>::max());
+  for (const Entry& e : entries) {
+    envelope[static_cast<std::size_t>(e.vi)] =
+        std::min(envelope[static_cast<std::size_t>(e.vi)], e.bin);
+  }
+
+  index_t ref_col = -1;
+  switch (params.reference) {
+    case ReferenceStrategy::kBlockCenter:
+      ref_col = layout.col_of_pixel(std::min(px0 + params.s_imgb / 2, px1 - 1),
+                                    std::min(py0 + params.s_imgb / 2, py1 - 1));
+      break;
+    case ReferenceStrategy::kBlockCorner:
+      ref_col = layout.col_of_pixel(px0, py0);
+      break;
+    case ReferenceStrategy::kMinEnvelope:
+      break;  // envelope only
+    case ReferenceStrategy::kConstantBtb:
+      break;  // constant curve, handled below
+  }
+  if (params.reference == ReferenceStrategy::kConstantBtb) {
+    // Block Transpose Buffer layout: one constant reference bin for the
+    // whole block, so offsets are absolute bins and every CSCVE is a
+    // view-major vector at a fixed bin (no trajectory following).
+    int block_min = std::numeric_limits<int>::max();
+    for (int e : envelope) block_min = std::min(block_min, e);
+    if (block_min == std::numeric_limits<int>::max()) block_min = 0;
+    for (int vi = 0; vi < s_eff; ++vi) out.refs[static_cast<std::size_t>(vi)] = block_min;
+    // fall through to bucketing with the constant curve
+  } else {
+  std::vector<int> ref_min(static_cast<std::size_t>(s_eff), -1);
+  if (params.reference != ReferenceStrategy::kConstantBtb && ref_col >= 0) {
+    for (std::size_t c = 0; c < col_ids.size(); ++c) {
+      if (col_ids[c] != ref_col) continue;
+      for (std::size_t k = col_begin[c]; k < col_begin[c + 1]; ++k) {
+        auto& slot = ref_min[static_cast<std::size_t>(entries[k].vi)];
+        if (slot < 0 || entries[k].bin < slot) slot = entries[k].bin;
+      }
+      break;
+    }
+  }
+  for (int vi = 0; vi < s_eff; ++vi) {
+    int r = ref_min[static_cast<std::size_t>(vi)];
+    if (r < 0) {
+      r = envelope[static_cast<std::size_t>(vi)];
+      if (r == std::numeric_limits<int>::max()) r = 0;  // view empty in block
+    }
+    out.refs[static_cast<std::size_t>(vi)] = r;
+  }
+  }
+
+  // ---- Pass 2: bucket each column's nonzeros by bin offset ------------
+  // A column touches only a handful of offsets (trajectories of block
+  // pixels are piecewise parallel to the reference, property P1/P2).
+  struct Triple {
+    std::int32_t o;
+    std::int32_t vi;
+    T val;
+  };
+  std::vector<Triple> triples;
+  std::vector<std::int32_t> offsets;  // unique offsets of current column
+
+  std::int32_t blk_o_min = std::numeric_limits<std::int32_t>::max();
+  std::int32_t blk_o_max = std::numeric_limits<std::int32_t>::min();
+
+  for (std::size_t c = 0; c < col_ids.size(); ++c) {
+    {
+      const index_t col = col_ids[c];
+      if (col_begin[c] == col_begin[c + 1]) continue;
+      triples.clear();
+      for (std::size_t k = col_begin[c]; k < col_begin[c + 1]; ++k) {
+        const Entry& e = entries[k];
+        triples.push_back(
+            {e.bin - out.refs[static_cast<std::size_t>(e.vi)], e.vi, e.val});
+      }
+      std::sort(triples.begin(), triples.end(), [](const Triple& x, const Triple& y) {
+        if (x.o != y.o) return x.o < y.o;
+        return x.vi < y.vi;
+      });
+
+      offsets.clear();
+      for (const Triple& t : triples) {
+        if (offsets.empty() || offsets.back() != t.o) offsets.push_back(t.o);
+      }
+
+      // ---- chunk maximal consecutive-offset runs into VxGs ------------
+      std::size_t i = 0;
+      while (i < offsets.size()) {
+        std::size_t j = i;
+        while (j + 1 < offsets.size() && offsets[j + 1] == offsets[j] + 1) ++j;
+        // run of consecutive offsets [offsets[i], offsets[j]]
+        for (std::int32_t start = offsets[i]; start <= offsets[j]; start += vxg) {
+          VxgRec rec;
+          rec.col = col;
+          rec.o_start = start;
+          rec.arena_off = out.arena.size();
+          out.arena.resize(out.arena.size() + static_cast<std::size_t>(vxg) * s, T(0));
+          out.vxgs.push_back(rec);
+          blk_o_min = std::min(blk_o_min, start);
+          blk_o_max = std::max(blk_o_max, start + vxg - 1);
+        }
+        i = j + 1;
+      }
+      // Fill the dense arena of the VxGs just created for this column.
+      // VxGs of this column are at the tail of out.vxgs, sorted by o_start.
+      for (const Triple& t : triples) {
+        // Find the owning VxG by scanning the column's fresh records —
+        // there are only a few per column.
+        for (auto rit = out.vxgs.rbegin(); rit != out.vxgs.rend(); ++rit) {
+          if (rit->col != col) break;
+          if (t.o >= rit->o_start && t.o < rit->o_start + vxg) {
+            const std::size_t at = rit->arena_off +
+                                   static_cast<std::size_t>(t.o - rit->o_start) * s +
+                                   static_cast<std::size_t>(t.vi);
+            out.arena[at] = t.val;
+            rit->nnz_count++;
+            break;
+          }
+        }
+      }
+    }
+  }
+
+  if (out.vxgs.empty()) {
+    out.o_min = 0;
+    out.o_count = 0;
+    return out;
+  }
+  out.o_min = blk_o_min;
+  out.o_count = blk_o_max - blk_o_min + 1;
+
+  // ---- VxG processing order (Fig. 6) ----------------------------------
+  switch (params.order) {
+    case VxgOrder::kNatural:
+      break;
+    case VxgOrder::kByOffset:
+      std::stable_sort(out.vxgs.begin(), out.vxgs.end(),
+                       [](const VxgRec& x, const VxgRec& y) { return x.o_start < y.o_start; });
+      break;
+    case VxgOrder::kByCount:
+      std::stable_sort(out.vxgs.begin(), out.vxgs.end(), [](const VxgRec& x, const VxgRec& y) {
+        return x.nnz_count > y.nnz_count;
+      });
+      break;
+  }
+  return out;
+}
+
+}  // namespace
+
+template <typename T>
+CscvMatrix<T> CscvMatrix<T>::build(const sparse::CscMatrix<T>& a, const OperatorLayout& layout,
+                                   const CscvParams& params, Variant variant) {
+  params.validate();
+  layout.validate();
+  CSCV_CHECK_MSG(a.rows() == layout.num_rows() && a.cols() == layout.num_cols(),
+                 "matrix shape does not match the operator layout");
+
+  CscvMatrix<T> m;
+  m.variant_ = variant;
+  m.params_ = params;
+  m.layout_ = layout;
+  m.grid_ = BlockGrid(layout, params.s_vvec, params.s_imgb);
+  m.nnz_ = a.nnz();
+
+  const int num_blocks = m.grid_.num_blocks();
+  std::vector<BlockResult<T>> results(static_cast<std::size_t>(num_blocks));
+  util::parallel_for(0, static_cast<std::size_t>(num_blocks), [&](std::size_t b) {
+    results[b] = build_block(a, layout, params, m.grid_, static_cast<int>(b));
+  });
+
+  // ---- concatenate into flat arrays -----------------------------------
+  const int s = params.s_vvec;
+  const int vxg = params.s_vxg;
+  offset_t total_vxgs = 0;
+  offset_t total_nnz = 0;
+  for (const auto& r : results) {
+    total_vxgs += static_cast<offset_t>(r.vxgs.size());
+    total_nnz += r.nnz;
+  }
+  CSCV_CHECK_MSG(total_nnz == m.nnz_, "builder lost nonzeros: " << total_nnz << " of "
+                                                                << m.nnz_);
+
+  m.blocks_.resize(static_cast<std::size_t>(num_blocks));
+  m.refs_.assign(static_cast<std::size_t>(num_blocks) * s, 0);
+  m.vxg_col_.resize(static_cast<std::size_t>(total_vxgs));
+  m.vxg_q_.resize(static_cast<std::size_t>(total_vxgs));
+  if (variant == Variant::kZ) {
+    m.values_.assign(static_cast<std::size_t>(total_vxgs * vxg * s), T(0));
+  } else {
+    // One vector of tail slack keeps branch-free expansion in-bounds.
+    m.values_.assign(static_cast<std::size_t>(m.nnz_) + static_cast<std::size_t>(s), T(0));
+    m.masks_.assign(static_cast<std::size_t>(total_vxgs * vxg), 0);
+  }
+
+  offset_t vxg_cursor = 0;
+  offset_t val_cursor = 0;  // kM packed-value cursor
+  for (int b = 0; b < num_blocks; ++b) {
+    const auto& r = results[static_cast<std::size_t>(b)];
+    BlockInfo& info = m.blocks_[static_cast<std::size_t>(b)];
+    info.view_group = m.grid_.group_of(b);
+    info.tile_y = m.grid_.tile_y_of(b);
+    info.tile_x = m.grid_.tile_x_of(b);
+    info.o_min = r.o_min;
+    info.o_count = r.o_count;
+    info.vxg_begin = vxg_cursor;
+    info.vxg_end = vxg_cursor + static_cast<offset_t>(r.vxgs.size());
+    info.val_begin = variant == Variant::kZ ? vxg_cursor * vxg * s : val_cursor;
+    for (int vi = 0; vi < s; ++vi) {
+      m.refs_[static_cast<std::size_t>(b) * s + vi] =
+          r.refs[static_cast<std::size_t>(vi)];
+    }
+    for (const VxgRec& rec : r.vxgs) {
+      m.vxg_col_[static_cast<std::size_t>(vxg_cursor)] = rec.col;
+      m.vxg_q_[static_cast<std::size_t>(vxg_cursor)] =
+          (rec.o_start - r.o_min) * s;
+      const T* dense = r.arena.data() + rec.arena_off;
+      if (variant == Variant::kZ) {
+        std::copy_n(dense, static_cast<std::size_t>(vxg) * s,
+                    m.values_.data() + vxg_cursor * vxg * s);
+      } else {
+        for (int e = 0; e < vxg; ++e) {
+          std::uint16_t mask = 0;
+          for (int l = 0; l < s; ++l) {
+            const T v = dense[e * s + l];
+            if (v != T(0)) {
+              mask |= static_cast<std::uint16_t>(1u << l);
+              m.values_[static_cast<std::size_t>(val_cursor++)] = v;
+            }
+          }
+          m.masks_[static_cast<std::size_t>(vxg_cursor * vxg + e)] = mask;
+        }
+      }
+      ++vxg_cursor;
+    }
+    const std::size_t slots = static_cast<std::size_t>(r.o_count) * s;
+    m.ytilde_max_slots_ = std::max(m.ytilde_max_slots_, slots);
+  }
+  if (variant == Variant::kM) {
+    CSCV_CHECK_MSG(val_cursor == m.nnz_,
+                   "mask packing mismatch: " << val_cursor << " of " << m.nnz_);
+  }
+  return m;
+}
+
+template <typename T>
+std::size_t CscvMatrix<T>::matrix_bytes() const {
+  std::size_t bytes = 0;
+  if (variant_ == Variant::kZ) {
+    bytes += static_cast<std::size_t>(padded_values()) * sizeof(T);
+  } else {
+    bytes += static_cast<std::size_t>(nnz_) * sizeof(T);
+    bytes += masks_.size() * sizeof(std::uint16_t);
+  }
+  bytes += vxg_col_.size() * sizeof(sparse::index_t);
+  bytes += vxg_q_.size() * sizeof(std::int32_t);
+  bytes += blocks_.size() * sizeof(BlockInfo);
+  bytes += refs_.size() * sizeof(sparse::index_t);
+  return bytes;
+}
+
+template <typename T>
+sparse::index_t CscvMatrix<T>::row_of_slot(int block, int o_idx, int vi) const {
+  CSCV_DCHECK(block >= 0 && block < num_blocks());
+  const BlockInfo& info = blocks_[static_cast<std::size_t>(block)];
+  CSCV_DCHECK(o_idx >= 0 && o_idx < info.o_count && vi >= 0 && vi < params_.s_vvec);
+  const int v = grid_.first_view(info.view_group) + vi;
+  if (v >= layout_.num_views) return -1;
+  const int bin = refs_[static_cast<std::size_t>(block) * params_.s_vvec + vi] +
+                  info.o_min + o_idx;
+  if (bin < 0 || bin >= layout_.num_bins) return -1;
+  return layout_.row_of(v, bin);
+}
+
+template CscvMatrix<float> CscvMatrix<float>::build(const sparse::CscMatrix<float>&,
+                                                    const OperatorLayout&, const CscvParams&,
+                                                    CscvMatrix<float>::Variant);
+template CscvMatrix<double> CscvMatrix<double>::build(const sparse::CscMatrix<double>&,
+                                                      const OperatorLayout&,
+                                                      const CscvParams&,
+                                                      CscvMatrix<double>::Variant);
+template std::size_t CscvMatrix<float>::matrix_bytes() const;
+template std::size_t CscvMatrix<double>::matrix_bytes() const;
+template sparse::index_t CscvMatrix<float>::row_of_slot(int, int, int) const;
+template sparse::index_t CscvMatrix<double>::row_of_slot(int, int, int) const;
+
+}  // namespace cscv::core

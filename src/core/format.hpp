@@ -1,0 +1,168 @@
+// CscvMatrix — the paper's Compressed Sparse Column Vector format.
+//
+// Structure (Section IV):
+//   * The matrix is cut into blocks: a view group of S_VVec consecutive
+//     views x an S_ImgB x S_ImgB pixel tile.
+//   * Per block, IOBLR re-indexes the touched sinogram entries by
+//     (bin offset o from the reference trajectory, view lane vi); the local
+//     output vector y~ has o_count * S_VVec contiguous slots.
+//   * A CSCVE is one offset row of y~ for one column: S_VVec values (some
+//     padding zeros) that FMA against S_VVec contiguous y~ slots.
+//   * A VxG concatenates S_VxG CSCVEs of one column at consecutive offsets,
+//     so one index pair (column, start slot) covers S_VxG * S_VVec values.
+//
+// Two storage variants:
+//   * kZ — padding zeros stored in-line; lowest instruction count.
+//   * kM — padding removed; values packed, one S_VVec-bit mask per CSCVE,
+//     re-expanded in the kernel via vexpand / soft-vexpand; lowest traffic.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "core/layout.hpp"
+#include "core/params.hpp"
+#include "simd/expand.hpp"
+#include "sparse/csc.hpp"
+#include "sparse/types.hpp"
+#include "util/aligned_vector.hpp"
+
+namespace cscv::core {
+
+/// Thread-level scheduling of the block loop (Section IV-E).
+enum class ThreadScheme {
+  kAuto,          // row partition when view groups >= threads, else copies
+  kRowPartition,  // threads own whole view groups; scatter straight into y
+  kPrivateY,      // threads split blocks; private y copies + reduction
+};
+
+template <typename T>
+class CscvMatrix {
+ public:
+  enum class Variant { kZ, kM };
+
+  /// Descriptor of one matrix block. o_min may be negative (bins left of
+  /// the reference trajectory); o_count includes slack offsets introduced
+  /// by VxG chunking (Fig. 6's red groups).
+  struct BlockInfo {
+    std::int32_t view_group = 0;
+    std::int32_t tile_x = 0;
+    std::int32_t tile_y = 0;
+    std::int32_t o_min = 0;
+    std::int32_t o_count = 0;
+    sparse::offset_t vxg_begin = 0;
+    sparse::offset_t vxg_end = 0;
+    sparse::offset_t val_begin = 0;  // into values_ (packed cursor for kM)
+  };
+
+  CscvMatrix() = default;
+
+  /// Converts a CSC matrix with integral-operator row/column semantics.
+  static CscvMatrix build(const sparse::CscMatrix<T>& a, const OperatorLayout& layout,
+                          const CscvParams& params, Variant variant);
+
+  // ---- shape and format statistics ------------------------------------
+  [[nodiscard]] Variant variant() const { return variant_; }
+  [[nodiscard]] const CscvParams& params() const { return params_; }
+  [[nodiscard]] const OperatorLayout& layout() const { return layout_; }
+  [[nodiscard]] const BlockGrid& grid() const { return grid_; }
+  [[nodiscard]] sparse::index_t rows() const { return layout_.num_rows(); }
+  [[nodiscard]] sparse::index_t cols() const { return layout_.num_cols(); }
+
+  /// Original nonzeros of the source matrix.
+  [[nodiscard]] sparse::offset_t nnz() const { return nnz_; }
+  /// Logical CSCVE slots = num_vxgs * S_VxG * S_VVec (the nnz(A~) of the
+  /// paper's zero-padding rate).
+  [[nodiscard]] sparse::offset_t padded_values() const {
+    return num_vxgs() * params_.s_vxg * params_.s_vvec;
+  }
+  /// Values physically stored: padded for kZ, exactly nnz for kM.
+  [[nodiscard]] sparse::offset_t stored_values() const {
+    return variant_ == Variant::kZ ? padded_values() : nnz_;
+  }
+  /// The paper's R_nnzE = nnz(A~)/nnz(A) - 1.
+  [[nodiscard]] double r_nnze() const {
+    return nnz_ == 0 ? 0.0
+                     : static_cast<double>(padded_values()) / static_cast<double>(nnz_) - 1.0;
+  }
+  [[nodiscard]] sparse::offset_t num_vxgs() const {
+    return static_cast<sparse::offset_t>(vxg_col_.size());
+  }
+  [[nodiscard]] int num_blocks() const { return static_cast<int>(blocks_.size()); }
+  /// Matrix bytes read per SpMV iteration (values + masks + VxG index +
+  /// block table + reference curves) — M(A) in the bandwidth model.
+  [[nodiscard]] std::size_t matrix_bytes() const;
+  /// Largest per-block y~ scratch requirement, in elements.
+  [[nodiscard]] std::size_t ytilde_max_slots() const { return ytilde_max_slots_; }
+
+  // ---- compute ---------------------------------------------------------
+  /// y = A x. Parallel; kernels are fully vectorized FMAs over contiguous
+  /// y~ slots (Algorithm 3 with the gather replaced by zero-init, since y
+  /// is overwritten).
+  void spmv(std::span<const T> x, std::span<T> y,
+            ThreadScheme scheme = ThreadScheme::kAuto,
+            simd::ExpandPath path = simd::ExpandPath::kAuto) const;
+
+  /// y += A x, serial, with the full gather -> compute -> scatter of
+  /// Algorithm 3 (mapping iota_k applied and inverted per block).
+  void apply_accumulate(std::span<const T> x, std::span<T> y,
+                        simd::ExpandPath path = simd::ExpandPath::kAuto) const;
+
+  /// Y = A X for K right-hand sides stored interleaved (X[col * K + k],
+  /// Y[row * K + k]) — the multi-slice CT case: one system matrix forward-
+  /// projects K slices while its values stream through the cache once.
+  /// Matrix traffic per slice drops by K; the kernels stay gather-free.
+  void spmv_multi(std::span<const T> x, std::span<T> y, int num_rhs,
+                  ThreadScheme scheme = ThreadScheme::kAuto) const;
+
+  /// x = A^T y — CSCV-based backprojection (the paper's stated future
+  /// work). Per block: gather y into y~ with iota_k, then each VxG reduces
+  /// to one x entry via a contiguous dot product (the transpose of the
+  /// forward FMA; same no-gather inner loop). Threads partition image
+  /// tiles, whose x ranges are disjoint, so no private copies are needed.
+  void spmv_transpose(std::span<const T> y, std::span<T> x,
+                      simd::ExpandPath path = simd::ExpandPath::kAuto) const;
+
+  // ---- introspection (tests, analysis benches) -------------------------
+  [[nodiscard]] std::span<const BlockInfo> blocks() const { return blocks_; }
+  /// Reference bin r_k(v) per (block, view lane): refs()[block * S_VVec + vi].
+  [[nodiscard]] std::span<const sparse::index_t> reference_bins() const { return refs_; }
+  [[nodiscard]] std::span<const sparse::index_t> vxg_col() const { return vxg_col_; }
+  [[nodiscard]] std::span<const std::int32_t> vxg_q() const { return vxg_q_; }
+  [[nodiscard]] std::span<const T> values() const { return values_; }
+  [[nodiscard]] std::span<const std::uint16_t> masks() const { return masks_; }
+
+  /// Matrix row addressed by y~ slot (o_idx, vi) of `block`, or -1 when the
+  /// slot is dead (bin off the detector / view past the last one).
+  [[nodiscard]] sparse::index_t row_of_slot(int block, int o_idx, int vi) const;
+
+ private:
+  void scatter_add_block(int block, const T* ytilde, T* y) const;
+  void gather_block(int block, const T* y, T* ytilde) const;
+  void run_block(int block, std::span<const T> x, T* ytilde, bool use_hw) const;
+
+  Variant variant_ = Variant::kZ;
+  CscvParams params_;
+  OperatorLayout layout_;
+  BlockGrid grid_;
+  sparse::offset_t nnz_ = 0;
+  std::size_t ytilde_max_slots_ = 0;
+
+  std::vector<BlockInfo> blocks_;
+  util::AlignedVector<sparse::index_t> refs_;    // num_blocks * s_vvec
+  util::AlignedVector<sparse::index_t> vxg_col_; // global column per VxG
+  util::AlignedVector<std::int32_t> vxg_q_;      // start slot in block y~
+  util::AlignedVector<T> values_;                // kZ: VxG-major dense; kM: packed
+  util::AlignedVector<std::uint16_t> masks_;     // kM: per-CSCVE lane masks
+
+  template <typename U>
+  friend class CscvBuilderAccess;
+};
+
+// Note: no `extern template class` here on purpose. The out-of-line members
+// are explicitly instantiated member-by-member in builder.cpp / spmv.cpp /
+// serialize.cpp; suppressing implicit instantiation of the whole class would
+// also suppress the in-class inline accessors, which unoptimized builds do
+// not inline (undefined references at Debug link time).
+
+}  // namespace cscv::core

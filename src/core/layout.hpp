@@ -1,0 +1,78 @@
+// Mapping between matrix indices and the integral-operator structure.
+//
+// CSCV is not a general-purpose format: it assumes the matrix came from a
+// line-integral imaging operator, i.e. rows are (view, bin) pairs and
+// columns are image pixels. OperatorLayout carries exactly that mapping —
+// nothing else about the acquisition — so CSCV can be built for any matrix
+// with this row/column semantics (loaded from disk, different projector,
+// different geometry), matching the paper's claim that IOBLR only relies on
+// properties P1-P3 of the operator.
+#pragma once
+
+#include "ct/geometry.hpp"
+#include "sparse/types.hpp"
+#include "util/assertx.hpp"
+#include "util/prefix_sum.hpp"
+
+namespace cscv::core {
+
+struct OperatorLayout {
+  int image_size = 0;  // columns form an image_size x image_size pixel grid
+  int num_bins = 0;    // rows are view-major: row = view * num_bins + bin
+  int num_views = 0;
+
+  [[nodiscard]] static OperatorLayout from_geometry(const ct::ParallelGeometry& g) {
+    return {g.image_size, g.num_bins, g.num_views};
+  }
+
+  [[nodiscard]] sparse::index_t num_rows() const {
+    return static_cast<sparse::index_t>(num_views) * num_bins;
+  }
+  [[nodiscard]] sparse::index_t num_cols() const {
+    return static_cast<sparse::index_t>(image_size) * image_size;
+  }
+
+  [[nodiscard]] int view_of_row(sparse::index_t row) const { return row / num_bins; }
+  [[nodiscard]] int bin_of_row(sparse::index_t row) const { return row % num_bins; }
+  [[nodiscard]] int px_of_col(sparse::index_t col) const { return col % image_size; }
+  [[nodiscard]] int py_of_col(sparse::index_t col) const { return col / image_size; }
+  [[nodiscard]] sparse::index_t col_of_pixel(int ix, int iy) const {
+    return static_cast<sparse::index_t>(iy) * image_size + ix;
+  }
+  [[nodiscard]] sparse::index_t row_of(int view, int bin) const {
+    return static_cast<sparse::index_t>(view) * num_bins + bin;
+  }
+
+  void validate() const { CSCV_CHECK(image_size > 0 && num_bins > 0 && num_views > 0); }
+};
+
+/// Block grid derived from (layout, S_VVec, S_ImgB): view groups x image
+/// tiles. Blocks are numbered view-group-major, then tile-row, then
+/// tile-column, so all blocks of one view group are contiguous — the
+/// property the row-partitioned thread scheduler relies on.
+struct BlockGrid {
+  int s_vvec = 0;
+  int s_imgb = 0;
+  int view_groups = 0;  // ceil(num_views / s_vvec)
+  int tiles_x = 0;      // ceil(image_size / s_imgb)
+  int tiles_y = 0;
+
+  BlockGrid() = default;
+  BlockGrid(const OperatorLayout& layout, int s_vvec_, int s_imgb_)
+      : s_vvec(s_vvec_),
+        s_imgb(s_imgb_),
+        view_groups(util::ceil_div(layout.num_views, s_vvec_)),
+        tiles_x(util::ceil_div(layout.image_size, s_imgb_)),
+        tiles_y(util::ceil_div(layout.image_size, s_imgb_)) {}
+
+  [[nodiscard]] int num_blocks() const { return view_groups * tiles_y * tiles_x; }
+  [[nodiscard]] int block_id(int g, int ty, int tx) const {
+    return (g * tiles_y + ty) * tiles_x + tx;
+  }
+  [[nodiscard]] int group_of(int block) const { return block / (tiles_y * tiles_x); }
+  [[nodiscard]] int tile_y_of(int block) const { return (block / tiles_x) % tiles_y; }
+  [[nodiscard]] int tile_x_of(int block) const { return block % tiles_x; }
+  [[nodiscard]] int first_view(int g) const { return g * s_vvec; }
+};
+
+}  // namespace cscv::core

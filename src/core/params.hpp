@@ -1,0 +1,67 @@
+// CSCV tuning parameters (the paper's S_VVec, S_ImgB, S_VxG) and policy
+// knobs for the ablation studies.
+#pragma once
+
+#include <string>
+
+#include "util/assertx.hpp"
+
+namespace cscv::core {
+
+/// How the reference trajectory r_k(v) of a block is chosen (Section IV-C:
+/// "the reference pixel is determined by the center point of the pixel
+/// block"). The alternatives exist for the Fig. 5 ablation.
+enum class ReferenceStrategy {
+  kBlockCenter,   // the paper's choice: min-bin curve of the center pixel
+  kBlockCorner,   // worst-ish case: the (0,0) pixel of the block
+  kMinEnvelope,   // per-view min bin over all block pixels (offsets >= 0)
+  kConstantBtb,   // constant reference (block-wide min bin): CSCVEs become
+                  // plain view-major vectors at fixed bins — the Block
+                  // Transpose Buffer of Wang et al. [14], the layout the
+                  // paper's Fig. 4 compares IOBLR against. No trajectory
+                  // following, so padding grows wherever trajectories move.
+};
+
+/// Processing order of VxGs inside a block (Fig. 6's two sort steps).
+enum class VxgOrder {
+  kNatural,   // column-major build order
+  kByOffset,  // sort by starting bin offset (Fig. 6a)
+  kByCount,   // sort by nonzero count, descending (Fig. 6b)
+};
+
+struct CscvParams {
+  int s_vvec = 8;   // CSCVE length == views per matrix block
+  int s_imgb = 16;  // image block side, in pixels
+  int s_vxg = 2;    // CSCVEs per Vectorized eXecution Group
+  ReferenceStrategy reference = ReferenceStrategy::kBlockCenter;
+  VxgOrder order = VxgOrder::kByOffset;
+
+  void validate() const {
+    CSCV_CHECK_MSG(s_vvec == 4 || s_vvec == 8 || s_vvec == 16,
+                   "S_VVec must be 4, 8 or 16 (got " << s_vvec << ")");
+    CSCV_CHECK_MSG(s_imgb >= 1, "S_ImgB must be positive");
+    CSCV_CHECK_MSG(s_vxg == 1 || s_vxg == 2 || s_vxg == 4 || s_vxg == 8 || s_vxg == 16,
+                   "S_VxG must be 1, 2, 4, 8 or 16 (got " << s_vxg << ")");
+  }
+};
+
+inline std::string reference_name(ReferenceStrategy s) {
+  switch (s) {
+    case ReferenceStrategy::kBlockCenter: return "center";
+    case ReferenceStrategy::kBlockCorner: return "corner";
+    case ReferenceStrategy::kMinEnvelope: return "envelope";
+    case ReferenceStrategy::kConstantBtb: return "btb_view_major";
+  }
+  return "?";
+}
+
+inline std::string vxg_order_name(VxgOrder o) {
+  switch (o) {
+    case VxgOrder::kNatural: return "natural";
+    case VxgOrder::kByOffset: return "by_offset";
+    case VxgOrder::kByCount: return "by_count";
+  }
+  return "?";
+}
+
+}  // namespace cscv::core

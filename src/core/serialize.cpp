@@ -1,0 +1,146 @@
+#include "core/serialize.hpp"
+
+#include <fstream>
+#include <istream>
+#include <ostream>
+
+#include "util/assertx.hpp"
+
+namespace cscv::core {
+
+/// Private-member access shim for serialization (befriended by CscvMatrix).
+template <typename T>
+class CscvBuilderAccess {
+ public:
+  static void write(std::ostream& out, const CscvMatrix<T>& m);
+  static CscvMatrix<T> read(std::istream& in);
+};
+
+namespace {
+
+template <typename V>
+void write_pod(std::ostream& out, const V& v) {
+  out.write(reinterpret_cast<const char*>(&v), sizeof(V));
+}
+
+template <typename V>
+V read_pod(std::istream& in) {
+  V v{};
+  in.read(reinterpret_cast<char*>(&v), sizeof(V));
+  CSCV_CHECK_MSG(static_cast<bool>(in), "truncated CSCV file");
+  return v;
+}
+
+template <typename Vec>
+void write_array(std::ostream& out, const Vec& v) {
+  write_pod<std::uint64_t>(out, v.size());
+  out.write(reinterpret_cast<const char*>(v.data()),
+            static_cast<std::streamsize>(v.size() * sizeof(typename Vec::value_type)));
+}
+
+template <typename Vec>
+void read_array(std::istream& in, Vec& v) {
+  const auto n = read_pod<std::uint64_t>(in);
+  v.resize(static_cast<std::size_t>(n));
+  in.read(reinterpret_cast<char*>(v.data()),
+          static_cast<std::streamsize>(v.size() * sizeof(typename Vec::value_type)));
+  CSCV_CHECK_MSG(static_cast<bool>(in), "truncated CSCV array");
+}
+
+}  // namespace
+
+template <typename T>
+void CscvBuilderAccess<T>::write(std::ostream& out, const CscvMatrix<T>& m) {
+  write_pod<std::uint32_t>(out, kCscvFileMagic);
+  write_pod<std::uint32_t>(out, kCscvFileVersion);
+  write_pod<std::uint32_t>(out, sizeof(T));
+  write_pod<std::int32_t>(out, static_cast<std::int32_t>(m.variant_));
+  write_pod<std::int32_t>(out, m.params_.s_vvec);
+  write_pod<std::int32_t>(out, m.params_.s_imgb);
+  write_pod<std::int32_t>(out, m.params_.s_vxg);
+  write_pod<std::int32_t>(out, static_cast<std::int32_t>(m.params_.reference));
+  write_pod<std::int32_t>(out, static_cast<std::int32_t>(m.params_.order));
+  write_pod<std::int32_t>(out, m.layout_.image_size);
+  write_pod<std::int32_t>(out, m.layout_.num_bins);
+  write_pod<std::int32_t>(out, m.layout_.num_views);
+  write_pod<std::int64_t>(out, m.nnz_);
+  write_pod<std::uint64_t>(out, m.ytilde_max_slots_);
+  write_array(out, m.blocks_);
+  write_array(out, m.refs_);
+  write_array(out, m.vxg_col_);
+  write_array(out, m.vxg_q_);
+  write_array(out, m.values_);
+  write_array(out, m.masks_);
+  CSCV_CHECK_MSG(static_cast<bool>(out), "CSCV write failed");
+}
+
+template <typename T>
+CscvMatrix<T> CscvBuilderAccess<T>::read(std::istream& in) {
+  CSCV_CHECK_MSG(read_pod<std::uint32_t>(in) == kCscvFileMagic, "not a CSCV file");
+  CSCV_CHECK_MSG(read_pod<std::uint32_t>(in) == kCscvFileVersion,
+                 "unsupported CSCV file version");
+  CSCV_CHECK_MSG(read_pod<std::uint32_t>(in) == sizeof(T),
+                 "element type mismatch (saved with different precision)");
+  CscvMatrix<T> m;
+  m.variant_ = static_cast<typename CscvMatrix<T>::Variant>(read_pod<std::int32_t>(in));
+  m.params_.s_vvec = read_pod<std::int32_t>(in);
+  m.params_.s_imgb = read_pod<std::int32_t>(in);
+  m.params_.s_vxg = read_pod<std::int32_t>(in);
+  m.params_.reference = static_cast<ReferenceStrategy>(read_pod<std::int32_t>(in));
+  m.params_.order = static_cast<VxgOrder>(read_pod<std::int32_t>(in));
+  m.layout_.image_size = read_pod<std::int32_t>(in);
+  m.layout_.num_bins = read_pod<std::int32_t>(in);
+  m.layout_.num_views = read_pod<std::int32_t>(in);
+  m.params_.validate();
+  m.layout_.validate();
+  m.grid_ = BlockGrid(m.layout_, m.params_.s_vvec, m.params_.s_imgb);
+  m.nnz_ = read_pod<std::int64_t>(in);
+  m.ytilde_max_slots_ = static_cast<std::size_t>(read_pod<std::uint64_t>(in));
+  read_array(in, m.blocks_);
+  read_array(in, m.refs_);
+  read_array(in, m.vxg_col_);
+  read_array(in, m.vxg_q_);
+  read_array(in, m.values_);
+  read_array(in, m.masks_);
+  CSCV_CHECK_MSG(static_cast<int>(m.blocks_.size()) == m.grid_.num_blocks(),
+                 "block table size does not match the grid");
+  CSCV_CHECK_MSG(m.refs_.size() == m.blocks_.size() * static_cast<std::size_t>(m.params_.s_vvec),
+                 "reference table size mismatch");
+  CSCV_CHECK_MSG(m.vxg_col_.size() == m.vxg_q_.size(), "VxG index arrays disagree");
+  return m;
+}
+
+template <typename T>
+void save_cscv(std::ostream& out, const CscvMatrix<T>& m) {
+  CscvBuilderAccess<T>::write(out, m);
+}
+
+template <typename T>
+CscvMatrix<T> load_cscv(std::istream& in) {
+  return CscvBuilderAccess<T>::read(in);
+}
+
+template <typename T>
+void save_cscv_file(const std::string& path, const CscvMatrix<T>& m) {
+  std::ofstream out(path, std::ios::binary);
+  CSCV_CHECK_MSG(out.is_open(), "cannot open " << path << " for writing");
+  save_cscv(out, m);
+}
+
+template <typename T>
+CscvMatrix<T> load_cscv_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  CSCV_CHECK_MSG(in.is_open(), "cannot open " << path);
+  return load_cscv<T>(in);
+}
+
+template void save_cscv<float>(std::ostream&, const CscvMatrix<float>&);
+template void save_cscv<double>(std::ostream&, const CscvMatrix<double>&);
+template CscvMatrix<float> load_cscv<float>(std::istream&);
+template CscvMatrix<double> load_cscv<double>(std::istream&);
+template void save_cscv_file<float>(const std::string&, const CscvMatrix<float>&);
+template void save_cscv_file<double>(const std::string&, const CscvMatrix<double>&);
+template CscvMatrix<float> load_cscv_file<float>(const std::string&);
+template CscvMatrix<double> load_cscv_file<double>(const std::string&);
+
+}  // namespace cscv::core

@@ -1,0 +1,82 @@
+// Pixel footprint models for the pixel-driven system-matrix builder.
+//
+// At view angle theta, a unit square pixel casts a "shadow" on the detector
+// line centered at its projected center t. The matrix entry A[(v,b), p] is
+// the integral of the shadow profile over bin b. Two profiles are provided:
+//
+//  * kRect — box of width w = |cos| + |sin| and height 1/w. The classic
+//    distance-driven approximation: cheap, area-exact.
+//  * kTrapezoid — the exact strip-integral profile of a unit square: the
+//    convolution of two boxes of widths |cos| and |sin|, a trapezoid with
+//    support w, plateau ||cos| - |sin||, peak 1/max(|cos|, |sin|).
+//
+// Both integrate to exactly 1 over the whole detector (a pixel of unit area
+// and unit attenuation contributes unit mass to every view), a property the
+// tests assert per view.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+
+namespace cscv::ct {
+
+enum class FootprintModel { kRect, kTrapezoid };
+
+/// Shadow profile of a unit pixel at one view angle; immutable and cheap to
+/// copy, constructed once per (pixel, view) or per view.
+class Footprint {
+ public:
+  Footprint(FootprintModel model, double theta_rad) : model_(model) {
+    const double c = std::abs(std::cos(theta_rad));
+    const double s = std::abs(std::sin(theta_rad));
+    a_ = std::max(c, s);
+    b_ = std::min(c, s);
+    half_width_ = 0.5 * (a_ + b_);
+  }
+
+  /// Half of the support width w/2; the shadow is [t - hw, t + hw].
+  [[nodiscard]] double half_width() const { return half_width_; }
+
+  /// Integral of the profile (centered at 0) over [lo, hi].
+  [[nodiscard]] double integrate(double lo, double hi) const {
+    if (hi <= lo) return 0.0;
+    return cdf(hi) - cdf(lo);
+  }
+
+ private:
+  /// Cumulative profile from -inf to u.
+  [[nodiscard]] double cdf(double u) const {
+    const double w = a_ + b_;
+    if (u <= -0.5 * w) return 0.0;
+    if (u >= 0.5 * w) return 1.0;
+    if (model_ == FootprintModel::kRect) {
+      // Box of width w, height 1/w.
+      return (u + 0.5 * w) / w;
+    }
+    // Trapezoid: ramps on [-w/2, -p/2] and [p/2, w/2], plateau (height 1/a)
+    // in between, where p = a - b is the plateau width. When b ~ 0 the ramps
+    // vanish and this degenerates to the box of width a.
+    const double p = a_ - b_;
+    const double peak = 1.0 / a_;
+    if (b_ < 1e-12) {
+      return std::clamp((u + 0.5 * a_) / a_, 0.0, 1.0);
+    }
+    if (u < -0.5 * p) {
+      const double d = u + 0.5 * w;  // distance into the rising ramp, in [0, b)
+      return 0.5 * d * d * peak / b_;
+    }
+    if (u <= 0.5 * p) {
+      const double ramp_area = 0.5 * b_ * peak;
+      return ramp_area + (u + 0.5 * p) * peak;
+    }
+    const double d = 0.5 * w - u;  // distance remaining on the falling ramp
+    return 1.0 - 0.5 * d * d * peak / b_;
+  }
+
+  FootprintModel model_;
+  double a_;  // max(|cos|, |sin|)
+  double b_;  // min(|cos|, |sin|)
+  double half_width_;
+};
+
+}  // namespace cscv::ct

@@ -1,0 +1,104 @@
+#include "ct/phantom.hpp"
+
+#include <cmath>
+#include <numbers>
+
+#include "util/assertx.hpp"
+
+namespace cscv::ct {
+
+std::vector<Ellipse> shepp_logan() {
+  // Classic Shepp & Logan (1974) head phantom: {density, a, b, x0, y0, phi}.
+  return {
+      {2.00, 0.6900, 0.9200, 0.00, 0.0000, 0.0},
+      {-0.98, 0.6624, 0.8740, 0.00, -0.0184, 0.0},
+      {-0.02, 0.1100, 0.3100, 0.22, 0.0000, -18.0},
+      {-0.02, 0.1600, 0.4100, -0.22, 0.0000, 18.0},
+      {0.01, 0.2100, 0.2500, 0.00, 0.3500, 0.0},
+      {0.01, 0.0460, 0.0460, 0.00, 0.1000, 0.0},
+      {0.01, 0.0460, 0.0460, 0.00, -0.1000, 0.0},
+      {0.01, 0.0460, 0.0230, -0.08, -0.6050, 0.0},
+      {0.01, 0.0230, 0.0230, 0.00, -0.6060, 0.0},
+      {0.01, 0.0230, 0.0460, 0.06, -0.6050, 0.0},
+  };
+}
+
+std::vector<Ellipse> shepp_logan_modified() {
+  std::vector<Ellipse> e = shepp_logan();
+  // Toft's display-friendly contrast values; geometry unchanged.
+  const double densities[] = {1.0, -0.8, -0.2, -0.2, 0.1, 0.1, 0.1, 0.1, 0.1, 0.1};
+  for (std::size_t i = 0; i < e.size(); ++i) e[i].density = densities[i];
+  return e;
+}
+
+namespace {
+
+/// True when unit-FOV point (x, y) lies inside the ellipse.
+bool inside(const Ellipse& e, double x, double y) {
+  const double phi = e.phi_deg * std::numbers::pi / 180.0;
+  const double dx = x - e.x0;
+  const double dy = y - e.y0;
+  const double xr = dx * std::cos(phi) + dy * std::sin(phi);
+  const double yr = -dx * std::sin(phi) + dy * std::cos(phi);
+  return (xr * xr) / (e.a * e.a) + (yr * yr) / (e.b * e.b) <= 1.0;
+}
+
+}  // namespace
+
+template <typename T>
+util::AlignedVector<T> rasterize(const std::vector<Ellipse>& phantom, int image_size) {
+  CSCV_CHECK(image_size > 0);
+  util::AlignedVector<T> img(static_cast<std::size_t>(image_size) * image_size, T(0));
+  const double scale = 2.0 / image_size;  // pixel pitch in unit-FOV coords
+  for (int iy = 0; iy < image_size; ++iy) {
+    for (int ix = 0; ix < image_size; ++ix) {
+      const double x = (ix + 0.5) * scale - 1.0;
+      const double y = (iy + 0.5) * scale - 1.0;
+      double v = 0.0;
+      for (const Ellipse& e : phantom) {
+        if (inside(e, x, y)) v += e.density;
+      }
+      img[static_cast<std::size_t>(iy) * image_size + ix] = static_cast<T>(v);
+    }
+  }
+  return img;
+}
+
+template <typename T>
+util::AlignedVector<T> analytic_sinogram(const std::vector<Ellipse>& phantom,
+                                         const ParallelGeometry& g) {
+  g.validate();
+  util::AlignedVector<T> sino(static_cast<std::size_t>(g.num_rows()), T(0));
+  // Unit-FOV lengths scale to pixel units by image_size / 2 (the FOV square
+  // spans image_size pixels across 2 FOV units).
+  const double fov_scale = 0.5 * g.image_size;
+  for (int v = 0; v < g.num_views; ++v) {
+    const double th = g.view_angle_rad(v);
+    for (const Ellipse& e : phantom) {
+      const double gamma = th - e.phi_deg * std::numbers::pi / 180.0;
+      const double a2 = e.a * e.a * std::cos(gamma) * std::cos(gamma) +
+                        e.b * e.b * std::sin(gamma) * std::sin(gamma);
+      const double center_t = e.x0 * std::cos(th) + e.y0 * std::sin(th);
+      for (int b = 0; b < g.num_bins; ++b) {
+        // Detector coordinate in unit-FOV: bin centers are in pixel units.
+        const double t = g.bin_center(b) / fov_scale;
+        const double s = t - center_t;
+        const double under = a2 - s * s;
+        if (under <= 0.0) continue;
+        const double len = 2.0 * e.density * e.a * e.b * std::sqrt(under) / a2;
+        sino[static_cast<std::size_t>(g.row_id(v, b))] +=
+            static_cast<T>(len * fov_scale);
+      }
+    }
+  }
+  return sino;
+}
+
+template util::AlignedVector<float> rasterize<float>(const std::vector<Ellipse>&, int);
+template util::AlignedVector<double> rasterize<double>(const std::vector<Ellipse>&, int);
+template util::AlignedVector<float> analytic_sinogram<float>(const std::vector<Ellipse>&,
+                                                             const ParallelGeometry&);
+template util::AlignedVector<double> analytic_sinogram<double>(const std::vector<Ellipse>&,
+                                                               const ParallelGeometry&);
+
+}  // namespace cscv::ct

@@ -1,0 +1,54 @@
+// Ellipse phantoms (Shepp-Logan) and their analytic Radon transforms.
+//
+// The Radon transform of an ellipse has a closed form, so an ellipse
+// phantom gives both a reference image (rasterized) and a reference
+// sinogram (analytic) — the pair the tests use to validate the system
+// matrix builders end to end, and the recon examples use as ground truth.
+#pragma once
+
+#include <vector>
+
+#include "ct/geometry.hpp"
+#include "util/aligned_vector.hpp"
+
+namespace cscv::ct {
+
+/// One ellipse of a phantom. Coordinates are in the unit field of view
+/// ([-1, 1]^2 maps onto the image square).
+struct Ellipse {
+  double density;      // additive attenuation value
+  double a, b;         // semi-axes (unit FOV)
+  double x0, y0;       // center (unit FOV)
+  double phi_deg;      // rotation of the major axis
+};
+
+/// The standard 10-ellipse Shepp-Logan phantom (original contrast values).
+std::vector<Ellipse> shepp_logan();
+
+/// A higher-contrast variant commonly used for display (Toft's modified
+/// Shepp-Logan densities).
+std::vector<Ellipse> shepp_logan_modified();
+
+/// Rasterizes a phantom onto an N x N image (pixel value = sum of densities
+/// of ellipses whose interior contains the pixel center). Row-major, matching
+/// ParallelGeometry::col_id.
+template <typename T>
+util::AlignedVector<T> rasterize(const std::vector<Ellipse>& phantom, int image_size);
+
+/// Analytic parallel-beam sinogram of the phantom under `g`, bin-major like
+/// the matrix rows: out[row_id(v, b)] = sum over ellipses of the closed-form
+/// line integral through bin b's center ray at view v. Lengths are in pixel
+/// units (the FOV square has side image_size pixels).
+template <typename T>
+util::AlignedVector<T> analytic_sinogram(const std::vector<Ellipse>& phantom,
+                                         const ParallelGeometry& g);
+
+extern template util::AlignedVector<float> rasterize<float>(const std::vector<Ellipse>&, int);
+extern template util::AlignedVector<double> rasterize<double>(const std::vector<Ellipse>&,
+                                                              int);
+extern template util::AlignedVector<float> analytic_sinogram<float>(
+    const std::vector<Ellipse>&, const ParallelGeometry&);
+extern template util::AlignedVector<double> analytic_sinogram<double>(
+    const std::vector<Ellipse>&, const ParallelGeometry&);
+
+}  // namespace cscv::ct

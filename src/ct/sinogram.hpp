@@ -1,0 +1,51 @@
+// Sinogram container: a (views x bins) 2-D view over the flat y vector.
+//
+// Matrix rows are bin-major (ParallelGeometry::row_id), so a sinogram is
+// just the y vector of the linear system with 2-D accessors; keeping it a
+// view avoids copies between SpMV output and reconstruction input.
+#pragma once
+
+#include <span>
+
+#include "ct/geometry.hpp"
+#include "util/aligned_vector.hpp"
+#include "util/assertx.hpp"
+
+namespace cscv::ct {
+
+template <typename T>
+class SinogramView {
+ public:
+  SinogramView(std::span<T> data, int num_views, int num_bins)
+      : data_(data), num_views_(num_views), num_bins_(num_bins) {
+    CSCV_CHECK(data.size() == static_cast<std::size_t>(num_views) * num_bins);
+  }
+
+  [[nodiscard]] int num_views() const { return num_views_; }
+  [[nodiscard]] int num_bins() const { return num_bins_; }
+
+  [[nodiscard]] T& at(int view, int bin) {
+    CSCV_DCHECK(view >= 0 && view < num_views_ && bin >= 0 && bin < num_bins_);
+    return data_[static_cast<std::size_t>(view) * num_bins_ + bin];
+  }
+  [[nodiscard]] const T& at(int view, int bin) const {
+    CSCV_DCHECK(view >= 0 && view < num_views_ && bin >= 0 && bin < num_bins_);
+    return data_[static_cast<std::size_t>(view) * num_bins_ + bin];
+  }
+
+  [[nodiscard]] std::span<T> flat() const { return data_; }
+
+  /// One view's contiguous run of bins.
+  [[nodiscard]] std::span<T> view_row(int view) const {
+    CSCV_DCHECK(view >= 0 && view < num_views_);
+    return data_.subspan(static_cast<std::size_t>(view) * num_bins_,
+                         static_cast<std::size_t>(num_bins_));
+  }
+
+ private:
+  std::span<T> data_;
+  int num_views_;
+  int num_bins_;
+};
+
+}  // namespace cscv::ct

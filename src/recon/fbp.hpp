@@ -1,0 +1,67 @@
+// Filtered backprojection (parallel beam) — the analytic reconstruction
+// baseline next to the iterative solvers.
+//
+// FBP is one ramp filtering of each sinogram row followed by one
+// backprojection (x = A^T y~), so unlike SIRT/CGLS it needs a single
+// transpose SpMV — a nice stress of the backprojection engines and a fast
+// initializer for iterative methods.
+#pragma once
+
+#include <span>
+
+#include "ct/geometry.hpp"
+#include "recon/operators.hpp"
+#include "util/aligned_vector.hpp"
+
+namespace cscv::recon {
+
+/// Discrete Ram-Lak (ramp) kernel h[-n..n] for unit detector spacing:
+/// h[0] = 1/4, h[odd k] = -1/(pi^2 k^2), h[even k] = 0 (Kak & Slaney).
+util::AlignedVector<double> ram_lak_kernel(int half_width);
+
+/// Convolves each view row of `sinogram` with the ramp kernel (zero-padded
+/// edges). Returns the filtered sinogram, bin-major like the input.
+template <typename T>
+util::AlignedVector<T> ramp_filter(const ct::ParallelGeometry& geometry,
+                                   std::span<const T> sinogram);
+
+/// Apodization window applied on top of the ramp in the FFT filter path.
+/// Ram-Lak is the bare ramp (sharpest, noisiest); Shepp-Logan multiplies by
+/// sinc; Hann by a raised cosine (smoothest).
+enum class FbpWindow { kRamLak, kSheppLogan, kHann };
+
+/// FFT implementation of the ramp filter: each row is zero-padded to twice
+/// the next power of two (making the circular convolution linear), filtered
+/// in frequency with the chosen window, and transformed back. Equivalent to
+/// ramp_filter for kRamLak up to padding treatment; O(n log n) per row.
+template <typename T>
+util::AlignedVector<T> ramp_filter_fft(const ct::ParallelGeometry& geometry,
+                                       std::span<const T> sinogram,
+                                       FbpWindow window = FbpWindow::kRamLak);
+
+/// Full FBP: ramp filter + backprojection through `op.adjoint` + the
+/// pi / num_views quadrature weight. Returns the reconstructed image
+/// (row-major, image_size^2). `window` selects the FFT filter path with
+/// apodization; kRamLak uses the direct spatial convolution.
+template <typename T>
+util::AlignedVector<T> fbp(const ct::ParallelGeometry& geometry,
+                           const LinearOperator<T>& op, std::span<const T> sinogram,
+                           FbpWindow window = FbpWindow::kRamLak);
+
+extern template util::AlignedVector<float> ramp_filter<float>(const ct::ParallelGeometry&,
+                                                              std::span<const float>);
+extern template util::AlignedVector<double> ramp_filter<double>(const ct::ParallelGeometry&,
+                                                                std::span<const double>);
+extern template util::AlignedVector<float> ramp_filter_fft<float>(const ct::ParallelGeometry&,
+                                                                  std::span<const float>,
+                                                                  FbpWindow);
+extern template util::AlignedVector<double> ramp_filter_fft<double>(
+    const ct::ParallelGeometry&, std::span<const double>, FbpWindow);
+extern template util::AlignedVector<float> fbp<float>(const ct::ParallelGeometry&,
+                                                      const LinearOperator<float>&,
+                                                      std::span<const float>, FbpWindow);
+extern template util::AlignedVector<double> fbp<double>(const ct::ParallelGeometry&,
+                                                        const LinearOperator<double>&,
+                                                        std::span<const double>, FbpWindow);
+
+}  // namespace cscv::recon

@@ -1,0 +1,126 @@
+#include "recon/os_sart.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/assertx.hpp"
+
+namespace cscv::recon {
+
+template <typename T>
+std::vector<ViewSubset<T>> split_view_subsets(const sparse::CsrMatrix<T>& a,
+                                              const core::OperatorLayout& layout,
+                                              int num_subsets) {
+  CSCV_CHECK(a.rows() == layout.num_rows());
+  CSCV_CHECK(num_subsets >= 1 && num_subsets <= layout.num_views);
+  auto row_ptr = a.row_ptr();
+  auto col_idx = a.col_idx();
+  auto vals = a.values();
+
+  std::vector<ViewSubset<T>> subsets;
+  subsets.reserve(static_cast<std::size_t>(num_subsets));
+  for (int s = 0; s < num_subsets; ++s) {
+    ViewSubset<T> subset;
+    // Interleaved strata: views s, s+n, s+2n ... (maximal angular spread).
+    for (int v = s; v < layout.num_views; v += num_subsets) {
+      for (int bin = 0; bin < layout.num_bins; ++bin) {
+        subset.global_rows.push_back(layout.row_of(v, bin));
+      }
+    }
+    const auto sub_rows = subset.global_rows.size();
+    util::AlignedVector<sparse::offset_t> sub_ptr(sub_rows + 1, 0);
+    for (std::size_t r = 0; r < sub_rows; ++r) {
+      const auto gr = static_cast<std::size_t>(subset.global_rows[r]);
+      sub_ptr[r + 1] = sub_ptr[r] + (row_ptr[gr + 1] - row_ptr[gr]);
+    }
+    util::AlignedVector<sparse::index_t> sub_cols(static_cast<std::size_t>(sub_ptr[sub_rows]));
+    util::AlignedVector<T> sub_vals(static_cast<std::size_t>(sub_ptr[sub_rows]));
+    for (std::size_t r = 0; r < sub_rows; ++r) {
+      const auto gr = static_cast<std::size_t>(subset.global_rows[r]);
+      std::copy(col_idx.begin() + row_ptr[gr], col_idx.begin() + row_ptr[gr + 1],
+                sub_cols.begin() + sub_ptr[r]);
+      std::copy(vals.begin() + row_ptr[gr], vals.begin() + row_ptr[gr + 1],
+                sub_vals.begin() + sub_ptr[r]);
+    }
+    subset.matrix = sparse::CsrMatrix<T>(static_cast<sparse::index_t>(sub_rows), a.cols(),
+                                         std::move(sub_ptr), std::move(sub_cols),
+                                         std::move(sub_vals));
+    subsets.push_back(std::move(subset));
+  }
+  return subsets;
+}
+
+template <typename T>
+RunStats os_sart(const sparse::CsrMatrix<T>& a, const core::OperatorLayout& layout,
+                 std::span<const T> b, std::span<T> x, const OsSartOptions& options) {
+  CSCV_CHECK(static_cast<sparse::index_t>(b.size()) == a.rows());
+  CSCV_CHECK(static_cast<sparse::index_t>(x.size()) == a.cols());
+  auto subsets = split_view_subsets(a, layout, options.num_subsets);
+
+  // Per-subset normalizers: R_s = 1/rowsum, C_s = 1/colsum (SART weights).
+  struct SubsetState {
+    util::AlignedVector<T> b;        // sliced measurements
+    util::AlignedVector<T> inv_row;
+    util::AlignedVector<T> inv_col;
+  };
+  std::vector<SubsetState> state;
+  state.reserve(subsets.size());
+  for (const auto& s : subsets) {
+    SubsetState st;
+    st.b.resize(s.global_rows.size());
+    for (std::size_t r = 0; r < s.global_rows.size(); ++r) {
+      st.b[r] = b[static_cast<std::size_t>(s.global_rows[r])];
+    }
+    CsrOperator<T> op(s.matrix);
+    st.inv_row = op.row_sums();
+    st.inv_col = op.col_sums();
+    for (auto& v : st.inv_row) v = v > T(0) ? T(1) / v : T(0);
+    for (auto& v : st.inv_col) v = v > T(0) ? T(1) / v : T(0);
+    state.push_back(std::move(st));
+  }
+
+  const T lambda = static_cast<T>(options.relaxation);
+  util::AlignedVector<T> residual;
+  util::AlignedVector<T> back(x.size());
+  util::AlignedVector<T> full_residual(b.size());
+  RunStats stats;
+
+  for (int it = 0; it < options.iterations; ++it) {
+    for (std::size_t si = 0; si < subsets.size(); ++si) {
+      const auto& sub = subsets[si];
+      const auto& st = state[si];
+      residual.resize(st.b.size());
+      sub.matrix.spmv(x, residual);
+      for (std::size_t i = 0; i < residual.size(); ++i) {
+        residual[i] = (st.b[i] - residual[i]) * st.inv_row[i];
+      }
+      sub.matrix.spmv_transpose(residual, back);
+      for (std::size_t j = 0; j < back.size(); ++j) {
+        x[j] += lambda * st.inv_col[j] * back[j];
+        if (options.enforce_nonneg) x[j] = std::max(x[j], T(0));
+      }
+    }
+    a.spmv(x, full_residual);
+    double norm = 0.0;
+    for (std::size_t i = 0; i < full_residual.size(); ++i) {
+      const double d = static_cast<double>(b[i]) - static_cast<double>(full_residual[i]);
+      norm += d * d;
+    }
+    stats.residual_norms.push_back(std::sqrt(norm));
+    ++stats.iterations_run;
+  }
+  return stats;
+}
+
+template std::vector<ViewSubset<float>> split_view_subsets<float>(
+    const sparse::CsrMatrix<float>&, const core::OperatorLayout&, int);
+template std::vector<ViewSubset<double>> split_view_subsets<double>(
+    const sparse::CsrMatrix<double>&, const core::OperatorLayout&, int);
+template RunStats os_sart<float>(const sparse::CsrMatrix<float>&, const core::OperatorLayout&,
+                                 std::span<const float>, std::span<float>,
+                                 const OsSartOptions&);
+template RunStats os_sart<double>(const sparse::CsrMatrix<double>&,
+                                  const core::OperatorLayout&, std::span<const double>,
+                                  std::span<double>, const OsSartOptions&);
+
+}  // namespace cscv::recon

@@ -1,0 +1,231 @@
+#include "recon/solvers.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/assertx.hpp"
+
+namespace cscv::recon {
+
+namespace {
+
+template <typename T>
+double norm2(std::span<const T> v) {
+  double s = 0.0;
+  for (T e : v) s += static_cast<double>(e) * static_cast<double>(e);
+  return std::sqrt(s);
+}
+
+template <typename T>
+void clamp_nonneg(std::span<T> x, const SolveOptions& options) {
+  if (!options.enforce_nonneg) return;
+  const T floor_v = static_cast<T>(options.nonneg_floor);
+  for (T& e : x) e = std::max(e, floor_v);
+}
+
+}  // namespace
+
+template <typename T>
+RunStats sirt(const LinearOperator<T>& a, std::span<const T> b, std::span<T> x,
+              const SolveOptions& options) {
+  CSCV_CHECK(static_cast<sparse::index_t>(b.size()) == a.rows());
+  CSCV_CHECK(static_cast<sparse::index_t>(x.size()) == a.cols());
+  const std::size_t m = b.size();
+  const std::size_t n = x.size();
+
+  util::AlignedVector<T> inv_row = a.row_sums();
+  util::AlignedVector<T> inv_col = a.col_sums();
+  for (auto& v : inv_row) v = v > T(0) ? T(1) / v : T(0);
+  for (auto& v : inv_col) v = v > T(0) ? T(1) / v : T(0);
+
+  util::AlignedVector<T> residual(m);
+  util::AlignedVector<T> back(n);
+  RunStats stats;
+  const T lambda = static_cast<T>(options.relaxation);
+
+  for (int it = 0; it < options.iterations; ++it) {
+    a.forward(x, residual);
+    for (std::size_t i = 0; i < m; ++i) residual[i] = b[i] - residual[i];
+    stats.residual_norms.push_back(norm2(std::span<const T>(residual)));
+    for (std::size_t i = 0; i < m; ++i) residual[i] *= inv_row[i];
+    a.adjoint(residual, back);
+    for (std::size_t j = 0; j < n; ++j) x[j] += lambda * inv_col[j] * back[j];
+    clamp_nonneg(x, options);
+    ++stats.iterations_run;
+  }
+  return stats;
+}
+
+template <typename T>
+RunStats art(const sparse::CsrMatrix<T>& a, std::span<const T> b, std::span<T> x,
+             const SolveOptions& options) {
+  CSCV_CHECK(static_cast<sparse::index_t>(b.size()) == a.rows());
+  CSCV_CHECK(static_cast<sparse::index_t>(x.size()) == a.cols());
+  auto row_ptr = a.row_ptr();
+  auto col_idx = a.col_idx();
+  auto vals = a.values();
+  const T lambda = static_cast<T>(options.relaxation);
+
+  // Squared row norms, reused every sweep.
+  util::AlignedVector<T> row_norm2(static_cast<std::size_t>(a.rows()), T(0));
+  for (sparse::index_t r = 0; r < a.rows(); ++r) {
+    T s = T(0);
+    for (auto k = row_ptr[static_cast<std::size_t>(r)];
+         k < row_ptr[static_cast<std::size_t>(r) + 1]; ++k) {
+      s += vals[static_cast<std::size_t>(k)] * vals[static_cast<std::size_t>(k)];
+    }
+    row_norm2[static_cast<std::size_t>(r)] = s;
+  }
+
+  util::AlignedVector<T> residual(b.size());
+  RunStats stats;
+  for (int it = 0; it < options.iterations; ++it) {
+    for (sparse::index_t r = 0; r < a.rows(); ++r) {
+      const T nrm = row_norm2[static_cast<std::size_t>(r)];
+      if (nrm == T(0)) continue;
+      T dot = T(0);
+      for (auto k = row_ptr[static_cast<std::size_t>(r)];
+           k < row_ptr[static_cast<std::size_t>(r) + 1]; ++k) {
+        dot += vals[static_cast<std::size_t>(k)] *
+               x[static_cast<std::size_t>(col_idx[static_cast<std::size_t>(k)])];
+      }
+      const T alpha = lambda * (b[static_cast<std::size_t>(r)] - dot) / nrm;
+      for (auto k = row_ptr[static_cast<std::size_t>(r)];
+           k < row_ptr[static_cast<std::size_t>(r) + 1]; ++k) {
+        x[static_cast<std::size_t>(col_idx[static_cast<std::size_t>(k)])] +=
+            alpha * vals[static_cast<std::size_t>(k)];
+      }
+    }
+    clamp_nonneg(x, options);
+    a.spmv(x, residual);
+    for (std::size_t i = 0; i < residual.size(); ++i) residual[i] = b[i] - residual[i];
+    stats.residual_norms.push_back(norm2(std::span<const T>(residual)));
+    ++stats.iterations_run;
+  }
+  return stats;
+}
+
+template <typename T>
+RunStats cgls(const LinearOperator<T>& a, std::span<const T> b, std::span<T> x,
+              const SolveOptions& options) {
+  CSCV_CHECK(static_cast<sparse::index_t>(b.size()) == a.rows());
+  CSCV_CHECK(static_cast<sparse::index_t>(x.size()) == a.cols());
+  const std::size_t m = b.size();
+  const std::size_t n = x.size();
+
+  util::AlignedVector<T> r(m);   // b - A x
+  util::AlignedVector<T> s(n);   // A^T r
+  util::AlignedVector<T> p(n);
+  util::AlignedVector<T> q(m);   // A p
+
+  a.forward(x, r);
+  for (std::size_t i = 0; i < m; ++i) r[i] = b[i] - r[i];
+  a.adjoint(r, s);
+  p.assign(s.begin(), s.end());
+  double gamma = 0.0;
+  for (T e : s) gamma += static_cast<double>(e) * static_cast<double>(e);
+
+  RunStats stats;
+  for (int it = 0; it < options.iterations; ++it) {
+    if (gamma == 0.0) break;
+    a.forward(p, q);
+    double qq = 0.0;
+    for (T e : q) qq += static_cast<double>(e) * static_cast<double>(e);
+    if (qq == 0.0) break;
+    const double alpha = gamma / qq;
+    for (std::size_t j = 0; j < n; ++j) x[j] += static_cast<T>(alpha) * p[j];
+    for (std::size_t i = 0; i < m; ++i) r[i] -= static_cast<T>(alpha) * q[i];
+    stats.residual_norms.push_back(norm2(std::span<const T>(r)));
+    a.adjoint(r, s);
+    double gamma_new = 0.0;
+    for (T e : s) gamma_new += static_cast<double>(e) * static_cast<double>(e);
+    const double beta = gamma_new / gamma;
+    gamma = gamma_new;
+    for (std::size_t j = 0; j < n; ++j) p[j] = s[j] + static_cast<T>(beta) * p[j];
+    ++stats.iterations_run;
+  }
+  clamp_nonneg(x, options);
+  return stats;
+}
+
+template <typename T>
+RunStats icd(const sparse::CscMatrix<T>& a, std::span<const T> b, std::span<T> x,
+             const SolveOptions& options) {
+  CSCV_CHECK(static_cast<sparse::index_t>(b.size()) == a.rows());
+  CSCV_CHECK(static_cast<sparse::index_t>(x.size()) == a.cols());
+  auto col_ptr = a.col_ptr();
+  auto row_idx = a.row_idx();
+  auto vals = a.values();
+
+  // Column squared norms, fixed across sweeps.
+  util::AlignedVector<T> col_norm2(static_cast<std::size_t>(a.cols()), T(0));
+  for (sparse::index_t c = 0; c < a.cols(); ++c) {
+    T s = T(0);
+    for (auto k = col_ptr[static_cast<std::size_t>(c)];
+         k < col_ptr[static_cast<std::size_t>(c) + 1]; ++k) {
+      s += vals[static_cast<std::size_t>(k)] * vals[static_cast<std::size_t>(k)];
+    }
+    col_norm2[static_cast<std::size_t>(c)] = s;
+  }
+
+  // Residual e = b - A x, maintained incrementally: the whole point of ICD
+  // is that one pixel update touches only its column's rows.
+  util::AlignedVector<T> e(b.begin(), b.end());
+  {
+    util::AlignedVector<T> ax(b.size());
+    a.spmv(x, ax);
+    for (std::size_t i = 0; i < e.size(); ++i) e[i] -= ax[i];
+  }
+
+  const T lambda = static_cast<T>(options.relaxation);
+  const T floor_v = options.enforce_nonneg ? static_cast<T>(options.nonneg_floor)
+                                           : std::numeric_limits<T>::lowest();
+  RunStats stats;
+  for (int it = 0; it < options.iterations; ++it) {
+    for (sparse::index_t c = 0; c < a.cols(); ++c) {
+      const T nrm = col_norm2[static_cast<std::size_t>(c)];
+      if (nrm == T(0)) continue;
+      // Optimal 1-D step: alpha = <A_col, e> / ||A_col||^2, clamped so the
+      // pixel stays feasible; the residual absorbs the actual step.
+      T dot = T(0);
+      for (auto k = col_ptr[static_cast<std::size_t>(c)];
+           k < col_ptr[static_cast<std::size_t>(c) + 1]; ++k) {
+        dot += vals[static_cast<std::size_t>(k)] *
+               e[static_cast<std::size_t>(row_idx[static_cast<std::size_t>(k)])];
+      }
+      const T old = x[static_cast<std::size_t>(c)];
+      const T updated = std::max(floor_v, old + lambda * dot / nrm);
+      const T step = updated - old;
+      if (step == T(0)) continue;
+      x[static_cast<std::size_t>(c)] = updated;
+      for (auto k = col_ptr[static_cast<std::size_t>(c)];
+           k < col_ptr[static_cast<std::size_t>(c) + 1]; ++k) {
+        e[static_cast<std::size_t>(row_idx[static_cast<std::size_t>(k)])] -=
+            step * vals[static_cast<std::size_t>(k)];
+      }
+    }
+    stats.residual_norms.push_back(norm2(std::span<const T>(e)));
+    ++stats.iterations_run;
+  }
+  return stats;
+}
+
+template RunStats icd<float>(const sparse::CscMatrix<float>&, std::span<const float>,
+                             std::span<float>, const SolveOptions&);
+template RunStats icd<double>(const sparse::CscMatrix<double>&, std::span<const double>,
+                              std::span<double>, const SolveOptions&);
+
+template RunStats sirt<float>(const LinearOperator<float>&, std::span<const float>,
+                              std::span<float>, const SolveOptions&);
+template RunStats sirt<double>(const LinearOperator<double>&, std::span<const double>,
+                               std::span<double>, const SolveOptions&);
+template RunStats art<float>(const sparse::CsrMatrix<float>&, std::span<const float>,
+                             std::span<float>, const SolveOptions&);
+template RunStats art<double>(const sparse::CsrMatrix<double>&, std::span<const double>,
+                              std::span<double>, const SolveOptions&);
+template RunStats cgls<float>(const LinearOperator<float>&, std::span<const float>,
+                              std::span<float>, const SolveOptions&);
+template RunStats cgls<double>(const LinearOperator<double>&, std::span<const double>,
+                               std::span<double>, const SolveOptions&);
+
+}  // namespace cscv::recon

@@ -1,0 +1,70 @@
+#include "recon/volume.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/assertx.hpp"
+
+namespace cscv::recon {
+
+template <typename T>
+RunStats sirt_volume(const core::CscvMatrix<T>& a, const sparse::CscMatrix<T>& csc,
+                     std::span<const T> b, std::span<T> x, int num_slices,
+                     const SolveOptions& options) {
+  CSCV_CHECK(num_slices >= 1);
+  const auto rows = static_cast<std::size_t>(a.rows());
+  const auto cols = static_cast<std::size_t>(a.cols());
+  CSCV_CHECK(b.size() == rows * static_cast<std::size_t>(num_slices));
+  CSCV_CHECK(x.size() == cols * static_cast<std::size_t>(num_slices));
+
+  // Normalizers are per-slice-independent (same matrix for every slice).
+  CscOperator<T> op(csc);
+  auto inv_row = op.row_sums();
+  auto inv_col = op.col_sums();
+  for (auto& v : inv_row) v = v > T(0) ? T(1) / v : T(0);
+  for (auto& v : inv_col) v = v > T(0) ? T(1) / v : T(0);
+
+  util::AlignedVector<T> residual(b.size());
+  util::AlignedVector<T> slice_r(rows);
+  util::AlignedVector<T> slice_back(cols);
+  const T lambda = static_cast<T>(options.relaxation);
+  RunStats stats;
+
+  for (int it = 0; it < options.iterations; ++it) {
+    // One K-RHS SpMM for all slices' forward projections.
+    a.spmv_multi(x, residual, num_slices);
+    double norm = 0.0;
+    for (std::size_t i = 0; i < residual.size(); ++i) {
+      residual[i] = b[i] - residual[i];
+      norm += static_cast<double>(residual[i]) * static_cast<double>(residual[i]);
+    }
+    stats.residual_norms.push_back(std::sqrt(norm));
+
+    // Backproject and update slice by slice (transpose is slice-serial).
+    for (int k = 0; k < num_slices; ++k) {
+      for (std::size_t r = 0; r < rows; ++r) {
+        slice_r[r] = residual[r * static_cast<std::size_t>(num_slices) +
+                              static_cast<std::size_t>(k)] *
+                     inv_row[r];
+      }
+      csc.spmv_transpose(slice_r, slice_back);
+      for (std::size_t c = 0; c < cols; ++c) {
+        auto& xi = x[c * static_cast<std::size_t>(num_slices) + static_cast<std::size_t>(k)];
+        xi += lambda * inv_col[c] * slice_back[c];
+        if (options.enforce_nonneg) xi = std::max(xi, static_cast<T>(options.nonneg_floor));
+      }
+    }
+    ++stats.iterations_run;
+  }
+  return stats;
+}
+
+template RunStats sirt_volume<float>(const core::CscvMatrix<float>&,
+                                     const sparse::CscMatrix<float>&, std::span<const float>,
+                                     std::span<float>, int, const SolveOptions&);
+template RunStats sirt_volume<double>(const core::CscvMatrix<double>&,
+                                      const sparse::CscMatrix<double>&,
+                                      std::span<const double>, std::span<double>, int,
+                                      const SolveOptions&);
+
+}  // namespace cscv::recon

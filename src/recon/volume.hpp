@@ -1,0 +1,34 @@
+// Multi-slice (2.5-D) reconstruction: K axial slices share one system
+// matrix, so every forward projection is a single K-RHS SpMM — the matrix
+// streams through the cache once per iteration instead of K times. This is
+// the memory-traffic argument of multi-slice MBIR (paper refs [12], [14])
+// expressed with the CSCV SpMM kernel.
+#pragma once
+
+#include <span>
+
+#include "core/format.hpp"
+#include "recon/solvers.hpp"
+
+namespace cscv::recon {
+
+/// SIRT over K slices at once. `b` and `x` are K-interleaved
+/// (b[row * K + k], x[col * K + k]) — the layout spmv_multi consumes.
+/// The backprojection uses the CSC transpose slice by slice (its row-gather
+/// already streams the matrix once per slice; a K-RHS transpose would need
+/// interleaved y~ gathers that do not pay off at small K).
+template <typename T>
+RunStats sirt_volume(const core::CscvMatrix<T>& a, const sparse::CscMatrix<T>& csc,
+                     std::span<const T> b, std::span<T> x, int num_slices,
+                     const SolveOptions& options = {});
+
+extern template RunStats sirt_volume<float>(const core::CscvMatrix<float>&,
+                                            const sparse::CscMatrix<float>&,
+                                            std::span<const float>, std::span<float>, int,
+                                            const SolveOptions&);
+extern template RunStats sirt_volume<double>(const core::CscvMatrix<double>&,
+                                             const sparse::CscMatrix<double>&,
+                                             std::span<const double>, std::span<double>, int,
+                                             const SolveOptions&);
+
+}  // namespace cscv::recon

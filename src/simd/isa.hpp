@@ -1,0 +1,67 @@
+// Runtime and compile-time ISA detection.
+//
+// The paper's CSCV-M kernel uses the AVX-512 `vexpand` instruction on Intel
+// and a software expansion ("soft-vexpand") elsewhere; this header is how the
+// rest of the library asks which path is available. Everything else in the
+// library is plain C++ left to compiler auto-vectorization (the paper's
+// performance-portability claim).
+#pragma once
+
+#include <string>
+
+namespace cscv::simd {
+
+/// CPU SIMD capability snapshot.
+struct IsaInfo {
+  bool avx2 = false;
+  bool avx512f = false;
+  bool avx512vl = false;  // 128/256-bit forms of AVX-512 ops (vexpand at width 4/8)
+
+  /// True when hardware vexpand is usable at a given element width
+  /// (AVX-512F provides the 512-bit form; VL the narrower forms).
+  [[nodiscard]] bool hardware_expand(int vector_bits) const {
+    if (vector_bits == 512) return avx512f;
+    return avx512vl;
+  }
+};
+
+/// Queries the executing CPU (cached after the first call).
+inline const IsaInfo& cpu_isa() {
+  static const IsaInfo info = [] {
+    IsaInfo i;
+#if defined(__x86_64__) || defined(__i386__)
+    __builtin_cpu_init();
+    i.avx2 = __builtin_cpu_supports("avx2");
+    i.avx512f = __builtin_cpu_supports("avx512f");
+    i.avx512vl = __builtin_cpu_supports("avx512vl");
+#endif
+    return i;
+  }();
+  return info;
+}
+
+/// Compile-time availability of the AVX-512 expand intrinsics (the binary
+/// must have been compiled with the feature enabled to even emit them).
+#if defined(__AVX512F__)
+inline constexpr bool kCompiledAvx512f = true;
+#else
+inline constexpr bool kCompiledAvx512f = false;
+#endif
+#if defined(__AVX512VL__)
+inline constexpr bool kCompiledAvx512vl = true;
+#else
+inline constexpr bool kCompiledAvx512vl = false;
+#endif
+
+/// Human-readable ISA summary for bench headers.
+inline std::string describe_isa() {
+  const IsaInfo& i = cpu_isa();
+  std::string s = "isa:";
+  s += i.avx2 ? " avx2" : "";
+  s += i.avx512f ? " avx512f" : "";
+  s += i.avx512vl ? " avx512vl" : "";
+  s += kCompiledAvx512f ? " (compiled avx512f)" : " (compiled generic)";
+  return s;
+}
+
+}  // namespace cscv::simd

@@ -1,0 +1,27 @@
+// Direct conversions between compressed layouts.
+//
+// Going through COO costs a full comparison sort of the nonzeros; the
+// CSR <-> CSC transposition is a counting sort and runs in linear time —
+// the difference is minutes at paper-scale nnz.
+#pragma once
+
+#include "sparse/csc.hpp"
+#include "sparse/csr.hpp"
+
+namespace cscv::sparse {
+
+/// CSR built from CSC in O(nnz): within each row, columns come out
+/// ascending (stable pass over the column-major order).
+template <typename T>
+CsrMatrix<T> csr_from_csc(const CscMatrix<T>& a);
+
+/// CSC built from CSR in O(nnz); rows ascend within each column.
+template <typename T>
+CscMatrix<T> csc_from_csr(const CsrMatrix<T>& a);
+
+extern template CsrMatrix<float> csr_from_csc<float>(const CscMatrix<float>&);
+extern template CsrMatrix<double> csr_from_csc<double>(const CscMatrix<double>&);
+extern template CscMatrix<float> csc_from_csr<float>(const CsrMatrix<float>&);
+extern template CscMatrix<double> csc_from_csr<double>(const CsrMatrix<double>&);
+
+}  // namespace cscv::sparse

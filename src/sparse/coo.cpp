@@ -1,0 +1,104 @@
+#include "sparse/coo.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "util/assertx.hpp"
+
+namespace cscv::sparse {
+
+template <typename T>
+CooMatrix<T>::CooMatrix(index_t rows, index_t cols) : rows_(rows), cols_(cols) {
+  CSCV_CHECK(rows >= 0 && cols >= 0);
+}
+
+template <typename T>
+void CooMatrix<T>::add(index_t row, index_t col, T value) {
+  CSCV_DCHECK(row >= 0 && row < rows_ && col >= 0 && col < cols_);
+  row_.push_back(row);
+  col_.push_back(col);
+  values_.push_back(value);
+  normalized_ = false;
+}
+
+template <typename T>
+void CooMatrix<T>::reserve(offset_t nnz) {
+  row_.reserve(static_cast<std::size_t>(nnz));
+  col_.reserve(static_cast<std::size_t>(nnz));
+  values_.reserve(static_cast<std::size_t>(nnz));
+}
+
+template <typename T>
+void CooMatrix<T>::normalize() {
+  const std::size_t n = values_.size();
+  // Sort an index permutation instead of a struct-of-arrays shuffle-in-place;
+  // nnz fits in memory several times over at the scales we build.
+  std::vector<std::size_t> perm(n);
+  std::iota(perm.begin(), perm.end(), std::size_t{0});
+  std::sort(perm.begin(), perm.end(), [&](std::size_t a, std::size_t b) {
+    if (row_[a] != row_[b]) return row_[a] < row_[b];
+    return col_[a] < col_[b];
+  });
+
+  util::AlignedVector<index_t> new_row;
+  util::AlignedVector<index_t> new_col;
+  util::AlignedVector<T> new_val;
+  new_row.reserve(n);
+  new_col.reserve(n);
+  new_val.reserve(n);
+
+  for (std::size_t k = 0; k < n; ++k) {
+    const std::size_t i = perm[k];
+    if (!new_val.empty() && new_row.back() == row_[i] && new_col.back() == col_[i]) {
+      new_val.back() += values_[i];
+    } else {
+      new_row.push_back(row_[i]);
+      new_col.push_back(col_[i]);
+      new_val.push_back(values_[i]);
+    }
+  }
+
+  // Drop entries that cancelled to exactly zero during merging.
+  std::size_t w = 0;
+  for (std::size_t r = 0; r < new_val.size(); ++r) {
+    if (new_val[r] != T(0)) {
+      new_row[w] = new_row[r];
+      new_col[w] = new_col[r];
+      new_val[w] = new_val[r];
+      ++w;
+    }
+  }
+  new_row.resize(w);
+  new_col.resize(w);
+  new_val.resize(w);
+
+  row_ = std::move(new_row);
+  col_ = std::move(new_col);
+  values_ = std::move(new_val);
+  normalized_ = true;
+}
+
+template <typename T>
+void CooMatrix<T>::spmv(std::span<const T> x, std::span<T> y) const {
+  CSCV_CHECK(static_cast<index_t>(x.size()) == cols_);
+  CSCV_CHECK(static_cast<index_t>(y.size()) == rows_);
+  std::fill(y.begin(), y.end(), T(0));
+  for (std::size_t k = 0; k < values_.size(); ++k) {
+    y[static_cast<std::size_t>(row_[k])] += values_[k] * x[static_cast<std::size_t>(col_[k])];
+  }
+}
+
+template <typename T>
+void CooMatrix<T>::spmv_transpose(std::span<const T> y, std::span<T> x) const {
+  CSCV_CHECK(static_cast<index_t>(y.size()) == rows_);
+  CSCV_CHECK(static_cast<index_t>(x.size()) == cols_);
+  std::fill(x.begin(), x.end(), T(0));
+  for (std::size_t k = 0; k < values_.size(); ++k) {
+    x[static_cast<std::size_t>(col_[k])] += values_[k] * y[static_cast<std::size_t>(row_[k])];
+  }
+}
+
+template class CooMatrix<float>;
+template class CooMatrix<double>;
+
+}  // namespace cscv::sparse

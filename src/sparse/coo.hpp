@@ -1,0 +1,60 @@
+// Coordinate (triplet) format — the interchange format of the library.
+//
+// Every builder (CT projector, random generators, Matrix Market reader)
+// produces COO; every compressed format converts from it. COO is never used
+// for compute.
+#pragma once
+
+#include <span>
+
+#include "sparse/types.hpp"
+#include "util/aligned_vector.hpp"
+
+namespace cscv::sparse {
+
+template <typename T>
+class CooMatrix {
+ public:
+  CooMatrix() = default;
+  CooMatrix(index_t rows, index_t cols);
+
+  /// Appends one entry; duplicates are allowed until normalize() merges them.
+  void add(index_t row, index_t col, T value);
+
+  /// Reserves storage for an expected number of entries.
+  void reserve(offset_t nnz);
+
+  /// Sorts entries row-major (row, then col), merges duplicates by addition,
+  /// and drops explicit zeros produced by merging. Builders call this once.
+  void normalize();
+
+  [[nodiscard]] index_t rows() const { return rows_; }
+  [[nodiscard]] index_t cols() const { return cols_; }
+  [[nodiscard]] offset_t nnz() const { return static_cast<offset_t>(values_.size()); }
+  [[nodiscard]] Shape shape() const { return {rows_, cols_, nnz()}; }
+  [[nodiscard]] bool normalized() const { return normalized_; }
+
+  [[nodiscard]] std::span<const index_t> row_indices() const { return row_; }
+  [[nodiscard]] std::span<const index_t> col_indices() const { return col_; }
+  [[nodiscard]] std::span<const T> values() const { return values_; }
+
+  /// Reference SpMV: y = A x, straight over triplets. The ground truth all
+  /// format kernels are tested against.
+  void spmv(std::span<const T> x, std::span<T> y) const;
+
+  /// Reference transpose SpMV: x = A^T y.
+  void spmv_transpose(std::span<const T> y, std::span<T> x) const;
+
+ private:
+  index_t rows_ = 0;
+  index_t cols_ = 0;
+  util::AlignedVector<index_t> row_;
+  util::AlignedVector<index_t> col_;
+  util::AlignedVector<T> values_;
+  bool normalized_ = false;
+};
+
+extern template class CooMatrix<float>;
+extern template class CooMatrix<double>;
+
+}  // namespace cscv::sparse

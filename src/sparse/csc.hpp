@@ -1,0 +1,62 @@
+// Compressed Sparse Column — the paper's Algorithm 1 baseline.
+//
+// Column-major twin of CSR; the MKL-CSC stand-in. The parallel kernel uses
+// per-thread private y copies plus a reduction, the same scheme the paper
+// describes for its own multithreaded CSCV (Section IV-E), because columns
+// scatter into shared y rows.
+#pragma once
+
+#include <span>
+
+#include "sparse/coo.hpp"
+#include "sparse/types.hpp"
+#include "util/aligned_vector.hpp"
+
+namespace cscv::sparse {
+
+template <typename T>
+class CscMatrix {
+ public:
+  CscMatrix() = default;
+
+  static CscMatrix from_coo(const CooMatrix<T>& coo);
+
+  CscMatrix(index_t rows, index_t cols, util::AlignedVector<offset_t> col_ptr,
+            util::AlignedVector<index_t> row_idx, util::AlignedVector<T> values);
+
+  [[nodiscard]] index_t rows() const { return rows_; }
+  [[nodiscard]] index_t cols() const { return cols_; }
+  [[nodiscard]] offset_t nnz() const { return static_cast<offset_t>(values_.size()); }
+  [[nodiscard]] Shape shape() const { return {rows_, cols_, nnz()}; }
+
+  [[nodiscard]] std::span<const offset_t> col_ptr() const { return col_ptr_; }
+  [[nodiscard]] std::span<const index_t> row_idx() const { return row_idx_; }
+  [[nodiscard]] std::span<const T> values() const { return values_; }
+
+  /// y = A x, serial (Algorithm 1 of the paper).
+  void spmv_serial(std::span<const T> x, std::span<T> y) const;
+
+  /// y = A x, parallel: column partitioning + per-thread y + reduction.
+  void spmv(std::span<const T> x, std::span<T> y) const;
+
+  /// x = A^T y. CSC of A is CSR of A^T, so this is a gather kernel and
+  /// trivially row-parallel — the reason CSC-style formats suit ICD-type
+  /// reconstruction algorithms (paper Section III).
+  void spmv_transpose(std::span<const T> y, std::span<T> x) const;
+
+  [[nodiscard]] std::size_t matrix_bytes() const;
+
+  [[nodiscard]] CooMatrix<T> to_coo() const;
+
+ private:
+  index_t rows_ = 0;
+  index_t cols_ = 0;
+  util::AlignedVector<offset_t> col_ptr_;   // cols_ + 1 entries
+  util::AlignedVector<index_t> row_idx_;    // nnz entries
+  util::AlignedVector<T> values_;           // nnz entries
+};
+
+extern template class CscMatrix<float>;
+extern template class CscMatrix<double>;
+
+}  // namespace cscv::sparse

@@ -1,0 +1,151 @@
+#include "sparse/csr.hpp"
+
+#include <algorithm>
+
+#include "util/assertx.hpp"
+#include "util/parallel.hpp"
+
+namespace cscv::sparse {
+
+template <typename T>
+CsrMatrix<T> CsrMatrix<T>::from_coo(const CooMatrix<T>& coo) {
+  CSCV_CHECK_MSG(coo.normalized(), "CSR build requires a normalized COO");
+  const auto rows = coo.rows();
+  const auto nnz = coo.nnz();
+  util::AlignedVector<offset_t> row_ptr(static_cast<std::size_t>(rows) + 1, 0);
+  for (index_t r : coo.row_indices()) row_ptr[static_cast<std::size_t>(r) + 1]++;
+  for (index_t r = 0; r < rows; ++r) {
+    row_ptr[static_cast<std::size_t>(r) + 1] += row_ptr[static_cast<std::size_t>(r)];
+  }
+  util::AlignedVector<index_t> col_idx(coo.col_indices().begin(), coo.col_indices().end());
+  util::AlignedVector<T> values(coo.values().begin(), coo.values().end());
+  CSCV_CHECK(row_ptr.back() == nnz);
+  return CsrMatrix(rows, coo.cols(), std::move(row_ptr), std::move(col_idx),
+                   std::move(values));
+}
+
+template <typename T>
+CsrMatrix<T>::CsrMatrix(index_t rows, index_t cols, util::AlignedVector<offset_t> row_ptr,
+                        util::AlignedVector<index_t> col_idx, util::AlignedVector<T> values)
+    : rows_(rows),
+      cols_(cols),
+      row_ptr_(std::move(row_ptr)),
+      col_idx_(std::move(col_idx)),
+      values_(std::move(values)) {
+  CSCV_CHECK(rows_ >= 0 && cols_ >= 0);
+  CSCV_CHECK(row_ptr_.size() == static_cast<std::size_t>(rows_) + 1);
+  CSCV_CHECK(col_idx_.size() == values_.size());
+  CSCV_CHECK(row_ptr_.front() == 0);
+  CSCV_CHECK(row_ptr_.back() == static_cast<offset_t>(values_.size()));
+  for (std::size_t r = 0; r < static_cast<std::size_t>(rows_); ++r) {
+    CSCV_CHECK_MSG(row_ptr_[r] <= row_ptr_[r + 1], "row_ptr must be nondecreasing");
+  }
+}
+
+template <typename T>
+void CsrMatrix<T>::spmv_serial(std::span<const T> x, std::span<T> y) const {
+  CSCV_CHECK(static_cast<index_t>(x.size()) == cols_);
+  CSCV_CHECK(static_cast<index_t>(y.size()) == rows_);
+  const offset_t* rp = row_ptr_.data();
+  const index_t* ci = col_idx_.data();
+  const T* v = values_.data();
+  for (index_t r = 0; r < rows_; ++r) {
+    T acc = T(0);
+    for (offset_t k = rp[r]; k < rp[r + 1]; ++k) {
+      acc += v[k] * x[static_cast<std::size_t>(ci[k])];
+    }
+    y[static_cast<std::size_t>(r)] = acc;
+  }
+}
+
+template <typename T>
+void CsrMatrix<T>::spmv(std::span<const T> x, std::span<T> y) const {
+  CSCV_CHECK(static_cast<index_t>(x.size()) == cols_);
+  CSCV_CHECK(static_cast<index_t>(y.size()) == rows_);
+  const offset_t* rp = row_ptr_.data();
+  const index_t* ci = col_idx_.data();
+  const T* v = values_.data();
+  T* yp = y.data();
+#pragma omp parallel for schedule(static)
+  for (index_t r = 0; r < rows_; ++r) {
+    T acc = T(0);
+    for (offset_t k = rp[r]; k < rp[r + 1]; ++k) {
+      acc += v[k] * x[static_cast<std::size_t>(ci[k])];
+    }
+    yp[r] = acc;
+  }
+}
+
+template <typename T>
+void CsrMatrix<T>::spmv_transpose_serial(std::span<const T> y, std::span<T> x) const {
+  CSCV_CHECK(static_cast<index_t>(y.size()) == rows_);
+  CSCV_CHECK(static_cast<index_t>(x.size()) == cols_);
+  std::fill(x.begin(), x.end(), T(0));
+  for (index_t r = 0; r < rows_; ++r) {
+    const T yr = y[static_cast<std::size_t>(r)];
+    for (offset_t k = row_ptr_[static_cast<std::size_t>(r)];
+         k < row_ptr_[static_cast<std::size_t>(r) + 1]; ++k) {
+      x[static_cast<std::size_t>(col_idx_[static_cast<std::size_t>(k)])] +=
+          values_[static_cast<std::size_t>(k)] * yr;
+    }
+  }
+}
+
+template <typename T>
+void CsrMatrix<T>::spmv_transpose(std::span<const T> y, std::span<T> x) const {
+  CSCV_CHECK(static_cast<index_t>(y.size()) == rows_);
+  CSCV_CHECK(static_cast<index_t>(x.size()) == cols_);
+  const int threads = util::max_threads();
+  if (threads == 1) {
+    spmv_transpose_serial(y, x);
+    return;
+  }
+  // Scatter into per-thread private copies of x, then tree-free flat
+  // reduction: each thread sums one contiguous slice over all copies.
+  const std::size_t n = x.size();
+  util::AlignedVector<T> scratch(static_cast<std::size_t>(threads) * n, T(0));
+  util::parallel_region([&](int tid, int nthreads) {
+    auto [r0, r1] = util::static_partition(static_cast<std::size_t>(rows_), nthreads, tid);
+    T* xt = scratch.data() + static_cast<std::size_t>(tid) * n;
+    for (std::size_t r = r0; r < r1; ++r) {
+      const T yr = y[r];
+      for (offset_t k = row_ptr_[r]; k < row_ptr_[r + 1]; ++k) {
+        xt[static_cast<std::size_t>(col_idx_[static_cast<std::size_t>(k)])] +=
+            values_[static_cast<std::size_t>(k)] * yr;
+      }
+    }
+  });
+  util::parallel_region([&](int tid, int nthreads) {
+    auto [c0, c1] = util::static_partition(n, nthreads, tid);
+    for (std::size_t c = c0; c < c1; ++c) {
+      T acc = T(0);
+      for (int t = 0; t < threads; ++t) acc += scratch[static_cast<std::size_t>(t) * n + c];
+      x[c] = acc;
+    }
+  });
+}
+
+template <typename T>
+std::size_t CsrMatrix<T>::matrix_bytes() const {
+  return values_.size() * sizeof(T) + col_idx_.size() * sizeof(index_t) +
+         row_ptr_.size() * sizeof(offset_t);
+}
+
+template <typename T>
+CooMatrix<T> CsrMatrix<T>::to_coo() const {
+  CooMatrix<T> coo(rows_, cols_);
+  coo.reserve(nnz());
+  for (index_t r = 0; r < rows_; ++r) {
+    for (offset_t k = row_ptr_[static_cast<std::size_t>(r)];
+         k < row_ptr_[static_cast<std::size_t>(r) + 1]; ++k) {
+      coo.add(r, col_idx_[static_cast<std::size_t>(k)], values_[static_cast<std::size_t>(k)]);
+    }
+  }
+  coo.normalize();
+  return coo;
+}
+
+template class CsrMatrix<float>;
+template class CsrMatrix<double>;
+
+}  // namespace cscv::sparse

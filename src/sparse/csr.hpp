@@ -1,0 +1,68 @@
+// Compressed Sparse Row — the library's reference compute format.
+//
+// The serial and OpenMP row-parallel kernels here play the role of MKL-CSR
+// in the paper's comparison: a well-implemented row-major CSR SpMV whose
+// per-iteration memory traffic is values + column indices + row pointers +
+// the indirectly-addressed x reads.
+#pragma once
+
+#include <span>
+
+#include "sparse/coo.hpp"
+#include "sparse/types.hpp"
+#include "util/aligned_vector.hpp"
+
+namespace cscv::sparse {
+
+template <typename T>
+class CsrMatrix {
+ public:
+  CsrMatrix() = default;
+
+  /// Builds from a normalized COO (sorted row-major, no duplicates).
+  static CsrMatrix from_coo(const CooMatrix<T>& coo);
+
+  /// Builds directly from arrays (takes ownership); validates structure.
+  CsrMatrix(index_t rows, index_t cols, util::AlignedVector<offset_t> row_ptr,
+            util::AlignedVector<index_t> col_idx, util::AlignedVector<T> values);
+
+  [[nodiscard]] index_t rows() const { return rows_; }
+  [[nodiscard]] index_t cols() const { return cols_; }
+  [[nodiscard]] offset_t nnz() const { return static_cast<offset_t>(values_.size()); }
+  [[nodiscard]] Shape shape() const { return {rows_, cols_, nnz()}; }
+
+  [[nodiscard]] std::span<const offset_t> row_ptr() const { return row_ptr_; }
+  [[nodiscard]] std::span<const index_t> col_idx() const { return col_idx_; }
+  [[nodiscard]] std::span<const T> values() const { return values_; }
+
+  /// y = A x, serial.
+  void spmv_serial(std::span<const T> x, std::span<T> y) const;
+
+  /// y = A x, OpenMP static row partitioning (the MKL-CSR stand-in).
+  void spmv(std::span<const T> x, std::span<T> y) const;
+
+  /// x = A^T y, serial (column-scatter form).
+  void spmv_transpose_serial(std::span<const T> y, std::span<T> x) const;
+
+  /// x = A^T y, parallel with per-thread x accumulators + reduction.
+  void spmv_transpose(std::span<const T> y, std::span<T> x) const;
+
+  /// Bytes of matrix data read per SpMV iteration: values + col indices +
+  /// row pointers (the M(A) term of the paper's memory-requirement model).
+  [[nodiscard]] std::size_t matrix_bytes() const;
+
+  /// Converts back to COO (for round-trip tests and format conversions).
+  [[nodiscard]] CooMatrix<T> to_coo() const;
+
+ private:
+  index_t rows_ = 0;
+  index_t cols_ = 0;
+  util::AlignedVector<offset_t> row_ptr_;   // rows_ + 1 entries
+  util::AlignedVector<index_t> col_idx_;    // nnz entries
+  util::AlignedVector<T> values_;           // nnz entries
+};
+
+extern template class CsrMatrix<float>;
+extern template class CsrMatrix<double>;
+
+}  // namespace cscv::sparse

@@ -1,0 +1,77 @@
+// CVR — Compressed Vectorization-oriented sparse Row (Xie et al., CGO'18),
+// one of the paper's comparators.
+//
+// Idea: instead of vectorizing within a row (ELL) or within a tile (CSR5),
+// give each SIMD lane its *own stream of rows*. The nonzeros are transposed
+// into lane-major "steps": step s holds the current nonzero of each of the
+// W lanes, so one vector FMA advances W independent rows at once. When a
+// lane exhausts its row it records a write-back (step, lane, row) and
+// steals the next unassigned row, keeping all lanes busy regardless of row
+// length skew.
+//
+// Simplification vs. the original: threads are given whole-row chunks
+// (balanced by nonzero count) rather than splitting single rows across
+// threads; CT matrices have near-uniform rows (property P3), so the
+// original's intra-row splitting machinery adds nothing here. Each row is
+// processed entirely by one lane, so write-backs need no atomics.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "sparse/csr.hpp"
+#include "sparse/types.hpp"
+#include "util/aligned_vector.hpp"
+
+namespace cscv::sparse {
+
+template <typename T>
+class CvrMatrix {
+ public:
+  CvrMatrix() = default;
+
+  /// Builds the lane-transposed layout from CSR. `lanes` is the SIMD width
+  /// in elements (8 or 16 for single, 4 or 8 for double, any of {4,8,16}
+  /// accepted); `chunks` is the number of thread partitions (defaults to
+  /// the current OpenMP max).
+  static CvrMatrix from_csr(const CsrMatrix<T>& a, int lanes = 8, int chunks = 0);
+
+  [[nodiscard]] index_t rows() const { return rows_; }
+  [[nodiscard]] index_t cols() const { return cols_; }
+  [[nodiscard]] offset_t nnz() const { return nnz_; }
+  [[nodiscard]] int lanes() const { return lanes_; }
+  [[nodiscard]] int chunks() const { return static_cast<int>(chunk_step_ptr_.size()) - 1; }
+  /// Stored elements including lane-padding (steps * lanes summed over
+  /// chunks).
+  [[nodiscard]] offset_t stored() const { return static_cast<offset_t>(values_.size()); }
+
+  /// y = A x, one OpenMP thread per chunk.
+  void spmv(std::span<const T> x, std::span<T> y) const;
+
+  [[nodiscard]] std::size_t matrix_bytes() const;
+
+ private:
+  template <int W>
+  void spmv_chunk(int chunk, const T* x, T* y) const;
+
+  index_t rows_ = 0;
+  index_t cols_ = 0;
+  offset_t nnz_ = 0;
+  int lanes_ = 0;
+
+  // Per chunk: step range and write-back (rec) range.
+  util::AlignedVector<offset_t> chunk_step_ptr_;  // chunks + 1, in steps
+  util::AlignedVector<offset_t> chunk_rec_ptr_;   // chunks + 1, into recs
+  // Lane-major streams: element (step s, lane l) at s * lanes + l.
+  util::AlignedVector<index_t> col_idx_;
+  util::AlignedVector<T> values_;
+  // Write-backs, ascending by step within each chunk.
+  util::AlignedVector<offset_t> rec_step_;
+  util::AlignedVector<std::int32_t> rec_lane_;
+  util::AlignedVector<index_t> rec_row_;
+};
+
+extern template class CvrMatrix<float>;
+extern template class CvrMatrix<double>;
+
+}  // namespace cscv::sparse

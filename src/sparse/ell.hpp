@@ -1,0 +1,53 @@
+// ELLPACK format — fixed-width rows, column-major value layout.
+//
+// The classic vectorizable format for matrices with near-uniform row
+// lengths (paper property P3 says CT matrices qualify column-wise; row-wise
+// the spread is wider, which is exactly the padding cost ELL exposes).
+#pragma once
+
+#include <span>
+
+#include "sparse/coo.hpp"
+#include "sparse/types.hpp"
+#include "util/aligned_vector.hpp"
+
+namespace cscv::sparse {
+
+template <typename T>
+class EllMatrix {
+ public:
+  EllMatrix() = default;
+
+  static EllMatrix from_coo(const CooMatrix<T>& coo);
+
+  [[nodiscard]] index_t rows() const { return rows_; }
+  [[nodiscard]] index_t cols() const { return cols_; }
+  [[nodiscard]] offset_t nnz() const { return nnz_; }
+  [[nodiscard]] index_t width() const { return width_; }
+
+  /// Stored entries including padding (rows * width).
+  [[nodiscard]] offset_t stored() const {
+    return static_cast<offset_t>(rows_) * static_cast<offset_t>(width_);
+  }
+
+  /// y = A x, OpenMP row-parallel; the inner j-loop is the vectorized one
+  /// thanks to the column-major layout.
+  void spmv(std::span<const T> x, std::span<T> y) const;
+
+  [[nodiscard]] std::size_t matrix_bytes() const;
+
+ private:
+  index_t rows_ = 0;
+  index_t cols_ = 0;
+  index_t width_ = 0;    // max nnz per row
+  offset_t nnz_ = 0;
+  // Column-major: entry (r, j) lives at j * rows_ + r. Padding uses value 0
+  // and repeats the row's last valid column index (always in-bounds).
+  util::AlignedVector<index_t> col_idx_;
+  util::AlignedVector<T> values_;
+};
+
+extern template class EllMatrix<float>;
+extern template class EllMatrix<double>;
+
+}  // namespace cscv::sparse

@@ -1,0 +1,85 @@
+#include "sparse/merge.hpp"
+
+#include <algorithm>
+
+#include "util/aligned_vector.hpp"
+#include "util/assertx.hpp"
+#include "util/parallel.hpp"
+
+namespace cscv::sparse {
+
+MergeCoord merge_path_search(offset_t diagonal, std::span<const offset_t> row_end,
+                             offset_t nnz) {
+  const auto rows = static_cast<offset_t>(row_end.size());
+  // The point (i, d - i) lies on the path iff row_end[i-1] <= d-i (all row
+  // boundaries before i sort ahead of the (d-i)-th nonzero) and
+  // row_end[i] > d-i-1. Binary-search the smallest i violating the latter.
+  offset_t lo = std::max<offset_t>(0, diagonal - nnz);
+  offset_t hi = std::min(diagonal, rows);
+  while (lo < hi) {
+    const offset_t mid = lo + (hi - lo) / 2;
+    if (row_end[static_cast<std::size_t>(mid)] <= diagonal - mid - 1) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  return {static_cast<index_t>(lo), diagonal - lo};
+}
+
+template <typename T>
+void merge_spmv(const CsrMatrix<T>& a, std::span<const T> x, std::span<T> y) {
+  CSCV_CHECK(static_cast<index_t>(x.size()) == a.cols());
+  CSCV_CHECK(static_cast<index_t>(y.size()) == a.rows());
+  const auto rows = a.rows();
+  const offset_t nnz = a.nnz();
+  // row_end view: row_ptr shifted by one (row i ends at row_ptr[i+1]).
+  std::span<const offset_t> row_end = a.row_ptr().subspan(1);
+  const index_t* ci = a.col_idx().data();
+  const T* v = a.values().data();
+  T* yp = y.data();
+
+  const int threads = util::max_threads();
+  util::AlignedVector<index_t> carry_row(static_cast<std::size_t>(threads), rows);
+  util::AlignedVector<T> carry_val(static_cast<std::size_t>(threads), T(0));
+
+  const offset_t total = static_cast<offset_t>(rows) + nnz;
+  util::parallel_region([&](int tid, int nthreads) {
+    const offset_t d0 = total * tid / nthreads;
+    const offset_t d1 = total * (tid + 1) / nthreads;
+    MergeCoord c = merge_path_search(d0, row_end, nnz);
+    const MergeCoord c_end = merge_path_search(d1, row_end, nnz);
+
+    index_t i = c.row;
+    offset_t j = c.nz;
+    // Finish every row whose boundary lies inside this thread's diagonals.
+    for (; i < c_end.row; ++i) {
+      T acc = T(0);
+      const offset_t end = row_end[static_cast<std::size_t>(i)];
+      for (; j < end; ++j) acc += v[j] * x[static_cast<std::size_t>(ci[j])];
+      yp[i] = acc;  // leading partial from the previous thread arrives via carry
+    }
+    // Trailing partial row: accumulate and hand to the fix-up pass.
+    T acc = T(0);
+    for (; j < c_end.nz; ++j) acc += v[j] * x[static_cast<std::size_t>(ci[j])];
+    if (tid < threads) {
+      carry_row[static_cast<std::size_t>(tid)] = i;
+      carry_val[static_cast<std::size_t>(tid)] = acc;
+    }
+  });
+
+  // Serial carry fix-up: add each thread's trailing partial into the row it
+  // belongs to. A thread whose range ended exactly on a row boundary carries
+  // zero; a thread past the last row carries into i == rows and is skipped.
+  for (int t = 0; t < threads; ++t) {
+    const index_t r = carry_row[static_cast<std::size_t>(t)];
+    if (r < rows) yp[r] += carry_val[static_cast<std::size_t>(t)];
+  }
+}
+
+template void merge_spmv<float>(const CsrMatrix<float>&, std::span<const float>,
+                                std::span<float>);
+template void merge_spmv<double>(const CsrMatrix<double>&, std::span<const double>,
+                                 std::span<double>);
+
+}  // namespace cscv::sparse

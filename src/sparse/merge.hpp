@@ -1,0 +1,38 @@
+// Merge-based CSR SpMV (Merrill & Garland, SC'16) — the "Merge" baseline.
+//
+// The (row boundary, nonzero) consumption of CSR SpMV is viewed as merging
+// the row_ptr array with the nonzero index sequence; splitting the merge
+// path into equal-length diagonals gives every thread the same amount of
+// row+nonzero work regardless of row-length skew. Threads finish whole rows
+// locally and hand the trailing partial row to a serial carry fix-up.
+#pragma once
+
+#include <span>
+
+#include "sparse/csr.hpp"
+#include "sparse/types.hpp"
+
+namespace cscv::sparse {
+
+/// Coordinate on the merge path: `row` counts consumed row boundaries,
+/// `nz` counts consumed nonzeros; row + nz == diagonal.
+struct MergeCoord {
+  index_t row = 0;
+  offset_t nz = 0;
+};
+
+/// 2-D binary search for the merge-path point on `diagonal`.
+/// Exposed for direct testing of the partitioner's invariants.
+MergeCoord merge_path_search(offset_t diagonal, std::span<const offset_t> row_end,
+                             offset_t nnz);
+
+/// y = A x with merge-path load balancing across OpenMP threads.
+template <typename T>
+void merge_spmv(const CsrMatrix<T>& a, std::span<const T> x, std::span<T> y);
+
+extern template void merge_spmv<float>(const CsrMatrix<float>&, std::span<const float>,
+                                       std::span<float>);
+extern template void merge_spmv<double>(const CsrMatrix<double>&, std::span<const double>,
+                                        std::span<double>);
+
+}  // namespace cscv::sparse

@@ -1,0 +1,111 @@
+#include "sparse/mmio.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "util/assertx.hpp"
+
+namespace cscv::sparse {
+
+namespace {
+
+struct MmHeader {
+  bool pattern = false;
+  bool symmetric = false;
+};
+
+MmHeader parse_header(const std::string& line) {
+  std::istringstream ss(line);
+  std::string banner, object, format, field, symmetry;
+  ss >> banner >> object >> format >> field >> symmetry;
+  CSCV_CHECK_MSG(banner == "%%MatrixMarket", "not a Matrix Market file");
+  CSCV_CHECK_MSG(object == "matrix", "unsupported MM object: " << object);
+  CSCV_CHECK_MSG(format == "coordinate", "only coordinate format is supported");
+  MmHeader h;
+  if (field == "pattern") {
+    h.pattern = true;
+  } else {
+    CSCV_CHECK_MSG(field == "real" || field == "integer" || field == "double",
+                   "unsupported MM field: " << field);
+  }
+  if (symmetry == "symmetric") {
+    h.symmetric = true;
+  } else {
+    CSCV_CHECK_MSG(symmetry == "general", "unsupported MM symmetry: " << symmetry);
+  }
+  return h;
+}
+
+}  // namespace
+
+template <typename T>
+CooMatrix<T> read_matrix_market(std::istream& in) {
+  std::string line;
+  CSCV_CHECK_MSG(static_cast<bool>(std::getline(in, line)), "empty stream");
+  const MmHeader header = parse_header(line);
+
+  // Skip comments, then read the size line.
+  while (std::getline(in, line)) {
+    if (!line.empty() && line[0] != '%') break;
+  }
+  std::istringstream size_line(line);
+  long rows = 0, cols = 0, entries = 0;
+  size_line >> rows >> cols >> entries;
+  CSCV_CHECK_MSG(rows > 0 && cols > 0 && entries >= 0, "bad MM size line: " << line);
+
+  CooMatrix<T> coo(static_cast<index_t>(rows), static_cast<index_t>(cols));
+  coo.reserve(header.symmetric ? 2 * entries : entries);
+  for (long k = 0; k < entries; ++k) {
+    long r = 0, c = 0;
+    double v = 1.0;
+    in >> r >> c;
+    if (!header.pattern) in >> v;
+    CSCV_CHECK_MSG(static_cast<bool>(in), "truncated MM entry " << k);
+    CSCV_CHECK_MSG(r >= 1 && r <= rows && c >= 1 && c <= cols,
+                   "MM index out of range at entry " << k);
+    coo.add(static_cast<index_t>(r - 1), static_cast<index_t>(c - 1), static_cast<T>(v));
+    if (header.symmetric && r != c) {
+      coo.add(static_cast<index_t>(c - 1), static_cast<index_t>(r - 1), static_cast<T>(v));
+    }
+  }
+  coo.normalize();
+  return coo;
+}
+
+template <typename T>
+CooMatrix<T> read_matrix_market_file(const std::string& path) {
+  std::ifstream in(path);
+  CSCV_CHECK_MSG(in.is_open(), "cannot open " << path);
+  return read_matrix_market<T>(in);
+}
+
+template <typename T>
+void write_matrix_market(std::ostream& out, const CooMatrix<T>& m) {
+  out << "%%MatrixMarket matrix coordinate real general\n";
+  out << m.rows() << ' ' << m.cols() << ' ' << m.nnz() << '\n';
+  auto rows = m.row_indices();
+  auto cols = m.col_indices();
+  auto vals = m.values();
+  for (std::size_t k = 0; k < vals.size(); ++k) {
+    out << rows[k] + 1 << ' ' << cols[k] + 1 << ' ' << vals[k] << '\n';
+  }
+}
+
+template <typename T>
+void write_matrix_market_file(const std::string& path, const CooMatrix<T>& m) {
+  std::ofstream out(path);
+  CSCV_CHECK_MSG(out.is_open(), "cannot open " << path << " for writing");
+  write_matrix_market(out, m);
+}
+
+template CooMatrix<float> read_matrix_market<float>(std::istream&);
+template CooMatrix<double> read_matrix_market<double>(std::istream&);
+template CooMatrix<float> read_matrix_market_file<float>(const std::string&);
+template CooMatrix<double> read_matrix_market_file<double>(const std::string&);
+template void write_matrix_market<float>(std::ostream&, const CooMatrix<float>&);
+template void write_matrix_market<double>(std::ostream&, const CooMatrix<double>&);
+template void write_matrix_market_file<float>(const std::string&, const CooMatrix<float>&);
+template void write_matrix_market_file<double>(const std::string&, const CooMatrix<double>&);
+
+}  // namespace cscv::sparse

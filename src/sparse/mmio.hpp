@@ -1,0 +1,31 @@
+// Matrix Market (.mtx) I/O.
+//
+// Lets users bring external matrices into the library and lets the CT
+// builders export system matrices for inspection with standard tools.
+// Supports the `matrix coordinate real general/symmetric` and
+// `matrix coordinate pattern` headers, which covers the SuiteSparse corpus.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "sparse/coo.hpp"
+
+namespace cscv::sparse {
+
+/// Reads a Matrix Market file into COO (1-based indices converted, symmetric
+/// matrices expanded, result normalized). Throws CheckError on format errors.
+template <typename T>
+CooMatrix<T> read_matrix_market(std::istream& in);
+
+template <typename T>
+CooMatrix<T> read_matrix_market_file(const std::string& path);
+
+/// Writes COO as `matrix coordinate real general`.
+template <typename T>
+void write_matrix_market(std::ostream& out, const CooMatrix<T>& m);
+
+template <typename T>
+void write_matrix_market_file(const std::string& path, const CooMatrix<T>& m);
+
+}  // namespace cscv::sparse

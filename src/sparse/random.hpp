@@ -1,0 +1,77 @@
+// Random sparse-matrix generators for tests and micro-benchmarks.
+//
+// Property tests exercise every SpMV kernel on matrices with no CT
+// structure at all — the general formats must be correct on arbitrary
+// sparsity patterns, not just integral-operator ones.
+#pragma once
+
+#include <cstdint>
+
+#include "sparse/coo.hpp"
+#include "util/rng.hpp"
+
+namespace cscv::sparse {
+
+/// Uniform random matrix: each entry present independently with probability
+/// `density`, values uniform in [-1, 1].
+template <typename T>
+CooMatrix<T> random_uniform(index_t rows, index_t cols, double density, std::uint64_t seed) {
+  util::Rng rng(seed);
+  CooMatrix<T> m(rows, cols);
+  for (index_t r = 0; r < rows; ++r) {
+    for (index_t c = 0; c < cols; ++c) {
+      if (rng.flip(density)) m.add(r, c, static_cast<T>(rng.uniform(-1.0, 1.0)));
+    }
+  }
+  m.normalize();
+  return m;
+}
+
+/// Banded matrix with random in-band fill — closer to CT structure (bounded
+/// row spans) while still irregular.
+template <typename T>
+CooMatrix<T> random_banded(index_t n, index_t half_band, double density, std::uint64_t seed) {
+  util::Rng rng(seed);
+  CooMatrix<T> m(n, n);
+  for (index_t r = 0; r < n; ++r) {
+    const index_t c0 = r > half_band ? r - half_band : 0;
+    const index_t c1 = r + half_band < n ? r + half_band : n - 1;
+    for (index_t c = c0; c <= c1; ++c) {
+      if (rng.flip(density)) m.add(r, c, static_cast<T>(rng.uniform(-1.0, 1.0)));
+    }
+  }
+  m.normalize();
+  return m;
+}
+
+/// Matrix with power-law row lengths (hub rows), stressing load balancing —
+/// the regime merge-path/segmented-sum formats are built for.
+template <typename T>
+CooMatrix<T> random_power_law(index_t rows, index_t cols, index_t max_row_len,
+                              std::uint64_t seed) {
+  util::Rng rng(seed);
+  CooMatrix<T> m(rows, cols);
+  for (index_t r = 0; r < rows; ++r) {
+    // len ~ max / (1 + rank): a few heavy rows, a long light tail.
+    const auto len = static_cast<index_t>(
+        std::max<std::int64_t>(1, max_row_len / (1 + rng.uniform_int(0, rows - 1))));
+    for (index_t k = 0; k < len; ++k) {
+      m.add(r, static_cast<index_t>(rng.uniform_int(0, cols - 1)),
+            static_cast<T>(rng.uniform(-1.0, 1.0)));
+    }
+  }
+  m.normalize();
+  return m;
+}
+
+/// Random dense vector with entries in [lo, hi).
+template <typename T>
+util::AlignedVector<T> random_vector(std::size_t n, std::uint64_t seed, double lo = -1.0,
+                                     double hi = 1.0) {
+  util::Rng rng(seed);
+  util::AlignedVector<T> v(n);
+  for (auto& e : v) e = static_cast<T>(rng.uniform(lo, hi));
+  return v;
+}
+
+}  // namespace cscv::sparse

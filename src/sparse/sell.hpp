@@ -1,0 +1,64 @@
+// SELL-C-sigma — sliced ELLPACK with row sorting, the ESB stand-in.
+//
+// Rows are grouped into slices of C rows; within a sorting window of sigma
+// rows, rows are ordered by descending length so rows sharing a slice have
+// similar lengths and padding stays small. Values are stored slice-local
+// column-major so one SIMD lane processes one row. This reproduces the
+// padding/vectorization trade-off of Intel's ESB format the paper compares
+// against (ESB = ELLPACK Sparse Block with bitmasks; SELL-C-sigma is its
+// published descendant with sorting instead of masks).
+#pragma once
+
+#include <span>
+
+#include "sparse/coo.hpp"
+#include "sparse/csr.hpp"
+#include "sparse/types.hpp"
+#include "util/aligned_vector.hpp"
+
+namespace cscv::sparse {
+
+template <typename T>
+class SellMatrix {
+ public:
+  SellMatrix() = default;
+
+  /// `slice_height` is C (SIMD rows per slice); `sort_window` is sigma in
+  /// rows (0 means no sorting). C must be a power of two <= 64.
+  static SellMatrix from_coo(const CooMatrix<T>& coo, int slice_height = 8,
+                             int sort_window = 1024);
+
+  /// Same construction straight from CSR (no sort through COO).
+  static SellMatrix from_csr(const CsrMatrix<T>& csr, int slice_height = 8,
+                             int sort_window = 1024);
+
+  [[nodiscard]] index_t rows() const { return rows_; }
+  [[nodiscard]] index_t cols() const { return cols_; }
+  [[nodiscard]] offset_t nnz() const { return nnz_; }
+  [[nodiscard]] int slice_height() const { return slice_height_; }
+
+  /// Stored entries including padding.
+  [[nodiscard]] offset_t stored() const { return static_cast<offset_t>(values_.size()); }
+
+  /// y = A x, OpenMP slice-parallel.
+  void spmv(std::span<const T> x, std::span<T> y) const;
+
+  [[nodiscard]] std::size_t matrix_bytes() const;
+
+ private:
+  index_t rows_ = 0;
+  index_t cols_ = 0;
+  offset_t nnz_ = 0;
+  int slice_height_ = 0;
+  index_t num_slices_ = 0;
+  util::AlignedVector<offset_t> slice_ptr_;   // start of each slice's values
+  util::AlignedVector<index_t> slice_width_;  // max row length in slice
+  util::AlignedVector<index_t> perm_;         // sorted position -> original row
+  util::AlignedVector<index_t> col_idx_;      // slice-local column-major
+  util::AlignedVector<T> values_;
+};
+
+extern template class SellMatrix<float>;
+extern template class SellMatrix<double>;
+
+}  // namespace cscv::sparse

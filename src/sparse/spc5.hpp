@@ -1,0 +1,71 @@
+// SPC5-style block-compressed format (Bramas & Kus, beta(r,c) kernels).
+//
+// Rows are grouped into packs of `r`; each pack is covered by blocks of `c`
+// consecutive columns starting wherever an uncovered nonzero appears. A
+// block stores one c-bit mask per row plus only the nonzero values, packed
+// row-major. The SpMV kernel re-inflates each row's values with a vector
+// expansion (hardware vexpand on AVX-512, soft-vexpand elsewhere) and FMAs
+// against a contiguous slice of x — vectorization without padding traffic.
+// This is the paper's "SPC5" comparator, reimplemented from its description.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "sparse/csr.hpp"
+#include "sparse/types.hpp"
+#include "simd/expand.hpp"
+#include "util/aligned_vector.hpp"
+
+namespace cscv::sparse {
+
+template <typename T>
+class Spc5Matrix {
+ public:
+  Spc5Matrix() = default;
+
+  /// Builds beta(rows_per_pack, block_width) structure from CSR.
+  /// block_width must be one of the SIMD-friendly widths {4, 8, 16} and
+  /// rows_per_pack one of {1, 2, 4}.
+  static Spc5Matrix from_csr(const CsrMatrix<T>& a, int rows_per_pack = 4,
+                             int block_width = 8);
+
+  [[nodiscard]] index_t rows() const { return rows_; }
+  [[nodiscard]] index_t cols() const { return cols_; }
+  [[nodiscard]] offset_t nnz() const { return nnz_; }
+  [[nodiscard]] int rows_per_pack() const { return rows_per_pack_; }
+  [[nodiscard]] int block_width() const { return block_width_; }
+  [[nodiscard]] offset_t num_blocks() const { return static_cast<offset_t>(block_col_.size()); }
+
+  /// y = A x, OpenMP pack-parallel. `path` picks the expansion
+  /// implementation (kAuto uses hardware when the CPU+binary support it).
+  void spmv(std::span<const T> x, std::span<T> y,
+            simd::ExpandPath path = simd::ExpandPath::kAuto) const;
+
+  [[nodiscard]] std::size_t matrix_bytes() const;
+
+ private:
+  template <int R, int C, bool UseHw>
+  void spmv_kernel(std::span<const T> x, std::span<T> y) const;
+  template <bool UseHw>
+  void spmv_dispatch(std::span<const T> x, std::span<T> y) const;
+
+  index_t rows_ = 0;
+  index_t cols_ = 0;
+  offset_t nnz_ = 0;
+  int rows_per_pack_ = 0;
+  int block_width_ = 0;
+  index_t num_packs_ = 0;
+  util::AlignedVector<offset_t> pack_block_ptr_;  // num_packs + 1
+  util::AlignedVector<offset_t> pack_val_ptr_;    // num_packs + 1
+  util::AlignedVector<index_t> block_col_;        // per block: first column
+  util::AlignedVector<std::uint16_t> masks_;      // per block: R masks
+  util::AlignedVector<T> values_;                 // packed nonzeros (+ one
+                                                  // vector of tail slack for
+                                                  // branch-free expansion)
+};
+
+extern template class Spc5Matrix<float>;
+extern template class Spc5Matrix<double>;
+
+}  // namespace cscv::sparse

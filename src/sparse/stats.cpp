@@ -1,0 +1,59 @@
+#include "sparse/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+#include <vector>
+
+#include "util/assertx.hpp"
+
+namespace cscv::sparse {
+
+namespace {
+
+DegreeStats degree_stats(const std::vector<index_t>& counts) {
+  DegreeStats s;
+  if (counts.empty()) return s;
+  s.min = *std::min_element(counts.begin(), counts.end());
+  s.max = *std::max_element(counts.begin(), counts.end());
+  double sum = 0.0;
+  for (index_t c : counts) {
+    sum += c;
+    if (c == 0) ++s.empty;
+  }
+  s.mean = sum / static_cast<double>(counts.size());
+  double var = 0.0;
+  for (index_t c : counts) var += (c - s.mean) * (c - s.mean);
+  s.stddev = std::sqrt(var / static_cast<double>(counts.size()));
+  return s;
+}
+
+}  // namespace
+
+template <typename T>
+MatrixStats compute_stats(const CooMatrix<T>& m) {
+  MatrixStats s;
+  s.shape = m.shape();
+  std::vector<index_t> row_counts(static_cast<std::size_t>(m.rows()), 0);
+  std::vector<index_t> col_counts(static_cast<std::size_t>(m.cols()), 0);
+  index_t bw = 0;
+  auto rows = m.row_indices();
+  auto cols = m.col_indices();
+  for (std::size_t k = 0; k < rows.size(); ++k) {
+    row_counts[static_cast<std::size_t>(rows[k])]++;
+    col_counts[static_cast<std::size_t>(cols[k])]++;
+    bw = std::max(bw, static_cast<index_t>(std::abs(static_cast<long>(rows[k]) -
+                                                    static_cast<long>(cols[k]))));
+  }
+  s.row = degree_stats(row_counts);
+  s.col = degree_stats(col_counts);
+  const double cells = static_cast<double>(m.rows()) * static_cast<double>(m.cols());
+  s.density = cells > 0 ? static_cast<double>(m.nnz()) / cells : 0.0;
+  s.bandwidth = bw;
+  return s;
+}
+
+template MatrixStats compute_stats<float>(const CooMatrix<float>&);
+template MatrixStats compute_stats<double>(const CooMatrix<double>&);
+
+}  // namespace cscv::sparse

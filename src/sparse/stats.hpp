@@ -1,0 +1,37 @@
+// Structural statistics of sparse matrices.
+//
+// Used by the dataset table (Table II), by the parameter-selection benches,
+// and by tests asserting the CT matrices' structure (paper property P3:
+// near-uniform nnz per column).
+#pragma once
+
+#include <cstdint>
+
+#include "sparse/coo.hpp"
+#include "sparse/types.hpp"
+
+namespace cscv::sparse {
+
+struct DegreeStats {
+  index_t min = 0;
+  index_t max = 0;
+  double mean = 0.0;
+  double stddev = 0.0;
+  index_t empty = 0;  // rows/columns with no nonzeros
+};
+
+struct MatrixStats {
+  Shape shape;
+  DegreeStats row;  // nnz per row
+  DegreeStats col;  // nnz per column
+  double density = 0.0;
+  index_t bandwidth = 0;  // max |row - col| over nonzeros
+};
+
+template <typename T>
+MatrixStats compute_stats(const CooMatrix<T>& m);
+
+extern template MatrixStats compute_stats<float>(const CooMatrix<float>&);
+extern template MatrixStats compute_stats<double>(const CooMatrix<double>&);
+
+}  // namespace cscv::sparse

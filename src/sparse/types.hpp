@@ -1,0 +1,44 @@
+// Shared index/size types for the sparse-matrix library.
+//
+// Row and column counts in this project stay below 2^31 (the largest paper
+// matrix has 4.2 M columns), so 32-bit indices are used for the per-nonzero
+// arrays — index width is memory bandwidth, and bandwidth is the resource
+// SpMV formats compete on. Offsets (row_ptr/col_ptr) are 64-bit because nnz
+// can exceed 2^31 at paper scale.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace cscv::sparse {
+
+using index_t = std::int32_t;    // row/column index of a nonzero
+using offset_t = std::int64_t;   // position into the nonzero arrays
+
+/// Matrix dimensions bundled with nnz, shared across formats.
+struct Shape {
+  index_t rows = 0;
+  index_t cols = 0;
+  offset_t nnz = 0;
+
+  friend bool operator==(const Shape&, const Shape&) = default;
+};
+
+/// Element precision, used by benches to label runs like the paper's
+/// single/double columns.
+enum class Precision { kFloat, kDouble };
+
+template <typename T>
+constexpr Precision precision_of() {
+  if constexpr (sizeof(T) == 4) {
+    return Precision::kFloat;
+  } else {
+    return Precision::kDouble;
+  }
+}
+
+inline std::string precision_name(Precision p) {
+  return p == Precision::kFloat ? "single" : "double";
+}
+
+}  // namespace cscv::sparse

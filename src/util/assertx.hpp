@@ -1,0 +1,50 @@
+// Lightweight runtime-check macros used across the library.
+//
+// CSCV_CHECK fires in all build types: it guards API misuse (bad parameters,
+// inconsistent matrix dimensions) whose cost is negligible next to the work
+// the call performs. CSCV_DCHECK guards inner-loop invariants and compiles
+// out of release builds.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace cscv::util {
+
+/// Error thrown by CSCV_CHECK failures. Distinct from std::logic_error so
+/// callers can distinguish library-invariant violations from their own.
+class CheckError : public std::runtime_error {
+ public:
+  explicit CheckError(const std::string& what) : std::runtime_error(what) {}
+};
+
+[[noreturn]] inline void check_failed(const char* expr, const char* file, int line,
+                                      const std::string& msg) {
+  std::ostringstream os;
+  os << "CSCV_CHECK failed: " << expr << " at " << file << ":" << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw CheckError(os.str());
+}
+
+}  // namespace cscv::util
+
+#define CSCV_CHECK(expr)                                                \
+  do {                                                                  \
+    if (!(expr)) ::cscv::util::check_failed(#expr, __FILE__, __LINE__, {}); \
+  } while (0)
+
+#define CSCV_CHECK_MSG(expr, msg)                                       \
+  do {                                                                  \
+    if (!(expr)) {                                                      \
+      std::ostringstream cscv_check_os_;                                \
+      cscv_check_os_ << msg;                                            \
+      ::cscv::util::check_failed(#expr, __FILE__, __LINE__, cscv_check_os_.str()); \
+    }                                                                   \
+  } while (0)
+
+#ifdef NDEBUG
+#define CSCV_DCHECK(expr) ((void)0)
+#else
+#define CSCV_DCHECK(expr) CSCV_CHECK(expr)
+#endif

@@ -1,0 +1,45 @@
+#include "util/fft.hpp"
+
+#include <cmath>
+#include <numbers>
+
+#include "util/assertx.hpp"
+
+namespace cscv::util {
+
+void fft_inplace(std::span<std::complex<double>> data, bool inverse) {
+  const std::size_t n = data.size();
+  CSCV_CHECK_MSG(is_pow2(n), "FFT length must be a power of two (got " << n << ")");
+  if (n <= 1) return;
+
+  // Bit-reversal permutation.
+  for (std::size_t i = 1, j = 0; i < n; ++i) {
+    std::size_t bit = n >> 1;
+    for (; j & bit; bit >>= 1) j ^= bit;
+    j ^= bit;
+    if (i < j) std::swap(data[i], data[j]);
+  }
+
+  // Butterfly stages.
+  for (std::size_t len = 2; len <= n; len <<= 1) {
+    const double angle = (inverse ? 2.0 : -2.0) * std::numbers::pi / static_cast<double>(len);
+    const std::complex<double> wlen(std::cos(angle), std::sin(angle));
+    for (std::size_t i = 0; i < n; i += len) {
+      std::complex<double> w(1.0, 0.0);
+      for (std::size_t k = 0; k < len / 2; ++k) {
+        const std::complex<double> u = data[i + k];
+        const std::complex<double> v = data[i + k + len / 2] * w;
+        data[i + k] = u + v;
+        data[i + k + len / 2] = u - v;
+        w *= wlen;
+      }
+    }
+  }
+
+  if (inverse) {
+    const double inv_n = 1.0 / static_cast<double>(n);
+    for (auto& c : data) c *= inv_n;
+  }
+}
+
+}  // namespace cscv::util

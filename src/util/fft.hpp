@@ -1,0 +1,29 @@
+// Minimal self-contained radix-2 FFT.
+//
+// Used by the FFT path of the FBP ramp filter (filtering in frequency is
+// O(n log n) vs the O(n^2) direct convolution and is how production CT
+// pipelines do it). Iterative Cooley-Tukey, power-of-two sizes only;
+// callers zero-pad (which FBP needs anyway to make the circular
+// convolution linear).
+#pragma once
+
+#include <complex>
+#include <span>
+
+namespace cscv::util {
+
+/// True if n is a power of two (n >= 1).
+constexpr bool is_pow2(std::size_t n) { return n != 0 && (n & (n - 1)) == 0; }
+
+/// Smallest power of two >= n.
+constexpr std::size_t next_pow2(std::size_t n) {
+  std::size_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+/// In-place FFT of power-of-two length. `inverse` applies the conjugate
+/// transform *and* the 1/n normalization (so fft(ifft(x)) == x).
+void fft_inplace(std::span<std::complex<double>> data, bool inverse);
+
+}  // namespace cscv::util

@@ -1,0 +1,87 @@
+// Thin OpenMP wrappers.
+//
+// All thread-level parallelism in the library flows through these helpers so
+// kernels stay free of raw pragmas where possible and thread counts are
+// controlled uniformly (the benches sweep thread counts per Figure 10).
+#pragma once
+
+#include <cstddef>
+#include <utility>
+
+#ifdef _OPENMP
+#include <omp.h>
+#endif
+
+#include "util/assertx.hpp"
+
+namespace cscv::util {
+
+/// Maximum number of OpenMP threads a parallel region would use now.
+inline int max_threads() {
+#ifdef _OPENMP
+  return omp_get_max_threads();
+#else
+  return 1;
+#endif
+}
+
+/// Caps subsequent parallel regions at `n` threads (no-op without OpenMP).
+inline void set_num_threads(int n) {
+  CSCV_CHECK(n >= 1);
+#ifdef _OPENMP
+  omp_set_num_threads(n);
+#else
+  (void)n;
+#endif
+}
+
+/// Index of the calling thread inside a parallel region, 0 outside one.
+inline int thread_id() {
+#ifdef _OPENMP
+  return omp_get_thread_num();
+#else
+  return 0;
+#endif
+}
+
+/// Splits [0, total) into `parts` near-equal contiguous ranges and returns
+/// range `index` as [begin, end). The first `total % parts` ranges are one
+/// element longer, so sizes differ by at most one (paper property P3 makes
+/// this an even workload split for CT matrices).
+inline std::pair<std::size_t, std::size_t> static_partition(std::size_t total, int parts,
+                                                            int index) {
+  CSCV_CHECK(parts >= 1 && index >= 0 && index < parts);
+  const std::size_t base = total / static_cast<std::size_t>(parts);
+  const std::size_t extra = total % static_cast<std::size_t>(parts);
+  const auto idx = static_cast<std::size_t>(index);
+  const std::size_t begin = idx * base + (idx < extra ? idx : extra);
+  const std::size_t end = begin + base + (idx < extra ? 1 : 0);
+  return {begin, end};
+}
+
+/// Static-scheduled parallel loop over [begin, end); fn(i) per index.
+template <typename Fn>
+void parallel_for(std::size_t begin, std::size_t end, Fn&& fn) {
+#ifdef _OPENMP
+#pragma omp parallel for schedule(static)
+  for (std::ptrdiff_t i = static_cast<std::ptrdiff_t>(begin);
+       i < static_cast<std::ptrdiff_t>(end); ++i) {
+    fn(static_cast<std::size_t>(i));
+  }
+#else
+  for (std::size_t i = begin; i < end; ++i) fn(i);
+#endif
+}
+
+/// Runs fn(thread_id, num_threads) on every thread of a parallel region.
+template <typename Fn>
+void parallel_region(Fn&& fn) {
+#ifdef _OPENMP
+#pragma omp parallel
+  { fn(omp_get_thread_num(), omp_get_num_threads()); }
+#else
+  fn(0, 1);
+#endif
+}
+
+}  // namespace cscv::util

@@ -1,0 +1,38 @@
+// Scans and small integer helpers shared by format builders.
+#pragma once
+
+#include <cstddef>
+#include <numeric>
+#include <vector>
+
+#include "util/assertx.hpp"
+
+namespace cscv::util {
+
+/// In-place exclusive prefix sum over `v`; returns the total. After the call
+/// v[i] holds the sum of the original v[0..i). This is the standard
+/// counts -> offsets step of every compressed-format builder in src/sparse.
+template <typename Int, typename Alloc>
+Int exclusive_scan_in_place(std::vector<Int, Alloc>& v) {
+  Int running = 0;
+  for (auto& e : v) {
+    Int count = e;
+    e = running;
+    running += count;
+  }
+  return running;
+}
+
+/// ceil(a / b) for nonnegative integers, b > 0.
+template <typename Int>
+constexpr Int ceil_div(Int a, Int b) {
+  return (a + b - 1) / b;
+}
+
+/// Rounds `a` up to the next multiple of `b` (b > 0).
+template <typename Int>
+constexpr Int round_up(Int a, Int b) {
+  return ceil_div(a, b) * b;
+}
+
+}  // namespace cscv::util

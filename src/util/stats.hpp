@@ -1,0 +1,90 @@
+// Small descriptive-statistics helpers for reporting experiment results.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "util/assertx.hpp"
+
+namespace cscv::util {
+
+struct Summary {
+  double min = 0.0;
+  double max = 0.0;
+  double mean = 0.0;
+  double stddev = 0.0;  // population standard deviation
+};
+
+/// min / max / mean / population-stddev of a nonempty sample.
+inline Summary summarize(std::span<const double> xs) {
+  CSCV_CHECK(!xs.empty());
+  Summary s;
+  s.min = s.max = xs[0];
+  double sum = 0.0;
+  for (double x : xs) {
+    s.min = std::min(s.min, x);
+    s.max = std::max(s.max, x);
+    sum += x;
+  }
+  s.mean = sum / static_cast<double>(xs.size());
+  double var = 0.0;
+  for (double x : xs) var += (x - s.mean) * (x - s.mean);
+  s.stddev = std::sqrt(var / static_cast<double>(xs.size()));
+  return s;
+}
+
+/// Linear-interpolated percentile, p in [0, 100].
+inline double percentile(std::vector<double> xs, double p) {
+  CSCV_CHECK(!xs.empty() && p >= 0.0 && p <= 100.0);
+  std::sort(xs.begin(), xs.end());
+  if (xs.size() == 1) return xs[0];
+  const double pos = p / 100.0 * static_cast<double>(xs.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, xs.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return xs[lo] * (1.0 - frac) + xs[hi] * frac;
+}
+
+/// Root-mean-square error between two equal-length vectors; the recon
+/// examples report image quality with this.
+template <typename T>
+double rmse(std::span<const T> a, std::span<const T> b) {
+  CSCV_CHECK(a.size() == b.size() && !a.empty());
+  double acc = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const double d = static_cast<double>(a[i]) - static_cast<double>(b[i]);
+    acc += d * d;
+  }
+  return std::sqrt(acc / static_cast<double>(a.size()));
+}
+
+/// Largest absolute elementwise difference.
+template <typename T>
+double max_abs_diff(std::span<const T> a, std::span<const T> b) {
+  CSCV_CHECK(a.size() == b.size());
+  double m = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    m = std::max(m, std::abs(static_cast<double>(a[i]) - static_cast<double>(b[i])));
+  }
+  return m;
+}
+
+/// Relative L2 error ||a-b|| / ||b||, the tolerance metric used by the SpMV
+/// correctness tests (FP reassociation makes bitwise equality too strict).
+template <typename T>
+double rel_l2_error(std::span<const T> a, std::span<const T> b) {
+  CSCV_CHECK(a.size() == b.size());
+  double num = 0.0, den = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const double d = static_cast<double>(a[i]) - static_cast<double>(b[i]);
+    num += d * d;
+    den += static_cast<double>(b[i]) * static_cast<double>(b[i]);
+  }
+  if (den == 0.0) return std::sqrt(num);
+  return std::sqrt(num / den);
+}
+
+}  // namespace cscv::util

@@ -1,0 +1,106 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+#include "util/assertx.hpp"
+
+namespace cscv::util {
+
+Table::Table(std::vector<std::string> header) : header_(std::move(header)) {
+  CSCV_CHECK(!header_.empty());
+}
+
+void Table::add_row(std::vector<std::string> row) {
+  CSCV_CHECK_MSG(row.size() == header_.size(),
+                 "row has " << row.size() << " cells, header has " << header_.size());
+  rows_.push_back(std::move(row));
+}
+
+void Table::print(std::ostream& os) const {
+  std::vector<std::size_t> width(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) width[c] = header_[c].size();
+  for (const auto& row : rows_)
+    for (std::size_t c = 0; c < row.size(); ++c) width[c] = std::max(width[c], row[c].size());
+
+  auto print_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      os << "| " << std::left << std::setw(static_cast<int>(width[c])) << row[c] << ' ';
+    }
+    os << "|\n";
+  };
+  auto print_rule = [&] {
+    for (std::size_t c = 0; c < width.size(); ++c) {
+      os << '+' << std::string(width[c] + 2, '-');
+    }
+    os << "+\n";
+  };
+
+  print_rule();
+  print_row(header_);
+  print_rule();
+  for (const auto& row : rows_) print_row(row);
+  print_rule();
+}
+
+namespace {
+// CSV cells only need quoting when they contain a comma or quote; our cells
+// are numbers and identifiers, so escaping stays simple.
+std::string csv_escape(const std::string& s) {
+  if (s.find_first_of(",\"\n") == std::string::npos) return s;
+  std::string out = "\"";
+  for (char ch : s) {
+    if (ch == '"') out += '"';
+    out += ch;
+  }
+  out += '"';
+  return out;
+}
+}  // namespace
+
+void Table::print_csv(std::ostream& os) const {
+  auto emit = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      if (c != 0) os << ',';
+      os << csv_escape(row[c]);
+    }
+    os << '\n';
+  };
+  emit(header_);
+  for (const auto& row : rows_) emit(row);
+}
+
+std::string Table::format_cell(double v) {
+  std::ostringstream os;
+  os << std::setprecision(6) << v;
+  return os.str();
+}
+std::string Table::format_cell(int v) { return std::to_string(v); }
+std::string Table::format_cell(long v) { return std::to_string(v); }
+std::string Table::format_cell(long long v) { return std::to_string(v); }
+std::string Table::format_cell(unsigned v) { return std::to_string(v); }
+std::string Table::format_cell(unsigned long v) { return std::to_string(v); }
+std::string Table::format_cell(unsigned long long v) { return std::to_string(v); }
+
+std::string fmt_fixed(double v, int digits) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(digits) << v;
+  return os.str();
+}
+
+std::string fmt_bytes(std::size_t bytes) {
+  static const char* units[] = {"B", "KiB", "MiB", "GiB", "TiB"};
+  double v = static_cast<double>(bytes);
+  int u = 0;
+  while (v >= 1024.0 && u < 4) {
+    v /= 1024.0;
+    ++u;
+  }
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(v < 10 ? 2 : 1) << v << ' ' << units[u];
+  return os.str();
+}
+
+}  // namespace cscv::util

@@ -1,0 +1,54 @@
+// Plain-text table printer used by the bench binaries to emit the paper's
+// tables/figures as aligned columns plus a machine-readable CSV block.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace cscv::util {
+
+/// Column-aligned text table. Cells are preformatted strings; the printer
+/// only measures widths and pads. `print_csv` re-emits the same data as CSV
+/// so experiment results can be diffed/plotted without re-running.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  /// Appends one row; must have exactly as many cells as the header.
+  void add_row(std::vector<std::string> row);
+
+  /// Convenience: formats each argument with format_cell and appends.
+  template <typename... Args>
+  void add(const Args&... args) {
+    add_row({format_cell(args)...});
+  }
+
+  [[nodiscard]] std::size_t num_rows() const { return rows_.size(); }
+
+  void print(std::ostream& os) const;
+  void print_csv(std::ostream& os) const;
+
+  static std::string format_cell(const std::string& s) { return s; }
+  static std::string format_cell(const char* s) { return s; }
+  static std::string format_cell(double v);
+  static std::string format_cell(float v) { return format_cell(static_cast<double>(v)); }
+  static std::string format_cell(int v);
+  static std::string format_cell(long v);
+  static std::string format_cell(long long v);
+  static std::string format_cell(unsigned v);
+  static std::string format_cell(unsigned long v);
+  static std::string format_cell(unsigned long long v);
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats `v` with `digits` significant decimal places (fixed notation).
+std::string fmt_fixed(double v, int digits);
+
+/// Human-readable byte count ("1.25 GiB").
+std::string fmt_bytes(std::size_t bytes);
+
+}  // namespace cscv::util

@@ -1,0 +1,114 @@
+// Layout analyses (Figs. 4/5 machinery).
+#include <gtest/gtest.h>
+
+#include "core/analysis.hpp"
+#include "core/format.hpp"
+#include "ct/system_matrix.hpp"
+#include "test_helpers.hpp"
+
+namespace cscv::core {
+namespace {
+
+struct Fixture {
+  ct::ParallelGeometry geometry;
+  OperatorLayout layout;
+  sparse::CscMatrix<double> a;
+  BlockSpec spec;
+
+  Fixture() {
+    geometry.image_size = 25;
+    geometry.num_bins = 38;
+    geometry.num_views = 45;
+    geometry.start_angle_deg = 0.0;
+    geometry.delta_angle_deg = 4.0;
+    layout = OperatorLayout::from_geometry(geometry);
+    a = ct::build_system_matrix_csc<double>(geometry);
+    spec = {.v0 = 8, .s_vvec = 8, .px0 = 5, .px1 = 10, .py0 = 5, .py1 = 10};
+  }
+};
+
+Fixture& fixture() {
+  static Fixture f;
+  return f;
+}
+
+TEST(SimdEfficiencyAnalysis, BoundsRespectVectorWidth) {
+  auto& f = fixture();
+  for (auto l : {YLayout::kBinMajor, YLayout::kViewMajor, YLayout::kIoblr}) {
+    auto eff = simd_efficiency(f.a, f.layout, f.spec, l);
+    EXPECT_GE(eff.min, 1);
+    EXPECT_LE(eff.max, f.spec.s_vvec);
+    EXPECT_GE(eff.mean, eff.min);
+    EXPECT_LE(eff.mean, eff.max);
+    EXPECT_GT(eff.vectors, 0);
+  }
+}
+
+TEST(SimdEfficiencyAnalysis, IoblrBeatsBinMajorOnMean) {
+  auto& f = fixture();
+  auto bin = simd_efficiency(f.a, f.layout, f.spec, YLayout::kBinMajor);
+  auto ioblr = simd_efficiency(f.a, f.layout, f.spec, YLayout::kIoblr);
+  EXPECT_GT(ioblr.mean, bin.mean);
+  EXPECT_LT(ioblr.vectors, bin.vectors);  // fewer vector ops for same nnz
+}
+
+TEST(SimdEfficiencyAnalysis, BinMajorMatchesNnzPerView) {
+  // Bin-major vectors hold exactly the per-(column, view) nonzeros, which
+  // the footprint model bounds by 2..3 (paper: "3").
+  auto& f = fixture();
+  auto eff = simd_efficiency(f.a, f.layout, f.spec, YLayout::kBinMajor);
+  EXPECT_GE(eff.min, 1);
+  EXPECT_LE(eff.max, 3);
+}
+
+TEST(RefPixelAnalysis, PaddingConsistentWithCscveCount) {
+  auto& f = fixture();
+  auto st = reference_pixel_stats(f.a, f.layout, f.spec, 7, 7);
+  EXPECT_GT(st.cscve_count, 0);
+  EXPECT_GE(st.padding_zeros, 0);
+  // padding = cscve * S - nnz must be consistent: nnz recoverable.
+  const long nnz = st.cscve_count * f.spec.s_vvec - st.padding_zeros;
+  EXPECT_GT(nnz, 0);
+  EXPECT_LE(nnz, st.cscve_count * f.spec.s_vvec);
+}
+
+TEST(RefPixelAnalysis, AllPixelsEnumerated) {
+  auto& f = fixture();
+  auto all = all_reference_pixel_stats(f.a, f.layout, f.spec);
+  EXPECT_EQ(all.size(), 25u);  // 5x5 block
+  // The best (min padding) candidate should not be dramatically better
+  // than the block center (Fig. 5's point: center is a good default).
+  long best = all[0].padding_zeros;
+  for (const auto& s : all) best = std::min(best, s.padding_zeros);
+  auto center = reference_pixel_stats(f.a, f.layout, f.spec, 7, 7);
+  EXPECT_LE(center.padding_zeros, 3 * std::max(best, 1L));
+}
+
+TEST(RefPixelAnalysis, ReferenceOnItsOwnCurveHasZeroMinOffset) {
+  // Offsets are measured from the reference pixel's min-bin curve, so the
+  // reference pixel's own entries start at offset 0.
+  auto& f = fixture();
+  auto st = reference_pixel_stats(f.a, f.layout, f.spec, 6, 6);
+  EXPECT_LE(st.offset_min, 0);
+  EXPECT_GE(st.offset_max, 0);
+}
+
+TEST(RefPixelAnalysis, AgreesWithBuilderPaddingForCenter) {
+  // The analysis path (S_VxG = 1 semantics) must match the real builder's
+  // padded-value count for the same block when S_VxG = 1.
+  auto& f = fixture();
+  CscvParams p{.s_vvec = 8, .s_imgb = 25, .s_vxg = 1};  // one tile = image
+  // Use a single-view-group matrix restricted comparison: build full CSCV
+  // and compare totals for the matching block.
+  auto m = CscvMatrix<double>::build(f.a, f.layout, p, CscvMatrix<double>::Variant::kZ);
+  // block id for view group 1 (views 8..15), tile (0,0)
+  const int b = m.grid().block_id(1, 0, 0);
+  const auto& blk = m.blocks()[static_cast<std::size_t>(b)];
+  const long builder_cscves = static_cast<long>(blk.vxg_end - blk.vxg_begin);
+  BlockSpec whole{.v0 = 8, .s_vvec = 8, .px0 = 0, .px1 = 25, .py0 = 0, .py1 = 25};
+  auto st = reference_pixel_stats(f.a, f.layout, whole, 12, 12);
+  EXPECT_EQ(builder_cscves, st.cscve_count);
+}
+
+}  // namespace
+}  // namespace cscv::core

@@ -1,0 +1,57 @@
+#include <gtest/gtest.h>
+
+#include "core/autotune.hpp"
+#include "test_helpers.hpp"
+
+namespace cscv::core {
+namespace {
+
+using testing::cached_ct_csc;
+
+TEST(Autotune, ReturnsValidParamsWithinGrid) {
+  const OperatorLayout layout{32, ct::standard_num_bins(32), 24};
+  AutotuneOptions opts;
+  opts.s_vvec_candidates = {4, 8};
+  opts.s_imgb_candidates = {8, 16};
+  opts.s_vxg_candidates = {1, 2};
+  opts.iterations = 2;
+  auto r = autotune<float>(cached_ct_csc<float>(32, 24), layout,
+                           CscvMatrix<float>::Variant::kM, opts);
+  EXPECT_GT(r.gflops, 0.0);
+  EXPECT_GE(r.r_nnze, 0.0);
+  EXPECT_EQ(r.candidates_tried, 8);
+  EXPECT_TRUE(r.params.s_vvec == 4 || r.params.s_vvec == 8);
+  EXPECT_TRUE(r.params.s_imgb == 8 || r.params.s_imgb == 16);
+  EXPECT_TRUE(r.params.s_vxg == 1 || r.params.s_vxg == 2);
+}
+
+TEST(Autotune, PaddingCapSkipsCandidates) {
+  const OperatorLayout layout{32, ct::standard_num_bins(32), 24};
+  AutotuneOptions opts;
+  opts.s_vvec_candidates = {16};
+  opts.s_imgb_candidates = {32};
+  opts.s_vxg_candidates = {1, 8};
+  opts.iterations = 1;
+  opts.max_r_nnze = 0.0;  // nothing passes
+  EXPECT_THROW(autotune<float>(cached_ct_csc<float>(32, 24), layout,
+                               CscvMatrix<float>::Variant::kZ, opts),
+               util::CheckError);
+}
+
+TEST(Autotune, SkippedPlusUsedEqualsTried) {
+  const OperatorLayout layout{32, ct::standard_num_bins(32), 24};
+  AutotuneOptions opts;
+  opts.s_vvec_candidates = {4, 16};
+  opts.s_imgb_candidates = {8, 32};
+  opts.s_vxg_candidates = {1};
+  opts.iterations = 1;
+  opts.max_r_nnze = 1.0;  // the coarse candidates get skipped
+  auto r = autotune<float>(cached_ct_csc<float>(32, 24), layout,
+                           CscvMatrix<float>::Variant::kZ, opts);
+  EXPECT_EQ(r.candidates_tried, 4);
+  EXPECT_GT(r.candidates_skipped, 0);
+  EXPECT_LE(r.r_nnze, 1.0);
+}
+
+}  // namespace
+}  // namespace cscv::core

@@ -1,0 +1,150 @@
+// Structural invariants of the CSCV builder.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "core/format.hpp"
+#include "test_helpers.hpp"
+
+namespace cscv::core {
+namespace {
+
+using testing::cached_ct_csc;
+
+template <typename T>
+CscvMatrix<T> build_small(const CscvParams& params,
+                          typename CscvMatrix<T>::Variant variant, int image = 32,
+                          int views = 24) {
+  const OperatorLayout layout{image, ct::standard_num_bins(image), views};
+  return CscvMatrix<T>::build(cached_ct_csc<T>(image, views), layout, params, variant);
+}
+
+TEST(CscvBuilder, PreservesNnz) {
+  auto m = build_small<float>({.s_vvec = 8, .s_imgb = 8, .s_vxg = 2},
+                              CscvMatrix<float>::Variant::kZ);
+  EXPECT_EQ(m.nnz(), cached_ct_csc<float>(32, 24).nnz());
+}
+
+TEST(CscvBuilder, BlockTableConsistent) {
+  auto m = build_small<float>({.s_vvec = 8, .s_imgb = 8, .s_vxg = 2},
+                              CscvMatrix<float>::Variant::kZ);
+  EXPECT_EQ(m.num_blocks(), m.grid().num_blocks());
+  sparse::offset_t prev_end = 0;
+  for (const auto& blk : m.blocks()) {
+    EXPECT_EQ(blk.vxg_begin, prev_end) << "VxG ranges must tile the array";
+    EXPECT_LE(blk.vxg_begin, blk.vxg_end);
+    prev_end = blk.vxg_end;
+  }
+  EXPECT_EQ(prev_end, m.num_vxgs());
+}
+
+TEST(CscvBuilder, VxgSlotsInsideBlockYtilde) {
+  auto m = build_small<float>({.s_vvec = 8, .s_imgb = 8, .s_vxg = 4},
+                              CscvMatrix<float>::Variant::kZ);
+  const int s = m.params().s_vvec;
+  const int v = m.params().s_vxg;
+  for (int b = 0; b < m.num_blocks(); ++b) {
+    const auto& blk = m.blocks()[static_cast<std::size_t>(b)];
+    for (auto g = blk.vxg_begin; g < blk.vxg_end; ++g) {
+      const auto q = m.vxg_q()[static_cast<std::size_t>(g)];
+      EXPECT_GE(q, 0);
+      EXPECT_EQ(q % s, 0) << "q must be CSCVE-aligned";
+      EXPECT_LE(q + v * s, blk.o_count * s) << "VxG must fit in y~";
+    }
+  }
+}
+
+TEST(CscvBuilder, VxgColumnsBelongToTile) {
+  auto m = build_small<float>({.s_vvec = 8, .s_imgb = 8, .s_vxg = 2},
+                              CscvMatrix<float>::Variant::kZ);
+  const auto& layout = m.layout();
+  const int sb = m.params().s_imgb;
+  for (int b = 0; b < m.num_blocks(); ++b) {
+    const auto& blk = m.blocks()[static_cast<std::size_t>(b)];
+    for (auto g = blk.vxg_begin; g < blk.vxg_end; ++g) {
+      const auto col = m.vxg_col()[static_cast<std::size_t>(g)];
+      EXPECT_EQ(layout.px_of_col(col) / sb, blk.tile_x);
+      EXPECT_EQ(layout.py_of_col(col) / sb, blk.tile_y);
+    }
+  }
+}
+
+TEST(CscvBuilder, SlotMappingIsInjectivePerBlock) {
+  // iota_k must be a bijection between live y~ slots and matrix rows.
+  auto m = build_small<float>({.s_vvec = 8, .s_imgb = 8, .s_vxg = 2},
+                              CscvMatrix<float>::Variant::kZ);
+  const int s = m.params().s_vvec;
+  for (int b = 0; b < std::min(m.num_blocks(), 40); ++b) {
+    const auto& blk = m.blocks()[static_cast<std::size_t>(b)];
+    std::map<sparse::index_t, int> seen;
+    for (int o = 0; o < blk.o_count; ++o) {
+      for (int vi = 0; vi < s; ++vi) {
+        const auto row = m.row_of_slot(b, o, vi);
+        if (row >= 0) {
+          EXPECT_EQ(seen.count(row), 0u) << "row " << row << " mapped twice in block " << b;
+          seen[row] = 1;
+        }
+      }
+    }
+  }
+}
+
+TEST(CscvBuilder, MaskPopcountsMatchPackedValues) {
+  auto m = build_small<float>({.s_vvec = 8, .s_imgb = 8, .s_vxg = 2},
+                              CscvMatrix<float>::Variant::kM);
+  std::size_t total = 0;
+  for (std::uint16_t mask : m.masks()) total += std::popcount(mask);
+  EXPECT_EQ(total, static_cast<std::size_t>(m.nnz()));
+}
+
+TEST(CscvBuilder, MasksFitWidth) {
+  auto m = build_small<float>({.s_vvec = 4, .s_imgb = 8, .s_vxg = 2},
+                              CscvMatrix<float>::Variant::kM);
+  for (std::uint16_t mask : m.masks()) EXPECT_LT(mask, 1u << 4);
+}
+
+TEST(CscvBuilder, ZStoresPaddedMStoresExact) {
+  CscvParams p{.s_vvec = 8, .s_imgb = 16, .s_vxg = 2};
+  auto z = build_small<float>(p, CscvMatrix<float>::Variant::kZ);
+  auto mm = build_small<float>(p, CscvMatrix<float>::Variant::kM);
+  EXPECT_EQ(z.stored_values(), z.padded_values());
+  EXPECT_EQ(mm.stored_values(), mm.nnz());
+  EXPECT_EQ(z.padded_values(), mm.padded_values());  // same structure
+  EXPECT_GT(z.stored_values(), mm.stored_values());
+}
+
+TEST(CscvBuilder, ByOffsetOrderIsSorted) {
+  CscvParams p{.s_vvec = 8, .s_imgb = 8, .s_vxg = 1};
+  p.order = VxgOrder::kByOffset;
+  auto m = build_small<float>(p, CscvMatrix<float>::Variant::kZ);
+  for (int b = 0; b < m.num_blocks(); ++b) {
+    const auto& blk = m.blocks()[static_cast<std::size_t>(b)];
+    for (auto g = blk.vxg_begin + 1; g < blk.vxg_end; ++g) {
+      EXPECT_LE(m.vxg_q()[static_cast<std::size_t>(g - 1)],
+                m.vxg_q()[static_cast<std::size_t>(g)]);
+    }
+  }
+}
+
+TEST(CscvBuilder, RejectsWrongShape) {
+  const OperatorLayout wrong{16, ct::standard_num_bins(16), 24};
+  EXPECT_THROW(CscvMatrix<float>::build(cached_ct_csc<float>(32, 24), wrong,
+                                        {.s_vvec = 8, .s_imgb = 8, .s_vxg = 2},
+                                        CscvMatrix<float>::Variant::kZ),
+               util::CheckError);
+}
+
+TEST(CscvBuilder, RejectsBadParams) {
+  const OperatorLayout layout{32, ct::standard_num_bins(32), 24};
+  EXPECT_THROW(CscvMatrix<float>::build(cached_ct_csc<float>(32, 24), layout,
+                                        {.s_vvec = 5, .s_imgb = 8, .s_vxg = 2},
+                                        CscvMatrix<float>::Variant::kZ),
+               util::CheckError);
+  EXPECT_THROW(CscvMatrix<float>::build(cached_ct_csc<float>(32, 24), layout,
+                                        {.s_vvec = 8, .s_imgb = 8, .s_vxg = 3},
+                                        CscvMatrix<float>::Variant::kZ),
+               util::CheckError);
+}
+
+}  // namespace
+}  // namespace cscv::core

@@ -1,0 +1,87 @@
+#include <gtest/gtest.h>
+
+#include "core/layout.hpp"
+
+namespace cscv::core {
+namespace {
+
+TEST(OperatorLayout, RowColumnRoundTrip) {
+  OperatorLayout l{16, 23, 12};
+  for (int v : {0, 3, 11}) {
+    for (int b : {0, 10, 22}) {
+      const auto row = l.row_of(v, b);
+      EXPECT_EQ(l.view_of_row(row), v);
+      EXPECT_EQ(l.bin_of_row(row), b);
+    }
+  }
+  for (int ix : {0, 7, 15}) {
+    for (int iy : {0, 8, 15}) {
+      const auto col = l.col_of_pixel(ix, iy);
+      EXPECT_EQ(l.px_of_col(col), ix);
+      EXPECT_EQ(l.py_of_col(col), iy);
+    }
+  }
+}
+
+TEST(OperatorLayout, FromGeometryCopiesFields) {
+  auto g = ct::standard_geometry(32, 24);
+  auto l = OperatorLayout::from_geometry(g);
+  EXPECT_EQ(l.image_size, 32);
+  EXPECT_EQ(l.num_bins, g.num_bins);
+  EXPECT_EQ(l.num_views, 24);
+  EXPECT_EQ(l.num_rows(), g.num_rows());
+  EXPECT_EQ(l.num_cols(), g.num_cols());
+}
+
+TEST(BlockGrid, CountsWithExactDivision) {
+  OperatorLayout l{32, 47, 24};
+  BlockGrid grid(l, 8, 16);
+  EXPECT_EQ(grid.view_groups, 3);
+  EXPECT_EQ(grid.tiles_x, 2);
+  EXPECT_EQ(grid.tiles_y, 2);
+  EXPECT_EQ(grid.num_blocks(), 12);
+}
+
+TEST(BlockGrid, CountsWithRemainders) {
+  OperatorLayout l{33, 47, 25};
+  BlockGrid grid(l, 8, 16);
+  EXPECT_EQ(grid.view_groups, 4);   // ceil(25/8)
+  EXPECT_EQ(grid.tiles_x, 3);       // ceil(33/16)
+  EXPECT_EQ(grid.num_blocks(), 4 * 9);
+}
+
+TEST(BlockGrid, BlockIdRoundTrip) {
+  OperatorLayout l{64, 93, 32};
+  BlockGrid grid(l, 16, 8);
+  for (int g = 0; g < grid.view_groups; ++g) {
+    for (int ty = 0; ty < grid.tiles_y; ++ty) {
+      for (int tx = 0; tx < grid.tiles_x; ++tx) {
+        const int b = grid.block_id(g, ty, tx);
+        EXPECT_EQ(grid.group_of(b), g);
+        EXPECT_EQ(grid.tile_y_of(b), ty);
+        EXPECT_EQ(grid.tile_x_of(b), tx);
+      }
+    }
+  }
+}
+
+TEST(BlockGrid, BlocksOfOneGroupAreContiguous) {
+  OperatorLayout l{32, 47, 32};
+  BlockGrid grid(l, 8, 8);
+  const int per_group = grid.tiles_x * grid.tiles_y;
+  for (int g = 0; g < grid.view_groups; ++g) {
+    for (int k = 0; k < per_group; ++k) {
+      EXPECT_EQ(grid.group_of(g * per_group + k), g);
+    }
+  }
+}
+
+TEST(BlockGrid, FirstView) {
+  OperatorLayout l{16, 23, 20};
+  BlockGrid grid(l, 8, 8);
+  EXPECT_EQ(grid.first_view(0), 0);
+  EXPECT_EQ(grid.first_view(2), 16);  // partial last group: views 16..19
+}
+
+}  // namespace
+}  // namespace cscv::core

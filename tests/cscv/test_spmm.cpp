@@ -1,0 +1,65 @@
+// Multi-RHS SpMM (Y = A X): must equal K independent SpMVs.
+#include <gtest/gtest.h>
+
+#include "core/format.hpp"
+#include "sparse/random.hpp"
+#include "test_helpers.hpp"
+#include "util/parallel.hpp"
+
+namespace cscv::core {
+namespace {
+
+using testing::cached_ct_csc;
+using testing::cached_ct_csr;
+using testing::expect_vectors_close;
+
+template <typename T>
+void check_spmm(int num_rhs, typename CscvMatrix<T>::Variant variant,
+                ThreadScheme scheme = ThreadScheme::kAuto) {
+  const int image = 32, views = 24;
+  const auto& csc = cached_ct_csc<T>(image, views);
+  const auto& csr = cached_ct_csr<T>(image, views);
+  const OperatorLayout layout{image, ct::standard_num_bins(image), views};
+  const auto m = CscvMatrix<T>::build(csc, layout, {.s_vvec = 8, .s_imgb = 8, .s_vxg = 2},
+                                      variant);
+  const auto cols = static_cast<std::size_t>(m.cols());
+  const auto rows = static_cast<std::size_t>(m.rows());
+
+  // Interleaved X: X[col * K + k].
+  auto x_multi = sparse::random_vector<T>(cols * static_cast<std::size_t>(num_rhs), 17, 0.0, 1.0);
+  util::AlignedVector<T> y_multi(rows * static_cast<std::size_t>(num_rhs));
+  m.spmv_multi(x_multi, y_multi, num_rhs, scheme);
+
+  util::AlignedVector<T> x_one(cols), y_one(rows);
+  for (int k = 0; k < num_rhs; ++k) {
+    for (std::size_t c = 0; c < cols; ++c) x_one[c] = x_multi[c * num_rhs + k];
+    csr.spmv_serial(x_one, y_one);
+    util::AlignedVector<T> y_k(rows);
+    for (std::size_t r = 0; r < rows; ++r) y_k[r] = y_multi[r * num_rhs + k];
+    expect_vectors_close<T>(y_k, y_one, testing::spmv_tolerance<T>());
+  }
+}
+
+TEST(CscvSpmm, ZSingleRhsDegenerates) { check_spmm<float>(1, CscvMatrix<float>::Variant::kZ); }
+TEST(CscvSpmm, ZFourRhs) { check_spmm<float>(4, CscvMatrix<float>::Variant::kZ); }
+TEST(CscvSpmm, ZEightRhsDouble) { check_spmm<double>(8, CscvMatrix<double>::Variant::kZ); }
+TEST(CscvSpmm, MFourRhs) { check_spmm<float>(4, CscvMatrix<float>::Variant::kM); }
+TEST(CscvSpmm, MThreeRhsOdd) { check_spmm<double>(3, CscvMatrix<double>::Variant::kM); }
+
+TEST(CscvSpmm, PrivateYScheme) {
+  check_spmm<float>(4, CscvMatrix<float>::Variant::kZ, ThreadScheme::kPrivateY);
+}
+
+TEST(CscvSpmm, RejectsBadSizes) {
+  const int image = 32, views = 24;
+  const auto& csc = cached_ct_csc<float>(image, views);
+  const OperatorLayout layout{image, ct::standard_num_bins(image), views};
+  const auto m = CscvMatrix<float>::build(csc, layout, {.s_vvec = 8, .s_imgb = 8, .s_vxg = 2},
+                                          CscvMatrix<float>::Variant::kZ);
+  util::AlignedVector<float> x(static_cast<std::size_t>(m.cols()) * 2);
+  util::AlignedVector<float> y(static_cast<std::size_t>(m.rows()) * 3);  // wrong K
+  EXPECT_THROW(m.spmv_multi(x, y, 2), util::CheckError);
+}
+
+}  // namespace
+}  // namespace cscv::core

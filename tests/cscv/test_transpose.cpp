@@ -1,0 +1,109 @@
+// CSCV transpose apply (x = A^T y) — the paper's future-work extension.
+#include <gtest/gtest.h>
+
+#include "core/format.hpp"
+#include "sparse/random.hpp"
+#include "test_helpers.hpp"
+#include "util/parallel.hpp"
+
+namespace cscv::core {
+namespace {
+
+using testing::cached_ct_csc;
+using testing::cached_ct_csr;
+using testing::expect_vectors_close;
+using testing::spmv_tolerance;
+
+template <typename T>
+void check_transpose(const CscvParams& params, typename CscvMatrix<T>::Variant variant,
+                     int image = 32, int views = 24) {
+  const auto& csc = cached_ct_csc<T>(image, views);
+  const auto& csr = cached_ct_csr<T>(image, views);
+  const OperatorLayout layout{image, ct::standard_num_bins(image), views};
+  const auto cscv = CscvMatrix<T>::build(csc, layout, params, variant);
+
+  const auto y = sparse::random_vector<T>(static_cast<std::size_t>(csc.rows()), 7, 0.0, 1.0);
+  util::AlignedVector<T> x_ref(static_cast<std::size_t>(csc.cols()));
+  util::AlignedVector<T> x_got(static_cast<std::size_t>(csc.cols()));
+  csr.spmv_transpose_serial(y, x_ref);
+  cscv.spmv_transpose(y, x_got);
+  expect_vectors_close<T>(x_got, x_ref, spmv_tolerance<T>());
+}
+
+TEST(CscvTranspose, ZFloat) {
+  check_transpose<float>({.s_vvec = 8, .s_imgb = 8, .s_vxg = 2},
+                         CscvMatrix<float>::Variant::kZ);
+}
+
+TEST(CscvTranspose, ZDouble) {
+  check_transpose<double>({.s_vvec = 8, .s_imgb = 8, .s_vxg = 2},
+                          CscvMatrix<double>::Variant::kZ);
+}
+
+TEST(CscvTranspose, MFloat) {
+  check_transpose<float>({.s_vvec = 8, .s_imgb = 8, .s_vxg = 2},
+                         CscvMatrix<float>::Variant::kM);
+}
+
+TEST(CscvTranspose, MDouble) {
+  check_transpose<double>({.s_vvec = 8, .s_imgb = 8, .s_vxg = 2},
+                          CscvMatrix<double>::Variant::kM);
+}
+
+TEST(CscvTranspose, ParamSweep) {
+  for (int s : {4, 8, 16}) {
+    for (int b : {8, 12}) {
+      for (int v : {1, 2, 4}) {
+        check_transpose<float>({.s_vvec = s, .s_imgb = b, .s_vxg = v},
+                               CscvMatrix<float>::Variant::kZ);
+        check_transpose<float>({.s_vvec = s, .s_imgb = b, .s_vxg = v},
+                               CscvMatrix<float>::Variant::kM);
+      }
+    }
+  }
+}
+
+TEST(CscvTranspose, NonDivisibleViewsAndImage) {
+  check_transpose<float>({.s_vvec = 16, .s_imgb = 12, .s_vxg = 2},
+                         CscvMatrix<float>::Variant::kZ);
+}
+
+TEST(CscvTranspose, MultiThreadedMatchesSerial) {
+  const int image = 32, views = 24;
+  const auto& csc = cached_ct_csc<float>(image, views);
+  const OperatorLayout layout{image, ct::standard_num_bins(image), views};
+  const auto cscv = CscvMatrix<float>::build(csc, layout, {.s_vvec = 8, .s_imgb = 8, .s_vxg = 2},
+                                             CscvMatrix<float>::Variant::kZ);
+  const auto y = sparse::random_vector<float>(static_cast<std::size_t>(csc.rows()), 8);
+  util::AlignedVector<float> x1(static_cast<std::size_t>(csc.cols()));
+  util::AlignedVector<float> x2(static_cast<std::size_t>(csc.cols()));
+  const int saved = util::max_threads();
+  util::set_num_threads(1);
+  cscv.spmv_transpose(y, x1);
+  util::set_num_threads(4);
+  cscv.spmv_transpose(y, x2);
+  util::set_num_threads(saved);
+  expect_vectors_close<float>(x2, x1, 1e-6);
+}
+
+TEST(CscvTranspose, AdjointIdentity) {
+  // <A x, y> == <x, A^T y> with both directions computed by CSCV.
+  const int image = 32, views = 24;
+  const auto& csc = cached_ct_csc<double>(image, views);
+  const OperatorLayout layout{image, ct::standard_num_bins(image), views};
+  const auto cscv = CscvMatrix<double>::build(csc, layout,
+                                              {.s_vvec = 8, .s_imgb = 8, .s_vxg = 2},
+                                              CscvMatrix<double>::Variant::kM);
+  auto x = sparse::random_vector<double>(static_cast<std::size_t>(csc.cols()), 1);
+  auto y = sparse::random_vector<double>(static_cast<std::size_t>(csc.rows()), 2);
+  util::AlignedVector<double> ax(y.size()), aty(x.size());
+  cscv.spmv(x, ax);
+  cscv.spmv_transpose(y, aty);
+  double lhs = 0.0, rhs = 0.0;
+  for (std::size_t i = 0; i < ax.size(); ++i) lhs += ax[i] * y[i];
+  for (std::size_t j = 0; j < aty.size(); ++j) rhs += aty[j] * x[j];
+  EXPECT_NEAR(lhs, rhs, 1e-8 * (std::abs(lhs) + 1.0));
+}
+
+}  // namespace
+}  // namespace cscv::core

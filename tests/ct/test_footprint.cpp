@@ -1,0 +1,91 @@
+#include <gtest/gtest.h>
+
+#include <numbers>
+
+#include "ct/footprint.hpp"
+
+namespace cscv::ct {
+namespace {
+
+constexpr double kPi = std::numbers::pi;
+
+TEST(Footprint, TotalMassIsOneEveryAngle) {
+  // A unit pixel of unit attenuation must contribute unit mass per view.
+  for (auto model : {FootprintModel::kRect, FootprintModel::kTrapezoid}) {
+    for (int deg = 0; deg <= 180; deg += 5) {
+      Footprint fp(model, deg * kPi / 180.0);
+      const double hw = fp.half_width();
+      EXPECT_NEAR(fp.integrate(-hw - 1.0, hw + 1.0), 1.0, 1e-12)
+          << "model " << static_cast<int>(model) << " angle " << deg;
+    }
+  }
+}
+
+TEST(Footprint, SupportWidthMatchesGeometry) {
+  // w = |cos| + |sin|: 1 at axis-aligned views, sqrt(2) at 45 degrees.
+  Footprint axis(FootprintModel::kTrapezoid, 0.0);
+  EXPECT_NEAR(axis.half_width(), 0.5, 1e-12);
+  Footprint diag(FootprintModel::kTrapezoid, kPi / 4.0);
+  EXPECT_NEAR(diag.half_width(), std::numbers::sqrt2 / 2.0, 1e-12);
+}
+
+TEST(Footprint, CdfIsMonotone) {
+  for (auto model : {FootprintModel::kRect, FootprintModel::kTrapezoid}) {
+    Footprint fp(model, 0.3);
+    double prev = 0.0;
+    for (double u = -1.0; u <= 1.0; u += 0.01) {
+      const double cur = fp.integrate(-1.0, u);
+      EXPECT_GE(cur, prev - 1e-14);
+      prev = cur;
+    }
+  }
+}
+
+TEST(Footprint, SymmetricAboutCenter) {
+  for (auto model : {FootprintModel::kRect, FootprintModel::kTrapezoid}) {
+    Footprint fp(model, 0.7);
+    for (double u = 0.05; u < 0.8; u += 0.1) {
+      EXPECT_NEAR(fp.integrate(-u, 0.0), fp.integrate(0.0, u), 1e-12);
+    }
+  }
+}
+
+TEST(Footprint, TrapezoidDegeneratesToBoxAtAxisAngles) {
+  Footprint trap(FootprintModel::kTrapezoid, 0.0);
+  Footprint rect(FootprintModel::kRect, 0.0);
+  for (double u = -0.6; u <= 0.6; u += 0.05) {
+    EXPECT_NEAR(trap.integrate(-1.0, u), rect.integrate(-1.0, u), 1e-9);
+  }
+}
+
+TEST(Footprint, TrapezoidPeaksHigherThanRectAt45) {
+  // At 45 degrees the exact profile is a triangle with peak sqrt(2) times
+  // the box height; mass near the center must exceed the rect model's.
+  Footprint trap(FootprintModel::kTrapezoid, kPi / 4.0);
+  Footprint rect(FootprintModel::kRect, kPi / 4.0);
+  EXPECT_GT(trap.integrate(-0.1, 0.1), rect.integrate(-0.1, 0.1));
+}
+
+TEST(Footprint, ZeroOutsideSupport) {
+  Footprint fp(FootprintModel::kTrapezoid, 0.5);
+  const double hw = fp.half_width();
+  EXPECT_DOUBLE_EQ(fp.integrate(hw + 0.01, hw + 5.0), 0.0);
+  EXPECT_DOUBLE_EQ(fp.integrate(-hw - 5.0, -hw - 0.01), 0.0);
+}
+
+TEST(Footprint, EmptyIntervalIsZero) {
+  Footprint fp(FootprintModel::kRect, 0.2);
+  EXPECT_DOUBLE_EQ(fp.integrate(0.3, 0.3), 0.0);
+  EXPECT_DOUBLE_EQ(fp.integrate(0.4, 0.1), 0.0);
+}
+
+TEST(Footprint, PeriodicInAngle) {
+  Footprint a(FootprintModel::kTrapezoid, 0.4);
+  Footprint b(FootprintModel::kTrapezoid, 0.4 + kPi);
+  for (double u = -0.7; u <= 0.7; u += 0.1) {
+    EXPECT_NEAR(a.integrate(-1, u), b.integrate(-1, u), 1e-12);
+  }
+}
+
+}  // namespace
+}  // namespace cscv::ct

@@ -1,0 +1,78 @@
+#include <gtest/gtest.h>
+
+#include <numbers>
+
+#include "ct/geometry.hpp"
+
+namespace cscv::ct {
+namespace {
+
+TEST(Geometry, StandardBinsCoverDiagonal) {
+  for (int n : {16, 32, 64, 128, 512, 1024, 2048}) {
+    const int bins = standard_num_bins(n);
+    EXPECT_GE(bins, static_cast<int>(std::ceil(n * std::numbers::sqrt2)));
+  }
+}
+
+TEST(Geometry, StandardBinsMatchPaperScale) {
+  // Table II: 512 -> 730, 1024 -> 1460, 2048 -> 2920 (approximately; the
+  // rule is diagonal coverage plus a small margin).
+  EXPECT_NEAR(standard_num_bins(512), 730, 8);
+  EXPECT_NEAR(standard_num_bins(1024), 1460, 12);
+  EXPECT_NEAR(standard_num_bins(2048), 2920, 16);
+}
+
+TEST(Geometry, RowIdsAreBinMajor) {
+  auto g = standard_geometry(8, 4);
+  EXPECT_EQ(g.row_id(0, 0), 0);
+  EXPECT_EQ(g.row_id(0, g.num_bins - 1), g.num_bins - 1);
+  EXPECT_EQ(g.row_id(1, 0), g.num_bins);
+  EXPECT_EQ(g.num_rows(), 4 * g.num_bins);
+}
+
+TEST(Geometry, ColIdsAreRowMajorImage) {
+  auto g = standard_geometry(8, 4);
+  EXPECT_EQ(g.col_id(0, 0), 0);
+  EXPECT_EQ(g.col_id(7, 0), 7);
+  EXPECT_EQ(g.col_id(0, 1), 8);
+  EXPECT_EQ(g.num_cols(), 64);
+}
+
+TEST(Geometry, PixelCentersAreSymmetric) {
+  auto g = standard_geometry(8, 4);
+  EXPECT_DOUBLE_EQ(g.pixel_center_x(0), -g.pixel_center_x(7));
+  EXPECT_DOUBLE_EQ(g.pixel_center_y(3) + g.pixel_center_y(4), 0.0);
+}
+
+TEST(Geometry, ProjectionAtZeroAngleIsX) {
+  auto g = standard_geometry(8, 4);
+  g.start_angle_deg = 0.0;
+  EXPECT_NEAR(g.project(2.5, -1.0, 0), 2.5, 1e-12);
+}
+
+TEST(Geometry, ProjectionAt90DegreesIsY) {
+  ParallelGeometry g = standard_geometry(8, 2);
+  g.start_angle_deg = 90.0;
+  EXPECT_NEAR(g.project(2.5, -1.0, 0), -1.0, 1e-12);
+}
+
+TEST(Geometry, BinCenterRoundTrip) {
+  auto g = standard_geometry(16, 4);
+  for (int b = 0; b < g.num_bins; ++b) {
+    EXPECT_NEAR(g.bin_of(g.bin_center(b)), b, 1e-12);
+  }
+}
+
+TEST(Geometry, ViewAnglesCover180) {
+  auto g = standard_geometry(16, 8);
+  EXPECT_DOUBLE_EQ(g.view_angle_rad(0), 0.0);
+  EXPECT_NEAR(g.view_angle_rad(8), std::numbers::pi, 1e-12);  // one past last
+}
+
+TEST(Geometry, ValidateRejectsBadConfig) {
+  ParallelGeometry g;
+  EXPECT_THROW(g.validate(), util::CheckError);
+}
+
+}  // namespace
+}  // namespace cscv::ct

@@ -1,0 +1,100 @@
+#include <gtest/gtest.h>
+
+#include "ct/phantom.hpp"
+
+namespace cscv::ct {
+namespace {
+
+TEST(Phantom, SheppLoganHasTenEllipses) {
+  EXPECT_EQ(shepp_logan().size(), 10u);
+  EXPECT_EQ(shepp_logan_modified().size(), 10u);
+}
+
+TEST(Phantom, RasterizedValuesInExpectedRange) {
+  auto img = rasterize<float>(shepp_logan_modified(), 64);
+  float lo = 1e9f, hi = -1e9f;
+  for (float v : img) {
+    lo = std::min(lo, v);
+    hi = std::max(hi, v);
+  }
+  EXPECT_GE(lo, -1e-5f);  // nonnegative up to float cancellation
+  EXPECT_LE(hi, 1.0f + 1e-6f);
+  EXPECT_GT(hi, 0.5f);   // skull shell present
+}
+
+TEST(Phantom, CornersAreOutsidePhantom) {
+  auto img = rasterize<double>(shepp_logan(), 32);
+  EXPECT_EQ(img[0], 0.0);                        // corner pixels outside all
+  EXPECT_EQ(img[31], 0.0);
+  EXPECT_EQ(img[32 * 32 - 1], 0.0);
+}
+
+TEST(Phantom, CenterIsInsideHead) {
+  auto img = rasterize<double>(shepp_logan_modified(), 33);
+  const double center = img[static_cast<std::size_t>(16) * 33 + 16];
+  EXPECT_GT(center, 0.0);
+  EXPECT_LT(center, 0.5);  // brain tissue, not skull
+}
+
+TEST(AnalyticSinogram, SingleCircleClosedForm) {
+  // Centered circle radius R (unit FOV), density 1: projection at offset s
+  // is 2 sqrt(R^2 - s^2); at s=0 that is the diameter.
+  ParallelGeometry g = standard_geometry(64, 4);
+  std::vector<Ellipse> circle{{1.0, 0.5, 0.5, 0.0, 0.0, 0.0}};
+  auto sino = analytic_sinogram<double>(circle, g);
+  const double fov_scale = 32.0;  // image_size / 2
+  // central bin: t ~ 0
+  const int b_center = g.num_bins / 2;
+  for (int v = 0; v < g.num_views; ++v) {
+    const double t = g.bin_center(b_center) / fov_scale;
+    const double expect = 2.0 * std::sqrt(0.25 - t * t) * fov_scale;
+    EXPECT_NEAR(sino[static_cast<std::size_t>(g.row_id(v, b_center))], expect, 1e-9);
+  }
+}
+
+TEST(AnalyticSinogram, CircleIsViewInvariant) {
+  ParallelGeometry g = standard_geometry(32, 12);
+  std::vector<Ellipse> circle{{2.0, 0.3, 0.3, 0.0, 0.0, 0.0}};
+  auto sino = analytic_sinogram<double>(circle, g);
+  for (int b = 0; b < g.num_bins; ++b) {
+    const double v0 = sino[static_cast<std::size_t>(g.row_id(0, b))];
+    for (int v = 1; v < g.num_views; ++v) {
+      EXPECT_NEAR(sino[static_cast<std::size_t>(g.row_id(v, b))], v0, 1e-9);
+    }
+  }
+}
+
+TEST(AnalyticSinogram, ZeroOutsideSupport) {
+  ParallelGeometry g = standard_geometry(32, 6);
+  std::vector<Ellipse> circle{{1.0, 0.2, 0.2, 0.0, 0.0, 0.0}};
+  auto sino = analytic_sinogram<double>(circle, g);
+  // Bins beyond |t| > 0.2 FOV units must be zero.
+  for (int v = 0; v < g.num_views; ++v) {
+    EXPECT_EQ(sino[static_cast<std::size_t>(g.row_id(v, 0))], 0.0);
+    EXPECT_EQ(sino[static_cast<std::size_t>(g.row_id(v, g.num_bins - 1))], 0.0);
+  }
+}
+
+TEST(AnalyticSinogram, OffCenterEllipseShiftsWithAngle) {
+  ParallelGeometry g = standard_geometry(64, 2);
+  g.start_angle_deg = 0.0;
+  g.delta_angle_deg = 90.0;
+  std::vector<Ellipse> e{{1.0, 0.1, 0.1, 0.5, 0.0, 0.0}};  // at x=0.5
+  auto sino = analytic_sinogram<double>(e, g);
+  // At view 0 (projects x) mass sits near t=0.5*32=16 px; at view 1
+  // (projects y) near t=0.
+  auto mass_center = [&](int v) {
+    double num = 0.0, den = 0.0;
+    for (int b = 0; b < g.num_bins; ++b) {
+      const double w = sino[static_cast<std::size_t>(g.row_id(v, b))];
+      num += w * g.bin_center(b);
+      den += w;
+    }
+    return num / den;
+  };
+  EXPECT_NEAR(mass_center(0), 16.0, 0.5);
+  EXPECT_NEAR(mass_center(1), 0.0, 0.5);
+}
+
+}  // namespace
+}  // namespace cscv::ct

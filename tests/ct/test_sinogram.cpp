@@ -1,0 +1,43 @@
+#include <gtest/gtest.h>
+
+#include "ct/sinogram.hpp"
+
+namespace cscv::ct {
+namespace {
+
+TEST(Sinogram, IndexingMatchesRowIds) {
+  auto g = standard_geometry(8, 3);
+  util::AlignedVector<float> data(static_cast<std::size_t>(g.num_rows()));
+  for (std::size_t i = 0; i < data.size(); ++i) data[i] = static_cast<float>(i);
+  SinogramView<float> sino(data, g.num_views, g.num_bins);
+  for (int v = 0; v < g.num_views; ++v) {
+    for (int b = 0; b < g.num_bins; b += 3) {
+      EXPECT_EQ(sino.at(v, b), static_cast<float>(g.row_id(v, b)));
+    }
+  }
+}
+
+TEST(Sinogram, ViewRowIsContiguous) {
+  auto g = standard_geometry(8, 3);
+  util::AlignedVector<double> data(static_cast<std::size_t>(g.num_rows()), 0.0);
+  SinogramView<double> sino(data, g.num_views, g.num_bins);
+  auto row = sino.view_row(1);
+  EXPECT_EQ(row.size(), static_cast<std::size_t>(g.num_bins));
+  row[0] = 42.0;
+  EXPECT_EQ(data[static_cast<std::size_t>(g.num_bins)], 42.0);
+}
+
+TEST(Sinogram, SizeMismatchRejected) {
+  util::AlignedVector<float> data(10);
+  EXPECT_THROW((SinogramView<float>(data, 3, 4)), util::CheckError);
+}
+
+TEST(Sinogram, WritesVisibleThroughFlat) {
+  util::AlignedVector<float> data(12, 0.0f);
+  SinogramView<float> sino(data, 3, 4);
+  sino.at(2, 3) = 7.0f;
+  EXPECT_EQ(sino.flat()[11], 7.0f);
+}
+
+}  // namespace
+}  // namespace cscv::ct

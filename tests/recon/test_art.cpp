@@ -1,0 +1,64 @@
+#include <gtest/gtest.h>
+
+#include "ct/phantom.hpp"
+#include "recon/solvers.hpp"
+#include "test_helpers.hpp"
+#include "util/stats.hpp"
+
+namespace cscv::recon {
+namespace {
+
+using cscv::testing::cached_ct_csr;
+
+TEST(Art, SolvesConsistentSystem) {
+  const int image = 16, views = 24;
+  auto g = ct::standard_geometry(image, views);
+  auto csr = sparse::CsrMatrix<double>::from_coo(
+      ct::build_system_matrix_csc<double>(g).to_coo());
+  auto x_true = ct::rasterize<double>(ct::shepp_logan_modified(), image);
+  util::AlignedVector<double> b(static_cast<std::size_t>(csr.rows()));
+  csr.spmv(x_true, b);
+
+  util::AlignedVector<double> x(static_cast<std::size_t>(csr.cols()), 0.0);
+  auto stats = art<double>(csr, b, x, {.iterations = 30, .relaxation = 0.8});
+  EXPECT_LT(stats.residual_norms.back(), 0.15 * stats.residual_norms.front());
+  EXPECT_LT(util::rmse<double>(x, x_true), 0.1);
+}
+
+TEST(Art, ResidualTrendsDown) {
+  const auto& csr = cached_ct_csr<double>(16, 12);
+  auto x_true = ct::rasterize<double>(ct::shepp_logan_modified(), 16);
+  util::AlignedVector<double> b(static_cast<std::size_t>(csr.rows()));
+  csr.spmv(x_true, b);
+  util::AlignedVector<double> x(static_cast<std::size_t>(csr.cols()), 0.0);
+  auto stats = art<double>(csr, b, x, {.iterations = 8, .relaxation = 0.5});
+  EXPECT_LT(stats.residual_norms.back(), stats.residual_norms.front());
+}
+
+TEST(Art, SkipsEmptyRows) {
+  // Matrix with an all-zero row must not divide by zero.
+  sparse::CooMatrix<double> coo(3, 2);
+  coo.add(0, 0, 1.0);
+  coo.add(2, 1, 2.0);
+  coo.normalize();
+  auto csr = sparse::CsrMatrix<double>::from_coo(coo);
+  util::AlignedVector<double> b{2.0, 5.0, 4.0};
+  util::AlignedVector<double> x(2, 0.0);
+  art<double>(csr, b, x, {.iterations = 30, .enforce_nonneg = false});
+  EXPECT_NEAR(x[0], 2.0, 1e-9);
+  EXPECT_NEAR(x[1], 2.0, 1e-9);
+}
+
+TEST(Art, NonnegClamp) {
+  sparse::CooMatrix<double> coo(1, 1);
+  coo.add(0, 0, 1.0);
+  coo.normalize();
+  auto csr = sparse::CsrMatrix<double>::from_coo(coo);
+  util::AlignedVector<double> b{-5.0};
+  util::AlignedVector<double> x(1, 0.0);
+  art<double>(csr, b, x, {.iterations = 3, .enforce_nonneg = true});
+  EXPECT_GE(x[0], 0.0);
+}
+
+}  // namespace
+}  // namespace cscv::recon

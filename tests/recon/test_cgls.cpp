@@ -1,0 +1,69 @@
+#include <gtest/gtest.h>
+
+#include "ct/phantom.hpp"
+#include "recon/solvers.hpp"
+#include "test_helpers.hpp"
+#include "util/stats.hpp"
+
+namespace cscv::recon {
+namespace {
+
+using cscv::testing::cached_ct_csr;
+
+TEST(Cgls, ConvergesFasterThanSirtPerIteration) {
+  const int image = 16, views = 24;
+  auto g = ct::standard_geometry(image, views);
+  auto csr = sparse::CsrMatrix<double>::from_coo(
+      ct::build_system_matrix_csc<double>(g).to_coo());
+  CsrOperator<double> op(csr);
+  auto x_true = ct::rasterize<double>(ct::shepp_logan_modified(), image);
+  util::AlignedVector<double> b(static_cast<std::size_t>(csr.rows()));
+  op.forward(x_true, b);
+
+  util::AlignedVector<double> x_cg(static_cast<std::size_t>(csr.cols()), 0.0);
+  util::AlignedVector<double> x_si(static_cast<std::size_t>(csr.cols()), 0.0);
+  auto s_cg = cgls<double>(op, b, x_cg, {.iterations = 15, .enforce_nonneg = false});
+  auto s_si = sirt<double>(op, b, x_si, {.iterations = 15, .enforce_nonneg = false});
+  EXPECT_LT(s_cg.residual_norms.back(), s_si.residual_norms.back());
+}
+
+TEST(Cgls, ExactOnTinyFullRankSystem) {
+  // 2x2 identity-ish system solves in <= 2 iterations.
+  sparse::CooMatrix<double> coo(2, 2);
+  coo.add(0, 0, 2.0);
+  coo.add(1, 1, 4.0);
+  coo.normalize();
+  auto csr = sparse::CsrMatrix<double>::from_coo(coo);
+  CsrOperator<double> op(csr);
+  util::AlignedVector<double> b{6.0, 8.0};
+  util::AlignedVector<double> x(2, 0.0);
+  cgls<double>(op, b, x, {.iterations = 4, .enforce_nonneg = false});
+  EXPECT_NEAR(x[0], 3.0, 1e-10);
+  EXPECT_NEAR(x[1], 2.0, 1e-10);
+}
+
+TEST(Cgls, ResidualMonotone) {
+  const auto& csr = cached_ct_csr<double>(16, 12);
+  CsrOperator<double> op(csr);
+  auto x_true = ct::rasterize<double>(ct::shepp_logan_modified(), 16);
+  util::AlignedVector<double> b(static_cast<std::size_t>(csr.rows()));
+  op.forward(x_true, b);
+  util::AlignedVector<double> x(static_cast<std::size_t>(csr.cols()), 0.0);
+  auto stats = cgls<double>(op, b, x, {.iterations = 12, .enforce_nonneg = false});
+  for (std::size_t i = 1; i < stats.residual_norms.size(); ++i) {
+    EXPECT_LE(stats.residual_norms[i], stats.residual_norms[i - 1] + 1e-9);
+  }
+}
+
+TEST(Cgls, ZeroRhsGivesZeroSolution) {
+  const auto& csr = cached_ct_csr<double>(16, 12);
+  CsrOperator<double> op(csr);
+  util::AlignedVector<double> b(static_cast<std::size_t>(csr.rows()), 0.0);
+  util::AlignedVector<double> x(static_cast<std::size_t>(csr.cols()), 0.0);
+  auto stats = cgls<double>(op, b, x, {.iterations = 5, .enforce_nonneg = false});
+  EXPECT_EQ(stats.iterations_run, 0);  // gamma == 0 at entry
+  for (double v : x) EXPECT_EQ(v, 0.0);
+}
+
+}  // namespace
+}  // namespace cscv::recon

@@ -1,0 +1,95 @@
+#include <gtest/gtest.h>
+
+#include <limits>
+
+#include "ct/phantom.hpp"
+#include "recon/solvers.hpp"
+#include "test_helpers.hpp"
+#include "util/stats.hpp"
+
+namespace cscv::recon {
+namespace {
+
+using cscv::testing::cached_ct_csc;
+
+TEST(Icd, ResidualMonotoneNonincreasing) {
+  // Each ICD update is the exact 1-D minimizer, so ||e|| can never grow.
+  const auto& csc = cached_ct_csc<double>(16, 12);
+  auto x_true = ct::rasterize<double>(ct::shepp_logan_modified(), 16);
+  util::AlignedVector<double> b(static_cast<std::size_t>(csc.rows()));
+  csc.spmv(x_true, b);
+  util::AlignedVector<double> x(static_cast<std::size_t>(csc.cols()), 0.0);
+  auto stats = icd<double>(csc, b, x, {.iterations = 8});
+  for (std::size_t i = 1; i < stats.residual_norms.size(); ++i) {
+    EXPECT_LE(stats.residual_norms[i], stats.residual_norms[i - 1] + 1e-12);
+  }
+}
+
+TEST(Icd, ConvergesFasterThanSirtPerSweep) {
+  // The paper's Section III motivation: ICD is a strong per-iteration
+  // algorithm, and it runs on column access (CSC/CSCV territory).
+  const int image = 16, views = 24;
+  auto g = ct::standard_geometry(image, views);
+  auto csc = ct::build_system_matrix_csc<double>(g);
+  CscOperator<double> op(csc);
+  auto x_true = ct::rasterize<double>(ct::shepp_logan_modified(), image);
+  util::AlignedVector<double> b(static_cast<std::size_t>(csc.rows()));
+  op.forward(x_true, b);
+
+  util::AlignedVector<double> x_icd(static_cast<std::size_t>(csc.cols()), 0.0);
+  util::AlignedVector<double> x_sirt(static_cast<std::size_t>(csc.cols()), 0.0);
+  auto s_icd = icd<double>(csc, b, x_icd, {.iterations = 10});
+  auto s_sirt = sirt<double>(op, b, x_sirt, {.iterations = 10});
+  EXPECT_LT(s_icd.residual_norms.back(), s_sirt.residual_norms.back());
+}
+
+TEST(Icd, RecoversPhantom) {
+  const int image = 16, views = 24;
+  auto g = ct::standard_geometry(image, views);
+  auto csc = ct::build_system_matrix_csc<double>(g);
+  auto x_true = ct::rasterize<double>(ct::shepp_logan_modified(), image);
+  util::AlignedVector<double> b(static_cast<std::size_t>(csc.rows()));
+  csc.spmv(x_true, b);
+  util::AlignedVector<double> x(static_cast<std::size_t>(csc.cols()), 0.0);
+  icd<double>(csc, b, x, {.iterations = 40});
+  EXPECT_LT(util::rmse<double>(x, x_true), 0.05);
+}
+
+TEST(Icd, NonnegClampHolds) {
+  const auto& csc = cached_ct_csc<double>(16, 12);
+  auto b = sparse::random_vector<double>(static_cast<std::size_t>(csc.rows()), 4, -1.0, 1.0);
+  util::AlignedVector<double> x(static_cast<std::size_t>(csc.cols()), 0.0);
+  icd<double>(csc, b, x, {.iterations = 3, .enforce_nonneg = true});
+  for (double v : x) EXPECT_GE(v, 0.0);
+}
+
+TEST(Icd, UnconstrainedSolvesTinySystem) {
+  // Diagonal 2x2: one sweep solves exactly.
+  sparse::CooMatrix<double> coo(2, 2);
+  coo.add(0, 0, 2.0);
+  coo.add(1, 1, 5.0);
+  coo.normalize();
+  auto csc = sparse::CscMatrix<double>::from_coo(coo);
+  util::AlignedVector<double> b{4.0, -10.0};
+  util::AlignedVector<double> x(2, 0.0);
+  icd<double>(csc, b, x, {.iterations = 1, .enforce_nonneg = false});
+  EXPECT_NEAR(x[0], 2.0, 1e-12);
+  EXPECT_NEAR(x[1], -2.0, 1e-12);
+}
+
+TEST(Icd, SkipsEmptyColumns) {
+  sparse::CooMatrix<double> coo(3, 3);
+  coo.add(0, 0, 1.0);
+  coo.add(2, 2, 2.0);  // column 1 empty
+  coo.normalize();
+  auto csc = sparse::CscMatrix<double>::from_coo(coo);
+  util::AlignedVector<double> b{3.0, 0.0, 8.0};
+  util::AlignedVector<double> x(3, 0.0);
+  icd<double>(csc, b, x, {.iterations = 2, .enforce_nonneg = false});
+  EXPECT_NEAR(x[0], 3.0, 1e-12);
+  EXPECT_EQ(x[1], 0.0);
+  EXPECT_NEAR(x[2], 4.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace cscv::recon

@@ -1,0 +1,89 @@
+#include <gtest/gtest.h>
+
+#include "ct/phantom.hpp"
+#include "recon/volume.hpp"
+#include "test_helpers.hpp"
+#include "util/stats.hpp"
+
+namespace cscv::recon {
+namespace {
+
+using cscv::testing::cached_ct_csc;
+
+struct VolumeFixture {
+  int image = 16, views = 24, slices = 3;
+  const sparse::CscMatrix<double>& csc = cached_ct_csc<double>(16, 24);
+  core::OperatorLayout layout{16, ct::standard_num_bins(16), 24};
+  core::CscvMatrix<double> cscv = core::CscvMatrix<double>::build(
+      csc, layout, {.s_vvec = 8, .s_imgb = 8, .s_vxg = 2},
+      core::CscvMatrix<double>::Variant::kM);
+
+  // Ground truth: slice k is the phantom scaled by (k+1).
+  util::AlignedVector<double> truth;
+  util::AlignedVector<double> b;
+
+  VolumeFixture() {
+    const auto rows = static_cast<std::size_t>(csc.rows());
+    const auto cols = static_cast<std::size_t>(csc.cols());
+    auto base = ct::rasterize<double>(ct::shepp_logan_modified(), image);
+    truth.resize(cols * static_cast<std::size_t>(slices));
+    for (std::size_t c = 0; c < cols; ++c) {
+      for (int k = 0; k < slices; ++k) {
+        truth[c * static_cast<std::size_t>(slices) + static_cast<std::size_t>(k)] =
+            base[c] * (k + 1);
+      }
+    }
+    b.resize(rows * static_cast<std::size_t>(slices));
+    cscv.spmv_multi(truth, b, slices);
+  }
+};
+
+TEST(SirtVolume, MatchesSliceBySliceSirt) {
+  VolumeFixture f;
+  const auto rows = static_cast<std::size_t>(f.csc.rows());
+  const auto cols = static_cast<std::size_t>(f.csc.cols());
+
+  util::AlignedVector<double> x_vol(f.truth.size(), 0.0);
+  sirt_volume<double>(f.cscv, f.csc, f.b, x_vol, f.slices, {.iterations = 10});
+
+  // Reference: plain SIRT per slice with the same operator.
+  CscOperator<double> op(f.csc);
+  for (int k = 0; k < f.slices; ++k) {
+    util::AlignedVector<double> bk(rows), xk(cols, 0.0);
+    for (std::size_t r = 0; r < rows; ++r) {
+      bk[r] = f.b[r * static_cast<std::size_t>(f.slices) + static_cast<std::size_t>(k)];
+    }
+    sirt<double>(op, bk, xk, {.iterations = 10});
+    util::AlignedVector<double> got(cols);
+    for (std::size_t c = 0; c < cols; ++c) {
+      got[c] = x_vol[c * static_cast<std::size_t>(f.slices) + static_cast<std::size_t>(k)];
+    }
+    EXPECT_LT(util::rel_l2_error<double>(got, xk), 1e-10) << "slice " << k;
+  }
+}
+
+TEST(SirtVolume, ResidualDecreases) {
+  VolumeFixture f;
+  util::AlignedVector<double> x(f.truth.size(), 0.0);
+  auto stats = sirt_volume<double>(f.cscv, f.csc, f.b, x, f.slices, {.iterations = 15});
+  EXPECT_LT(stats.residual_norms.back(), 0.3 * stats.residual_norms.front());
+}
+
+TEST(SirtVolume, RecoversScaledSlices) {
+  VolumeFixture f;
+  util::AlignedVector<double> x(f.truth.size(), 0.0);
+  sirt_volume<double>(f.cscv, f.csc, f.b, x, f.slices, {.iterations = 80});
+  // Slice 3 has values up to 3.0, so absolute RMSE scales with it.
+  EXPECT_LT(util::rmse<double>(x, f.truth), 0.08 * 3.0);
+}
+
+TEST(SirtVolume, RejectsBadSizes) {
+  VolumeFixture f;
+  util::AlignedVector<double> x(static_cast<std::size_t>(f.csc.cols()) * 2, 0.0);
+  EXPECT_THROW(
+      sirt_volume<double>(f.cscv, f.csc, f.b, x, f.slices, {.iterations = 1}),
+      util::CheckError);
+}
+
+}  // namespace
+}  // namespace cscv::recon

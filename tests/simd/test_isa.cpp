@@ -1,0 +1,45 @@
+#include <gtest/gtest.h>
+
+#include "simd/isa.hpp"
+
+namespace cscv::simd {
+namespace {
+
+TEST(Isa, DetectionIsStable) {
+  const IsaInfo& a = cpu_isa();
+  const IsaInfo& b = cpu_isa();
+  EXPECT_EQ(&a, &b);  // cached singleton
+}
+
+TEST(Isa, Avx512ImpliesAvx2) {
+  const IsaInfo& i = cpu_isa();
+  if (i.avx512f) {
+    EXPECT_TRUE(i.avx2);
+  }
+}
+
+TEST(Isa, HardwareExpandNeedsRightFeature) {
+  IsaInfo i;
+  i.avx512f = true;
+  i.avx512vl = false;
+  EXPECT_TRUE(i.hardware_expand(512));
+  EXPECT_FALSE(i.hardware_expand(256));
+  i.avx512vl = true;
+  EXPECT_TRUE(i.hardware_expand(256));
+  EXPECT_TRUE(i.hardware_expand(128));
+}
+
+TEST(Isa, DescribeMentionsCompileMode) {
+  const std::string s = describe_isa();
+  EXPECT_NE(s.find("compiled"), std::string::npos);
+}
+
+TEST(Isa, CompileTimeFlagsConsistent) {
+  // If the binary was compiled with VL it must also have F.
+  if (kCompiledAvx512vl) {
+    EXPECT_TRUE(kCompiledAvx512f);
+  }
+}
+
+}  // namespace
+}  // namespace cscv::simd

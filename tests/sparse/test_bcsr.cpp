@@ -1,0 +1,99 @@
+#include <gtest/gtest.h>
+
+#include "sparse/bcsr.hpp"
+#include "sparse/random.hpp"
+#include "test_helpers.hpp"
+
+namespace cscv::sparse {
+namespace {
+
+using cscv::testing::expect_vectors_close;
+
+TEST(Bcsr, MatchesReference) {
+  auto coo = random_uniform<double>(50, 42, 0.2, 77);
+  auto csr = CsrMatrix<double>::from_coo(coo);
+  auto bcsr = BcsrMatrix<double>::from_csr(csr, 4, 4);
+  EXPECT_EQ(bcsr.nnz(), csr.nnz());
+  auto x = random_vector<double>(42, 1);
+  util::AlignedVector<double> y_ref(50), y_got(50);
+  coo.spmv(x, y_ref);
+  bcsr.spmv(x, y_got);
+  expect_vectors_close<double>(y_got, y_ref, 1e-13);
+}
+
+TEST(Bcsr, BlockShapeSweep) {
+  auto coo = random_banded<double>(45, 5, 0.6, 13);  // 45 not divisible by 2/4/8
+  auto csr = CsrMatrix<double>::from_coo(coo);
+  auto x = random_vector<double>(45, 2);
+  util::AlignedVector<double> y_ref(45);
+  coo.spmv(x, y_ref);
+  for (int r : {1, 2, 4, 8}) {
+    for (int c : {2, 4, 8}) {
+      if (r == 1 && c == 2) continue;  // covered below anyway
+      auto bcsr = BcsrMatrix<double>::from_csr(csr, r, c);
+      util::AlignedVector<double> y_got(45);
+      bcsr.spmv(x, y_got);
+      expect_vectors_close<double>(y_got, y_ref, 1e-12);
+    }
+  }
+}
+
+TEST(Bcsr, DenseBlockHasNoFill) {
+  CooMatrix<float> coo(4, 4);
+  for (index_t r = 0; r < 4; ++r)
+    for (index_t c = 0; c < 4; ++c) coo.add(r, c, 1.0f);
+  coo.normalize();
+  auto csr = CsrMatrix<float>::from_coo(coo);
+  auto bcsr = BcsrMatrix<float>::from_csr(csr, 4, 4);
+  EXPECT_EQ(bcsr.num_blocks(), 1);
+  EXPECT_DOUBLE_EQ(bcsr.fill_ratio(), 0.0);
+}
+
+TEST(Bcsr, ScatteredNonzerosFillHeavily) {
+  // One nonzero per 4x4 tile: 15 zeros of fill each — the paper's
+  // "useless zeros are filled into the matrix" cost made visible.
+  CooMatrix<float> coo(16, 16);
+  for (index_t b = 0; b < 4; ++b) coo.add(b * 4, b * 4, 1.0f);
+  coo.normalize();
+  auto csr = CsrMatrix<float>::from_coo(coo);
+  auto bcsr = BcsrMatrix<float>::from_csr(csr, 4, 4);
+  EXPECT_EQ(bcsr.num_blocks(), 4);
+  EXPECT_DOUBLE_EQ(bcsr.fill_ratio(), 15.0);
+}
+
+TEST(Bcsr, CtMatrixFillVsCscv) {
+  // On CT matrices, index-grid-aligned 4x4 tiles fill far more than CSCV's
+  // geometry-aligned CSCVEs at comparable vector width.
+  const auto& csr = cscv::testing::cached_ct_csr<float>(32, 24);
+  auto bcsr = BcsrMatrix<float>::from_csr(csr, 4, 4);
+  EXPECT_GT(bcsr.fill_ratio(), 1.0) << "CT nonzeros are thin diagonal bands";
+  auto x = random_vector<float>(static_cast<std::size_t>(csr.cols()), 4, 0.0, 1.0);
+  util::AlignedVector<float> y_ref(static_cast<std::size_t>(csr.rows()));
+  util::AlignedVector<float> y_got(static_cast<std::size_t>(csr.rows()));
+  csr.spmv_serial(x, y_ref);
+  bcsr.spmv(x, y_got);
+  expect_vectors_close<float>(y_got, y_ref, 1e-5);
+}
+
+TEST(Bcsr, EmptyMatrix) {
+  CooMatrix<double> coo(8, 8);
+  coo.normalize();
+  auto csr = CsrMatrix<double>::from_coo(coo);
+  auto bcsr = BcsrMatrix<double>::from_csr(csr, 2, 2);
+  EXPECT_EQ(bcsr.num_blocks(), 0);
+  util::AlignedVector<double> x(8, 1.0);
+  util::AlignedVector<double> y(8, 9.0);
+  bcsr.spmv(x, y);
+  for (double v : y) EXPECT_EQ(v, 0.0);
+}
+
+TEST(Bcsr, RejectsBadBlockDims) {
+  CooMatrix<float> coo(4, 4);
+  coo.normalize();
+  auto csr = CsrMatrix<float>::from_coo(coo);
+  EXPECT_THROW(BcsrMatrix<float>::from_csr(csr, 3, 4), util::CheckError);
+  EXPECT_THROW(BcsrMatrix<float>::from_csr(csr, 4, 16), util::CheckError);
+}
+
+}  // namespace
+}  // namespace cscv::sparse

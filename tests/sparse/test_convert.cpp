@@ -1,0 +1,76 @@
+#include <gtest/gtest.h>
+
+#include "sparse/convert.hpp"
+#include "sparse/random.hpp"
+#include "test_helpers.hpp"
+
+namespace cscv::sparse {
+namespace {
+
+using cscv::testing::expect_vectors_close;
+
+TEST(Convert, CsrFromCscMatchesCooPath) {
+  auto coo = random_uniform<double>(33, 27, 0.2, 3);
+  auto csc = CscMatrix<double>::from_coo(coo);
+  auto via_coo = CsrMatrix<double>::from_coo(coo);
+  auto direct = csr_from_csc(csc);
+  ASSERT_EQ(direct.nnz(), via_coo.nnz());
+  for (std::size_t i = 0; i < via_coo.row_ptr().size(); ++i) {
+    EXPECT_EQ(direct.row_ptr()[i], via_coo.row_ptr()[i]);
+  }
+  for (std::size_t k = 0; k < static_cast<std::size_t>(via_coo.nnz()); ++k) {
+    EXPECT_EQ(direct.col_idx()[k], via_coo.col_idx()[k]);
+    EXPECT_EQ(direct.values()[k], via_coo.values()[k]);
+  }
+}
+
+TEST(Convert, CscFromCsrMatchesCooPath) {
+  auto coo = random_uniform<float>(21, 40, 0.25, 7);
+  auto csr = CsrMatrix<float>::from_coo(coo);
+  auto via_coo = CscMatrix<float>::from_coo(coo);
+  auto direct = csc_from_csr(csr);
+  ASSERT_EQ(direct.nnz(), via_coo.nnz());
+  for (std::size_t i = 0; i < via_coo.col_ptr().size(); ++i) {
+    EXPECT_EQ(direct.col_ptr()[i], via_coo.col_ptr()[i]);
+  }
+  for (std::size_t k = 0; k < static_cast<std::size_t>(via_coo.nnz()); ++k) {
+    EXPECT_EQ(direct.row_idx()[k], via_coo.row_idx()[k]);
+    EXPECT_EQ(direct.values()[k], via_coo.values()[k]);
+  }
+}
+
+TEST(Convert, RoundTripIsIdentity) {
+  auto coo = random_banded<double>(50, 6, 0.6, 9);
+  auto csr = CsrMatrix<double>::from_coo(coo);
+  auto back = csr_from_csc(csc_from_csr(csr));
+  ASSERT_EQ(back.nnz(), csr.nnz());
+  for (std::size_t k = 0; k < static_cast<std::size_t>(csr.nnz()); ++k) {
+    EXPECT_EQ(back.col_idx()[k], csr.col_idx()[k]);
+    EXPECT_EQ(back.values()[k], csr.values()[k]);
+  }
+}
+
+TEST(Convert, EmptyMatrix) {
+  CooMatrix<float> coo(4, 6);
+  coo.normalize();
+  auto csr = CsrMatrix<float>::from_coo(coo);
+  auto csc = csc_from_csr(csr);
+  EXPECT_EQ(csc.nnz(), 0);
+  EXPECT_EQ(csc.cols(), 6);
+  auto back = csr_from_csc(csc);
+  EXPECT_EQ(back.rows(), 4);
+}
+
+TEST(Convert, SpmvAgreesAfterConversion) {
+  const auto& csc = cscv::testing::cached_ct_csc<float>(32, 24);
+  auto csr = csr_from_csc(csc);
+  auto x = random_vector<float>(static_cast<std::size_t>(csc.cols()), 5);
+  util::AlignedVector<float> y1(static_cast<std::size_t>(csc.rows()));
+  util::AlignedVector<float> y2(static_cast<std::size_t>(csc.rows()));
+  csc.spmv_serial(x, y1);
+  csr.spmv_serial(x, y2);
+  expect_vectors_close<float>(y2, y1, 1e-5);
+}
+
+}  // namespace
+}  // namespace cscv::sparse

@@ -1,0 +1,104 @@
+#include <gtest/gtest.h>
+
+#include "sparse/coo.hpp"
+#include "util/assertx.hpp"
+
+namespace cscv::sparse {
+namespace {
+
+TEST(Coo, EmptyMatrix) {
+  CooMatrix<float> m(3, 4);
+  m.normalize();
+  EXPECT_EQ(m.nnz(), 0);
+  EXPECT_EQ(m.rows(), 3);
+  EXPECT_EQ(m.cols(), 4);
+
+  util::AlignedVector<float> x(4, 1.0f);
+  util::AlignedVector<float> y(3, 99.0f);
+  m.spmv(x, y);
+  for (float v : y) EXPECT_EQ(v, 0.0f);
+}
+
+TEST(Coo, NormalizeSortsRowMajor) {
+  CooMatrix<double> m(3, 3);
+  m.add(2, 1, 1.0);
+  m.add(0, 2, 2.0);
+  m.add(0, 0, 3.0);
+  m.add(1, 1, 4.0);
+  m.normalize();
+  ASSERT_EQ(m.nnz(), 4);
+  auto rows = m.row_indices();
+  auto cols = m.col_indices();
+  for (std::size_t k = 1; k < rows.size(); ++k) {
+    const bool ordered =
+        rows[k - 1] < rows[k] || (rows[k - 1] == rows[k] && cols[k - 1] < cols[k]);
+    EXPECT_TRUE(ordered) << "entry " << k << " out of order";
+  }
+}
+
+TEST(Coo, NormalizeMergesDuplicates) {
+  CooMatrix<double> m(2, 2);
+  m.add(0, 0, 1.5);
+  m.add(0, 0, 2.5);
+  m.add(1, 1, 1.0);
+  m.normalize();
+  EXPECT_EQ(m.nnz(), 2);
+  EXPECT_DOUBLE_EQ(m.values()[0], 4.0);
+}
+
+TEST(Coo, NormalizeDropsCancellations) {
+  CooMatrix<double> m(2, 2);
+  m.add(0, 1, 5.0);
+  m.add(0, 1, -5.0);
+  m.add(1, 0, 1.0);
+  m.normalize();
+  EXPECT_EQ(m.nnz(), 1);
+  EXPECT_EQ(m.row_indices()[0], 1);
+}
+
+TEST(Coo, SpmvSmall) {
+  // [1 2; 0 3] * [10, 20] = [50, 60]
+  CooMatrix<double> m(2, 2);
+  m.add(0, 0, 1.0);
+  m.add(0, 1, 2.0);
+  m.add(1, 1, 3.0);
+  m.normalize();
+  util::AlignedVector<double> x{10.0, 20.0};
+  util::AlignedVector<double> y(2);
+  m.spmv(x, y);
+  EXPECT_DOUBLE_EQ(y[0], 50.0);
+  EXPECT_DOUBLE_EQ(y[1], 60.0);
+}
+
+TEST(Coo, SpmvTransposeSmall) {
+  CooMatrix<double> m(2, 2);
+  m.add(0, 0, 1.0);
+  m.add(0, 1, 2.0);
+  m.add(1, 1, 3.0);
+  m.normalize();
+  util::AlignedVector<double> y{10.0, 20.0};
+  util::AlignedVector<double> x(2);
+  m.spmv_transpose(y, x);
+  EXPECT_DOUBLE_EQ(x[0], 10.0);   // 1*10
+  EXPECT_DOUBLE_EQ(x[1], 80.0);   // 2*10 + 3*20
+}
+
+TEST(Coo, SpmvDimensionMismatchThrows) {
+  CooMatrix<float> m(2, 3);
+  m.normalize();
+  util::AlignedVector<float> x(2);  // wrong: needs 3
+  util::AlignedVector<float> y(2);
+  EXPECT_THROW(m.spmv(x, y), util::CheckError);
+}
+
+TEST(Coo, ReserveDoesNotChangeState) {
+  CooMatrix<float> m(10, 10);
+  m.reserve(100);
+  EXPECT_EQ(m.nnz(), 0);
+  m.add(1, 1, 1.0f);
+  m.normalize();
+  EXPECT_EQ(m.nnz(), 1);
+}
+
+}  // namespace
+}  // namespace cscv::sparse

@@ -1,0 +1,103 @@
+#include <gtest/gtest.h>
+
+#include "sparse/csc.hpp"
+#include "sparse/random.hpp"
+#include "test_helpers.hpp"
+#include "util/parallel.hpp"
+
+namespace cscv::sparse {
+namespace {
+
+using cscv::testing::expect_vectors_close;
+
+TEST(Csc, FromCooRoundTrip) {
+  auto coo = random_uniform<double>(19, 13, 0.25, 11);
+  auto csc = CscMatrix<double>::from_coo(coo);
+  EXPECT_EQ(csc.shape(), coo.shape());
+  auto back = csc.to_coo();
+  ASSERT_EQ(back.nnz(), coo.nnz());
+  for (offset_t k = 0; k < coo.nnz(); ++k) {
+    EXPECT_EQ(back.row_indices()[k], coo.row_indices()[k]);
+    EXPECT_EQ(back.col_indices()[k], coo.col_indices()[k]);
+  }
+}
+
+TEST(Csc, RowsAscendWithinColumns) {
+  auto coo = random_uniform<float>(30, 30, 0.2, 3);
+  auto csc = CscMatrix<float>::from_coo(coo);
+  auto cp = csc.col_ptr();
+  auto ri = csc.row_idx();
+  for (index_t c = 0; c < csc.cols(); ++c) {
+    for (offset_t k = cp[c] + 1; k < cp[c + 1]; ++k) {
+      EXPECT_LT(ri[k - 1], ri[k]) << "column " << c;
+    }
+  }
+}
+
+TEST(Csc, SpmvMatchesCooReference) {
+  auto coo = random_uniform<double>(50, 35, 0.2, 17);
+  auto csc = CscMatrix<double>::from_coo(coo);
+  auto x = random_vector<double>(35, 4);
+  util::AlignedVector<double> y_ref(50), y_serial(50), y_par(50);
+  coo.spmv(x, y_ref);
+  csc.spmv_serial(x, y_serial);
+  csc.spmv(x, y_par);
+  expect_vectors_close<double>(y_serial, y_ref, 1e-13);
+  expect_vectors_close<double>(y_par, y_ref, 1e-13);
+}
+
+TEST(Csc, SpmvParallelWithThreads) {
+  auto coo = random_uniform<float>(64, 64, 0.15, 23);
+  auto csc = CscMatrix<float>::from_coo(coo);
+  auto x = random_vector<float>(64, 5);
+  util::AlignedVector<float> y_ref(64), y_got(64);
+  coo.spmv(x, y_ref);
+  const int saved = util::max_threads();
+  util::set_num_threads(4);  // oversubscribed on small machines: still correct
+  csc.spmv(x, y_got);
+  util::set_num_threads(saved);
+  expect_vectors_close<float>(y_got, y_ref, 1e-5);
+}
+
+TEST(Csc, TransposeMatchesCooReference) {
+  auto coo = random_uniform<double>(50, 35, 0.2, 17);
+  auto csc = CscMatrix<double>::from_coo(coo);
+  auto y = random_vector<double>(50, 6);
+  util::AlignedVector<double> x_ref(35), x_got(35);
+  coo.spmv_transpose(y, x_ref);
+  csc.spmv_transpose(y, x_got);
+  expect_vectors_close<double>(x_got, x_ref, 1e-13);
+}
+
+TEST(Csc, EmptyColumnsHandled) {
+  CooMatrix<float> coo(3, 5);
+  coo.add(0, 1, 1.0f);
+  coo.add(2, 4, 2.0f);
+  coo.normalize();
+  auto csc = CscMatrix<float>::from_coo(coo);
+  EXPECT_EQ(csc.col_ptr()[0], 0);
+  EXPECT_EQ(csc.col_ptr()[1], 0);  // column 0 empty
+  util::AlignedVector<float> x(5, 1.0f);
+  util::AlignedVector<float> y(3);
+  csc.spmv_serial(x, y);
+  EXPECT_EQ(y[0], 1.0f);
+  EXPECT_EQ(y[1], 0.0f);
+  EXPECT_EQ(y[2], 2.0f);
+}
+
+TEST(Csc, CtBuilderColumnsMatchCsrView) {
+  // The direct CSC builder and the CSR-via-COO path must describe the same
+  // matrix.
+  const auto& csc = cscv::testing::cached_ct_csc<double>(16, 12);
+  const auto& csr = cscv::testing::cached_ct_csr<double>(16, 12);
+  EXPECT_EQ(csc.nnz(), csr.nnz());
+  auto x = random_vector<double>(static_cast<std::size_t>(csc.cols()), 9);
+  util::AlignedVector<double> y1(static_cast<std::size_t>(csc.rows()));
+  util::AlignedVector<double> y2(static_cast<std::size_t>(csc.rows()));
+  csc.spmv_serial(x, y1);
+  csr.spmv_serial(x, y2);
+  expect_vectors_close<double>(y1, y2, 1e-13);
+}
+
+}  // namespace
+}  // namespace cscv::sparse

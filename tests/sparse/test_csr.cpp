@@ -1,0 +1,100 @@
+#include <gtest/gtest.h>
+
+#include "sparse/csr.hpp"
+#include "sparse/random.hpp"
+#include "test_helpers.hpp"
+
+namespace cscv::sparse {
+namespace {
+
+using cscv::testing::expect_vectors_close;
+
+TEST(Csr, FromCooRoundTrip) {
+  auto coo = random_uniform<double>(17, 23, 0.2, 1);
+  auto csr = CsrMatrix<double>::from_coo(coo);
+  EXPECT_EQ(csr.shape(), coo.shape());
+  auto back = csr.to_coo();
+  ASSERT_EQ(back.nnz(), coo.nnz());
+  for (offset_t k = 0; k < coo.nnz(); ++k) {
+    EXPECT_EQ(back.row_indices()[k], coo.row_indices()[k]);
+    EXPECT_EQ(back.col_indices()[k], coo.col_indices()[k]);
+    EXPECT_DOUBLE_EQ(back.values()[k], coo.values()[k]);
+  }
+}
+
+TEST(Csr, RequiresNormalizedCoo) {
+  CooMatrix<float> coo(2, 2);
+  coo.add(0, 0, 1.0f);
+  EXPECT_THROW(CsrMatrix<float>::from_coo(coo), util::CheckError);
+}
+
+TEST(Csr, SpmvMatchesCooReference) {
+  auto coo = random_uniform<double>(40, 60, 0.15, 7);
+  auto csr = CsrMatrix<double>::from_coo(coo);
+  auto x = random_vector<double>(60, 2);
+  util::AlignedVector<double> y_ref(40), y_serial(40), y_par(40);
+  coo.spmv(x, y_ref);
+  csr.spmv_serial(x, y_serial);
+  csr.spmv(x, y_par);
+  expect_vectors_close<double>(y_serial, y_ref, 1e-13);
+  expect_vectors_close<double>(y_par, y_ref, 1e-13);
+}
+
+TEST(Csr, TransposeMatchesCooReference) {
+  auto coo = random_uniform<double>(40, 60, 0.15, 7);
+  auto csr = CsrMatrix<double>::from_coo(coo);
+  auto y = random_vector<double>(40, 3);
+  util::AlignedVector<double> x_ref(60), x_serial(60), x_par(60);
+  coo.spmv_transpose(y, x_ref);
+  csr.spmv_transpose_serial(y, x_serial);
+  csr.spmv_transpose(y, x_par);
+  expect_vectors_close<double>(x_serial, x_ref, 1e-13);
+  expect_vectors_close<double>(x_par, x_ref, 1e-13);
+}
+
+TEST(Csr, EmptyRowsHandled) {
+  CooMatrix<float> coo(5, 3);
+  coo.add(1, 0, 2.0f);
+  coo.add(4, 2, 3.0f);
+  coo.normalize();
+  auto csr = CsrMatrix<float>::from_coo(coo);
+  util::AlignedVector<float> x{1.0f, 1.0f, 1.0f};
+  util::AlignedVector<float> y(5, -1.0f);
+  csr.spmv_serial(x, y);
+  EXPECT_EQ(y[0], 0.0f);
+  EXPECT_EQ(y[1], 2.0f);
+  EXPECT_EQ(y[2], 0.0f);
+  EXPECT_EQ(y[3], 0.0f);
+  EXPECT_EQ(y[4], 3.0f);
+}
+
+TEST(Csr, InvalidRowPtrRejected) {
+  util::AlignedVector<offset_t> bad_ptr{0, 2, 1};  // decreasing
+  util::AlignedVector<index_t> cols{0, 1};
+  util::AlignedVector<float> vals{1.0f, 2.0f};
+  EXPECT_THROW(CsrMatrix<float>(2, 2, std::move(bad_ptr), std::move(cols), std::move(vals)),
+               util::CheckError);
+}
+
+TEST(Csr, MatrixBytesCountsAllArrays) {
+  auto coo = random_uniform<float>(10, 10, 0.3, 5);
+  auto csr = CsrMatrix<float>::from_coo(coo);
+  const std::size_t expected = static_cast<std::size_t>(csr.nnz()) * (sizeof(float) +
+                               sizeof(index_t)) + 11 * sizeof(offset_t);
+  EXPECT_EQ(csr.matrix_bytes(), expected);
+}
+
+TEST(Csr, CtMatrixRowsAreBinSorted) {
+  const auto& csr = cscv::testing::cached_ct_csr<float>(16, 12);
+  // Within a row, columns must be strictly ascending (CSR invariant).
+  auto rp = csr.row_ptr();
+  auto ci = csr.col_idx();
+  for (index_t r = 0; r < csr.rows(); ++r) {
+    for (offset_t k = rp[r] + 1; k < rp[r + 1]; ++k) {
+      EXPECT_LT(ci[k - 1], ci[k]);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace cscv::sparse

@@ -1,0 +1,123 @@
+#include <gtest/gtest.h>
+
+#include "sparse/cvr.hpp"
+#include "sparse/random.hpp"
+#include "test_helpers.hpp"
+#include "util/parallel.hpp"
+
+namespace cscv::sparse {
+namespace {
+
+using cscv::testing::expect_vectors_close;
+
+TEST(Cvr, MatchesReference) {
+  auto coo = random_uniform<double>(60, 45, 0.2, 21);
+  auto csr = CsrMatrix<double>::from_coo(coo);
+  auto cvr = CvrMatrix<double>::from_csr(csr, 8, 4);
+  EXPECT_EQ(cvr.nnz(), csr.nnz());
+  auto x = random_vector<double>(45, 1);
+  util::AlignedVector<double> y_ref(60), y_got(60);
+  coo.spmv(x, y_ref);
+  cvr.spmv(x, y_got);
+  expect_vectors_close<double>(y_got, y_ref, 1e-13);
+}
+
+TEST(Cvr, LaneAndChunkSweep) {
+  auto coo = random_power_law<double>(120, 80, 50, 31);
+  auto csr = CsrMatrix<double>::from_coo(coo);
+  auto x = random_vector<double>(80, 2);
+  util::AlignedVector<double> y_ref(120);
+  coo.spmv(x, y_ref);
+  for (int lanes : {4, 8, 16}) {
+    for (int chunks : {1, 2, 3, 7}) {
+      auto cvr = CvrMatrix<double>::from_csr(csr, lanes, chunks);
+      util::AlignedVector<double> y_got(120);
+      cvr.spmv(x, y_got);
+      expect_vectors_close<double>(y_got, y_ref, 1e-12);
+    }
+  }
+}
+
+TEST(Cvr, EmptyRowsSkipped) {
+  CooMatrix<float> coo(6, 4);
+  coo.add(1, 0, 2.0f);
+  coo.add(4, 3, 3.0f);
+  coo.normalize();
+  auto csr = CsrMatrix<float>::from_coo(coo);
+  auto cvr = CvrMatrix<float>::from_csr(csr, 8, 2);
+  util::AlignedVector<float> x(4, 1.0f);
+  util::AlignedVector<float> y(6, -5.0f);
+  cvr.spmv(x, y);
+  EXPECT_EQ(y[0], 0.0f);
+  EXPECT_EQ(y[1], 2.0f);
+  EXPECT_EQ(y[4], 3.0f);
+  EXPECT_EQ(y[5], 0.0f);
+}
+
+TEST(Cvr, FewerRowsThanLanes) {
+  CooMatrix<double> coo(2, 8);
+  for (index_t c = 0; c < 8; ++c) coo.add(0, c, 1.0);
+  coo.add(1, 3, 5.0);
+  coo.normalize();
+  auto csr = CsrMatrix<double>::from_coo(coo);
+  auto cvr = CvrMatrix<double>::from_csr(csr, 16, 1);
+  util::AlignedVector<double> x(8, 1.0);
+  util::AlignedVector<double> y(2);
+  cvr.spmv(x, y);
+  EXPECT_DOUBLE_EQ(y[0], 8.0);
+  EXPECT_DOUBLE_EQ(y[1], 5.0);
+}
+
+TEST(Cvr, SingleLongRowSpansManySteps) {
+  CooMatrix<double> coo(1, 100);
+  for (index_t c = 0; c < 100; ++c) coo.add(0, c, 0.5);
+  coo.normalize();
+  auto csr = CsrMatrix<double>::from_coo(coo);
+  auto cvr = CvrMatrix<double>::from_csr(csr, 4, 1);
+  util::AlignedVector<double> x(100, 2.0);
+  util::AlignedVector<double> y(1);
+  cvr.spmv(x, y);
+  EXPECT_DOUBLE_EQ(y[0], 100.0);
+}
+
+TEST(Cvr, EmptyMatrix) {
+  CooMatrix<float> coo(5, 5);
+  coo.normalize();
+  auto csr = CsrMatrix<float>::from_coo(coo);
+  auto cvr = CvrMatrix<float>::from_csr(csr, 8, 2);
+  EXPECT_EQ(cvr.stored(), 0);
+  util::AlignedVector<float> x(5, 1.0f);
+  util::AlignedVector<float> y(5, 1.0f);
+  cvr.spmv(x, y);
+  for (float v : y) EXPECT_EQ(v, 0.0f);
+}
+
+TEST(Cvr, PaddingBoundedByLaneImbalance) {
+  // Uniform rows (CT property P3): padding should be tiny — only the final
+  // steps of each chunk where lanes run dry.
+  const auto& csr = cscv::testing::cached_ct_csr<float>(32, 24);
+  auto cvr = CvrMatrix<float>::from_csr(csr, 8, 4);
+  const double overhead = static_cast<double>(cvr.stored()) / static_cast<double>(csr.nnz());
+  EXPECT_LT(overhead, 1.05);
+}
+
+TEST(Cvr, CtMatrix) {
+  const auto& csr = cscv::testing::cached_ct_csr<float>(32, 24);
+  auto cvr = CvrMatrix<float>::from_csr(csr, 8, 3);
+  auto x = random_vector<float>(static_cast<std::size_t>(csr.cols()), 9, 0.0, 1.0);
+  util::AlignedVector<float> y_ref(static_cast<std::size_t>(csr.rows()));
+  util::AlignedVector<float> y_got(static_cast<std::size_t>(csr.rows()));
+  csr.spmv_serial(x, y_ref);
+  cvr.spmv(x, y_got);
+  expect_vectors_close<float>(y_got, y_ref, 1e-5);
+}
+
+TEST(Cvr, RejectsBadLanes) {
+  CooMatrix<float> coo(2, 2);
+  coo.normalize();
+  auto csr = CsrMatrix<float>::from_coo(coo);
+  EXPECT_THROW(CvrMatrix<float>::from_csr(csr, 5, 1), util::CheckError);
+}
+
+}  // namespace
+}  // namespace cscv::sparse

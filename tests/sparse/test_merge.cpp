@@ -1,0 +1,109 @@
+#include <gtest/gtest.h>
+
+#include "sparse/merge.hpp"
+#include "sparse/random.hpp"
+#include "test_helpers.hpp"
+#include "util/parallel.hpp"
+
+namespace cscv::sparse {
+namespace {
+
+using cscv::testing::expect_vectors_close;
+
+TEST(MergePathSearch, EndpointsAndMonotonicity) {
+  // row_end for row lengths {2, 0, 3, 1}: {2, 2, 5, 6}
+  util::AlignedVector<offset_t> row_end{2, 2, 5, 6};
+  const offset_t nnz = 6;
+  const offset_t total = 4 + nnz;
+
+  auto start = merge_path_search(0, row_end, nnz);
+  EXPECT_EQ(start.row, 0);
+  EXPECT_EQ(start.nz, 0);
+
+  auto end = merge_path_search(total, row_end, nnz);
+  EXPECT_EQ(end.row, 4);
+  EXPECT_EQ(end.nz, nnz);
+
+  MergeCoord prev{0, 0};
+  for (offset_t d = 0; d <= total; ++d) {
+    auto c = merge_path_search(d, row_end, nnz);
+    EXPECT_EQ(c.row + c.nz, d);  // on the diagonal
+    EXPECT_GE(c.row, prev.row);  // path only moves down/right
+    EXPECT_GE(c.nz, prev.nz);
+    prev = c;
+  }
+}
+
+TEST(MergePathSearch, ConsumesRowBoundaryBeforeEqualNonzero) {
+  // A row boundary at offset k must be crossed before nonzero k (the row is
+  // finished by the thread whose diagonal range covers the boundary).
+  util::AlignedVector<offset_t> row_end{0, 0, 0};  // three empty rows
+  for (offset_t d = 0; d <= 3; ++d) {
+    auto c = merge_path_search(d, row_end, 0);
+    EXPECT_EQ(c.row, d);
+    EXPECT_EQ(c.nz, 0);
+  }
+}
+
+TEST(MergeSpmv, MatchesReference) {
+  auto coo = random_uniform<double>(60, 48, 0.2, 51);
+  auto csr = CsrMatrix<double>::from_coo(coo);
+  auto x = random_vector<double>(48, 1);
+  util::AlignedVector<double> y_ref(60), y_got(60);
+  coo.spmv(x, y_ref);
+  merge_spmv(csr, std::span<const double>(x), std::span<double>(y_got));
+  expect_vectors_close<double>(y_got, y_ref, 1e-13);
+}
+
+TEST(MergeSpmv, PowerLawRows) {
+  // The case merge-path exists for: heavily skewed row lengths.
+  auto coo = random_power_law<double>(300, 100, 80, 5);
+  auto csr = CsrMatrix<double>::from_coo(coo);
+  auto x = random_vector<double>(100, 2);
+  util::AlignedVector<double> y_ref(300), y_got(300);
+  coo.spmv(x, y_ref);
+  merge_spmv(csr, std::span<const double>(x), std::span<double>(y_got));
+  expect_vectors_close<double>(y_got, y_ref, 1e-12);
+}
+
+TEST(MergeSpmv, ManyThreadsOnTinyMatrix) {
+  // More threads than rows+nnz: most threads get empty ranges; correctness
+  // must not depend on the partition granularity.
+  CooMatrix<float> coo(3, 3);
+  coo.add(0, 0, 1.0f);
+  coo.add(2, 2, 2.0f);
+  coo.normalize();
+  auto csr = CsrMatrix<float>::from_coo(coo);
+  util::AlignedVector<float> x{1.0f, 1.0f, 1.0f};
+  util::AlignedVector<float> y(3);
+  const int saved = util::max_threads();
+  util::set_num_threads(8);
+  merge_spmv(csr, std::span<const float>(x), std::span<float>(y));
+  util::set_num_threads(saved);
+  EXPECT_EQ(y[0], 1.0f);
+  EXPECT_EQ(y[1], 0.0f);
+  EXPECT_EQ(y[2], 2.0f);
+}
+
+TEST(MergeSpmv, EmptyMatrix) {
+  CooMatrix<double> coo(5, 5);
+  coo.normalize();
+  auto csr = CsrMatrix<double>::from_coo(coo);
+  util::AlignedVector<double> x(5, 1.0);
+  util::AlignedVector<double> y(5, 3.0);
+  merge_spmv(csr, std::span<const double>(x), std::span<double>(y));
+  for (double v : y) EXPECT_EQ(v, 0.0);
+}
+
+TEST(MergeSpmv, CtMatrix) {
+  const auto& csr = cscv::testing::cached_ct_csr<float>(16, 12);
+  auto x = random_vector<float>(static_cast<std::size_t>(csr.cols()), 4);
+  util::AlignedVector<float> y_ref(static_cast<std::size_t>(csr.rows()));
+  util::AlignedVector<float> y_got(static_cast<std::size_t>(csr.rows()));
+  csr.spmv_serial(x, y_ref);
+  merge_spmv(csr, std::span<const float>(x), std::span<float>(y_got));
+  expect_vectors_close<float>(y_got, y_ref, 1e-5);
+}
+
+}  // namespace
+}  // namespace cscv::sparse

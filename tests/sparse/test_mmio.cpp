@@ -1,0 +1,87 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "sparse/mmio.hpp"
+#include "sparse/random.hpp"
+#include "util/assertx.hpp"
+
+namespace cscv::sparse {
+namespace {
+
+TEST(Mmio, WriteReadRoundTrip) {
+  auto m = random_uniform<double>(12, 9, 0.3, 77);
+  std::stringstream ss;
+  write_matrix_market(ss, m);
+  auto back = read_matrix_market<double>(ss);
+  ASSERT_EQ(back.shape(), m.shape());
+  for (offset_t k = 0; k < m.nnz(); ++k) {
+    EXPECT_EQ(back.row_indices()[k], m.row_indices()[k]);
+    EXPECT_EQ(back.col_indices()[k], m.col_indices()[k]);
+    EXPECT_NEAR(back.values()[k], m.values()[k], 1e-6);
+  }
+}
+
+TEST(Mmio, ReadsGeneralRealHeader) {
+  std::stringstream ss(
+      "%%MatrixMarket matrix coordinate real general\n"
+      "% a comment line\n"
+      "2 3 2\n"
+      "1 1 1.5\n"
+      "2 3 -2.0\n");
+  auto m = read_matrix_market<float>(ss);
+  EXPECT_EQ(m.rows(), 2);
+  EXPECT_EQ(m.cols(), 3);
+  EXPECT_EQ(m.nnz(), 2);
+  EXPECT_FLOAT_EQ(m.values()[0], 1.5f);
+}
+
+TEST(Mmio, ExpandsSymmetric) {
+  std::stringstream ss(
+      "%%MatrixMarket matrix coordinate real symmetric\n"
+      "3 3 2\n"
+      "2 1 4.0\n"
+      "3 3 1.0\n");
+  auto m = read_matrix_market<double>(ss);
+  EXPECT_EQ(m.nnz(), 3);  // (1,0), (0,1), (2,2)
+}
+
+TEST(Mmio, PatternMatrixGetsUnitValues) {
+  std::stringstream ss(
+      "%%MatrixMarket matrix coordinate pattern general\n"
+      "2 2 2\n"
+      "1 1\n"
+      "2 2\n");
+  auto m = read_matrix_market<float>(ss);
+  EXPECT_EQ(m.nnz(), 2);
+  EXPECT_EQ(m.values()[0], 1.0f);
+}
+
+TEST(Mmio, RejectsBadBanner) {
+  std::stringstream ss("%%NotMatrixMarket x y z w\n1 1 0\n");
+  EXPECT_THROW(read_matrix_market<float>(ss), util::CheckError);
+}
+
+TEST(Mmio, RejectsOutOfRangeIndex) {
+  std::stringstream ss(
+      "%%MatrixMarket matrix coordinate real general\n"
+      "2 2 1\n"
+      "3 1 1.0\n");
+  EXPECT_THROW(read_matrix_market<float>(ss), util::CheckError);
+}
+
+TEST(Mmio, RejectsTruncatedEntries) {
+  std::stringstream ss(
+      "%%MatrixMarket matrix coordinate real general\n"
+      "2 2 2\n"
+      "1 1 1.0\n");
+  EXPECT_THROW(read_matrix_market<float>(ss), util::CheckError);
+}
+
+TEST(Mmio, RejectsUnsupportedField) {
+  std::stringstream ss("%%MatrixMarket matrix coordinate complex general\n1 1 0\n");
+  EXPECT_THROW(read_matrix_market<float>(ss), util::CheckError);
+}
+
+}  // namespace
+}  // namespace cscv::sparse

@@ -1,0 +1,93 @@
+#include <gtest/gtest.h>
+
+#include "sparse/random.hpp"
+#include "sparse/segsum.hpp"
+#include "test_helpers.hpp"
+
+namespace cscv::sparse {
+namespace {
+
+using cscv::testing::expect_vectors_close;
+
+TEST(SegSum, MatchesReference) {
+  auto coo = random_uniform<double>(64, 40, 0.2, 61);
+  auto csr = CsrMatrix<double>::from_coo(coo);
+  SegSumCsr<double> seg(csr, 16);
+  auto x = random_vector<double>(40, 3);
+  util::AlignedVector<double> y_ref(64), y_got(64);
+  coo.spmv(x, y_ref);
+  seg.spmv(x, y_got);
+  expect_vectors_close<double>(y_got, y_ref, 1e-13);
+}
+
+TEST(SegSum, TileSizeSweep) {
+  auto coo = random_power_law<double>(120, 60, 50, 9);
+  auto csr = CsrMatrix<double>::from_coo(coo);
+  auto x = random_vector<double>(60, 1);
+  util::AlignedVector<double> y_ref(120);
+  coo.spmv(x, y_ref);
+  for (int tile : {1, 2, 7, 32, 512, 100000}) {
+    SegSumCsr<double> seg(csr, tile);
+    util::AlignedVector<double> y_got(120);
+    seg.spmv(x, y_got);
+    expect_vectors_close<double>(y_got, y_ref, 1e-12);
+  }
+}
+
+TEST(SegSum, RowsSpanningManyTiles) {
+  // One long row spans multiple tiles; carries must chain correctly.
+  CooMatrix<double> coo(3, 100);
+  for (index_t c = 0; c < 100; ++c) coo.add(1, c, 1.0);
+  coo.add(0, 0, 5.0);
+  coo.normalize();
+  auto csr = CsrMatrix<double>::from_coo(coo);
+  SegSumCsr<double> seg(csr, 8);  // row of 100 nonzeros spans ~13 tiles
+  util::AlignedVector<double> x(100, 1.0);
+  util::AlignedVector<double> y(3);
+  seg.spmv(x, y);
+  EXPECT_DOUBLE_EQ(y[0], 5.0);
+  EXPECT_DOUBLE_EQ(y[1], 100.0);
+  EXPECT_DOUBLE_EQ(y[2], 0.0);
+}
+
+TEST(SegSum, EmptyRowsBetweenTiles) {
+  CooMatrix<double> coo(6, 4);
+  coo.add(0, 0, 1.0);
+  coo.add(0, 1, 2.0);
+  // rows 1..4 empty
+  coo.add(5, 3, 3.0);
+  coo.normalize();
+  auto csr = CsrMatrix<double>::from_coo(coo);
+  SegSumCsr<double> seg(csr, 2);
+  util::AlignedVector<double> x(4, 1.0);
+  util::AlignedVector<double> y(6, -1.0);
+  seg.spmv(x, y);
+  EXPECT_DOUBLE_EQ(y[0], 3.0);
+  for (int r = 1; r <= 4; ++r) EXPECT_DOUBLE_EQ(y[r], 0.0);
+  EXPECT_DOUBLE_EQ(y[5], 3.0);
+}
+
+TEST(SegSum, EmptyMatrix) {
+  CooMatrix<float> coo(4, 4);
+  coo.normalize();
+  auto csr = CsrMatrix<float>::from_coo(coo);
+  SegSumCsr<float> seg(csr, 64);
+  util::AlignedVector<float> x(4, 1.0f);
+  util::AlignedVector<float> y(4, 2.0f);
+  seg.spmv(x, y);
+  for (float v : y) EXPECT_EQ(v, 0.0f);
+}
+
+TEST(SegSum, CtMatrix) {
+  const auto& csr = cscv::testing::cached_ct_csr<float>(16, 12);
+  SegSumCsr<float> seg(csr, 256);
+  auto x = random_vector<float>(static_cast<std::size_t>(csr.cols()), 4);
+  util::AlignedVector<float> y_ref(static_cast<std::size_t>(csr.rows()));
+  util::AlignedVector<float> y_got(static_cast<std::size_t>(csr.rows()));
+  csr.spmv_serial(x, y_ref);
+  seg.spmv(x, y_got);
+  expect_vectors_close<float>(y_got, y_ref, 1e-5);
+}
+
+}  // namespace
+}  // namespace cscv::sparse

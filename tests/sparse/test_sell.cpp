@@ -1,0 +1,85 @@
+#include <gtest/gtest.h>
+
+#include "sparse/random.hpp"
+#include "sparse/sell.hpp"
+#include "test_helpers.hpp"
+
+namespace cscv::sparse {
+namespace {
+
+using cscv::testing::expect_vectors_close;
+
+TEST(Sell, SpmvMatchesReference) {
+  auto coo = random_uniform<double>(70, 50, 0.15, 41);
+  auto sell = SellMatrix<double>::from_coo(coo, 8, 64);
+  auto x = random_vector<double>(50, 2);
+  util::AlignedVector<double> y_ref(70), y_got(70);
+  coo.spmv(x, y_ref);
+  sell.spmv(x, y_got);
+  expect_vectors_close<double>(y_got, y_ref, 1e-13);
+}
+
+TEST(Sell, SortingReducesStorage) {
+  // Power-law rows: sorting inside sigma-windows packs similar lengths into
+  // the same slice, cutting padding versus no sorting.
+  auto coo = random_power_law<float>(256, 128, 64, 3);
+  auto unsorted = SellMatrix<float>::from_coo(coo, 8, 0);
+  auto sorted = SellMatrix<float>::from_coo(coo, 8, 256);
+  EXPECT_LE(sorted.stored(), unsorted.stored());
+  EXPECT_LT(sorted.stored(), unsorted.stored());  // strictly better here
+}
+
+TEST(Sell, SortedResultStillCorrect) {
+  auto coo = random_power_law<double>(100, 80, 40, 13);
+  auto sell = SellMatrix<double>::from_coo(coo, 4, 100);
+  auto x = random_vector<double>(80, 5);
+  util::AlignedVector<double> y_ref(100), y_got(100);
+  coo.spmv(x, y_ref);
+  sell.spmv(x, y_got);
+  expect_vectors_close<double>(y_got, y_ref, 1e-13);
+}
+
+TEST(Sell, SliceHeightVariants) {
+  auto coo = random_uniform<float>(37, 29, 0.2, 19);  // rows not divisible by C
+  auto x = random_vector<float>(29, 3);
+  util::AlignedVector<float> y_ref(37);
+  coo.spmv(x, y_ref);
+  for (int c : {1, 2, 4, 8, 16, 32}) {
+    auto sell = SellMatrix<float>::from_coo(coo, c, 64);
+    util::AlignedVector<float> y_got(37);
+    sell.spmv(x, y_got);
+    expect_vectors_close<float>(y_got, y_ref, 1e-5);
+  }
+}
+
+TEST(Sell, RejectsBadSliceHeight) {
+  CooMatrix<float> coo(4, 4);
+  coo.normalize();
+  EXPECT_THROW(SellMatrix<float>::from_coo(coo, 3, 0), util::CheckError);
+  EXPECT_THROW(SellMatrix<float>::from_coo(coo, 128, 0), util::CheckError);
+}
+
+TEST(Sell, EmptyMatrix) {
+  CooMatrix<double> coo(9, 9);
+  coo.normalize();
+  auto sell = SellMatrix<double>::from_coo(coo, 8, 16);
+  util::AlignedVector<double> x(9, 1.0);
+  util::AlignedVector<double> y(9, 5.0);
+  sell.spmv(x, y);
+  for (double v : y) EXPECT_EQ(v, 0.0);
+}
+
+TEST(Sell, CtMatrix) {
+  const auto& csr = cscv::testing::cached_ct_csr<float>(16, 12);
+  auto coo = csr.to_coo();
+  auto sell = SellMatrix<float>::from_coo(coo, 8, 512);
+  auto x = random_vector<float>(static_cast<std::size_t>(coo.cols()), 8);
+  util::AlignedVector<float> y_ref(static_cast<std::size_t>(coo.rows()));
+  util::AlignedVector<float> y_got(static_cast<std::size_t>(coo.rows()));
+  coo.spmv(x, y_ref);
+  sell.spmv(x, y_got);
+  expect_vectors_close<float>(y_got, y_ref, 1e-5);
+}
+
+}  // namespace
+}  // namespace cscv::sparse

@@ -1,0 +1,128 @@
+#include <gtest/gtest.h>
+
+#include "simd/isa.hpp"
+#include "sparse/random.hpp"
+#include "sparse/spc5.hpp"
+#include "test_helpers.hpp"
+
+namespace cscv::sparse {
+namespace {
+
+using cscv::testing::expect_vectors_close;
+
+TEST(Spc5, MatchesReferenceAllKernels) {
+  auto coo = random_uniform<double>(50, 64, 0.15, 71);
+  auto csr = CsrMatrix<double>::from_coo(coo);
+  auto x = random_vector<double>(64, 2);
+  util::AlignedVector<double> y_ref(50);
+  coo.spmv(x, y_ref);
+  for (int r : {1, 2, 4}) {
+    for (int c : {4, 8, 16}) {
+      auto spc5 = Spc5Matrix<double>::from_csr(csr, r, c);
+      EXPECT_EQ(spc5.nnz(), csr.nnz());
+      util::AlignedVector<double> y_got(50);
+      spc5.spmv(x, y_got);
+      expect_vectors_close<double>(y_got, y_ref, 1e-12);
+    }
+  }
+}
+
+TEST(Spc5, SoftwareAndHardwarePathsAgree) {
+  auto coo = random_uniform<float>(80, 96, 0.1, 5);
+  auto csr = CsrMatrix<float>::from_coo(coo);
+  auto spc5 = Spc5Matrix<float>::from_csr(csr, 2, 16);
+  auto x = random_vector<float>(96, 6);
+  util::AlignedVector<float> y_soft(80), y_hw(80);
+  spc5.spmv(x, y_soft, simd::ExpandPath::kSoftware);
+  if (simd::cpu_isa().avx512f && simd::kCompiledAvx512f) {
+    spc5.spmv(x, y_hw, simd::ExpandPath::kHardware);
+    expect_vectors_close<float>(y_hw, y_soft, 1e-6);
+  }
+}
+
+TEST(Spc5, DenseBlockLayout) {
+  // Fully dense 4x4 matrix with beta(4,4): one pack, one block, all masks
+  // full.
+  CooMatrix<float> coo(4, 4);
+  for (index_t r = 0; r < 4; ++r)
+    for (index_t c = 0; c < 4; ++c) coo.add(r, c, static_cast<float>(r * 4 + c + 1));
+  coo.normalize();
+  auto csr = CsrMatrix<float>::from_coo(coo);
+  auto spc5 = Spc5Matrix<float>::from_csr(csr, 4, 4);
+  EXPECT_EQ(spc5.num_blocks(), 1);
+  util::AlignedVector<float> x{1.0f, 2.0f, 3.0f, 4.0f};
+  util::AlignedVector<float> y(4);
+  spc5.spmv(x, y);
+  util::AlignedVector<float> y_ref(4);
+  coo.spmv(x, y_ref);
+  expect_vectors_close<float>(y, y_ref, 1e-6);
+}
+
+TEST(Spc5, ScatteredColumnsMakeManyBlocks) {
+  // Nonzeros further apart than the block width each get their own block.
+  CooMatrix<float> coo(1, 100);
+  coo.add(0, 0, 1.0f);
+  coo.add(0, 50, 2.0f);
+  coo.add(0, 99, 3.0f);
+  coo.normalize();
+  auto csr = CsrMatrix<float>::from_coo(coo);
+  auto spc5 = Spc5Matrix<float>::from_csr(csr, 1, 8);
+  EXPECT_EQ(spc5.num_blocks(), 3);
+}
+
+TEST(Spc5, RowsNotDivisibleByPack) {
+  auto coo = random_uniform<double>(13, 17, 0.3, 99);  // 13 rows, pack 4
+  auto csr = CsrMatrix<double>::from_coo(coo);
+  auto spc5 = Spc5Matrix<double>::from_csr(csr, 4, 8);
+  auto x = random_vector<double>(17, 8);
+  util::AlignedVector<double> y_ref(13), y_got(13);
+  coo.spmv(x, y_ref);
+  spc5.spmv(x, y_got);
+  expect_vectors_close<double>(y_got, y_ref, 1e-12);
+}
+
+TEST(Spc5, BlockAtMatrixEdge) {
+  // Nonzero in the last column: the block extends past the matrix edge and
+  // the kernel's x load must not read out of bounds (guarded copy).
+  CooMatrix<float> coo(2, 10);
+  coo.add(0, 9, 4.0f);
+  coo.add(1, 8, 2.0f);
+  coo.normalize();
+  auto csr = CsrMatrix<float>::from_coo(coo);
+  auto spc5 = Spc5Matrix<float>::from_csr(csr, 2, 8);
+  util::AlignedVector<float> x(10, 1.0f);
+  util::AlignedVector<float> y(2);
+  spc5.spmv(x, y);
+  EXPECT_EQ(y[0], 4.0f);
+  EXPECT_EQ(y[1], 2.0f);
+}
+
+TEST(Spc5, RejectsBadKernelShape) {
+  CooMatrix<float> coo(4, 4);
+  coo.normalize();
+  auto csr = CsrMatrix<float>::from_coo(coo);
+  EXPECT_THROW(Spc5Matrix<float>::from_csr(csr, 3, 8), util::CheckError);
+  EXPECT_THROW(Spc5Matrix<float>::from_csr(csr, 2, 5), util::CheckError);
+}
+
+TEST(Spc5, MemoryBytesBelowCsrForBlockyMatrices) {
+  // CT matrices have runs of adjacent columns per row; SPC5 stores one
+  // column index per block instead of one per nonzero.
+  const auto& csr = cscv::testing::cached_ct_csr<float>(16, 12);
+  auto spc5 = Spc5Matrix<float>::from_csr(csr, 4, 8);
+  EXPECT_LT(spc5.matrix_bytes(), csr.matrix_bytes());
+}
+
+TEST(Spc5, CtMatrix) {
+  const auto& csr = cscv::testing::cached_ct_csr<float>(16, 12);
+  auto spc5 = Spc5Matrix<float>::from_csr(csr, 4, 8);
+  auto x = random_vector<float>(static_cast<std::size_t>(csr.cols()), 4);
+  util::AlignedVector<float> y_ref(static_cast<std::size_t>(csr.rows()));
+  util::AlignedVector<float> y_got(static_cast<std::size_t>(csr.rows()));
+  csr.spmv_serial(x, y_ref);
+  spc5.spmv(x, y_got);
+  expect_vectors_close<float>(y_got, y_ref, 1e-5);
+}
+
+}  // namespace
+}  // namespace cscv::sparse

@@ -1,0 +1,55 @@
+#include <gtest/gtest.h>
+
+#include "sparse/random.hpp"
+#include "sparse/stats.hpp"
+#include "test_helpers.hpp"
+
+namespace cscv::sparse {
+namespace {
+
+TEST(MatrixStats, CountsDegrees) {
+  CooMatrix<float> m(3, 4);
+  m.add(0, 0, 1.0f);
+  m.add(0, 1, 1.0f);
+  m.add(0, 2, 1.0f);
+  m.add(2, 0, 1.0f);
+  m.normalize();
+  auto s = compute_stats(m);
+  EXPECT_EQ(s.row.min, 0);
+  EXPECT_EQ(s.row.max, 3);
+  EXPECT_EQ(s.row.empty, 1);   // row 1
+  EXPECT_EQ(s.col.empty, 1);   // column 3
+  EXPECT_DOUBLE_EQ(s.density, 4.0 / 12.0);
+}
+
+TEST(MatrixStats, Bandwidth) {
+  CooMatrix<double> m(10, 10);
+  m.add(0, 9, 1.0);
+  m.add(5, 5, 1.0);
+  m.normalize();
+  auto s = compute_stats(m);
+  EXPECT_EQ(s.bandwidth, 9);
+}
+
+TEST(MatrixStats, CtColumnsNearUniform) {
+  // Paper property P3: nnz per column of a CT matrix is similar. Check the
+  // coefficient of variation over interior columns is small.
+  const auto& csc = cscv::testing::cached_ct_csc<float>(32, 24);
+  auto s = compute_stats(csc.to_coo());
+  EXPECT_GT(s.col.mean, 0.0);
+  EXPECT_LT(s.col.stddev / s.col.mean, 0.35)
+      << "CT column degrees should be near-uniform (P3)";
+  EXPECT_EQ(s.col.empty, 0);
+}
+
+TEST(MatrixStats, CtNnzPerColumnScalesWithViews) {
+  // Each pixel contributes ~2.6 entries per view (footprint width / bin).
+  const auto& csc = cscv::testing::cached_ct_csc<float>(32, 24);
+  const double per_view = static_cast<double>(csc.nnz()) /
+                          (static_cast<double>(csc.cols()) * 24.0);
+  EXPECT_GT(per_view, 2.0);
+  EXPECT_LT(per_view, 3.3);
+}
+
+}  // namespace
+}  // namespace cscv::sparse

@@ -1,0 +1,53 @@
+#include <gtest/gtest.h>
+
+#include "util/aligned_vector.hpp"
+#include "util/prefix_sum.hpp"
+
+namespace cscv::util {
+namespace {
+
+TEST(AlignedVector, DataIs64ByteAligned) {
+  for (std::size_t n : {1u, 7u, 64u, 1000u}) {
+    AlignedVector<float> v(n);
+    EXPECT_TRUE(is_aligned(v.data(), kCacheLineBytes)) << "size " << n;
+  }
+}
+
+TEST(AlignedVector, AlignmentSurvivesGrowth) {
+  AlignedVector<double> v;
+  for (int i = 0; i < 1000; ++i) v.push_back(i);
+  EXPECT_TRUE(is_aligned(v.data(), kCacheLineBytes));
+  EXPECT_EQ(v.size(), 1000u);
+  EXPECT_DOUBLE_EQ(v[999], 999.0);
+}
+
+TEST(AlignedVector, WorksWithNonPowerOfTwoTypes) {
+  struct Odd {
+    char bytes[3];
+  };
+  AlignedVector<Odd> v(17);
+  EXPECT_TRUE(is_aligned(v.data(), kCacheLineBytes));
+}
+
+TEST(PrefixSum, ExclusiveScanInPlace) {
+  std::vector<int> v{3, 0, 2, 5};
+  const int total = exclusive_scan_in_place(v);
+  EXPECT_EQ(total, 10);
+  EXPECT_EQ(v, (std::vector<int>{0, 3, 3, 5}));
+}
+
+TEST(PrefixSum, EmptyScan) {
+  std::vector<long> v;
+  EXPECT_EQ(exclusive_scan_in_place(v), 0);
+}
+
+TEST(CeilDiv, Basics) {
+  EXPECT_EQ(ceil_div(10, 3), 4);
+  EXPECT_EQ(ceil_div(9, 3), 3);
+  EXPECT_EQ(ceil_div(0, 5), 0);
+  EXPECT_EQ(round_up(10, 8), 16);
+  EXPECT_EQ(round_up(16, 8), 16);
+}
+
+}  // namespace
+}  // namespace cscv::util

@@ -1,0 +1,69 @@
+#include <gtest/gtest.h>
+
+#include <array>
+
+#include "util/assertx.hpp"
+#include "util/cli.hpp"
+
+namespace cscv::util {
+namespace {
+
+CliFlags make_flags(std::vector<std::string> args) {
+  static std::vector<std::string> storage;
+  storage = std::move(args);
+  storage.insert(storage.begin(), "prog");
+  static std::vector<char*> argv;
+  argv.clear();
+  for (auto& s : storage) argv.push_back(s.data());
+  return CliFlags(static_cast<int>(argv.size()), argv.data());
+}
+
+TEST(Cli, EqualsSyntax) {
+  auto f = make_flags({"--size=128", "--tol=0.5"});
+  EXPECT_EQ(f.get_int("size", 0), 128);
+  EXPECT_DOUBLE_EQ(f.get_double("tol", 0.0), 0.5);
+  f.finish();
+}
+
+TEST(Cli, SpaceSyntax) {
+  auto f = make_flags({"--size", "64"});
+  EXPECT_EQ(f.get_int("size", 0), 64);
+  f.finish();
+}
+
+TEST(Cli, BareBooleanFlag) {
+  auto f = make_flags({"--verbose"});
+  EXPECT_TRUE(f.get_bool("verbose"));
+  EXPECT_FALSE(f.get_bool("quiet"));
+  f.finish();
+}
+
+TEST(Cli, DefaultsWhenAbsent) {
+  auto f = make_flags({});
+  EXPECT_EQ(f.get_int("n", 7), 7);
+  EXPECT_EQ(f.get_string("name", "dflt"), "dflt");
+  f.finish();
+}
+
+TEST(Cli, IntList) {
+  auto f = make_flags({"--sizes=4,8,16"});
+  EXPECT_EQ(f.get_int_list("sizes", {}), (std::vector<int>{4, 8, 16}));
+  f.finish();
+}
+
+TEST(Cli, PositionalArgsCollected) {
+  auto f = make_flags({"input.mtx", "--n=3", "output.mtx"});
+  ASSERT_EQ(f.positional().size(), 2u);
+  EXPECT_EQ(f.positional()[0], "input.mtx");
+  EXPECT_EQ(f.positional()[1], "output.mtx");
+  EXPECT_EQ(f.get_int("n", 0), 3);
+  f.finish();
+}
+
+TEST(Cli, UnknownFlagRejectedAtFinish) {
+  auto f = make_flags({"--typo=1"});
+  EXPECT_THROW(f.finish(), CheckError);
+}
+
+}  // namespace
+}  // namespace cscv::util

@@ -1,0 +1,101 @@
+#include <gtest/gtest.h>
+
+#include <numbers>
+
+#include "util/fft.hpp"
+#include "util/assertx.hpp"
+#include "util/rng.hpp"
+
+namespace cscv::util {
+namespace {
+
+TEST(Fft, Pow2Helpers) {
+  EXPECT_TRUE(is_pow2(1));
+  EXPECT_TRUE(is_pow2(64));
+  EXPECT_FALSE(is_pow2(0));
+  EXPECT_FALSE(is_pow2(48));
+  EXPECT_EQ(next_pow2(1), 1u);
+  EXPECT_EQ(next_pow2(5), 8u);
+  EXPECT_EQ(next_pow2(64), 64u);
+  EXPECT_EQ(next_pow2(65), 128u);
+}
+
+TEST(Fft, RejectsNonPow2) {
+  std::vector<std::complex<double>> v(12);
+  EXPECT_THROW(fft_inplace(v, false), CheckError);
+}
+
+TEST(Fft, RoundTripIsIdentity) {
+  Rng rng(7);
+  std::vector<std::complex<double>> v(256);
+  for (auto& c : v) c = {rng.uniform(-1, 1), rng.uniform(-1, 1)};
+  auto orig = v;
+  fft_inplace(v, false);
+  fft_inplace(v, true);
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    EXPECT_NEAR(v[i].real(), orig[i].real(), 1e-12);
+    EXPECT_NEAR(v[i].imag(), orig[i].imag(), 1e-12);
+  }
+}
+
+TEST(Fft, DeltaTransformsToConstant) {
+  std::vector<std::complex<double>> v(64, 0.0);
+  v[0] = 1.0;
+  fft_inplace(v, false);
+  for (const auto& c : v) {
+    EXPECT_NEAR(c.real(), 1.0, 1e-12);
+    EXPECT_NEAR(c.imag(), 0.0, 1e-12);
+  }
+}
+
+TEST(Fft, PureToneHasSingleBin) {
+  const std::size_t n = 128;
+  const int k = 5;
+  std::vector<std::complex<double>> v(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double ph = 2.0 * std::numbers::pi * k * static_cast<double>(i) / n;
+    v[i] = {std::cos(ph), std::sin(ph)};
+  }
+  fft_inplace(v, false);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double mag = std::abs(v[i]);
+    if (i == static_cast<std::size_t>(k)) {
+      EXPECT_NEAR(mag, static_cast<double>(n), 1e-9);
+    } else {
+      EXPECT_NEAR(mag, 0.0, 1e-9);
+    }
+  }
+}
+
+TEST(Fft, ParsevalHolds) {
+  Rng rng(11);
+  std::vector<std::complex<double>> v(512);
+  double time_energy = 0.0;
+  for (auto& c : v) {
+    c = {rng.uniform(-1, 1), rng.uniform(-1, 1)};
+    time_energy += std::norm(c);
+  }
+  fft_inplace(v, false);
+  double freq_energy = 0.0;
+  for (const auto& c : v) freq_energy += std::norm(c);
+  EXPECT_NEAR(freq_energy, time_energy * 512.0, 1e-8 * freq_energy);
+}
+
+TEST(Fft, LinearConvolutionViaPadding) {
+  // conv([1,2,3], [4,5]) = [4, 13, 22, 15]
+  std::vector<std::complex<double>> a(8, 0.0), b(8, 0.0);
+  a[0] = 1;
+  a[1] = 2;
+  a[2] = 3;
+  b[0] = 4;
+  b[1] = 5;
+  fft_inplace(a, false);
+  fft_inplace(b, false);
+  for (std::size_t i = 0; i < 8; ++i) a[i] *= b[i];
+  fft_inplace(a, true);
+  const double want[] = {4, 13, 22, 15, 0, 0, 0, 0};
+  for (std::size_t i = 0; i < 8; ++i) EXPECT_NEAR(a[i].real(), want[i], 1e-10);
+}
+
+}  // namespace
+}  // namespace cscv::util

@@ -1,0 +1,75 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+
+#include "util/parallel.hpp"
+
+namespace cscv::util {
+namespace {
+
+TEST(StaticPartition, CoversRangeExactly) {
+  for (std::size_t total : {0u, 1u, 7u, 100u, 101u}) {
+    for (int parts : {1, 2, 3, 8}) {
+      std::size_t covered = 0;
+      std::size_t prev_end = 0;
+      for (int p = 0; p < parts; ++p) {
+        auto [b, e] = static_partition(total, parts, p);
+        EXPECT_EQ(b, prev_end);  // contiguous, no gaps
+        EXPECT_LE(b, e);
+        covered += e - b;
+        prev_end = e;
+      }
+      EXPECT_EQ(covered, total);
+      EXPECT_EQ(prev_end, total);
+    }
+  }
+}
+
+TEST(StaticPartition, SizesDifferByAtMostOne) {
+  for (int parts : {2, 3, 7}) {
+    std::size_t min_sz = SIZE_MAX, max_sz = 0;
+    for (int p = 0; p < parts; ++p) {
+      auto [b, e] = static_partition(100, parts, p);
+      min_sz = std::min(min_sz, e - b);
+      max_sz = std::max(max_sz, e - b);
+    }
+    EXPECT_LE(max_sz - min_sz, 1u);
+  }
+}
+
+TEST(ParallelFor, VisitsEveryIndexOnce) {
+  std::vector<std::atomic<int>> hits(257);
+  parallel_for(0, hits.size(), [&](std::size_t i) { hits[i]++; });
+  for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ParallelRegion, ThreadIdsAreDistinctAndBounded) {
+  std::vector<int> seen(static_cast<std::size_t>(max_threads()) + 1, 0);
+  std::atomic<int> count{0};
+  parallel_region([&](int tid, int nthreads) {
+    ASSERT_GE(tid, 0);
+    ASSERT_LT(tid, nthreads);
+    count++;
+  });
+  EXPECT_GE(count.load(), 1);
+}
+
+TEST(SetNumThreads, CapsParallelism) {
+  const int saved = max_threads();
+  set_num_threads(2);
+  std::atomic<int> workers{0};
+  parallel_region([&](int, int nthreads) {
+    EXPECT_LE(nthreads, 2);
+    workers++;
+  });
+  EXPECT_LE(workers.load(), 2);
+  set_num_threads(saved);
+}
+
+TEST(SetNumThreads, RejectsNonPositive) {
+  EXPECT_THROW(set_num_threads(0), CheckError);
+}
+
+}  // namespace
+}  // namespace cscv::util

@@ -1,0 +1,60 @@
+#include <gtest/gtest.h>
+
+#include "util/stats.hpp"
+
+namespace cscv::util {
+namespace {
+
+TEST(Summarize, Basics) {
+  std::vector<double> xs{1.0, 2.0, 3.0, 4.0};
+  auto s = summarize(xs);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 4.0);
+  EXPECT_DOUBLE_EQ(s.mean, 2.5);
+  EXPECT_NEAR(s.stddev, std::sqrt(1.25), 1e-12);
+}
+
+TEST(Summarize, SingleElement) {
+  std::vector<double> xs{5.0};
+  auto s = summarize(xs);
+  EXPECT_DOUBLE_EQ(s.min, 5.0);
+  EXPECT_DOUBLE_EQ(s.stddev, 0.0);
+}
+
+TEST(Percentile, Interpolates) {
+  std::vector<double> xs{10.0, 20.0, 30.0, 40.0};
+  EXPECT_DOUBLE_EQ(percentile(xs, 0), 10.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 100), 40.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 50), 25.0);
+}
+
+TEST(Rmse, KnownValue) {
+  std::vector<float> a{1.0f, 2.0f};
+  std::vector<float> b{2.0f, 4.0f};
+  EXPECT_NEAR(rmse<float>(a, b), std::sqrt((1.0 + 4.0) / 2.0), 1e-6);
+}
+
+TEST(RelL2Error, ZeroForIdentical) {
+  std::vector<double> a{1.0, -2.0, 3.0};
+  EXPECT_DOUBLE_EQ(rel_l2_error<double>(a, a), 0.0);
+}
+
+TEST(RelL2Error, ZeroReferenceFallsBackToAbsolute) {
+  std::vector<double> a{0.3, -0.4};
+  std::vector<double> b{0.0, 0.0};
+  EXPECT_NEAR(rel_l2_error<double>(a, b), 0.5, 1e-12);
+}
+
+TEST(MaxAbsDiff, FindsWorst) {
+  std::vector<double> a{1.0, 5.0, 3.0};
+  std::vector<double> b{1.0, 2.0, 3.5};
+  EXPECT_DOUBLE_EQ(max_abs_diff<double>(a, b), 3.0);
+}
+
+TEST(Summarize, RejectsEmpty) {
+  std::vector<double> xs;
+  EXPECT_THROW(summarize(xs), CheckError);
+}
+
+}  // namespace
+}  // namespace cscv::util

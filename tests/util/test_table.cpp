@@ -1,0 +1,65 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "util/assertx.hpp"
+#include "util/table.hpp"
+
+namespace cscv::util {
+namespace {
+
+TEST(Table, AlignsColumns) {
+  Table t({"name", "value"});
+  t.add("x", 1);
+  t.add("longer_name", 123456);
+  std::ostringstream os;
+  t.print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("| name"), std::string::npos);
+  EXPECT_NE(out.find("longer_name"), std::string::npos);
+  // Every data line must have the same width.
+  std::istringstream lines(out);
+  std::string line;
+  std::size_t width = 0;
+  while (std::getline(lines, line)) {
+    if (width == 0) width = line.size();
+    EXPECT_EQ(line.size(), width);
+  }
+}
+
+TEST(Table, RowArityChecked) {
+  Table t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only one"}), CheckError);
+}
+
+TEST(Table, CsvEscapesSpecials) {
+  Table t({"k"});
+  t.add_row({"has,comma"});
+  t.add_row({"has\"quote"});
+  std::ostringstream os;
+  t.print_csv(os);
+  EXPECT_NE(os.str().find("\"has,comma\""), std::string::npos);
+  EXPECT_NE(os.str().find("\"has\"\"quote\""), std::string::npos);
+}
+
+TEST(Table, FormatsNumericCells) {
+  Table t({"int", "double"});
+  t.add(42, 3.5);
+  std::ostringstream os;
+  t.print_csv(os);
+  EXPECT_NE(os.str().find("42,3.5"), std::string::npos);
+}
+
+TEST(FmtHelpers, FixedDigits) {
+  EXPECT_EQ(fmt_fixed(3.14159, 2), "3.14");
+  EXPECT_EQ(fmt_fixed(-0.5, 3), "-0.500");
+}
+
+TEST(FmtHelpers, Bytes) {
+  EXPECT_EQ(fmt_bytes(512), "512.0 B");
+  EXPECT_EQ(fmt_bytes(1536), "1.50 KiB");
+  EXPECT_EQ(fmt_bytes(3ull << 30), "3.00 GiB");
+}
+
+}  // namespace
+}  // namespace cscv::util

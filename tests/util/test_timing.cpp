@@ -1,0 +1,79 @@
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "util/rng.hpp"
+#include "util/timing.hpp"
+
+namespace cscv::util {
+namespace {
+
+TEST(WallTimer, MeasuresElapsedTime) {
+  WallTimer t;
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  const double s = t.seconds();
+  EXPECT_GE(s, 0.015);
+  EXPECT_LT(s, 2.0);  // generous upper bound for loaded CI machines
+}
+
+TEST(WallTimer, ResetRestarts) {
+  WallTimer t;
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  t.reset();
+  EXPECT_LT(t.seconds(), 0.015);
+}
+
+TEST(MinTime, TakesMinimumOverIterations) {
+  int call = 0;
+  const double best = min_time_seconds(5, [&] {
+    // First call sleeps; later calls are fast — min must reflect the fast ones.
+    if (call++ == 0) std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  });
+  EXPECT_LT(best, 0.02);
+}
+
+TEST(MinTime, RunsExactIterationCount) {
+  int calls = 0;
+  min_time_seconds(7, [&] { ++calls; });
+  EXPECT_EQ(calls, 7);
+}
+
+TEST(SpmvGflops, Arithmetic) {
+  EXPECT_DOUBLE_EQ(spmv_gflops(500'000'000ull, 1.0), 1.0);
+  EXPECT_DOUBLE_EQ(spmv_gflops(1000, 0.0), 0.0);
+}
+
+TEST(Rng, SameSeedSameSequence) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.uniform_int(0, 1000000), b.uniform_int(0, 1000000));
+  }
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 50; ++i) {
+    if (a.uniform_int(0, 1000000) == b.uniform_int(0, 1000000)) ++same;
+  }
+  EXPECT_LT(same, 3);
+}
+
+TEST(Rng, UniformStaysInRange) {
+  Rng rng(9);
+  for (int i = 0; i < 1000; ++i) {
+    const double v = rng.uniform(-2.5, 3.5);
+    EXPECT_GE(v, -2.5);
+    EXPECT_LT(v, 3.5);
+  }
+}
+
+TEST(Rng, FlipProbabilityRoughlyHonored) {
+  Rng rng(13);
+  int heads = 0;
+  for (int i = 0; i < 10000; ++i) heads += rng.flip(0.3) ? 1 : 0;
+  EXPECT_NEAR(heads / 10000.0, 0.3, 0.03);
+}
+
+}  // namespace
+}  // namespace cscv::util

@@ -1,0 +1,225 @@
+// cscv_cli — command-line front end for the library.
+//
+//   cscv_cli generate --image=256 --views=120 [--geometry=parallel|fan]
+//                     [--mtx=out.mtx] [--cscv=out.cscv] [--precision=single]
+//   cscv_cli info     --mtx=matrix.mtx | --cscv=matrix.cscv
+//   cscv_cli convert  --mtx=in.mtx --image=N --bins=B --views=V --cscv=out.cscv
+//                     [--svvec=8 --simgb=16 --svxg=4 --variant=m|z]
+//   cscv_cli spmv     --cscv=matrix.cscv [--iters=20] [--threads=N]
+//
+// Everything the bench harness measures is reachable from here on user data.
+#include <iostream>
+#include <string>
+
+#include "core/autotune.hpp"
+#include "core/serialize.hpp"
+#include "ct/fan_beam.hpp"
+#include "ct/system_matrix.hpp"
+#include "sparse/convert.hpp"
+#include "sparse/mmio.hpp"
+#include "sparse/random.hpp"
+#include "sparse/stats.hpp"
+#include "util/cli.hpp"
+#include "util/parallel.hpp"
+#include "util/table.hpp"
+#include "util/timing.hpp"
+
+namespace {
+
+using namespace cscv;
+
+core::CscvParams params_from_flags(util::CliFlags& cli) {
+  core::CscvParams p;
+  p.s_vvec = cli.get_int("svvec", 8);
+  p.s_imgb = cli.get_int("simgb", 16);
+  p.s_vxg = cli.get_int("svxg", 4);
+  p.validate();
+  return p;
+}
+
+int cmd_generate(util::CliFlags& cli) {
+  const int image = cli.get_int("image", 128);
+  const int views = cli.get_int("views", 60);
+  const std::string geometry = cli.get_string("geometry", "parallel");
+  const std::string mtx_path = cli.get_string("mtx", "");
+  const std::string cscv_path = cli.get_string("cscv", "");
+  auto params = params_from_flags(cli);
+  cli.finish();
+
+  sparse::CscMatrix<float> csc;
+  core::OperatorLayout layout;
+  if (geometry == "fan") {
+    auto g = ct::standard_fan_geometry(image, views);
+    csc = ct::build_fan_system_matrix_csc<float>(g);
+    layout = {g.image_size, g.num_bins, g.num_views};
+  } else {
+    auto g = ct::standard_geometry(image, views);
+    csc = ct::build_system_matrix_csc<float>(g);
+    layout = core::OperatorLayout::from_geometry(g);
+  }
+  std::cout << "built " << geometry << "-beam matrix: " << csc.rows() << " x "
+            << csc.cols() << ", " << csc.nnz() << " nnz\n";
+
+  if (!mtx_path.empty()) {
+    sparse::write_matrix_market_file(mtx_path, csc.to_coo());
+    std::cout << "wrote " << mtx_path << "\n";
+  }
+  if (!cscv_path.empty()) {
+    auto m = core::CscvMatrix<float>::build(csc, layout, params,
+                                            core::CscvMatrix<float>::Variant::kM);
+    core::save_cscv_file(cscv_path, m);
+    std::cout << "wrote " << cscv_path << " (CSCV-M, R_nnzE = " << m.r_nnze() << ")\n";
+  }
+  return 0;
+}
+
+int cmd_info(util::CliFlags& cli) {
+  const std::string mtx_path = cli.get_string("mtx", "");
+  const std::string cscv_path = cli.get_string("cscv", "");
+  cli.finish();
+
+  if (!mtx_path.empty()) {
+    auto coo = sparse::read_matrix_market_file<double>(mtx_path);
+    auto s = sparse::compute_stats(coo);
+    util::Table t({"property", "value"});
+    t.add("rows", s.shape.rows);
+    t.add("cols", s.shape.cols);
+    t.add("nnz", static_cast<long long>(s.shape.nnz));
+    t.add("density", s.density);
+    t.add("row nnz (min/mean/max)", std::to_string(s.row.min) + " / " +
+                                        util::fmt_fixed(s.row.mean, 2) + " / " +
+                                        std::to_string(s.row.max));
+    t.add("col nnz (min/mean/max)", std::to_string(s.col.min) + " / " +
+                                        util::fmt_fixed(s.col.mean, 2) + " / " +
+                                        std::to_string(s.col.max));
+    t.add("empty rows", s.row.empty);
+    t.add("empty cols", s.col.empty);
+    t.add("bandwidth", s.bandwidth);
+    t.print(std::cout);
+    return 0;
+  }
+  if (!cscv_path.empty()) {
+    auto m = core::load_cscv_file<float>(cscv_path);
+    util::Table t({"property", "value"});
+    t.add("variant", m.variant() == core::CscvMatrix<float>::Variant::kZ ? "CSCV-Z" : "CSCV-M");
+    t.add("rows", m.rows());
+    t.add("cols", m.cols());
+    t.add("nnz", static_cast<long long>(m.nnz()));
+    t.add("S_VVec / S_ImgB / S_VxG", std::to_string(m.params().s_vvec) + " / " +
+                                         std::to_string(m.params().s_imgb) + " / " +
+                                         std::to_string(m.params().s_vxg));
+    t.add("R_nnzE", m.r_nnze());
+    t.add("VxGs", static_cast<long long>(m.num_vxgs()));
+    t.add("blocks", m.num_blocks());
+    t.add("matrix bytes", util::fmt_bytes(m.matrix_bytes()));
+    t.print(std::cout);
+    return 0;
+  }
+  std::cerr << "info: pass --mtx=... or --cscv=...\n";
+  return 2;
+}
+
+int cmd_convert(util::CliFlags& cli) {
+  const std::string mtx_path = cli.get_string("mtx", "");
+  const std::string cscv_path = cli.get_string("cscv", "out.cscv");
+  const int image = cli.get_int("image", 0);
+  const int bins = cli.get_int("bins", 0);
+  const int views = cli.get_int("views", 0);
+  const std::string variant_name = cli.get_string("variant", "m");
+  auto params = params_from_flags(cli);
+  cli.finish();
+
+  CSCV_CHECK_MSG(!mtx_path.empty(), "convert needs --mtx=...");
+  CSCV_CHECK_MSG(image > 0 && bins > 0 && views > 0,
+                 "convert needs --image, --bins, --views (the operator layout)");
+  auto coo = sparse::read_matrix_market_file<float>(mtx_path);
+  auto csc = sparse::CscMatrix<float>::from_coo(coo);
+  const core::OperatorLayout layout{image, bins, views};
+  const auto variant = variant_name == "z" ? core::CscvMatrix<float>::Variant::kZ
+                                           : core::CscvMatrix<float>::Variant::kM;
+  util::WallTimer t;
+  auto m = core::CscvMatrix<float>::build(csc, layout, params, variant);
+  std::cout << "converted in " << t.seconds() << " s: R_nnzE = " << m.r_nnze() << ", "
+            << m.num_vxgs() << " VxGs\n";
+  core::save_cscv_file(cscv_path, m);
+  std::cout << "wrote " << cscv_path << "\n";
+  return 0;
+}
+
+int cmd_tune(util::CliFlags& cli) {
+  const int image = cli.get_int("image", 0);
+  const int bins = cli.get_int("bins", 0);
+  const int views = cli.get_int("views", 0);
+  const std::string mtx_path = cli.get_string("mtx", "");
+  const int iters = cli.get_int("iters", 8);
+  cli.finish();
+
+  sparse::CscMatrix<float> csc;
+  core::OperatorLayout layout;
+  if (!mtx_path.empty()) {
+    CSCV_CHECK_MSG(image > 0 && bins > 0 && views > 0,
+                   "tune --mtx needs --image, --bins, --views");
+    csc = sparse::CscMatrix<float>::from_coo(sparse::read_matrix_market_file<float>(mtx_path));
+    layout = {image, bins, views};
+  } else {
+    CSCV_CHECK_MSG(image > 0 && views > 0, "tune needs --image and --views (or --mtx)");
+    auto g = ct::standard_geometry(image, views);
+    csc = ct::build_system_matrix_csc<float>(g);
+    layout = core::OperatorLayout::from_geometry(g);
+  }
+  core::AutotuneOptions opts;
+  opts.iterations = iters;
+  util::Table t({"variant", "S_VVec", "S_ImgB", "S_VxG", "R_nnzE", "GFLOP/s",
+                 "tried", "skipped"});
+  for (auto variant : {core::CscvMatrix<float>::Variant::kZ,
+                       core::CscvMatrix<float>::Variant::kM}) {
+    auto r = core::autotune<float>(csc, layout, variant, opts);
+    t.add(variant == core::CscvMatrix<float>::Variant::kZ ? "CSCV-Z" : "CSCV-M",
+          r.params.s_vvec, r.params.s_imgb, r.params.s_vxg, util::fmt_fixed(r.r_nnze, 3),
+          util::fmt_fixed(r.gflops, 2), r.candidates_tried, r.candidates_skipped);
+  }
+  t.print(std::cout);
+  return 0;
+}
+
+int cmd_spmv(util::CliFlags& cli) {
+  const std::string cscv_path = cli.get_string("cscv", "");
+  const int iters = cli.get_int("iters", 20);
+  const int threads = cli.get_int("threads", util::max_threads());
+  cli.finish();
+  CSCV_CHECK_MSG(!cscv_path.empty(), "spmv needs --cscv=...");
+
+  auto m = core::load_cscv_file<float>(cscv_path);
+  auto x = sparse::random_vector<float>(static_cast<std::size_t>(m.cols()), 1, 0.0, 1.0);
+  util::AlignedVector<float> y(static_cast<std::size_t>(m.rows()));
+  util::set_num_threads(threads);
+  const double seconds = util::min_time_seconds(iters, [&] { m.spmv(x, y); });
+  std::cout << "y = Ax: " << seconds * 1e3 << " ms/iter (min of " << iters << "), "
+            << util::spmv_gflops(static_cast<std::uint64_t>(m.nnz()), seconds)
+            << " GFLOP/s at " << threads << " threads\n";
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace cscv;
+  if (argc < 2) {
+    std::cerr << "usage: cscv_cli <generate|info|convert|spmv|tune> [--flags]\n";
+    return 2;
+  }
+  const std::string cmd = argv[1];
+  util::CliFlags cli(argc - 1, argv + 1);
+  try {
+    if (cmd == "generate") return cmd_generate(cli);
+    if (cmd == "info") return cmd_info(cli);
+    if (cmd == "convert") return cmd_convert(cli);
+    if (cmd == "spmv") return cmd_spmv(cli);
+    if (cmd == "tune") return cmd_tune(cli);
+    std::cerr << "unknown command: " << cmd << "\n";
+    return 2;
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+}
