@@ -8,6 +8,7 @@
 #include <benchmark/benchmark.h>
 
 #include "bench_common.hpp"
+#include "core/plan.hpp"
 
 namespace {
 
@@ -17,6 +18,7 @@ template <typename T>
 struct Context {
   benchlib::MatrixPair<T> matrices;
   std::vector<benchlib::Engine<T>> engines;
+  std::shared_ptr<core::CscvMatrix<T>> cscv_z;  // the CSCV-Z engine's matrix
   util::AlignedVector<T> x;
   util::AlignedVector<T> y;
 };
@@ -30,6 +32,11 @@ Context<T>& context() {
     c.matrices = benchlib::build_matrices<T>(dataset);
     c.engines = benchlib::build_engines<T>(c.matrices.csr, c.matrices.csc,
                                            c.matrices.layout);
+    for (const auto& e : c.engines) {
+      if (e.name == "CSCV-Z") {
+        c.cscv_z = std::static_pointer_cast<core::CscvMatrix<T>>(e.state);
+      }
+    }
     c.x = sparse::random_vector<T>(static_cast<std::size_t>(c.matrices.csc.cols()), 1,
                                    0.0, 1.0);
     c.y.resize(static_cast<std::size_t>(c.matrices.csc.rows()));
@@ -55,7 +62,41 @@ void bench_engine(benchmark::State& state, std::size_t engine_index) {
       benchmark::Counter::kIsIterationInvariantRate, benchmark::Counter::kIs1024);
 }
 
+// Cold vs warm execution context on the CSCV-Z matrix: `cold` pays plan
+// construction (dispatch resolution, weighted partitioning, scratch and
+// private-y reduction-pool allocation) on every apply; `warm` reuses one
+// prebuilt plan, the steady-state of iterative reconstruction. warm must
+// beat cold — that gap is exactly what the plan layer hoists out of the
+// hot loop. The private-y scheme is the interesting one: its cold path
+// allocates (and first-touches) a threads x m pool per call.
+constexpr core::PlanOptions kPlanBenchOptions{.scheme = core::ThreadScheme::kPrivateY};
+
+template <typename T>
+void bench_plan_cold(benchmark::State& state) {
+  auto& ctx = context<T>();
+  const core::CscvMatrix<T>& m = *ctx.cscv_z;
+  for (auto _ : state) {
+    core::SpmvPlan<T> plan(m, kPlanBenchOptions);
+    plan.execute(ctx.x, ctx.y);
+    benchmark::DoNotOptimize(ctx.y.data());
+  }
+}
+
+template <typename T>
+void bench_plan_warm(benchmark::State& state) {
+  auto& ctx = context<T>();
+  const core::SpmvPlan<T> plan(*ctx.cscv_z, kPlanBenchOptions);
+  for (auto _ : state) {
+    plan.execute(ctx.x, ctx.y);
+    benchmark::DoNotOptimize(ctx.y.data());
+  }
+}
+
 void register_all() {
+  benchmark::RegisterBenchmark("plan_single/CSCV-Z/cold", bench_plan_cold<float>);
+  benchmark::RegisterBenchmark("plan_single/CSCV-Z/warm", bench_plan_warm<float>);
+  benchmark::RegisterBenchmark("plan_double/CSCV-Z/cold", bench_plan_cold<double>);
+  benchmark::RegisterBenchmark("plan_double/CSCV-Z/warm", bench_plan_warm<double>);
   for (std::size_t i = 0; i < context<float>().engines.size(); ++i) {
     benchmark::RegisterBenchmark(
         ("spmv_single/" + context<float>().engines[i].name).c_str(),

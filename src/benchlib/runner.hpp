@@ -29,6 +29,7 @@ Measurement measure_spmv(const Engine<T>& engine, std::size_t cols, std::size_t 
   util::AlignedVector<T> y(rows);
   const int saved = util::max_threads();
   util::set_num_threads(threads);
+  if (engine.prepare) engine.prepare();  // plan/scratch build at the pinned thread count
   Measurement m;
   m.seconds = util::min_time_seconds(iterations, [&] { engine.apply(x, y); });
   util::set_num_threads(saved);

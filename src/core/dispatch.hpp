@@ -1,0 +1,182 @@
+// Unified kernel dispatch for the CSCV runtime.
+//
+// The S_VVec / S_VxG / num_rhs template parameters of the block kernels
+// (kernels.hpp) are runtime values on the matrix, so every apply path needs
+// a switch ladder from runtime ints to compile-time tags. This header owns
+// that ladder — once — and resolves it into plain function pointers with a
+// uniform signature (Z kernels ignore the mask pointer), so SpmvPlan can
+// pay for the dispatch at plan-build time and the hot loop is an indirect
+// call with zero branching.
+#pragma once
+
+#include <cstdint>
+
+#include "core/format.hpp"
+#include "core/kernels.hpp"
+#include "simd/expand.hpp"
+#include "simd/isa.hpp"
+#include "sparse/types.hpp"
+#include "util/assertx.hpp"
+
+namespace cscv::core::dispatch {
+
+/// y~ += block * x — one matrix block against its local output (single RHS).
+template <typename T>
+using ForwardFn = void (*)(sparse::offset_t vxg_begin, sparse::offset_t vxg_end,
+                           const sparse::index_t* vxg_col, const std::int32_t* vxg_q,
+                           const T* values, const std::uint16_t* masks, const T* x, T* yt);
+
+/// Y~ += block * X for num_rhs interleaved right-hand sides.
+template <typename T>
+using MultiFn = void (*)(sparse::offset_t vxg_begin, sparse::offset_t vxg_end,
+                         const sparse::index_t* vxg_col, const std::int32_t* vxg_q,
+                         const T* values, const std::uint16_t* masks, const T* x,
+                         int num_rhs, T* yt);
+
+/// x += block^T * y~ — the transpose contraction.
+template <typename T>
+using TransposeFn = void (*)(sparse::offset_t vxg_begin, sparse::offset_t vxg_end,
+                             const sparse::index_t* vxg_col, const std::int32_t* vxg_q,
+                             const T* values, const std::uint16_t* masks, const T* yt,
+                             T* x);
+
+/// The three directions of one (variant, S, V, expand path, num_rhs) choice.
+template <typename T>
+struct KernelSet {
+  ForwardFn<T> forward = nullptr;
+  MultiFn<T> multi = nullptr;
+  TransposeFn<T> transpose = nullptr;
+};
+
+/// Resolves kAuto against CPU + binary capabilities for element type T and
+/// CSCVE width S (CSCV-M only uses hardware expansion when it exists).
+template <typename T>
+inline bool resolve_expand_path(simd::ExpandPath path, int s_vvec) {
+  switch (path) {
+    case simd::ExpandPath::kHardware: return true;
+    case simd::ExpandPath::kSoftware: return false;
+    case simd::ExpandPath::kAuto: break;
+  }
+  if (!(simd::cpu_isa().avx512f && simd::kCompiledAvx512f)) return false;
+  // Narrow widths need AVX-512VL; chunked double-16 needs only F.
+  switch (s_vvec) {
+    case 16: return true;
+    case 8:
+      return sizeof(T) == 8 || (simd::cpu_isa().avx512vl && simd::kCompiledAvx512vl);
+    case 4: return simd::cpu_isa().avx512vl && simd::kCompiledAvx512vl;
+    default: return false;
+  }
+}
+
+namespace detail {
+
+// Uniform-signature wrappers. kHw degrades to the software path at compile
+// time when the binary lacks the chunked hardware expand for (T, S), so a
+// forced ExpandPath::kHardware is always safe to resolve.
+template <typename T, int S, int V>
+void forward_z(sparse::offset_t b, sparse::offset_t e, const sparse::index_t* col,
+               const std::int32_t* q, const T* values, const std::uint16_t* /*masks*/,
+               const T* x, T* yt) {
+  kernels::run_block_z<T, S, V>(b, e, col, q, values, x, yt);
+}
+
+template <typename T, int S, int V, bool Hw>
+void forward_m(sparse::offset_t b, sparse::offset_t e, const sparse::index_t* col,
+               const std::int32_t* q, const T* values, const std::uint16_t* masks,
+               const T* x, T* yt) {
+  constexpr bool kHw = Hw && simd::has_chunked_hardware_expand<T, S>();
+  kernels::run_block_m<T, S, V, kHw>(b, e, col, q, values, masks, x, yt);
+}
+
+template <typename T, int S, int V, int K>
+void multi_z(sparse::offset_t b, sparse::offset_t e, const sparse::index_t* col,
+             const std::int32_t* q, const T* values, const std::uint16_t* /*masks*/,
+             const T* x, int num_rhs, T* yt) {
+  kernels::run_block_z_multi<T, S, V, K>(b, e, col, q, values, x, num_rhs, yt);
+}
+
+template <typename T, int S, int V, int K, bool Hw>
+void multi_m(sparse::offset_t b, sparse::offset_t e, const sparse::index_t* col,
+             const std::int32_t* q, const T* values, const std::uint16_t* masks, const T* x,
+             int num_rhs, T* yt) {
+  constexpr bool kHw = Hw && simd::has_chunked_hardware_expand<T, S>();
+  kernels::run_block_m_multi<T, S, V, K, kHw>(b, e, col, q, values, masks, x, num_rhs, yt);
+}
+
+template <typename T, int S, int V>
+void transpose_z(sparse::offset_t b, sparse::offset_t e, const sparse::index_t* col,
+                 const std::int32_t* q, const T* values, const std::uint16_t* /*masks*/,
+                 const T* yt, T* x) {
+  kernels::run_block_z_transpose<T, S, V>(b, e, col, q, values, yt, x);
+}
+
+template <typename T, int S, int V, bool Hw>
+void transpose_m(sparse::offset_t b, sparse::offset_t e, const sparse::index_t* col,
+                 const std::int32_t* q, const T* values, const std::uint16_t* masks,
+                 const T* yt, T* x) {
+  constexpr bool kHw = Hw && simd::has_chunked_hardware_expand<T, S>();
+  kernels::run_block_m_transpose<T, S, V, kHw>(b, e, col, q, values, masks, yt, x);
+}
+
+template <typename T, typename Variant, int S, int V, int K, bool Hw>
+KernelSet<T> make_set(Variant variant) {
+  KernelSet<T> set;
+  if (variant == Variant::kZ) {
+    set.forward = &forward_z<T, S, V>;
+    set.multi = &multi_z<T, S, V, K>;
+    set.transpose = &transpose_z<T, S, V>;
+  } else {
+    set.forward = &forward_m<T, S, V, Hw>;
+    set.multi = &multi_m<T, S, V, K, Hw>;
+    set.transpose = &transpose_m<T, S, V, Hw>;
+  }
+  return set;
+}
+
+}  // namespace detail
+
+/// Resolves (variant, S_VVec, S_VxG, expand path, num_rhs) to concrete
+/// kernels. `use_hw` must already be resolved via resolve_expand_path.
+/// num_rhs values without a compile-time specialization fall back to the
+/// generic runtime-K kernel (K = 0).
+template <typename T>
+KernelSet<T> resolve_kernels(typename CscvMatrix<T>::Variant variant, int s_vvec, int s_vxg,
+                             bool use_hw, int num_rhs) {
+  using Variant = typename CscvMatrix<T>::Variant;
+  const auto with_svk = [&](auto s_tag, auto v_tag, auto k_tag) {
+    constexpr int S = decltype(s_tag)::value;
+    constexpr int V = decltype(v_tag)::value;
+    constexpr int K = decltype(k_tag)::value;
+    return use_hw ? detail::make_set<T, Variant, S, V, K, true>(variant)
+                  : detail::make_set<T, Variant, S, V, K, false>(variant);
+  };
+  using std::integral_constant;
+  const auto with_sv = [&](auto s_tag, auto v_tag) {
+    switch (num_rhs) {
+      case 1: return with_svk(s_tag, v_tag, integral_constant<int, 1>{});
+      case 2: return with_svk(s_tag, v_tag, integral_constant<int, 2>{});
+      case 4: return with_svk(s_tag, v_tag, integral_constant<int, 4>{});
+      case 8: return with_svk(s_tag, v_tag, integral_constant<int, 8>{});
+      case 16: return with_svk(s_tag, v_tag, integral_constant<int, 16>{});
+      default: return with_svk(s_tag, v_tag, integral_constant<int, 0>{});
+    }
+  };
+  const auto with_s = [&](auto s_tag) {
+    switch (s_vxg) {
+      case 1: return with_sv(s_tag, integral_constant<int, 1>{});
+      case 2: return with_sv(s_tag, integral_constant<int, 2>{});
+      case 4: return with_sv(s_tag, integral_constant<int, 4>{});
+      case 8: return with_sv(s_tag, integral_constant<int, 8>{});
+      case 16: return with_sv(s_tag, integral_constant<int, 16>{});
+      default: CSCV_CHECK_MSG(false, "bad S_VxG " << s_vxg);
+    }
+  };
+  switch (s_vvec) {
+    case 4: return with_s(integral_constant<int, 4>{});
+    case 8: return with_s(integral_constant<int, 8>{});
+    case 16: return with_s(integral_constant<int, 16>{});
+    default: CSCV_CHECK_MSG(false, "bad S_VVec " << s_vvec);
+  }
+}
+
+}  // namespace cscv::core::dispatch

@@ -18,6 +18,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <span>
 
 #include "core/layout.hpp"
@@ -34,6 +35,21 @@ enum class ThreadScheme {
   kAuto,          // row partition when view groups >= threads, else copies
   kRowPartition,  // threads own whole view groups; scatter straight into y
   kPrivateY,      // threads split blocks; private y copies + reduction
+};
+
+template <typename T>
+class SpmvPlan;
+
+/// Configuration an SpmvPlan is built for. A plan resolves these once;
+/// changing any of them (including the ambient thread count when `threads`
+/// is 0) requires a new plan — CscvMatrix::plan() handles that transparently.
+struct PlanOptions {
+  ThreadScheme scheme = ThreadScheme::kAuto;
+  simd::ExpandPath path = simd::ExpandPath::kAuto;
+  int num_rhs = 1;  // interleaved right-hand sides (1 = plain SpMV)
+  int threads = 0;  // partition slots; 0 = util::max_threads() at build time
+
+  friend bool operator==(const PlanOptions&, const PlanOptions&) = default;
 };
 
 template <typename T>
@@ -123,6 +139,17 @@ class CscvMatrix {
   void spmv_transpose(std::span<const T> y, std::span<T> x,
                       simd::ExpandPath path = simd::ExpandPath::kAuto) const;
 
+  /// Lazily-built cached execution plan for `opts` (see plan.hpp). All the
+  /// apply entry points above route through this, so iterating callers pay
+  /// for thread-scheme resolution, kernel dispatch, partitioning, and
+  /// scratch allocation exactly once per configuration. The cache holds one
+  /// single-RHS and one multi-RHS plan; a plan is rebuilt when the options,
+  /// the ambient util::max_threads(), or the matrix identity change (so
+  /// set_num_threads() between calls is always honored). Not safe against
+  /// concurrent first use from multiple caller threads — build the plan (or
+  /// run one apply) before sharing a matrix across callers.
+  const SpmvPlan<T>& plan(const PlanOptions& opts = {}) const;
+
   // ---- introspection (tests, analysis benches) -------------------------
   [[nodiscard]] std::span<const BlockInfo> blocks() const { return blocks_; }
   /// Reference bin r_k(v) per (block, view lane): refs()[block * S_VVec + vi].
@@ -155,8 +182,16 @@ class CscvMatrix {
   util::AlignedVector<T> values_;                // kZ: VxG-major dense; kM: packed
   util::AlignedVector<std::uint16_t> masks_;     // kM: per-CSCVE lane masks
 
+  // Cached plans (single-RHS and multi-RHS slots). shared_ptr so copies of
+  // the matrix stay cheap and safe: a plan remembers which matrix it was
+  // built for, and plan() rebuilds when that identity no longer matches.
+  mutable std::shared_ptr<SpmvPlan<T>> plan_cache_;
+  mutable std::shared_ptr<SpmvPlan<T>> multi_plan_cache_;
+
   template <typename U>
   friend class CscvBuilderAccess;
+  template <typename U>
+  friend class SpmvPlan;
 };
 
 // Note: no `extern template class` here on purpose. The out-of-line members

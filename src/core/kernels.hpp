@@ -122,27 +122,41 @@ inline void run_block_z_transpose(sparse::offset_t vxg_begin, sparse::offset_t v
 }
 
 /// Transpose CSCV-M: the packed values contract against the mask-selected
-/// y~ lanes. The per-lane cursor walk is the soft-vexpand analogue; a
-/// hardware compress-load of y~ would be the AVX-512 counterpart, but the
-/// reduction form keeps this path portable (and the forward direction is
-/// the paper's performance target).
-template <typename T, int S, int V>
+/// y~ lanes. UseHw re-inflates each VxG with the hardware vexpand and runs
+/// the same fixed-length reduction as the Z path (dead lanes contribute
+/// zero); the soft path walks the packed cursor lane by lane, which stays
+/// portable off AVX-512.
+template <typename T, int S, int V, bool UseHw = false>
 inline void run_block_m_transpose(sparse::offset_t vxg_begin, sparse::offset_t vxg_end,
                                   const sparse::index_t* vxg_col, const std::int32_t* vxg_q,
                                   const T* packed, const std::uint16_t* masks,
                                   const T* __restrict yt, T* x) {
   const T* p = packed;
-  for (sparse::offset_t g = vxg_begin; g < vxg_end; ++g) {
-    const T* src = yt + vxg_q[g];
-    const std::uint16_t* m = masks + g * V;
-    T acc = T(0);
-    for (int e = 0; e < V; ++e) {
-      const std::uint32_t mask = m[e];
-      for (int l = 0; l < S; ++l) {
-        if (mask & (1u << l)) acc += *p++ * src[e * S + l];
+  if constexpr (UseHw) {
+    alignas(64) T dense[V * S];
+    for (sparse::offset_t g = vxg_begin; g < vxg_end; ++g) {
+      const std::uint16_t* m = masks + g * V;
+      for (int e = 0; e < V; ++e) {
+        p += simd::expand_any<T, S, true>(p, m[e], dense + e * S);
       }
+      const T* src = yt + vxg_q[g];
+      T acc = T(0);
+      for (int e = 0; e < V * S; ++e) acc += dense[e] * src[e];
+      x[static_cast<std::size_t>(vxg_col[g])] += acc;
     }
-    x[static_cast<std::size_t>(vxg_col[g])] += acc;
+  } else {
+    for (sparse::offset_t g = vxg_begin; g < vxg_end; ++g) {
+      const T* src = yt + vxg_q[g];
+      const std::uint16_t* m = masks + g * V;
+      T acc = T(0);
+      for (int e = 0; e < V; ++e) {
+        const std::uint32_t mask = m[e];
+        for (int l = 0; l < S; ++l) {
+          if (mask & (1u << l)) acc += *p++ * src[e * S + l];
+        }
+      }
+      x[static_cast<std::size_t>(vxg_col[g])] += acc;
+    }
   }
 }
 

@@ -1,0 +1,275 @@
+// SpmvPlan construction and the warm apply paths (see plan.hpp).
+#include "core/plan.hpp"
+
+#include <algorithm>
+
+#include "util/assertx.hpp"
+#include "util/parallel.hpp"
+
+namespace cscv::core {
+
+using sparse::index_t;
+using sparse::offset_t;
+
+template <typename T>
+SpmvPlan<T>::SpmvPlan(const CscvMatrix<T>& a, const PlanOptions& opts)
+    : a_(&a), requested_(opts) {
+  CSCV_CHECK(opts.num_rhs >= 1);
+  num_rhs_ = opts.num_rhs;
+  threads_ = opts.threads > 0 ? opts.threads : util::max_threads();
+  CSCV_CHECK(threads_ >= 1);
+
+  // Resolve once what the one-shot paths used to resolve per call.
+  scheme_ = opts.scheme;
+  if (scheme_ == ThreadScheme::kAuto) {
+    scheme_ = a.grid_.view_groups >= threads_ ? ThreadScheme::kRowPartition
+                                              : ThreadScheme::kPrivateY;
+  }
+  if (threads_ == 1) scheme_ = ThreadScheme::kRowPartition;  // trivially race-free
+  use_hw_ = a.variant_ == CscvMatrix<T>::Variant::kM &&
+            dispatch::resolve_expand_path<T>(opts.path, a.params_.s_vvec);
+  kernels_ = dispatch::resolve_kernels<T>(a.variant_, a.params_.s_vvec, a.params_.s_vxg,
+                                          use_hw_, num_rhs_);
+
+  // Weighted partitions: a block's work is its VxG count, so prefix-sum
+  // splits balance actual FMA work, not block counts (corner tiles of a CT
+  // matrix carry far fewer VxGs than central ones).
+  const int tiles_per_group = a.grid_.tiles_x * a.grid_.tiles_y;
+  const std::size_t num_groups = static_cast<std::size_t>(a.grid_.view_groups);
+  const std::size_t num_blocks = a.blocks_.size();
+  std::vector<std::uint64_t> group_w(num_groups, 0);
+  std::vector<std::uint64_t> block_w(num_blocks, 0);
+  std::vector<std::uint64_t> tile_w(static_cast<std::size_t>(tiles_per_group), 0);
+  for (std::size_t b = 0; b < num_blocks; ++b) {
+    const auto& info = a.blocks_[b];
+    const auto w = static_cast<std::uint64_t>(info.vxg_end - info.vxg_begin);
+    block_w[b] = w;
+    group_w[static_cast<std::size_t>(info.view_group)] += w;
+    tile_w[b % static_cast<std::size_t>(tiles_per_group)] += w;
+  }
+  group_bounds_ = util::weighted_boundaries(group_w, threads_);
+  block_bounds_ = util::weighted_boundaries(block_w, threads_);
+  tile_bounds_ = util::weighted_boundaries(tile_w, threads_);
+
+  work_.assign(static_cast<std::size_t>(threads_), 0);
+  for (int t = 0; t < threads_; ++t) {
+    const auto& bounds = scheme_ == ThreadScheme::kRowPartition ? group_bounds_ : block_bounds_;
+    const auto& weights = scheme_ == ThreadScheme::kRowPartition ? group_w : block_w;
+    for (std::size_t i = bounds[static_cast<std::size_t>(t)];
+         i < bounds[static_cast<std::size_t>(t) + 1]; ++i) {
+      work_[static_cast<std::size_t>(t)] += weights[i];
+    }
+  }
+
+  // Per-thread y~ scratch, one cache-line-aligned stripe per slot.
+  const std::size_t slots =
+      std::max<std::size_t>(a.ytilde_max_slots_, 1) * static_cast<std::size_t>(num_rhs_);
+  const std::size_t align_elems = 64 / sizeof(T);
+  ytilde_stride_ = (slots + align_elems - 1) / align_elems * align_elems;
+  ytilde_pool_.resize(static_cast<std::size_t>(threads_) * ytilde_stride_);
+
+  if (scheme_ == ThreadScheme::kPrivateY) {
+    // Private-copy pool plus, per slot, the contiguous y interval its
+    // contiguous block range can touch: blocks are view-group-major and a
+    // group's rows are contiguous (row = view * num_bins + bin), so slot t
+    // only ever writes rows of view groups [group(first block), group(last
+    // block)]. Re-zeroing and reducing just these intervals is what keeps
+    // the warm path free of the full threads x m fill.
+    const std::size_t m_total =
+        static_cast<std::size_t>(a.rows()) * static_cast<std::size_t>(num_rhs_);
+    const std::size_t row_elems =
+        static_cast<std::size_t>(a.layout_.num_bins) * static_cast<std::size_t>(num_rhs_);
+    row_interval_.assign(static_cast<std::size_t>(threads_), {0, 0});
+    for (int t = 0; t < threads_; ++t) {
+      const std::size_t b0 = block_bounds_[static_cast<std::size_t>(t)];
+      const std::size_t b1 = block_bounds_[static_cast<std::size_t>(t) + 1];
+      if (b0 == b1) continue;
+      const int g_lo = a.blocks_[b0].view_group;
+      const int g_hi = a.blocks_[b1 - 1].view_group;
+      const auto v_lo = static_cast<std::size_t>(a.grid_.first_view(g_lo));
+      const auto v_hi = std::min<std::size_t>(
+          static_cast<std::size_t>(a.layout_.num_views),
+          static_cast<std::size_t>(a.grid_.first_view(g_hi)) +
+              static_cast<std::size_t>(a.grid_.s_vvec));
+      row_interval_[static_cast<std::size_t>(t)] = {v_lo * row_elems, v_hi * row_elems};
+    }
+    copies_.resize(static_cast<std::size_t>(threads_) * m_total);
+  }
+}
+
+template <typename T>
+void SpmvPlan<T>::run_forward(int block, const T* x, T* ytilde) const {
+  const auto& info = a_->blocks_[static_cast<std::size_t>(block)];
+  const T* values = a_->values_.data() + info.val_begin;
+  if (num_rhs_ == 1) {
+    kernels_.forward(info.vxg_begin, info.vxg_end, a_->vxg_col_.data(), a_->vxg_q_.data(),
+                     values, a_->masks_.data(), x, ytilde);
+  } else {
+    kernels_.multi(info.vxg_begin, info.vxg_end, a_->vxg_col_.data(), a_->vxg_q_.data(),
+                   values, a_->masks_.data(), x, num_rhs_, ytilde);
+  }
+}
+
+template <typename T>
+void SpmvPlan<T>::scatter_add(int block, const T* ytilde, T* dst) const {
+  const auto& info = a_->blocks_[static_cast<std::size_t>(block)];
+  const int s = a_->params_.s_vvec;
+  const int v0 = a_->grid_.first_view(info.view_group);
+  const int s_eff = std::min(s, a_->layout_.num_views - v0);
+  const int k = num_rhs_;
+  for (int vi = 0; vi < s_eff; ++vi) {
+    const int ref = a_->refs_[static_cast<std::size_t>(block) * s + vi];
+    // Valid offset indices keep the bin ref + o_min + o_idx on the detector.
+    const int lo = std::max(0, -(ref + info.o_min));
+    const int hi = std::min(info.o_count, a_->layout_.num_bins - ref - info.o_min);
+    const int bin0 = ref + info.o_min;
+    T* yrow = dst + static_cast<std::size_t>(a_->layout_.row_of(v0 + vi, 0)) * k;
+    if (k == 1) {
+      for (int o = lo; o < hi; ++o) {
+        yrow[bin0 + o] += ytilde[static_cast<std::size_t>(o) * s + vi];
+      }
+    } else {
+      for (int o = lo; o < hi; ++o) {
+        const T* src = ytilde + (static_cast<std::size_t>(o) * s + vi) * k;
+        T* d = yrow + static_cast<std::size_t>(bin0 + o) * k;
+        for (int r = 0; r < k; ++r) d[r] += src[r];
+      }
+    }
+  }
+}
+
+template <typename T>
+void SpmvPlan<T>::gather(int block, const T* src, T* ytilde) const {
+  const auto& info = a_->blocks_[static_cast<std::size_t>(block)];
+  const int s = a_->params_.s_vvec;
+  const int v0 = a_->grid_.first_view(info.view_group);
+  const int s_eff = std::min(s, a_->layout_.num_views - v0);
+  std::fill_n(ytilde, static_cast<std::size_t>(info.o_count) * s, T(0));
+  for (int vi = 0; vi < s_eff; ++vi) {
+    const int ref = a_->refs_[static_cast<std::size_t>(block) * s + vi];
+    const int lo = std::max(0, -(ref + info.o_min));
+    const int hi = std::min(info.o_count, a_->layout_.num_bins - ref - info.o_min);
+    const T* yrow = src + static_cast<std::size_t>(a_->layout_.row_of(v0 + vi, 0));
+    const int bin0 = ref + info.o_min;
+    for (int o = lo; o < hi; ++o) {
+      ytilde[static_cast<std::size_t>(o) * s + vi] = yrow[bin0 + o];
+    }
+  }
+}
+
+template <typename T>
+void SpmvPlan<T>::execute(std::span<const T> x, std::span<T> y) const {
+  CSCV_CHECK(x.size() ==
+             static_cast<std::size_t>(a_->cols()) * static_cast<std::size_t>(num_rhs_));
+  CSCV_CHECK(y.size() ==
+             static_cast<std::size_t>(a_->rows()) * static_cast<std::size_t>(num_rhs_));
+  const int tiles_per_group = a_->grid_.tiles_x * a_->grid_.tiles_y;
+  const int s = a_->params_.s_vvec;
+  const int k = num_rhs_;
+
+  if (scheme_ == ThreadScheme::kRowPartition) {
+    // Slots own whole view groups: their blocks write disjoint y rows, so
+    // scatter goes straight into the shared output. Slots are striped over
+    // however many threads the runtime actually provides, so a plan built
+    // at N threads stays correct at any other count.
+    util::parallel_for(0, y.size(), [&](std::size_t i) { y[i] = T(0); });
+    util::parallel_region([&](int tid, int nthreads) {
+      for (int slot = tid; slot < threads_; slot += nthreads) {
+        T* ytilde = ytilde_slot(slot);
+        for (std::size_t g = group_bounds_[static_cast<std::size_t>(slot)];
+             g < group_bounds_[static_cast<std::size_t>(slot) + 1]; ++g) {
+          for (int tb = 0; tb < tiles_per_group; ++tb) {
+            const int b = static_cast<int>(g) * tiles_per_group + tb;
+            const auto& info = a_->blocks_[static_cast<std::size_t>(b)];
+            if (info.vxg_begin == info.vxg_end) continue;
+            std::fill_n(ytilde, static_cast<std::size_t>(info.o_count) * s * k, T(0));
+            run_forward(b, x.data(), ytilde);
+            scatter_add(b, ytilde, y.data());
+          }
+        }
+      }
+    });
+    return;
+  }
+
+  // Private-copy scheme (the paper's description): slots split the block
+  // list; each accumulates into its own y copy; copies are reduced in a
+  // second parallel pass. Only each slot's touchable row interval is
+  // zeroed and reduced.
+  const std::size_t m_total = y.size();
+  util::parallel_region([&](int tid, int nthreads) {
+    for (int slot = tid; slot < threads_; slot += nthreads) {
+      const auto [r_lo, r_hi] = row_interval_[static_cast<std::size_t>(slot)];
+      T* yc = copies_.data() + static_cast<std::size_t>(slot) * m_total;
+      std::fill(yc + r_lo, yc + r_hi, T(0));
+      T* ytilde = ytilde_slot(slot);
+      for (std::size_t b = block_bounds_[static_cast<std::size_t>(slot)];
+           b < block_bounds_[static_cast<std::size_t>(slot) + 1]; ++b) {
+        const auto& info = a_->blocks_[b];
+        if (info.vxg_begin == info.vxg_end) continue;
+        std::fill_n(ytilde, static_cast<std::size_t>(info.o_count) * s * k, T(0));
+        run_forward(static_cast<int>(b), x.data(), ytilde);
+        scatter_add(static_cast<int>(b), ytilde, yc);
+      }
+    }
+  });
+  util::parallel_region([&](int tid, int nthreads) {
+    auto [r0, r1] = util::static_partition(m_total, nthreads, tid);
+    std::fill(y.begin() + static_cast<std::ptrdiff_t>(r0),
+              y.begin() + static_cast<std::ptrdiff_t>(r1), T(0));
+    for (int slot = 0; slot < threads_; ++slot) {
+      const auto [i_lo, i_hi] = row_interval_[static_cast<std::size_t>(slot)];
+      const std::size_t lo = std::max(r0, i_lo);
+      const std::size_t hi = std::min(r1, i_hi);
+      const T* yc = copies_.data() + static_cast<std::size_t>(slot) * m_total;
+      for (std::size_t r = lo; r < hi; ++r) y[r] += yc[r];
+    }
+  });
+}
+
+template <typename T>
+void SpmvPlan<T>::execute_transpose(std::span<const T> y, std::span<T> x) const {
+  CSCV_CHECK(static_cast<index_t>(y.size()) == a_->rows());
+  CSCV_CHECK(static_cast<index_t>(x.size()) == a_->cols());
+  const int tiles_per_group = a_->grid_.tiles_x * a_->grid_.tiles_y;
+
+  // Slots own image tiles: the same tile across all view groups touches a
+  // private x slice, so writes need no synchronization. y is read-only.
+  util::parallel_for(0, x.size(), [&](std::size_t i) { x[i] = T(0); });
+  util::parallel_region([&](int tid, int nthreads) {
+    for (int slot = tid; slot < threads_; slot += nthreads) {
+      T* ytilde = ytilde_slot(slot);
+      for (std::size_t tile = tile_bounds_[static_cast<std::size_t>(slot)];
+           tile < tile_bounds_[static_cast<std::size_t>(slot) + 1]; ++tile) {
+        for (int g = 0; g < a_->grid_.view_groups; ++g) {
+          const int b = g * tiles_per_group + static_cast<int>(tile);
+          const auto& info = a_->blocks_[static_cast<std::size_t>(b)];
+          if (info.vxg_begin == info.vxg_end) continue;
+          gather(b, y.data(), ytilde);
+          kernels_.transpose(info.vxg_begin, info.vxg_end, a_->vxg_col_.data(),
+                             a_->vxg_q_.data(), a_->values_.data() + info.val_begin,
+                             a_->masks_.data(), ytilde, x.data());
+        }
+      }
+    }
+  });
+}
+
+// ---- cached-plan accessor on the matrix ---------------------------------
+
+template <typename T>
+const SpmvPlan<T>& CscvMatrix<T>::plan(const PlanOptions& opts) const {
+  auto& slot = opts.num_rhs > 1 ? multi_plan_cache_ : plan_cache_;
+  const int want_threads = opts.threads > 0 ? opts.threads : util::max_threads();
+  if (!slot || !slot->matches(*this, opts, want_threads)) {
+    slot = std::make_shared<SpmvPlan<T>>(*this, opts);
+  }
+  return *slot;
+}
+
+template class SpmvPlan<float>;
+template class SpmvPlan<double>;
+template const SpmvPlan<float>& CscvMatrix<float>::plan(const PlanOptions&) const;
+template const SpmvPlan<double>& CscvMatrix<double>::plan(const PlanOptions&) const;
+
+}  // namespace cscv::core

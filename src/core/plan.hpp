@@ -1,0 +1,104 @@
+// SpmvPlan — the reusable execution context of the CSCV runtime.
+//
+// Iterative CT reconstruction calls SpMV thousands of times on the same
+// matrix (SIRT / OS-SART / CGLS, paper Section III). Everything that does
+// not depend on the vector values is therefore hoisted out of the apply
+// path into a plan built once per (matrix, thread count, scheme, expand
+// path, num_rhs):
+//
+//   * thread scheme + expand path resolution (was: every call),
+//   * the S_VVec x S_VxG x K kernel template dispatch, resolved to function
+//     pointers via dispatch.hpp (was: a switch ladder per block loop),
+//   * an nnz-weighted block partition — threads are assigned contiguous
+//     ranges by prefix sums of per-block VxG counts instead of equal block
+//     counts, so sparse corner tiles can't starve a thread's peers,
+//   * per-thread aligned y~ scratch and, for the private-y scheme, the
+//     threads x m reduction pool, allocated once; each thread re-zeroes
+//     only the row interval its blocks can touch, so the warm path
+//     performs no heap allocation and no full threads x m fill.
+//
+// A plan stays *correct* if util::max_threads() changes after construction
+// (partition slots are striped over however many OpenMP threads show up),
+// but it is tuned for the thread count it was built with;
+// CscvMatrix::plan() rebuilds its cached plan on a thread-count change.
+// A plan owns mutable scratch: concurrent execute() calls on one plan are
+// not allowed (use one plan per caller thread).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "core/dispatch.hpp"
+#include "core/format.hpp"
+#include "util/aligned_vector.hpp"
+
+namespace cscv::core {
+
+template <typename T>
+class SpmvPlan {
+ public:
+  /// Builds a plan for `a`. The matrix must outlive the plan (and not move).
+  explicit SpmvPlan(const CscvMatrix<T>& a, const PlanOptions& opts = {});
+
+  /// y = A x (num_rhs == 1) or Y = A X for num_rhs interleaved RHS.
+  /// x.size() == cols * num_rhs, y.size() == rows * num_rhs.
+  void execute(std::span<const T> x, std::span<T> y) const;
+
+  /// x = A^T y (always single-RHS; usable from any plan).
+  void execute_transpose(std::span<const T> y, std::span<T> x) const;
+
+  // ---- introspection ---------------------------------------------------
+  [[nodiscard]] const CscvMatrix<T>* matrix() const { return a_; }
+  [[nodiscard]] const PlanOptions& options() const { return requested_; }
+  /// Partition slots == the thread count the plan was built for.
+  [[nodiscard]] int threads() const { return threads_; }
+  /// The scheme after kAuto resolution.
+  [[nodiscard]] ThreadScheme scheme() const { return scheme_; }
+  [[nodiscard]] bool hardware_expand() const { return use_hw_; }
+  [[nodiscard]] int num_rhs() const { return num_rhs_; }
+  /// VxGs assigned to each forward-partition slot (load-balance checks).
+  [[nodiscard]] std::span<const std::uint64_t> work_per_slot() const { return work_; }
+  /// Scratch + reduction-pool footprint in bytes (zero after warm-up).
+  [[nodiscard]] std::size_t scratch_bytes() const {
+    return (ytilde_pool_.size() + copies_.size()) * sizeof(T);
+  }
+
+  /// True when this cached plan can serve (matrix, opts) at `threads`.
+  [[nodiscard]] bool matches(const CscvMatrix<T>& a, const PlanOptions& opts,
+                             int threads) const {
+    return a_ == &a && requested_ == opts && threads_ == threads;
+  }
+
+ private:
+  [[nodiscard]] T* ytilde_slot(int slot) const {
+    return ytilde_pool_.data() + static_cast<std::size_t>(slot) * ytilde_stride_;
+  }
+  void scatter_add(int block, const T* ytilde, T* dst) const;  // K-aware
+  void gather(int block, const T* src, T* ytilde) const;       // K == 1
+  void run_forward(int block, const T* x, T* ytilde) const;    // K-aware
+
+  const CscvMatrix<T>* a_ = nullptr;
+  PlanOptions requested_;
+  int threads_ = 1;          // partition slots
+  int num_rhs_ = 1;
+  ThreadScheme scheme_ = ThreadScheme::kRowPartition;  // resolved, never kAuto
+  bool use_hw_ = false;
+  dispatch::KernelSet<T> kernels_;
+
+  // Forward partition: view-group granularity for kRowPartition, block
+  // granularity (plus per-slot touchable row intervals, in y-element units)
+  // for kPrivateY. Transpose partition: image-tile granularity.
+  std::vector<std::size_t> group_bounds_;
+  std::vector<std::size_t> block_bounds_;
+  std::vector<std::pair<std::size_t, std::size_t>> row_interval_;
+  std::vector<std::size_t> tile_bounds_;
+  std::vector<std::uint64_t> work_;
+
+  std::size_t ytilde_stride_ = 0;
+  mutable util::AlignedVector<T> ytilde_pool_;  // threads_ * ytilde_stride_
+  mutable util::AlignedVector<T> copies_;       // kPrivateY: threads_ * rows * num_rhs
+};
+
+}  // namespace cscv::core

@@ -1,10 +1,17 @@
-// CSCV SpMV drivers: block scheduling, scatter/gather (the iota_k mapping of
-// Algorithm 3), thread-level parallelism (Section IV-E).
+// CSCV one-shot apply entry points and the serial Algorithm-3 path.
+//
+// The parallel drivers (block scheduling, weighted partitions, private-y
+// reduction, kernel dispatch) live in the plan layer (plan.cpp /
+// dispatch.hpp); spmv / spmv_multi / spmv_transpose are conveniences that
+// route through the matrix's cached SpmvPlan, so repeated calls on one
+// matrix hit a fully warmed execution context.
 #include <algorithm>
 #include <type_traits>
 
+#include "core/dispatch.hpp"
 #include "core/format.hpp"
 #include "core/kernels.hpp"
+#include "core/plan.hpp"
 #include "simd/isa.hpp"
 #include "util/assertx.hpp"
 #include "util/parallel.hpp"
@@ -13,30 +20,6 @@ namespace cscv::core {
 
 using sparse::index_t;
 using sparse::offset_t;
-
-namespace {
-
-/// Resolves kAuto against CPU + binary capabilities for element type T and
-/// CSCVE width S (CSCV-M only uses hardware expansion when it exists).
-template <typename T>
-bool resolve_expand_path(simd::ExpandPath path, int s_vvec) {
-  switch (path) {
-    case simd::ExpandPath::kHardware: return true;
-    case simd::ExpandPath::kSoftware: return false;
-    case simd::ExpandPath::kAuto: break;
-  }
-  if (!(simd::cpu_isa().avx512f && simd::kCompiledAvx512f)) return false;
-  // Narrow widths need AVX-512VL; chunked double-16 needs only F.
-  switch (s_vvec) {
-    case 16: return true;
-    case 8:
-      return sizeof(T) == 8 || (simd::cpu_isa().avx512vl && simd::kCompiledAvx512vl);
-    case 4: return simd::cpu_isa().avx512vl && simd::kCompiledAvx512vl;
-    default: return false;
-  }
-}
-
-}  // namespace
 
 template <typename T>
 void CscvMatrix<T>::scatter_add_block(int block, const T* ytilde, T* y) const {
@@ -79,117 +62,33 @@ void CscvMatrix<T>::gather_block(int block, const T* y, T* ytilde) const {
 template <typename T>
 void CscvMatrix<T>::run_block(int block, std::span<const T> x, T* ytilde, bool use_hw) const {
   const BlockInfo& info = blocks_[static_cast<std::size_t>(block)];
-  const int s = params_.s_vvec;
-  const int v = params_.s_vxg;
-  const auto dispatch = [&](auto s_tag, auto v_tag) {
-    constexpr int S = decltype(s_tag)::value;
-    constexpr int V = decltype(v_tag)::value;
-    if (variant_ == Variant::kZ) {
-      kernels::run_block_z<T, S, V>(info.vxg_begin, info.vxg_end, vxg_col_.data(),
-                                    vxg_q_.data(), values_.data() + info.val_begin,
-                                    x.data(), ytilde);
-    } else if (use_hw) {
-      if constexpr (simd::has_chunked_hardware_expand<T, S>()) {
-        kernels::run_block_m<T, S, V, true>(info.vxg_begin, info.vxg_end, vxg_col_.data(),
-                                            vxg_q_.data(), values_.data() + info.val_begin,
-                                            masks_.data(), x.data(), ytilde);
-      } else {
-        kernels::run_block_m<T, S, V, false>(info.vxg_begin, info.vxg_end, vxg_col_.data(),
-                                             vxg_q_.data(), values_.data() + info.val_begin,
-                                             masks_.data(), x.data(), ytilde);
-      }
-    } else {
-      kernels::run_block_m<T, S, V, false>(info.vxg_begin, info.vxg_end, vxg_col_.data(),
-                                           vxg_q_.data(), values_.data() + info.val_begin,
-                                           masks_.data(), x.data(), ytilde);
-    }
-  };
-  using std::integral_constant;
-  const auto with_v = [&](auto s_tag) {
-    switch (v) {
-      case 1: dispatch(s_tag, integral_constant<int, 1>{}); break;
-      case 2: dispatch(s_tag, integral_constant<int, 2>{}); break;
-      case 4: dispatch(s_tag, integral_constant<int, 4>{}); break;
-      case 8: dispatch(s_tag, integral_constant<int, 8>{}); break;
-      case 16: dispatch(s_tag, integral_constant<int, 16>{}); break;
-      default: CSCV_CHECK_MSG(false, "bad S_VxG " << v);
-    }
-  };
-  switch (s) {
-    case 4: with_v(integral_constant<int, 4>{}); break;
-    case 8: with_v(integral_constant<int, 8>{}); break;
-    case 16: with_v(integral_constant<int, 16>{}); break;
-    default: CSCV_CHECK_MSG(false, "bad S_VVec " << s);
-  }
+  const auto set =
+      dispatch::resolve_kernels<T>(variant_, params_.s_vvec, params_.s_vxg, use_hw, 1);
+  set.forward(info.vxg_begin, info.vxg_end, vxg_col_.data(), vxg_q_.data(),
+              values_.data() + info.val_begin, masks_.data(), x.data(), ytilde);
 }
 
 template <typename T>
 void CscvMatrix<T>::spmv(std::span<const T> x, std::span<T> y, ThreadScheme scheme,
                          simd::ExpandPath path) const {
-  CSCV_CHECK(static_cast<index_t>(x.size()) == cols());
-  CSCV_CHECK(static_cast<index_t>(y.size()) == rows());
-  const bool use_hw = variant_ == Variant::kM && resolve_expand_path<T>(path, params_.s_vvec);
-  const int threads = util::max_threads();
+  plan({.scheme = scheme, .path = path}).execute(x, y);
+}
 
-  ThreadScheme resolved = scheme;
-  if (resolved == ThreadScheme::kAuto) {
-    resolved = grid_.view_groups >= threads ? ThreadScheme::kRowPartition
-                                            : ThreadScheme::kPrivateY;
-  }
-  if (threads == 1) resolved = ThreadScheme::kRowPartition;  // trivially race-free
-
-  std::fill(y.begin(), y.end(), T(0));
-  const int tiles_per_group = grid_.tiles_x * grid_.tiles_y;
-  const std::size_t scratch_slots = std::max<std::size_t>(ytilde_max_slots_, 1);
-
-  if (resolved == ThreadScheme::kRowPartition) {
-    // Threads own whole view groups: their blocks write disjoint y rows, so
-    // scatter goes straight into the shared output.
-    util::parallel_region([&](int tid, int nthreads) {
-      auto [g0, g1] = util::static_partition(static_cast<std::size_t>(grid_.view_groups),
-                                             nthreads, tid);
-      util::AlignedVector<T> ytilde(scratch_slots);
-      for (std::size_t g = g0; g < g1; ++g) {
-        for (int tb = 0; tb < tiles_per_group; ++tb) {
-          const int b = static_cast<int>(g) * tiles_per_group + tb;
-          const BlockInfo& info = blocks_[static_cast<std::size_t>(b)];
-          if (info.vxg_begin == info.vxg_end) continue;
-          std::fill_n(ytilde.data(),
-                      static_cast<std::size_t>(info.o_count) * params_.s_vvec, T(0));
-          run_block(b, x, ytilde.data(), use_hw);
-          scatter_add_block(b, ytilde.data(), y.data());
-        }
-      }
-    });
+template <typename T>
+void CscvMatrix<T>::spmv_multi(std::span<const T> x, std::span<T> y, int num_rhs,
+                               ThreadScheme scheme) const {
+  CSCV_CHECK(num_rhs >= 1);
+  if (num_rhs == 1) {  // the single-RHS kernels are strictly better tuned
+    spmv(x, y, scheme);
     return;
   }
+  plan({.scheme = scheme, .num_rhs = num_rhs}).execute(x, y);
+}
 
-  // Private-copy scheme (the paper's description): threads split the block
-  // list; each accumulates into its own y copy; copies are reduced in a
-  // second parallel pass.
-  const std::size_t m = y.size();
-  util::AlignedVector<T> copies(static_cast<std::size_t>(threads) * m, T(0));
-  util::parallel_region([&](int tid, int nthreads) {
-    auto [b0, b1] = util::static_partition(blocks_.size(), nthreads, tid);
-    util::AlignedVector<T> ytilde(scratch_slots);
-    T* yc = copies.data() + static_cast<std::size_t>(tid) * m;
-    for (std::size_t b = b0; b < b1; ++b) {
-      const BlockInfo& info = blocks_[b];
-      if (info.vxg_begin == info.vxg_end) continue;
-      std::fill_n(ytilde.data(), static_cast<std::size_t>(info.o_count) * params_.s_vvec,
-                  T(0));
-      run_block(static_cast<int>(b), x, ytilde.data(), use_hw);
-      scatter_add_block(static_cast<int>(b), ytilde.data(), yc);
-    }
-  });
-  util::parallel_region([&](int tid, int nthreads) {
-    auto [r0, r1] = util::static_partition(m, nthreads, tid);
-    for (std::size_t r = r0; r < r1; ++r) {
-      T acc = T(0);
-      for (int t = 0; t < threads; ++t) acc += copies[static_cast<std::size_t>(t) * m + r];
-      y[r] = acc;
-    }
-  });
+template <typename T>
+void CscvMatrix<T>::spmv_transpose(std::span<const T> y, std::span<T> x,
+                                   simd::ExpandPath path) const {
+  plan({.path = path}).execute_transpose(y, x);
 }
 
 template <typename T>
@@ -197,7 +96,8 @@ void CscvMatrix<T>::apply_accumulate(std::span<const T> x, std::span<T> y,
                                      simd::ExpandPath path) const {
   CSCV_CHECK(static_cast<index_t>(x.size()) == cols());
   CSCV_CHECK(static_cast<index_t>(y.size()) == rows());
-  const bool use_hw = variant_ == Variant::kM && resolve_expand_path<T>(path, params_.s_vvec);
+  const bool use_hw =
+      variant_ == Variant::kM && dispatch::resolve_expand_path<T>(path, params_.s_vvec);
   // Algorithm 3 verbatim: per block, reorder y into y~ with iota_k, run the
   // vectorized kernel, reorder back with the inverse mapping. Serial: blocks
   // of one view group overlap in y, so they must not run concurrently here.
@@ -217,228 +117,18 @@ void CscvMatrix<T>::apply_accumulate(std::span<const T> x, std::span<T> y,
   }
 }
 
-template <typename T>
-void CscvMatrix<T>::spmv_multi(std::span<const T> x, std::span<T> y, int num_rhs,
-                               ThreadScheme scheme) const {
-  CSCV_CHECK(num_rhs >= 1);
-  const bool use_hw =
-      variant_ == Variant::kM && resolve_expand_path<T>(simd::ExpandPath::kAuto,
-                                                        params_.s_vvec);
-  CSCV_CHECK(x.size() == static_cast<std::size_t>(cols()) * num_rhs);
-  CSCV_CHECK(y.size() == static_cast<std::size_t>(rows()) * num_rhs);
-  if (num_rhs == 1) {  // the single-RHS kernels are strictly better tuned
-    spmv(x, y, scheme);
-    return;
-  }
-  const int threads = util::max_threads();
-  ThreadScheme resolved = scheme;
-  if (resolved == ThreadScheme::kAuto) {
-    resolved = grid_.view_groups >= threads ? ThreadScheme::kRowPartition
-                                            : ThreadScheme::kPrivateY;
-  }
-  if (threads == 1) resolved = ThreadScheme::kRowPartition;
-  std::fill(y.begin(), y.end(), T(0));
-  const int tiles_per_group = grid_.tiles_x * grid_.tiles_y;
-  const std::size_t scratch =
-      std::max<std::size_t>(ytilde_max_slots_, 1) * static_cast<std::size_t>(num_rhs);
-  const int s = params_.s_vvec;
-  const int v = params_.s_vxg;
-
-  // K-interleaved scatter: slot (o, vi) feeds y rows' K lanes contiguously.
-  const auto scatter_multi = [&](int block, const T* ytilde, T* dst) {
-    const BlockInfo& info = blocks_[static_cast<std::size_t>(block)];
-    const int v0 = grid_.first_view(info.view_group);
-    const int s_eff = std::min(s, layout_.num_views - v0);
-    for (int vi = 0; vi < s_eff; ++vi) {
-      const int ref = refs_[static_cast<std::size_t>(block) * s + vi];
-      const int lo = std::max(0, -(ref + info.o_min));
-      const int hi = std::min(info.o_count, layout_.num_bins - ref - info.o_min);
-      const int bin0 = ref + info.o_min;
-      T* yrow = dst + static_cast<std::size_t>(layout_.row_of(v0 + vi, 0)) * num_rhs;
-      for (int o = lo; o < hi; ++o) {
-        const T* src = ytilde + (static_cast<std::size_t>(o) * s + vi) * num_rhs;
-        T* d = yrow + static_cast<std::size_t>(bin0 + o) * num_rhs;
-        for (int k = 0; k < num_rhs; ++k) d[k] += src[k];
-      }
-    }
-  };
-
-  const auto run_multi = [&](int block, T* ytilde) {
-    const BlockInfo& info = blocks_[static_cast<std::size_t>(block)];
-    const auto dispatch = [&](auto s_tag, auto v_tag) {
-      constexpr int S = decltype(s_tag)::value;
-      constexpr int V = decltype(v_tag)::value;
-      // Common slice counts get compile-time kernels (the runtime-K inner
-      // loop defeats vectorization); anything else uses the generic path.
-      const auto with_k = [&](auto k_tag) {
-        constexpr int K = decltype(k_tag)::value;
-        if (variant_ == Variant::kZ) {
-          kernels::run_block_z_multi<T, S, V, K>(
-              info.vxg_begin, info.vxg_end, vxg_col_.data(), vxg_q_.data(),
-              values_.data() + info.val_begin, x.data(), num_rhs, ytilde);
-        } else if (use_hw) {
-          if constexpr (simd::has_chunked_hardware_expand<T, S>()) {
-            kernels::run_block_m_multi<T, S, V, K, true>(
-                info.vxg_begin, info.vxg_end, vxg_col_.data(), vxg_q_.data(),
-                values_.data() + info.val_begin, masks_.data(), x.data(), num_rhs,
-                ytilde);
-          } else {
-            kernels::run_block_m_multi<T, S, V, K, false>(
-                info.vxg_begin, info.vxg_end, vxg_col_.data(), vxg_q_.data(),
-                values_.data() + info.val_begin, masks_.data(), x.data(), num_rhs,
-                ytilde);
-          }
-        } else {
-          kernels::run_block_m_multi<T, S, V, K, false>(
-              info.vxg_begin, info.vxg_end, vxg_col_.data(), vxg_q_.data(),
-              values_.data() + info.val_begin, masks_.data(), x.data(), num_rhs, ytilde);
-        }
-      };
-      using std::integral_constant;
-      switch (num_rhs) {
-        case 1: with_k(integral_constant<int, 1>{}); break;
-        case 2: with_k(integral_constant<int, 2>{}); break;
-        case 4: with_k(integral_constant<int, 4>{}); break;
-        case 8: with_k(integral_constant<int, 8>{}); break;
-        case 16: with_k(integral_constant<int, 16>{}); break;
-        default: with_k(integral_constant<int, 0>{}); break;
-      }
-    };
-    using std::integral_constant;
-    const auto with_v = [&](auto s_tag) {
-      switch (v) {
-        case 1: dispatch(s_tag, integral_constant<int, 1>{}); break;
-        case 2: dispatch(s_tag, integral_constant<int, 2>{}); break;
-        case 4: dispatch(s_tag, integral_constant<int, 4>{}); break;
-        case 8: dispatch(s_tag, integral_constant<int, 8>{}); break;
-        case 16: dispatch(s_tag, integral_constant<int, 16>{}); break;
-        default: CSCV_CHECK_MSG(false, "bad S_VxG " << v);
-      }
-    };
-    switch (s) {
-      case 4: with_v(integral_constant<int, 4>{}); break;
-      case 8: with_v(integral_constant<int, 8>{}); break;
-      case 16: with_v(integral_constant<int, 16>{}); break;
-      default: CSCV_CHECK_MSG(false, "bad S_VVec " << s);
-    }
-  };
-
-  if (resolved == ThreadScheme::kRowPartition) {
-    util::parallel_region([&](int tid, int nthreads) {
-      auto [g0, g1] = util::static_partition(static_cast<std::size_t>(grid_.view_groups),
-                                             nthreads, tid);
-      util::AlignedVector<T> ytilde(scratch);
-      for (std::size_t g = g0; g < g1; ++g) {
-        for (int tb = 0; tb < tiles_per_group; ++tb) {
-          const int b = static_cast<int>(g) * tiles_per_group + tb;
-          const BlockInfo& info = blocks_[static_cast<std::size_t>(b)];
-          if (info.vxg_begin == info.vxg_end) continue;
-          std::fill_n(ytilde.data(),
-                      static_cast<std::size_t>(info.o_count) * s * num_rhs, T(0));
-          run_multi(b, ytilde.data());
-          scatter_multi(b, ytilde.data(), y.data());
-        }
-      }
-    });
-    return;
-  }
-
-  const std::size_t m = y.size();
-  util::AlignedVector<T> copies(static_cast<std::size_t>(threads) * m, T(0));
-  util::parallel_region([&](int tid, int nthreads) {
-    auto [b0, b1] = util::static_partition(blocks_.size(), nthreads, tid);
-    util::AlignedVector<T> ytilde(scratch);
-    T* yc = copies.data() + static_cast<std::size_t>(tid) * m;
-    for (std::size_t b = b0; b < b1; ++b) {
-      const BlockInfo& info = blocks_[b];
-      if (info.vxg_begin == info.vxg_end) continue;
-      std::fill_n(ytilde.data(), static_cast<std::size_t>(info.o_count) * s * num_rhs,
-                  T(0));
-      run_multi(static_cast<int>(b), ytilde.data());
-      scatter_multi(static_cast<int>(b), ytilde.data(), yc);
-    }
-  });
-  util::parallel_region([&](int tid, int nthreads) {
-    auto [r0, r1] = util::static_partition(m, nthreads, tid);
-    for (std::size_t r = r0; r < r1; ++r) {
-      T acc = T(0);
-      for (int t = 0; t < threads; ++t) acc += copies[static_cast<std::size_t>(t) * m + r];
-      y[r] = acc;
-    }
-  });
-}
-
 template void CscvMatrix<float>::spmv_multi(std::span<const float>, std::span<float>, int,
                                             ThreadScheme) const;
 template void CscvMatrix<double>::spmv_multi(std::span<const double>, std::span<double>, int,
                                              ThreadScheme) const;
-
-template <typename T>
-void CscvMatrix<T>::spmv_transpose(std::span<const T> y, std::span<T> x,
-                                   simd::ExpandPath /*path*/) const {
-  CSCV_CHECK(static_cast<index_t>(y.size()) == rows());
-  CSCV_CHECK(static_cast<index_t>(x.size()) == cols());
-  std::fill(x.begin(), x.end(), T(0));
-
-  const int tiles_per_group = grid_.tiles_x * grid_.tiles_y;
-  const std::size_t scratch_slots = std::max<std::size_t>(ytilde_max_slots_, 1);
-  const int s = params_.s_vvec;
-  const int v = params_.s_vxg;
-
-  // Threads own image tiles: the same tile across all view groups touches a
-  // private x slice, so writes need no synchronization. y is read-only.
-  util::parallel_region([&](int tid, int nthreads) {
-    auto [t0, t1] =
-        util::static_partition(static_cast<std::size_t>(tiles_per_group), nthreads, tid);
-    util::AlignedVector<T> ytilde(scratch_slots);
-    for (std::size_t tile = t0; tile < t1; ++tile) {
-      for (int g = 0; g < grid_.view_groups; ++g) {
-        const int b = g * tiles_per_group + static_cast<int>(tile);
-        const BlockInfo& info = blocks_[static_cast<std::size_t>(b)];
-        if (info.vxg_begin == info.vxg_end) continue;
-        gather_block(b, y.data(), ytilde.data());
-        const auto dispatch = [&](auto s_tag, auto v_tag) {
-          constexpr int S = decltype(s_tag)::value;
-          constexpr int V = decltype(v_tag)::value;
-          if (variant_ == Variant::kZ) {
-            kernels::run_block_z_transpose<T, S, V>(
-                info.vxg_begin, info.vxg_end, vxg_col_.data(), vxg_q_.data(),
-                values_.data() + info.val_begin, ytilde.data(), x.data());
-          } else {
-            kernels::run_block_m_transpose<T, S, V>(
-                info.vxg_begin, info.vxg_end, vxg_col_.data(), vxg_q_.data(),
-                values_.data() + info.val_begin, masks_.data(), ytilde.data(), x.data());
-          }
-        };
-        using std::integral_constant;
-        const auto with_v = [&](auto s_tag) {
-          switch (v) {
-            case 1: dispatch(s_tag, integral_constant<int, 1>{}); break;
-            case 2: dispatch(s_tag, integral_constant<int, 2>{}); break;
-            case 4: dispatch(s_tag, integral_constant<int, 4>{}); break;
-            case 8: dispatch(s_tag, integral_constant<int, 8>{}); break;
-            case 16: dispatch(s_tag, integral_constant<int, 16>{}); break;
-            default: CSCV_CHECK_MSG(false, "bad S_VxG " << v);
-          }
-        };
-        switch (s) {
-          case 4: with_v(integral_constant<int, 4>{}); break;
-          case 8: with_v(integral_constant<int, 8>{}); break;
-          case 16: with_v(integral_constant<int, 16>{}); break;
-          default: CSCV_CHECK_MSG(false, "bad S_VVec " << s);
-        }
-      }
-    }
-  });
-}
 
 template void CscvMatrix<float>::spmv_transpose(std::span<const float>, std::span<float>,
                                                 simd::ExpandPath) const;
 template void CscvMatrix<double>::spmv_transpose(std::span<const double>, std::span<double>,
                                                  simd::ExpandPath) const;
 
-// The class is explicitly instantiated member-by-member across builder.cpp
-// and spmv.cpp (the definitions are split between the two TUs).
+// The class is explicitly instantiated member-by-member across builder.cpp,
+// spmv.cpp, and plan.cpp (the definitions are split between the TUs).
 template void CscvMatrix<float>::spmv(std::span<const float>, std::span<float>, ThreadScheme,
                                       simd::ExpandPath) const;
 template void CscvMatrix<double>::spmv(std::span<const double>, std::span<double>,

@@ -9,6 +9,7 @@
 #include <span>
 
 #include "core/format.hpp"
+#include "core/plan.hpp"
 #include "sparse/csc.hpp"
 #include "sparse/csr.hpp"
 #include "util/aligned_vector.hpp"
@@ -43,6 +44,8 @@ class LinearOperator {
 };
 
 /// CSR-backed operator (row-parallel forward, reduction-based adjoint).
+/// Holds the adjoint's accumulator scratch so iterating solvers allocate
+/// only on the first apply.
 template <typename T>
 class CsrOperator final : public LinearOperator<T> {
  public:
@@ -51,34 +54,45 @@ class CsrOperator final : public LinearOperator<T> {
   [[nodiscard]] sparse::index_t cols() const override { return a_->cols(); }
   void forward(std::span<const T> x, std::span<T> y) const override { a_->spmv(x, y); }
   void adjoint(std::span<const T> y, std::span<T> x) const override {
-    a_->spmv_transpose(y, x);
+    a_->spmv_transpose(y, x, adjoint_scratch_);
   }
 
  private:
   const sparse::CsrMatrix<T>* a_;
+  mutable util::AlignedVector<T> adjoint_scratch_;
 };
 
 /// CSC-backed operator (the transpose apply is the fast, gather-style path —
 /// the reason CSC-style formats suit ICD-type algorithms, paper Section III).
+/// Holds the forward's accumulator scratch so iterating solvers allocate
+/// only on the first apply.
 template <typename T>
 class CscOperator final : public LinearOperator<T> {
  public:
   explicit CscOperator(const sparse::CscMatrix<T>& a) : a_(&a) {}
   [[nodiscard]] sparse::index_t rows() const override { return a_->rows(); }
   [[nodiscard]] sparse::index_t cols() const override { return a_->cols(); }
-  void forward(std::span<const T> x, std::span<T> y) const override { a_->spmv(x, y); }
+  void forward(std::span<const T> x, std::span<T> y) const override {
+    a_->spmv(x, y, forward_scratch_);
+  }
   void adjoint(std::span<const T> y, std::span<T> x) const override {
     a_->spmv_transpose(y, x);
   }
 
  private:
   const sparse::CscMatrix<T>* a_;
+  mutable util::AlignedVector<T> forward_scratch_;
 };
 
 /// CSCV forward projection + CSC backprojection. The paper implements CSCV
 /// for y = Ax and treats x = A^T y as future work; we provide both — the
 /// CSC transpose (a plain row gather) and the CSCV transpose (block-local
 /// contiguous dot products). `use_cscv_adjoint` selects between them.
+///
+/// Both CSCV applies go through the matrix's cached SpmvPlan, so after the
+/// first iteration (or an explicit warm_up()) every solver step runs on a
+/// fully resolved execution context: no dispatch, no partitioning, no heap
+/// allocation.
 template <typename T>
 class CscvOperator final : public LinearOperator<T> {
  public:
@@ -87,14 +101,20 @@ class CscvOperator final : public LinearOperator<T> {
       : fwd_(&forward_engine), csc_(&csc), use_cscv_adjoint_(use_cscv_adjoint) {}
   [[nodiscard]] sparse::index_t rows() const override { return fwd_->rows(); }
   [[nodiscard]] sparse::index_t cols() const override { return fwd_->cols(); }
-  void forward(std::span<const T> x, std::span<T> y) const override { fwd_->spmv(x, y); }
+  void forward(std::span<const T> x, std::span<T> y) const override {
+    fwd_->plan().execute(x, y);
+  }
   void adjoint(std::span<const T> y, std::span<T> x) const override {
     if (use_cscv_adjoint_) {
-      fwd_->spmv_transpose(y, x);
+      fwd_->plan().execute_transpose(y, x);
     } else {
       csc_->spmv_transpose(y, x);
     }
   }
+
+  /// Builds the cached plan up front so the first solver iteration is
+  /// already warm (useful before timing loops).
+  void warm_up() const { (void)fwd_->plan(); }
 
  private:
   const core::CscvMatrix<T>* fwd_;

@@ -71,25 +71,39 @@ void CscMatrix<T>::spmv_serial(std::span<const T> x, std::span<T> y) const {
 
 template <typename T>
 void CscMatrix<T>::spmv(std::span<const T> x, std::span<T> y) const {
+  util::AlignedVector<T> scratch;
+  spmv(x, y, scratch);
+}
+
+template <typename T>
+void CscMatrix<T>::spmv(std::span<const T> x, std::span<T> y,
+                        util::AlignedVector<T>& scratch) const {
   CSCV_CHECK(static_cast<index_t>(x.size()) == cols_);
   CSCV_CHECK(static_cast<index_t>(y.size()) == rows_);
-  const int threads = util::max_threads();
-  if (threads == 1) {
+  const int slots = util::max_threads();
+  if (slots == 1) {
     spmv_serial(x, y);
     return;
   }
+  // Per-slot private copies of y + flat reduction. Slots are striped over
+  // however many threads actually run, so a scratch sized for one thread
+  // count stays correct (just oversized) for another.
   const std::size_t m = y.size();
-  util::AlignedVector<T> scratch(static_cast<std::size_t>(threads) * m, T(0));
+  const std::size_t need = static_cast<std::size_t>(slots) * m;
+  if (scratch.size() < need) scratch.resize(need);
   const offset_t* cp = col_ptr_.data();
   const index_t* ri = row_idx_.data();
   const T* v = values_.data();
   util::parallel_region([&](int tid, int nthreads) {
-    auto [c0, c1] = util::static_partition(static_cast<std::size_t>(cols_), nthreads, tid);
-    T* yt = scratch.data() + static_cast<std::size_t>(tid) * m;
-    for (std::size_t c = c0; c < c1; ++c) {
-      const T xc = x[c];
-      for (offset_t k = cp[c]; k < cp[c + 1]; ++k) {
-        yt[static_cast<std::size_t>(ri[k])] += v[k] * xc;
+    for (int slot = tid; slot < slots; slot += nthreads) {
+      T* yt = scratch.data() + static_cast<std::size_t>(slot) * m;
+      std::fill_n(yt, m, T(0));
+      auto [c0, c1] = util::static_partition(static_cast<std::size_t>(cols_), slots, slot);
+      for (std::size_t c = c0; c < c1; ++c) {
+        const T xc = x[c];
+        for (offset_t k = cp[c]; k < cp[c + 1]; ++k) {
+          yt[static_cast<std::size_t>(ri[k])] += v[k] * xc;
+        }
       }
     }
   });
@@ -97,7 +111,7 @@ void CscMatrix<T>::spmv(std::span<const T> x, std::span<T> y) const {
     auto [r0, r1] = util::static_partition(m, nthreads, tid);
     for (std::size_t r = r0; r < r1; ++r) {
       T acc = T(0);
-      for (int t = 0; t < threads; ++t) acc += scratch[static_cast<std::size_t>(t) * m + r];
+      for (int t = 0; t < slots; ++t) acc += scratch[static_cast<std::size_t>(t) * m + r];
       y[r] = acc;
     }
   });
@@ -111,14 +125,13 @@ void CscMatrix<T>::spmv_transpose(std::span<const T> y, std::span<T> x) const {
   const index_t* ri = row_idx_.data();
   const T* v = values_.data();
   T* xp = x.data();
-#pragma omp parallel for schedule(static)
-  for (index_t c = 0; c < cols_; ++c) {
+  util::parallel_for(0, static_cast<std::size_t>(cols_), [&](std::size_t c) {
     T acc = T(0);
     for (offset_t k = cp[c]; k < cp[c + 1]; ++k) {
       acc += v[k] * y[static_cast<std::size_t>(ri[k])];
     }
     xp[c] = acc;
-  }
+  });
 }
 
 template <typename T>

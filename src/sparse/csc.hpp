@@ -39,6 +39,10 @@ class CscMatrix {
   /// y = A x, parallel: column partitioning + per-thread y + reduction.
   void spmv(std::span<const T> x, std::span<T> y) const;
 
+  /// Same, reusing caller-held accumulator scratch: grown on first use to
+  /// threads * rows elements, then reused allocation-free across calls.
+  void spmv(std::span<const T> x, std::span<T> y, util::AlignedVector<T>& scratch) const;
+
   /// x = A^T y. CSC of A is CSR of A^T, so this is a gather kernel and
   /// trivially row-parallel — the reason CSC-style formats suit ICD-type
   /// reconstruction algorithms (paper Section III).

@@ -66,14 +66,13 @@ void CsrMatrix<T>::spmv(std::span<const T> x, std::span<T> y) const {
   const index_t* ci = col_idx_.data();
   const T* v = values_.data();
   T* yp = y.data();
-#pragma omp parallel for schedule(static)
-  for (index_t r = 0; r < rows_; ++r) {
+  util::parallel_for(0, static_cast<std::size_t>(rows_), [&](std::size_t r) {
     T acc = T(0);
     for (offset_t k = rp[r]; k < rp[r + 1]; ++k) {
       acc += v[k] * x[static_cast<std::size_t>(ci[k])];
     }
     yp[r] = acc;
-  }
+  });
 }
 
 template <typename T>
@@ -93,25 +92,38 @@ void CsrMatrix<T>::spmv_transpose_serial(std::span<const T> y, std::span<T> x) c
 
 template <typename T>
 void CsrMatrix<T>::spmv_transpose(std::span<const T> y, std::span<T> x) const {
+  util::AlignedVector<T> scratch;
+  spmv_transpose(y, x, scratch);
+}
+
+template <typename T>
+void CsrMatrix<T>::spmv_transpose(std::span<const T> y, std::span<T> x,
+                                  util::AlignedVector<T>& scratch) const {
   CSCV_CHECK(static_cast<index_t>(y.size()) == rows_);
   CSCV_CHECK(static_cast<index_t>(x.size()) == cols_);
-  const int threads = util::max_threads();
-  if (threads == 1) {
+  const int slots = util::max_threads();
+  if (slots == 1) {
     spmv_transpose_serial(y, x);
     return;
   }
-  // Scatter into per-thread private copies of x, then tree-free flat
+  // Scatter into per-slot private copies of x, then tree-free flat
   // reduction: each thread sums one contiguous slice over all copies.
+  // Slots are striped over however many threads actually run, so a scratch
+  // sized for one thread count stays correct (just oversized) for another.
   const std::size_t n = x.size();
-  util::AlignedVector<T> scratch(static_cast<std::size_t>(threads) * n, T(0));
+  const std::size_t need = static_cast<std::size_t>(slots) * n;
+  if (scratch.size() < need) scratch.resize(need);
   util::parallel_region([&](int tid, int nthreads) {
-    auto [r0, r1] = util::static_partition(static_cast<std::size_t>(rows_), nthreads, tid);
-    T* xt = scratch.data() + static_cast<std::size_t>(tid) * n;
-    for (std::size_t r = r0; r < r1; ++r) {
-      const T yr = y[r];
-      for (offset_t k = row_ptr_[r]; k < row_ptr_[r + 1]; ++k) {
-        xt[static_cast<std::size_t>(col_idx_[static_cast<std::size_t>(k)])] +=
-            values_[static_cast<std::size_t>(k)] * yr;
+    for (int slot = tid; slot < slots; slot += nthreads) {
+      T* xt = scratch.data() + static_cast<std::size_t>(slot) * n;
+      std::fill_n(xt, n, T(0));
+      auto [r0, r1] = util::static_partition(static_cast<std::size_t>(rows_), slots, slot);
+      for (std::size_t r = r0; r < r1; ++r) {
+        const T yr = y[r];
+        for (offset_t k = row_ptr_[r]; k < row_ptr_[r + 1]; ++k) {
+          xt[static_cast<std::size_t>(col_idx_[static_cast<std::size_t>(k)])] +=
+              values_[static_cast<std::size_t>(k)] * yr;
+        }
       }
     }
   });
@@ -119,7 +131,7 @@ void CsrMatrix<T>::spmv_transpose(std::span<const T> y, std::span<T> x) const {
     auto [c0, c1] = util::static_partition(n, nthreads, tid);
     for (std::size_t c = c0; c < c1; ++c) {
       T acc = T(0);
-      for (int t = 0; t < threads; ++t) acc += scratch[static_cast<std::size_t>(t) * n + c];
+      for (int t = 0; t < slots; ++t) acc += scratch[static_cast<std::size_t>(t) * n + c];
       x[c] = acc;
     }
   });

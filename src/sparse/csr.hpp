@@ -47,6 +47,12 @@ class CsrMatrix {
   /// x = A^T y, parallel with per-thread x accumulators + reduction.
   void spmv_transpose(std::span<const T> y, std::span<T> x) const;
 
+  /// Same, reusing caller-held accumulator scratch: grown on first use to
+  /// threads * cols elements, then reused allocation-free. For warm loops
+  /// (reconstruction operators) that back-project every iteration.
+  void spmv_transpose(std::span<const T> y, std::span<T> x,
+                      util::AlignedVector<T>& scratch) const;
+
   /// Bytes of matrix data read per SpMV iteration: values + col indices +
   /// row pointers (the M(A) term of the paper's memory-requirement model).
   [[nodiscard]] std::size_t matrix_bytes() const;

@@ -5,8 +5,12 @@
 // controlled uniformly (the benches sweep thread counts per Figure 10).
 #pragma once
 
+#include <algorithm>
 #include <cstddef>
+#include <cstdint>
+#include <span>
 #include <utility>
+#include <vector>
 
 #ifdef _OPENMP
 #include <omp.h>
@@ -14,7 +18,41 @@
 
 #include "util/assertx.hpp"
 
+// ThreadSanitizer cannot see the fork/join synchronization inside an
+// uninstrumented OpenMP runtime (stock libgomp), so worker writes look racy
+// against the master's post-region reads. The wrappers below publish the
+// fork/join edges explicitly with TSan's acquire/release annotations; they
+// compile to nothing in normal builds.
+#if defined(__SANITIZE_THREAD__)
+#define CSCV_TSAN_ENABLED 1
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+#define CSCV_TSAN_ENABLED 1
+#endif
+#endif
+
+#ifdef CSCV_TSAN_ENABLED
+extern "C" void __tsan_acquire(void* addr);
+extern "C" void __tsan_release(void* addr);
+#endif
+
 namespace cscv::util {
+
+inline void tsan_release(void* addr) {
+#ifdef CSCV_TSAN_ENABLED
+  __tsan_release(addr);
+#else
+  (void)addr;
+#endif
+}
+
+inline void tsan_acquire(void* addr) {
+#ifdef CSCV_TSAN_ENABLED
+  __tsan_acquire(addr);
+#else
+  (void)addr;
+#endif
+}
 
 /// Maximum number of OpenMP threads a parallel region would use now.
 inline int max_threads() {
@@ -59,15 +97,51 @@ inline std::pair<std::size_t, std::size_t> static_partition(std::size_t total, i
   return {begin, end};
 }
 
+/// Splits `weights.size()` items into `parts` contiguous ranges of
+/// near-equal total weight and returns the `parts + 1` range boundaries
+/// (boundary[t] .. boundary[t+1] is range t). Boundary t sits at the first
+/// prefix sum >= total * t / parts, so each range's load misses the ideal
+/// split by at most one item's weight — the balanced analogue of
+/// static_partition for per-item work that is *not* uniform (per-block VxG
+/// counts in the SpMV planner). Zero-weight tails collapse to empty ranges.
+inline std::vector<std::size_t> weighted_boundaries(std::span<const std::uint64_t> weights,
+                                                    int parts) {
+  CSCV_CHECK(parts >= 1);
+  const std::size_t n = weights.size();
+  std::uint64_t total = 0;
+  for (std::uint64_t w : weights) total += w;
+  std::vector<std::size_t> bounds(static_cast<std::size_t>(parts) + 1, n);
+  bounds[0] = 0;
+  std::size_t cursor = 0;
+  std::uint64_t prefix = 0;
+  for (int t = 1; t < parts; ++t) {
+    // Ceil so ranges can't systematically front-load when weights repeat.
+    const std::uint64_t target =
+        (total * static_cast<std::uint64_t>(t) + static_cast<std::uint64_t>(parts) - 1) /
+        static_cast<std::uint64_t>(parts);
+    while (cursor < n && prefix < target) prefix += weights[cursor++];
+    bounds[static_cast<std::size_t>(t)] = cursor;
+  }
+  return bounds;
+}
+
 /// Static-scheduled parallel loop over [begin, end); fn(i) per index.
 template <typename Fn>
 void parallel_for(std::size_t begin, std::size_t end, Fn&& fn) {
 #ifdef _OPENMP
-#pragma omp parallel for schedule(static)
-  for (std::ptrdiff_t i = static_cast<std::ptrdiff_t>(begin);
-       i < static_cast<std::ptrdiff_t>(end); ++i) {
-    fn(static_cast<std::size_t>(i));
+  char token;  // address-only fork/join happens-before token
+  tsan_release(&token);
+#pragma omp parallel
+  {
+    tsan_acquire(&token);
+#pragma omp for schedule(static) nowait
+    for (std::ptrdiff_t i = static_cast<std::ptrdiff_t>(begin);
+         i < static_cast<std::ptrdiff_t>(end); ++i) {
+      fn(static_cast<std::size_t>(i));
+    }
+    tsan_release(&token);
   }
+  tsan_acquire(&token);
 #else
   for (std::size_t i = begin; i < end; ++i) fn(i);
 #endif
@@ -77,8 +151,15 @@ void parallel_for(std::size_t begin, std::size_t end, Fn&& fn) {
 template <typename Fn>
 void parallel_region(Fn&& fn) {
 #ifdef _OPENMP
+  char token;  // address-only fork/join happens-before token
+  tsan_release(&token);
 #pragma omp parallel
-  { fn(omp_get_thread_num(), omp_get_num_threads()); }
+  {
+    tsan_acquire(&token);
+    fn(omp_get_thread_num(), omp_get_num_threads());
+    tsan_release(&token);
+  }
+  tsan_acquire(&token);
 #else
   fn(0, 1);
 #endif

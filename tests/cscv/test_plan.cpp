@@ -1,0 +1,254 @@
+// SpmvPlan — the reusable execution context (plan/executor split).
+//
+// The one-shot entry points route through the same plan machinery, so the
+// property tests here pin down bitwise identity between an explicitly built
+// plan and spmv / spmv_multi / spmv_transpose, across variants, precisions,
+// and thread schemes. The thread-count tests cover the invalidation rule
+// (cached plans rebuild when set_num_threads changes) and the slot-striping
+// guarantee (a stale plan built at N threads stays correct at any count).
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <numeric>
+
+#include "core/format.hpp"
+#include "core/plan.hpp"
+#include "sparse/random.hpp"
+#include "test_helpers.hpp"
+#include "util/parallel.hpp"
+
+namespace cscv::core {
+namespace {
+
+using testing::cached_ct_csc;
+using testing::cached_ct_csr;
+using testing::expect_vectors_close;
+using testing::spmv_tolerance;
+
+template <typename T>
+CscvMatrix<T> build_cscv(typename CscvMatrix<T>::Variant variant, int image = 32,
+                         int views = 24, int s_vvec = 8) {
+  const auto& csc = cached_ct_csc<T>(image, views);
+  const OperatorLayout layout{image, ct::standard_num_bins(image), views};
+  return CscvMatrix<T>::build(csc, layout, {.s_vvec = s_vvec, .s_imgb = 8, .s_vxg = 2},
+                              variant);
+}
+
+template <typename T>
+void expect_bitwise_equal(std::span<const T> got, std::span<const T> want) {
+  ASSERT_EQ(got.size(), want.size());
+  EXPECT_EQ(0, std::memcmp(got.data(), want.data(), got.size() * sizeof(T)))
+      << "plan-based and one-shot results are not bitwise identical";
+}
+
+// An explicitly built plan and the one-shot entry points must produce
+// bitwise-identical outputs: the one-shots are thin wrappers over the same
+// partitioning, dispatch, and reduction order.
+template <typename T>
+void check_plan_vs_oneshot(typename CscvMatrix<T>::Variant variant, ThreadScheme scheme) {
+  const auto m = build_cscv<T>(variant);
+  const std::size_t rows = static_cast<std::size_t>(m.rows());
+  const std::size_t cols = static_cast<std::size_t>(m.cols());
+  const auto x = sparse::random_vector<T>(cols, 3, 0.0, 1.0);
+  const auto y_in = sparse::random_vector<T>(rows, 4, 0.0, 1.0);
+
+  // Forward.
+  util::AlignedVector<T> y_shot(rows), y_plan(rows);
+  m.spmv(x, y_shot, scheme);
+  const SpmvPlan<T> plan(m, {.scheme = scheme});
+  plan.execute(x, y_plan);
+  expect_bitwise_equal<T>(y_plan, y_shot);
+
+  // Multi-RHS (interleaved).
+  const int k = 3;
+  const auto xk = sparse::random_vector<T>(cols * k, 5, 0.0, 1.0);
+  util::AlignedVector<T> yk_shot(rows * k), yk_plan(rows * k);
+  m.spmv_multi(xk, yk_shot, k, scheme);
+  const SpmvPlan<T> mplan(m, {.scheme = scheme, .num_rhs = k});
+  mplan.execute(xk, yk_plan);
+  expect_bitwise_equal<T>(yk_plan, yk_shot);
+
+  // Transpose (scheme-independent: tiles partition x disjointly).
+  util::AlignedVector<T> x_shot(cols), x_plan(cols);
+  m.spmv_transpose(y_in, x_shot);
+  plan.execute_transpose(y_in, x_plan);
+  expect_bitwise_equal<T>(x_plan, x_shot);
+}
+
+TEST(SpmvPlan, BitwiseMatchesOneShotZFloat) {
+  check_plan_vs_oneshot<float>(CscvMatrix<float>::Variant::kZ, ThreadScheme::kRowPartition);
+  check_plan_vs_oneshot<float>(CscvMatrix<float>::Variant::kZ, ThreadScheme::kPrivateY);
+}
+
+TEST(SpmvPlan, BitwiseMatchesOneShotZDouble) {
+  check_plan_vs_oneshot<double>(CscvMatrix<double>::Variant::kZ,
+                                ThreadScheme::kRowPartition);
+  check_plan_vs_oneshot<double>(CscvMatrix<double>::Variant::kZ, ThreadScheme::kPrivateY);
+}
+
+TEST(SpmvPlan, BitwiseMatchesOneShotMFloat) {
+  check_plan_vs_oneshot<float>(CscvMatrix<float>::Variant::kM, ThreadScheme::kRowPartition);
+  check_plan_vs_oneshot<float>(CscvMatrix<float>::Variant::kM, ThreadScheme::kPrivateY);
+}
+
+TEST(SpmvPlan, BitwiseMatchesOneShotMDouble) {
+  check_plan_vs_oneshot<double>(CscvMatrix<double>::Variant::kM,
+                                ThreadScheme::kRowPartition);
+  check_plan_vs_oneshot<double>(CscvMatrix<double>::Variant::kM, ThreadScheme::kPrivateY);
+}
+
+// The cached plan is rebuilt when util::set_num_threads() changes between
+// construction and apply — in both directions — and the result stays right.
+TEST(SpmvPlan, CachedPlanTracksThreadCountChanges) {
+  const int saved = util::max_threads();
+  const auto m = build_cscv<float>(CscvMatrix<float>::Variant::kM);
+  const auto& csr = cached_ct_csr<float>(32, 24);
+  const auto x = sparse::random_vector<float>(static_cast<std::size_t>(m.cols()), 6);
+  util::AlignedVector<float> y(static_cast<std::size_t>(m.rows()));
+  util::AlignedVector<float> y_ref(y.size());
+  csr.spmv(x, y_ref);
+
+  util::set_num_threads(4);
+  EXPECT_EQ(m.plan().threads(), 4);
+  m.spmv(x, y);
+  expect_vectors_close<float>(y, y_ref, spmv_tolerance<float>());
+
+  util::set_num_threads(2);  // shrink: cached plan must be replaced
+  EXPECT_EQ(m.plan().threads(), 2);
+  m.spmv(x, y);
+  expect_vectors_close<float>(y, y_ref, spmv_tolerance<float>());
+
+  util::set_num_threads(8);  // grow: likewise
+  EXPECT_EQ(m.plan().threads(), 8);
+  m.spmv(x, y);
+  expect_vectors_close<float>(y, y_ref, spmv_tolerance<float>());
+
+  util::set_num_threads(saved);
+}
+
+// A plan the caller holds on to is not invalidated — slots are striped over
+// the threads that actually run, so executing a stale plan at a smaller or
+// larger thread count must still give the exact build-time result.
+TEST(SpmvPlan, StalePlanStaysCorrectAcrossThreadCounts) {
+  const int saved = util::max_threads();
+  const auto m = build_cscv<float>(CscvMatrix<float>::Variant::kZ);
+  const auto x = sparse::random_vector<float>(static_cast<std::size_t>(m.cols()), 7);
+  for (ThreadScheme scheme : {ThreadScheme::kRowPartition, ThreadScheme::kPrivateY}) {
+    util::set_num_threads(4);
+    const SpmvPlan<float> plan(m, {.scheme = scheme});
+    util::AlignedVector<float> y_at4(static_cast<std::size_t>(m.rows()));
+    plan.execute(x, y_at4);
+    for (int t : {1, 2, 8}) {
+      util::set_num_threads(t);
+      util::AlignedVector<float> y(y_at4.size());
+      plan.execute(x, y);
+      expect_bitwise_equal<float>(y, y_at4);
+    }
+    util::set_num_threads(saved);
+  }
+}
+
+// More threads than view groups: trailing partition slots are empty (the
+// kAuto rule would pick private-y here, but both schemes must cope).
+TEST(SpmvPlan, MoreThreadsThanViewGroups) {
+  const int saved = util::max_threads();
+  // s_vvec = 16 over 24 views -> 2 view groups; 8 threads > 2 groups.
+  const auto m = build_cscv<float>(CscvMatrix<float>::Variant::kM, 32, 24, 16);
+  ASSERT_EQ(m.grid().view_groups, 2);
+  const auto& csr = cached_ct_csr<float>(32, 24);
+  const auto x = sparse::random_vector<float>(static_cast<std::size_t>(m.cols()), 8);
+  util::AlignedVector<float> y_ref(static_cast<std::size_t>(m.rows()));
+  csr.spmv(x, y_ref);
+
+  util::set_num_threads(8);
+  for (ThreadScheme scheme : {ThreadScheme::kRowPartition, ThreadScheme::kPrivateY}) {
+    const SpmvPlan<float> plan(m, {.scheme = scheme});
+    EXPECT_EQ(plan.threads(), 8);
+    // Work conservation: the slot loads sum to the whole matrix.
+    const auto work = plan.work_per_slot();
+    const std::uint64_t total = std::accumulate(work.begin(), work.end(), std::uint64_t{0});
+    std::uint64_t expected = 0;
+    for (const auto& b : m.blocks()) {
+      expected += static_cast<std::uint64_t>(b.vxg_end - b.vxg_begin);
+    }
+    EXPECT_EQ(total, expected);
+
+    util::AlignedVector<float> y(y_ref.size());
+    plan.execute(x, y);
+    expect_vectors_close<float>(y, y_ref, spmv_tolerance<float>());
+
+    util::AlignedVector<float> xt(static_cast<std::size_t>(m.cols()));
+    plan.execute_transpose(y_ref, xt);  // tile partition also has empty slots
+    util::AlignedVector<float> xt_ref(xt.size());
+    csr.spmv_transpose_serial(y_ref, xt_ref);
+    expect_vectors_close<float>(xt, xt_ref, spmv_tolerance<float>());
+  }
+  util::set_num_threads(saved);
+}
+
+// The nnz-weighted partition balances VxG work, not block counts: on a CT
+// matrix (sparse corner tiles, dense center) every private-y slot must land
+// within 10% of the ideal equal share.
+TEST(SpmvPlan, WeightedPartitionBalancesVxgWork) {
+  const int saved = util::max_threads();
+  util::set_num_threads(4);
+  const auto m = build_cscv<float>(CscvMatrix<float>::Variant::kZ, 64, 48);
+  const SpmvPlan<float> plan(m, {.scheme = ThreadScheme::kPrivateY});
+  const auto work = plan.work_per_slot();
+  ASSERT_EQ(work.size(), 4u);
+  const std::uint64_t total = std::accumulate(work.begin(), work.end(), std::uint64_t{0});
+  const double ideal = static_cast<double>(total) / static_cast<double>(work.size());
+  for (std::uint64_t w : work) {
+    EXPECT_LE(static_cast<double>(w), 1.10 * ideal)
+        << "slot exceeds ideal share by more than 10%";
+    EXPECT_GE(static_cast<double>(w), 0.90 * ideal)
+        << "slot falls short of ideal share by more than 10%";
+  }
+  util::set_num_threads(saved);
+}
+
+// Cache identity: repeated plan() calls with equal options return the same
+// object; the multi-RHS slot is independent of the single-RHS slot; a copy
+// of the matrix does not serve plans built for the original.
+TEST(SpmvPlan, CacheReuseAndInvalidation) {
+  const int saved = util::max_threads();
+  util::set_num_threads(4);  // >1 so a forced scheme is not downgraded
+  const auto m = build_cscv<float>(CscvMatrix<float>::Variant::kZ);
+  const SpmvPlan<float>* first = &m.plan();
+  EXPECT_EQ(first, &m.plan());             // exact reuse
+  EXPECT_EQ(first->matrix(), &m);
+  EXPECT_EQ(first->num_rhs(), 1);
+
+  const SpmvPlan<float>* multi = &m.plan({.num_rhs = 2});
+  EXPECT_NE(first, multi);
+  EXPECT_EQ(multi->num_rhs(), 2);
+  EXPECT_EQ(first, &m.plan());             // single-RHS slot survived
+  EXPECT_EQ(multi, &m.plan({.num_rhs = 2}));
+
+  // Different options on the same slot rebuild it.
+  const SpmvPlan<float>* forced = &m.plan({.scheme = ThreadScheme::kPrivateY});
+  EXPECT_EQ(forced->scheme(), ThreadScheme::kPrivateY);
+  EXPECT_EQ(forced, &m.plan({.scheme = ThreadScheme::kPrivateY}));
+
+  // A copied matrix has its own identity: its cache must not serve plans
+  // remembering the original's address.
+  const CscvMatrix<float> copy = m;
+  const SpmvPlan<float>& copy_plan = copy.plan();
+  EXPECT_EQ(copy_plan.matrix(), &copy);
+  util::set_num_threads(saved);
+}
+
+// Scratch is sized and warm after construction; executing does not grow it.
+TEST(SpmvPlan, ScratchStableAcrossExecutes) {
+  const auto m = build_cscv<float>(CscvMatrix<float>::Variant::kM);
+  const SpmvPlan<float> plan(m, {.scheme = ThreadScheme::kPrivateY});
+  const std::size_t bytes = plan.scratch_bytes();
+  EXPECT_GT(bytes, 0u);
+  const auto x = sparse::random_vector<float>(static_cast<std::size_t>(m.cols()), 9);
+  util::AlignedVector<float> y(static_cast<std::size_t>(m.rows()));
+  for (int i = 0; i < 3; ++i) plan.execute(x, y);
+  EXPECT_EQ(plan.scratch_bytes(), bytes);
+}
+
+}  // namespace
+}  // namespace cscv::core

@@ -16,7 +16,8 @@ using testing::spmv_tolerance;
 
 template <typename T>
 void check_transpose(const CscvParams& params, typename CscvMatrix<T>::Variant variant,
-                     int image = 32, int views = 24) {
+                     int image = 32, int views = 24,
+                     simd::ExpandPath path = simd::ExpandPath::kAuto) {
   const auto& csc = cached_ct_csc<T>(image, views);
   const auto& csr = cached_ct_csr<T>(image, views);
   const OperatorLayout layout{image, ct::standard_num_bins(image), views};
@@ -26,7 +27,7 @@ void check_transpose(const CscvParams& params, typename CscvMatrix<T>::Variant v
   util::AlignedVector<T> x_ref(static_cast<std::size_t>(csc.cols()));
   util::AlignedVector<T> x_got(static_cast<std::size_t>(csc.cols()));
   csr.spmv_transpose_serial(y, x_ref);
-  cscv.spmv_transpose(y, x_got);
+  cscv.spmv_transpose(y, x_got, path);
   expect_vectors_close<T>(x_got, x_ref, spmv_tolerance<T>());
 }
 
@@ -48,6 +49,33 @@ TEST(CscvTranspose, MFloat) {
 TEST(CscvTranspose, MDouble) {
   check_transpose<double>({.s_vvec = 8, .s_imgb = 8, .s_vxg = 2},
                           CscvMatrix<double>::Variant::kM);
+}
+
+// The transpose apply honors its expand-path argument on the mask variant
+// (it used to be silently ignored). Forcing kHardware is portable: the
+// wrapper degrades to the software expansion at compile time on machines
+// without the vexpand instruction, so both forced paths must match the
+// reference everywhere.
+TEST(CscvTranspose, MForcedHardwareExpand) {
+  for (int s : {4, 8, 16}) {
+    check_transpose<float>({.s_vvec = s, .s_imgb = 8, .s_vxg = 2},
+                           CscvMatrix<float>::Variant::kM, 32, 24,
+                           simd::ExpandPath::kHardware);
+  }
+  check_transpose<double>({.s_vvec = 8, .s_imgb = 8, .s_vxg = 2},
+                          CscvMatrix<double>::Variant::kM, 32, 24,
+                          simd::ExpandPath::kHardware);
+}
+
+TEST(CscvTranspose, MForcedSoftwareExpand) {
+  for (int s : {4, 8, 16}) {
+    check_transpose<float>({.s_vvec = s, .s_imgb = 8, .s_vxg = 2},
+                           CscvMatrix<float>::Variant::kM, 32, 24,
+                           simd::ExpandPath::kSoftware);
+  }
+  check_transpose<double>({.s_vvec = 8, .s_imgb = 8, .s_vxg = 2},
+                          CscvMatrix<double>::Variant::kM, 32, 24,
+                          simd::ExpandPath::kSoftware);
 }
 
 TEST(CscvTranspose, ParamSweep) {

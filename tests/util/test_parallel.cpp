@@ -38,6 +38,61 @@ TEST(StaticPartition, SizesDifferByAtMostOne) {
   }
 }
 
+TEST(WeightedBoundaries, CoversRangeContiguously) {
+  const std::vector<std::uint64_t> w{3, 1, 4, 1, 5, 9, 2, 6};
+  for (int parts : {1, 2, 3, 8, 16}) {
+    auto bounds = weighted_boundaries(w, parts);
+    ASSERT_EQ(bounds.size(), static_cast<std::size_t>(parts) + 1);
+    EXPECT_EQ(bounds.front(), 0u);
+    EXPECT_EQ(bounds.back(), w.size());
+    for (int p = 0; p < parts; ++p) EXPECT_LE(bounds[p], bounds[p + 1]);
+  }
+}
+
+TEST(WeightedBoundaries, BalancesSkewedWeights) {
+  // One heavy item at the front would starve peers under an equal-count
+  // split; the weighted split must give the heavy item its own part.
+  const std::vector<std::uint64_t> w{1000, 1, 1, 1, 1, 1, 1, 1};
+  auto bounds = weighted_boundaries(w, 2);
+  EXPECT_EQ(bounds[1], 1u);  // part 0 = the heavy item alone
+
+  // Uniform weights reduce to the equal-count split.
+  const std::vector<std::uint64_t> uniform(100, 7);
+  auto eq = weighted_boundaries(uniform, 4);
+  for (int p = 0; p < 4; ++p) EXPECT_EQ(eq[p + 1] - eq[p], 25u);
+}
+
+TEST(WeightedBoundaries, PartLoadWithinOneItemOfIdeal) {
+  // Prefix splitting overshoots each target by at most one item's weight.
+  std::vector<std::uint64_t> w(997);
+  for (std::size_t i = 0; i < w.size(); ++i) w[i] = 1 + (i * 37) % 23;
+  std::uint64_t total = 0, wmax = 0;
+  for (auto v : w) { total += v; wmax = std::max(wmax, v); }
+  for (int parts : {2, 3, 5, 16}) {
+    auto bounds = weighted_boundaries(w, parts);
+    const double ideal = static_cast<double>(total) / parts;
+    for (int p = 0; p < parts; ++p) {
+      std::uint64_t load = 0;
+      for (std::size_t i = bounds[p]; i < bounds[p + 1]; ++i) load += w[i];
+      EXPECT_LE(static_cast<double>(load), ideal + 2.0 * static_cast<double>(wmax));
+    }
+  }
+}
+
+TEST(WeightedBoundaries, MorePartsThanItemsLeavesTrailingEmpty) {
+  const std::vector<std::uint64_t> w{5, 5};
+  auto bounds = weighted_boundaries(w, 4);
+  ASSERT_EQ(bounds.size(), 5u);
+  EXPECT_EQ(bounds.front(), 0u);
+  EXPECT_EQ(bounds.back(), w.size());
+  std::size_t nonempty = 0;
+  for (int p = 0; p < 4; ++p) nonempty += bounds[p + 1] > bounds[p] ? 1 : 0;
+  EXPECT_LE(nonempty, 2u);
+
+  auto empty = weighted_boundaries(std::vector<std::uint64_t>{}, 3);
+  for (auto b : empty) EXPECT_EQ(b, 0u);
+}
+
 TEST(ParallelFor, VisitsEveryIndexOnce) {
   std::vector<std::atomic<int>> hits(257);
   parallel_for(0, hits.size(), [&](std::size_t i) { hits[i]++; });

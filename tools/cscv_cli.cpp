@@ -12,6 +12,7 @@
 #include <string>
 
 #include "core/autotune.hpp"
+#include "core/plan.hpp"
 #include "core/serialize.hpp"
 #include "ct/fan_beam.hpp"
 #include "ct/system_matrix.hpp"
@@ -193,7 +194,16 @@ int cmd_spmv(util::CliFlags& cli) {
   auto x = sparse::random_vector<float>(static_cast<std::size_t>(m.cols()), 1, 0.0, 1.0);
   util::AlignedVector<float> y(static_cast<std::size_t>(m.rows()));
   util::set_num_threads(threads);
-  const double seconds = util::min_time_seconds(iters, [&] { m.spmv(x, y); });
+  // Build the execution plan up front (the warm state an iterating caller
+  // sees) and report what it resolved to.
+  const core::SpmvPlan<float>& plan = m.plan();
+  std::cout << "plan: "
+            << (plan.scheme() == core::ThreadScheme::kRowPartition ? "row-partition"
+                                                                   : "private-y")
+            << " scheme, " << (plan.hardware_expand() ? "hardware" : "software")
+            << " expand, " << plan.threads() << " threads, "
+            << plan.scratch_bytes() / 1024.0 << " KiB scratch\n";
+  const double seconds = util::min_time_seconds(iters, [&] { plan.execute(x, y); });
   std::cout << "y = Ax: " << seconds * 1e3 << " ms/iter (min of " << iters << "), "
             << util::spmv_gflops(static_cast<std::uint64_t>(m.nnz()), seconds)
             << " GFLOP/s at " << threads << " threads\n";
