@@ -36,11 +36,13 @@ MatrixPair<T> build_matrices(const Dataset& dataset,
   return out;
 }
 
-/// Standard bench flags: --scale (divisor of paper sizes), --iters, --csv.
+/// Standard bench flags: --scale (divisor of paper sizes), --iters, --csv,
+/// --json=<path> (machine-readable BenchReport next to the text table).
 struct BenchFlags {
   int scale = 8;
   int iters = 12;
   bool csv = false;
+  std::string json;  // empty = no JSON output
 };
 
 inline BenchFlags parse_bench_flags(util::CliFlags& cli) {
@@ -48,7 +50,20 @@ inline BenchFlags parse_bench_flags(util::CliFlags& cli) {
   f.scale = cli.get_int("scale", f.scale);
   f.iters = cli.get_int("iters", f.iters);
   f.csv = cli.get_bool("csv");
+  f.json = cli.get_string("json", "");
   return f;
+}
+
+/// Writes `report` to flags.json when requested (no-op otherwise) and logs
+/// the path, so every migrated bench shares one JSON exit point.
+inline void maybe_write_report(const BenchFlags& flags, BenchReport report,
+                               const std::string& tag) {
+  if (flags.json.empty()) return;
+  report.tag = tag;
+  fill_machine_info(report);
+  report.set_machine("scale", std::to_string(flags.scale));
+  write_report_file(flags.json, report);
+  std::cout << "# wrote " << report.records.size() << " records to " << flags.json << "\n";
 }
 
 inline void print_table(const util::Table& table, bool csv) {

@@ -29,10 +29,20 @@ int main(int argc, char** argv) {
   const Row rows[] = {Row{"bin-major", core::YLayout::kBinMajor, "3"},
                       Row{"view-major (BTB)", core::YLayout::kViewMajor, "2~6"},
                       Row{"IOBLR-major (CSCV)", core::YLayout::kIoblr, "7~8"}};
+  benchlib::BenchReport report;
   for (const Row& row : rows) {
     auto eff = core::simd_efficiency(a, example.layout, example.spec, row.layout);
     t.add(row.name, eff.min, eff.max, util::fmt_fixed(eff.mean, 2),
           static_cast<long long>(eff.vectors), row.paper);
+    benchlib::BenchRecord r;
+    r.workload = "table1-example";
+    r.engine = row.name;
+    r.precision = "f64";
+    r.set("simd_efficiency_min", eff.min);
+    r.set("simd_efficiency_max", eff.max);
+    r.set("simd_efficiency_mean", eff.mean);
+    r.set("vector_ops", static_cast<double>(eff.vectors));
+    report.records.push_back(std::move(r));
   }
   benchlib::print_table(t, flags.csv);
 
@@ -65,7 +75,17 @@ int main(int argc, char** argv) {
     agg.add(row.name, total.min, total.max,
             util::fmt_fixed(weighted_mean / static_cast<double>(total.vectors), 2),
             static_cast<long long>(total.vectors));
+    benchlib::BenchRecord r;
+    r.workload = "all-view-groups";
+    r.engine = row.name;
+    r.precision = "f64";
+    r.set("simd_efficiency_min", total.min);
+    r.set("simd_efficiency_max", total.max);
+    r.set("simd_efficiency_mean", weighted_mean / static_cast<double>(total.vectors));
+    r.set("vector_ops", static_cast<double>(total.vectors));
+    report.records.push_back(std::move(r));
   }
   benchlib::print_table(agg, flags.csv);
+  benchlib::maybe_write_report(flags, std::move(report), "fig4");
   return 0;
 }

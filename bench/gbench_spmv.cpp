@@ -7,6 +7,9 @@
 // bytes (matrix + vector traffic per iteration).
 #include <benchmark/benchmark.h>
 
+#include <string>
+#include <string_view>
+
 #include "bench_common.hpp"
 #include "core/plan.hpp"
 
@@ -111,11 +114,59 @@ void register_all() {
 
 }  // namespace
 
+namespace {
+
+// BenchReport emission (--json=<path>): the structured-record view of the
+// same engine set, so gbench runs feed the bench_compare gate alongside
+// bench_suite. Uses the paper's min-time protocol via
+// measure_spmv_samples, independent of google-benchmark's own timing.
+template <typename T>
+void append_records(cscv::benchlib::BenchReport& report, int iterations) {
+  using namespace cscv;
+  auto& ctx = context<T>();
+  const auto cols = static_cast<std::size_t>(ctx.matrices.csc.cols());
+  const auto rows = static_cast<std::size_t>(ctx.matrices.csc.rows());
+  const int threads = util::max_threads();
+  for (const auto& engine : ctx.engines) {
+    auto samples = benchlib::measure_spmv_samples(engine, cols, rows, threads, iterations);
+    report.records.push_back(benchlib::make_spmv_record("gbench-64x64", engine, threads,
+                                                        iterations, cols, rows, samples));
+  }
+}
+
+void write_json_report(const std::string& path) {
+  using namespace cscv;
+  constexpr int kIterations = 12;
+  benchlib::BenchReport report;
+  report.tag = "gbench";
+  benchlib::fill_machine_info(report);
+  append_records<float>(report, kIterations);
+  append_records<double>(report, kIterations);
+  benchlib::write_report_file(path, report);
+  std::cout << "wrote " << report.records.size() << " records to " << path << "\n";
+}
+
+}  // namespace
+
 int main(int argc, char** argv) {
+  // Peel off --json=<path> before google-benchmark sees (and rejects) it.
+  std::string json_path;
+  int out = 1;
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg(argv[i]);
+    if (arg.rfind("--json=", 0) == 0) {
+      json_path = arg.substr(7);
+    } else {
+      argv[out++] = argv[i];
+    }
+  }
+  argc = out;
+
   register_all();
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
+  if (!json_path.empty()) write_json_report(json_path);
   return 0;
 }

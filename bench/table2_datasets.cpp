@@ -17,6 +17,7 @@ int main(int argc, char** argv) {
 
   util::Table t({"img size", "num bin", "num view", "delta angle", "nnz", "x size",
                  "y size", "nnz/col/view", "use"});
+  benchlib::BenchReport report;
   for (const auto& dataset : benchlib::standard_datasets(flags.scale)) {
     auto m = benchlib::build_matrices<float>(dataset);
     const auto& g = dataset.geometry;
@@ -26,8 +27,22 @@ int main(int argc, char** argv) {
           util::fmt_fixed(g.delta_angle_deg, 4) + " deg", m.csc.nnz(), m.csc.cols(),
           m.csc.rows(), util::fmt_fixed(per_col_view, 2),
           dataset.clinical ? "clinical" : "micro/limited-angle");
+    // Structural record: machine-independent, so any drift against a
+    // baseline is a generator change, not noise.
+    benchlib::BenchRecord r;
+    r.workload = dataset.name;
+    r.engine = "dataset";
+    r.precision = "f32";
+    r.set("nnz", static_cast<double>(m.csc.nnz()));
+    r.set("cols", static_cast<double>(m.csc.cols()));
+    r.set("rows", static_cast<double>(m.csc.rows()));
+    r.set("num_bins", g.num_bins);
+    r.set("num_views", g.num_views);
+    r.set("nnz_per_col_view", per_col_view);
+    report.records.push_back(std::move(r));
   }
   benchlib::print_table(t, flags.csv);
+  benchlib::maybe_write_report(flags, std::move(report), "table2");
 
   std::cout << "\n# paper originals (Table II), regenerable with --scale=1:\n";
   util::Table p({"img size", "num bin", "num view", "delta angle", "nnz"});

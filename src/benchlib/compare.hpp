@@ -1,0 +1,154 @@
+// Regression-gate logic for bench reports: diff two BenchReports with
+// per-metric noise thresholds and classify every (record, metric) pair.
+//
+// Verdicts:
+//   kImprovement — candidate better than baseline by more than the noise
+//                  threshold (informational; never fails the gate),
+//   kWithinNoise — |relative change| <= threshold,
+//   kRegression  — candidate worse by more than the threshold,
+//   kMissingMetric — the baseline has a gated metric/record the candidate
+//                  lacks (a silently-dropped measurement must fail loudly).
+//
+// Only metrics in CompareOptions::gate_metrics arm the gate; all other
+// metrics shared by both records are classified for the report but cannot
+// fail it (structural metrics like padding_fraction are bit-stable, while
+// e.g. seconds_p90 on a shared CI runner is not a signal worth gating).
+#pragma once
+
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "benchlib/record.hpp"
+
+namespace cscv::benchlib {
+
+enum class Verdict { kImprovement, kWithinNoise, kRegression, kMissingMetric };
+
+inline const char* verdict_name(Verdict v) {
+  switch (v) {
+    case Verdict::kImprovement: return "improvement";
+    case Verdict::kWithinNoise: return "within-noise";
+    case Verdict::kRegression: return "REGRESSION";
+    case Verdict::kMissingMetric: return "MISSING";
+  }
+  return "?";
+}
+
+/// Direction convention by metric name: timings shrink when things improve,
+/// rates and occupancies grow. Unknown names default to higher-is-better.
+inline bool lower_is_better(const std::string& metric) {
+  return metric.find("seconds") != std::string::npos ||
+         metric.find("bytes") != std::string::npos ||
+         metric.find("padding") != std::string::npos ||
+         metric.find("r_nnze") != std::string::npos;
+}
+
+/// Classifies one metric pair. `threshold` is the relative noise band,
+/// e.g. 0.25 tolerates a 25% swing in either direction.
+inline Verdict judge_metric(const std::string& metric, double base, double cand,
+                            double threshold) {
+  if (!std::isfinite(base) || !std::isfinite(cand)) return Verdict::kMissingMetric;
+  if (base == 0.0) {  // no relative scale; only an exact match is in-noise
+    return cand == 0.0 ? Verdict::kWithinNoise
+                       : (lower_is_better(metric) ? Verdict::kRegression
+                                                  : Verdict::kImprovement);
+  }
+  const double rel = (cand - base) / std::abs(base);
+  const double worse = lower_is_better(metric) ? rel : -rel;
+  if (worse > threshold) return Verdict::kRegression;
+  if (worse < -threshold) return Verdict::kImprovement;
+  return Verdict::kWithinNoise;
+}
+
+struct MetricDelta {
+  std::string record_key;   // workload/engine/precision/tN
+  std::string metric;
+  double baseline = 0.0;
+  double candidate = 0.0;   // NaN for kMissingMetric
+  double relative_change = 0.0;  // (cand - base) / |base|
+  bool gated = false;
+  Verdict verdict = Verdict::kWithinNoise;
+};
+
+struct CompareOptions {
+  double threshold = 0.10;  // relative noise band per metric
+  /// Metrics that arm the gate. Defaults to the paper-protocol headline.
+  std::vector<std::string> gate_metrics = {"seconds_median"};
+  /// When true, baseline records absent from the candidate fail the gate.
+  bool require_all_records = true;
+};
+
+struct CompareResult {
+  std::vector<MetricDelta> deltas;
+  int regressions = 0;      // gated regressions
+  int missing = 0;          // gated missing metrics / records
+  int improvements = 0;     // gated improvements (informational)
+  [[nodiscard]] bool ok() const { return regressions == 0 && missing == 0; }
+};
+
+namespace detail {
+inline bool is_gated(const CompareOptions& opts, const std::string& metric) {
+  for (const auto& g : opts.gate_metrics) {
+    if (g == metric) return true;
+  }
+  return false;
+}
+}  // namespace detail
+
+/// Diffs candidate against baseline record-by-record (matched on key()).
+/// Candidate-only records and metrics are ignored: a new measurement can't
+/// regress anything, and gating it would punish adding coverage.
+inline CompareResult compare_reports(const BenchReport& baseline,
+                                     const BenchReport& candidate,
+                                     const CompareOptions& opts = {}) {
+  CompareResult result;
+  for (const BenchRecord& base : baseline.records) {
+    const BenchRecord* cand = nullptr;
+    for (const BenchRecord& c : candidate.records) {
+      if (c.workload == base.workload && c.engine == base.engine &&
+          c.precision == base.precision && c.threads == base.threads) {
+        cand = &c;
+        break;
+      }
+    }
+    if (cand == nullptr) {
+      if (!opts.require_all_records) continue;
+      MetricDelta d;
+      d.record_key = base.key();
+      d.metric = "<record>";
+      d.candidate = std::nan("");
+      d.gated = true;
+      d.verdict = Verdict::kMissingMetric;
+      ++result.missing;
+      result.deltas.push_back(std::move(d));
+      continue;
+    }
+    for (const auto& [metric, base_value] : base.metrics) {
+      const bool gated = detail::is_gated(opts, metric);
+      const double* cand_value = cand->find(metric);
+      MetricDelta d;
+      d.record_key = base.key();
+      d.metric = metric;
+      d.baseline = base_value;
+      d.gated = gated;
+      if (cand_value == nullptr) {
+        if (!gated) continue;  // ungated extras may come and go
+        d.candidate = std::nan("");
+        d.verdict = Verdict::kMissingMetric;
+        ++result.missing;
+      } else {
+        d.candidate = *cand_value;
+        d.relative_change =
+            base_value == 0.0 ? 0.0 : (*cand_value - base_value) / std::abs(base_value);
+        d.verdict = judge_metric(metric, base_value, *cand_value, opts.threshold);
+        if (gated && d.verdict == Verdict::kRegression) ++result.regressions;
+        if (gated && d.verdict == Verdict::kImprovement) ++result.improvements;
+      }
+      result.deltas.push_back(std::move(d));
+    }
+  }
+  return result;
+}
+
+}  // namespace cscv::benchlib

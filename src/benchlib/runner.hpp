@@ -5,10 +5,14 @@
 
 #include <span>
 #include <string>
+#include <vector>
 
+#include "benchlib/bandwidth.hpp"
 #include "benchlib/engines.hpp"
+#include "benchlib/record.hpp"
 #include "sparse/random.hpp"
 #include "util/parallel.hpp"
+#include "util/stats.hpp"
 #include "util/timing.hpp"
 
 namespace cscv::benchlib {
@@ -35,6 +39,70 @@ Measurement measure_spmv(const Engine<T>& engine, std::size_t cols, std::size_t 
   util::set_num_threads(saved);
   m.gflops = util::spmv_gflops(static_cast<std::uint64_t>(engine.nnz), m.seconds);
   return m;
+}
+
+/// Full per-iteration timing distribution of one engine/workload run —
+/// what the JSON records serialize. The paper's headline stays the min,
+/// but a regression gate wants the median (robust to one cold iteration)
+/// and the p10/p90 spread (how noisy was this run).
+struct SampleMeasurement {
+  std::vector<double> seconds;  // per-iteration wall times, run order
+  double min = 0.0;
+  double median = 0.0;
+  double p10 = 0.0;
+  double p90 = 0.0;
+};
+
+/// measure_spmv with the whole sample kept. Same protocol: deterministic
+/// input, threads pinned for the duration, first iteration is the warm-up
+/// (it is part of the sample; the percentiles absorb it).
+template <typename T>
+SampleMeasurement measure_spmv_samples(const Engine<T>& engine, std::size_t cols,
+                                       std::size_t rows, int threads, int iterations) {
+  auto x = sparse::random_vector<T>(cols, 12345, 0.0, 1.0);
+  util::AlignedVector<T> y(rows);
+  const int saved = util::max_threads();
+  util::set_num_threads(threads);
+  if (engine.prepare) engine.prepare();
+  SampleMeasurement m;
+  m.seconds.reserve(static_cast<std::size_t>(iterations));
+  for (int i = 0; i < iterations; ++i) {
+    util::WallTimer t;
+    engine.apply(x, y);
+    m.seconds.push_back(t.seconds());
+  }
+  util::set_num_threads(saved);
+  m.min = *std::min_element(m.seconds.begin(), m.seconds.end());
+  m.median = util::percentile(m.seconds, 50.0);
+  m.p10 = util::percentile(m.seconds, 10.0);
+  m.p90 = util::percentile(m.seconds, 90.0);
+  return m;
+}
+
+/// Builds the standard JSON record for one engine/workload timing run:
+/// the timing distribution plus derived GFLOP/s (useful flops only) and
+/// GB/s (matrix + vector traffic), both over the median.
+template <typename T>
+BenchRecord make_spmv_record(const std::string& workload, const Engine<T>& engine,
+                             int threads, int iterations, std::size_t cols,
+                             std::size_t rows, const SampleMeasurement& m) {
+  BenchRecord r;
+  r.workload = workload;
+  r.engine = engine.name;
+  r.precision = sizeof(T) == 4 ? "f32" : "f64";
+  r.threads = threads;
+  r.iterations = iterations;
+  r.set("seconds_min", m.min);
+  r.set("seconds_median", m.median);
+  r.set("seconds_p10", m.p10);
+  r.set("seconds_p90", m.p90);
+  r.set("gflops", util::spmv_gflops(static_cast<std::uint64_t>(engine.nnz), m.median));
+  const std::size_t traffic =
+      memory_requirement(engine.matrix_bytes, vector_bytes<T>(cols, rows));
+  r.set("gbps", m.median > 0.0 ? static_cast<double>(traffic) / m.median / 1e9 : 0.0);
+  r.set("nnz", static_cast<double>(engine.nnz));
+  r.set("matrix_bytes", static_cast<double>(engine.matrix_bytes));
+  return r;
 }
 
 /// Thread counts to sweep for the scalability figure: 1, 2, 4, ... up to

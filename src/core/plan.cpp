@@ -14,6 +14,7 @@ using sparse::offset_t;
 template <typename T>
 SpmvPlan<T>::SpmvPlan(const CscvMatrix<T>& a, const PlanOptions& opts)
     : a_(&a), requested_(opts) {
+  const util::telemetry::Stopwatch build_timer;
   CSCV_CHECK(opts.num_rhs >= 1);
   num_rhs_ = opts.num_rhs;
   threads_ = opts.threads > 0 ? opts.threads : util::max_threads();
@@ -95,6 +96,7 @@ SpmvPlan<T>::SpmvPlan(const CscvMatrix<T>& a, const PlanOptions& opts)
     }
     copies_.resize(static_cast<std::size_t>(threads_) * m_total);
   }
+  counters_.record_plan_build(build_timer.seconds());
 }
 
 template <typename T>
@@ -163,6 +165,7 @@ void SpmvPlan<T>::execute(std::span<const T> x, std::span<T> y) const {
              static_cast<std::size_t>(a_->cols()) * static_cast<std::size_t>(num_rhs_));
   CSCV_CHECK(y.size() ==
              static_cast<std::size_t>(a_->rows()) * static_cast<std::size_t>(num_rhs_));
+  const util::telemetry::Stopwatch apply_timer;
   const int tiles_per_group = a_->grid_.tiles_x * a_->grid_.tiles_y;
   const int s = a_->params_.s_vvec;
   const int k = num_rhs_;
@@ -189,6 +192,7 @@ void SpmvPlan<T>::execute(std::span<const T> x, std::span<T> y) const {
         }
       }
     });
+    counters_.record_apply(apply_timer.seconds());
     return;
   }
 
@@ -225,12 +229,14 @@ void SpmvPlan<T>::execute(std::span<const T> x, std::span<T> y) const {
       for (std::size_t r = lo; r < hi; ++r) y[r] += yc[r];
     }
   });
+  counters_.record_apply(apply_timer.seconds());
 }
 
 template <typename T>
 void SpmvPlan<T>::execute_transpose(std::span<const T> y, std::span<T> x) const {
   CSCV_CHECK(static_cast<index_t>(y.size()) == a_->rows());
   CSCV_CHECK(static_cast<index_t>(x.size()) == a_->cols());
+  const util::telemetry::Stopwatch apply_timer;
   const int tiles_per_group = a_->grid_.tiles_x * a_->grid_.tiles_y;
 
   // Slots own image tiles: the same tile across all view groups touches a
@@ -253,6 +259,71 @@ void SpmvPlan<T>::execute_transpose(std::span<const T> y, std::span<T> x) const 
       }
     }
   });
+  counters_.record_transpose(apply_timer.seconds());
+}
+
+template <typename T>
+PlanStats SpmvPlan<T>::stats() const {
+  PlanStats s;
+  const CscvMatrix<T>& a = *a_;
+
+  // Structural half — the format statistics the fig4/fig5 benches report,
+  // restated per plan so a telemetry record is self-describing.
+  s.nnz = static_cast<std::uint64_t>(a.nnz());
+  s.padded_values = static_cast<std::uint64_t>(a.padded_values());
+  s.stored_values = static_cast<std::uint64_t>(a.stored_values());
+  s.vxg_occupancy = s.padded_values == 0
+                        ? 0.0
+                        : static_cast<double>(s.nnz) / static_cast<double>(s.padded_values);
+  s.padding_fraction = s.padded_values == 0 ? 0.0 : 1.0 - s.vxg_occupancy;
+  s.r_nnze = a.r_nnze();
+  s.num_vxgs = static_cast<std::uint64_t>(a.num_vxgs());
+  s.num_blocks = static_cast<std::uint64_t>(a.num_blocks());
+  for (const auto& info : a.blocks_) {
+    if (info.vxg_begin != info.vxg_end) ++s.nonempty_blocks;
+  }
+  const auto k = static_cast<std::uint64_t>(num_rhs_);
+  s.flops_per_apply = 2 * s.nnz * k;
+  s.padded_flops_per_apply = 2 * s.padded_values * k;
+  s.matrix_bytes = static_cast<std::uint64_t>(a.matrix_bytes());
+  s.vector_bytes_per_apply =
+      (static_cast<std::uint64_t>(a.cols()) + static_cast<std::uint64_t>(a.rows())) * k *
+      sizeof(T);
+  s.scratch_bytes = static_cast<std::uint64_t>(scratch_bytes());
+  s.threads = threads_;
+  s.num_rhs = num_rhs_;
+  s.scheme = scheme_;
+  s.hardware_expand = use_hw_;
+  std::uint64_t total_work = 0, max_work = 0;
+  for (std::uint64_t w : work_) {
+    total_work += w;
+    max_work = std::max(max_work, w);
+  }
+  s.load_imbalance =
+      total_work == 0 ? 0.0
+                      : static_cast<double>(max_work) * static_cast<double>(threads_) /
+                            static_cast<double>(total_work);
+
+  // Dynamic half — reads compile-time zeros when telemetry is off.
+  s.telemetry_enabled = util::telemetry::kEnabled;
+  s.applies = counters_.applies;
+  s.transpose_applies = counters_.transpose_applies;
+  s.plan_build_seconds = counters_.plan_build_seconds;
+  s.apply_seconds_total = counters_.apply_seconds_total;
+  s.apply_seconds_min = counters_.apply_seconds_min;
+  s.transpose_seconds_total = counters_.transpose_seconds_total;
+  if (counters_.apply_seconds_min > 0.0) {
+    s.gflops_best = static_cast<double>(s.flops_per_apply) / counters_.apply_seconds_min / 1e9;
+    s.gbytes_per_second_best =
+        static_cast<double>(s.matrix_bytes + s.vector_bytes_per_apply) /
+        counters_.apply_seconds_min / 1e9;
+  }
+  if (counters_.apply_seconds_total > 0.0 && counters_.applies > 0) {
+    s.gflops_avg = static_cast<double>(s.flops_per_apply) *
+                   static_cast<double>(counters_.applies) / counters_.apply_seconds_total /
+                   1e9;
+  }
+  return s;
 }
 
 // ---- cached-plan accessor on the matrix ---------------------------------

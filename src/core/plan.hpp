@@ -33,8 +33,54 @@
 #include "core/dispatch.hpp"
 #include "core/format.hpp"
 #include "util/aligned_vector.hpp"
+#include "util/telemetry.hpp"
 
 namespace cscv::core {
+
+/// Snapshot returned by SpmvPlan::stats(): the structural half (padding,
+/// work and traffic volumes, partition shape) is always available; the
+/// dynamic half (call counts, timings, derived rates) is populated only
+/// when the library is built with -DCSCV_TELEMETRY=ON and reads as zero
+/// otherwise. Padding fraction and GFLOP/s follow the paper's definitions
+/// (fig5 / fig4 benches): padding counts zero slots of nnz(A~), GFLOP/s
+/// counts only original nonzeros as useful work.
+struct PlanStats {
+  // ---- structural (always filled) --------------------------------------
+  std::uint64_t nnz = 0;             // original nonzeros of A
+  std::uint64_t padded_values = 0;   // logical CSCVE slots, nnz(A~)
+  std::uint64_t stored_values = 0;   // physical values (kZ: padded, kM: nnz)
+  double padding_fraction = 0.0;     // zero slots / nnz(A~) = 1 - occupancy
+  double r_nnze = 0.0;               // the paper's nnz(A~)/nnz(A) - 1
+  double vxg_occupancy = 0.0;        // nnz / nnz(A~), SIMD lane utilization
+  std::uint64_t num_vxgs = 0;
+  std::uint64_t num_blocks = 0;
+  std::uint64_t nonempty_blocks = 0;
+  std::uint64_t flops_per_apply = 0;         // useful: 2 * nnz * num_rhs
+  std::uint64_t padded_flops_per_apply = 0;  // issued by kZ: 2 * nnz(A~) * num_rhs
+  std::uint64_t matrix_bytes = 0;            // M(A) per apply
+  std::uint64_t vector_bytes_per_apply = 0;  // x read + y written once
+  std::uint64_t scratch_bytes = 0;
+  int threads = 0;
+  int num_rhs = 1;
+  ThreadScheme scheme = ThreadScheme::kRowPartition;
+  bool hardware_expand = false;
+  /// max/mean of per-slot VxG work — 1.0 is a perfectly balanced partition.
+  double load_imbalance = 0.0;
+
+  // ---- dynamic (zero unless built with CSCV_TELEMETRY) -----------------
+  bool telemetry_enabled = false;
+  std::uint64_t applies = 0;
+  std::uint64_t transpose_applies = 0;
+  double plan_build_seconds = 0.0;
+  double apply_seconds_total = 0.0;
+  double apply_seconds_min = 0.0;
+  double transpose_seconds_total = 0.0;
+  /// 2 * nnz * num_rhs / apply_seconds_min / 1e9 (best observed apply).
+  double gflops_best = 0.0;
+  double gflops_avg = 0.0;
+  /// (M(A) + vector traffic) / apply_seconds_min, in GB/s.
+  double gbytes_per_second_best = 0.0;
+};
 
 template <typename T>
 class SpmvPlan {
@@ -64,6 +110,13 @@ class SpmvPlan {
   [[nodiscard]] std::size_t scratch_bytes() const {
     return (ytilde_pool_.size() + copies_.size()) * sizeof(T);
   }
+
+  /// Telemetry snapshot (see PlanStats). The structural half is free; the
+  /// dynamic half aggregates the counters recorded by execute()/
+  /// execute_transpose() when the build has CSCV_TELEMETRY on.
+  [[nodiscard]] PlanStats stats() const;
+  /// Clears the dynamic counters (no-op without CSCV_TELEMETRY).
+  void reset_telemetry() { counters_.reset(); }
 
   /// True when this cached plan can serve (matrix, opts) at `threads`.
   [[nodiscard]] bool matches(const CscvMatrix<T>& a, const PlanOptions& opts,
@@ -99,6 +152,10 @@ class SpmvPlan {
   std::size_t ytilde_stride_ = 0;
   mutable util::AlignedVector<T> ytilde_pool_;  // threads_ * ytilde_stride_
   mutable util::AlignedVector<T> copies_;       // kPrivateY: threads_ * rows * num_rhs
+
+  // Empty when CSCV_TELEMETRY is off — overlaps other members, adds no
+  // state and no codegen (verified by tests/cscv/test_telemetry.cpp).
+  [[no_unique_address]] mutable util::telemetry::Counters counters_;
 };
 
 }  // namespace cscv::core

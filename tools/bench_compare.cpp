@@ -1,0 +1,80 @@
+// bench_compare — the perf-regression gate.
+//
+//   bench_compare <baseline.json> <candidate.json>
+//                 [--threshold=0.10] [--gate=seconds_median,gflops]
+//                 [--all-metrics] [--allow-missing]
+//
+// Diffs two bench_suite/BenchReport JSON files record-by-record and exits
+// nonzero when any gated metric regressed beyond the noise threshold or a
+// gated measurement disappeared. Improvements and within-noise deltas are
+// reported but never fail the gate; candidate-only records are ignored
+// (new coverage can't regress). Verdict logic lives in
+// src/benchlib/compare.hpp (unit-tested); this binary is argument parsing
+// and table printing.
+#include <iostream>
+#include <sstream>
+
+#include "benchlib/compare.hpp"
+#include "util/cli.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) try {
+  using namespace cscv;
+  util::CliFlags cli(argc, argv);
+  benchlib::CompareOptions opts;
+  opts.threshold = cli.get_double("threshold", opts.threshold);
+  opts.require_all_records = !cli.get_bool("allow-missing");
+  const bool all_metrics = cli.get_bool("all-metrics");
+  const std::string gate = cli.get_string("gate", "");
+  if (!gate.empty()) {
+    opts.gate_metrics.clear();
+    std::istringstream ss(gate);
+    for (std::string item; std::getline(ss, item, ',');) {
+      if (!item.empty()) opts.gate_metrics.push_back(item);
+    }
+  }
+  const auto& paths = cli.positional();
+  cli.finish();
+  if (paths.size() != 2) {
+    std::cerr << "usage: bench_compare <baseline.json> <candidate.json>"
+                 " [--threshold=0.10] [--gate=m1,m2] [--all-metrics] [--allow-missing]\n";
+    return 2;
+  }
+
+  const auto baseline = benchlib::read_report_file(paths[0]);
+  const auto candidate = benchlib::read_report_file(paths[1]);
+  const auto result = benchlib::compare_reports(baseline, candidate, opts);
+
+  std::cout << "# baseline '" << baseline.tag << "' (" << baseline.records.size()
+            << " records) vs candidate '" << candidate.tag << "' ("
+            << candidate.records.size() << " records), threshold "
+            << util::fmt_fixed(opts.threshold * 100.0, 1) << "%\n";
+  util::Table table({"record", "metric", "baseline", "candidate", "change", "verdict"});
+  for (const auto& d : result.deltas) {
+    // Gated rows always print; ungated ones only with --all-metrics.
+    if (!d.gated && !all_metrics) continue;
+    const bool missing = d.verdict == benchlib::Verdict::kMissingMetric;
+    table.add(d.record_key, d.metric, util::Table::format_cell(d.baseline),
+              missing ? "-" : util::Table::format_cell(d.candidate),
+              missing ? "-" : util::fmt_fixed(d.relative_change * 100.0, 1) + "%",
+              std::string(benchlib::verdict_name(d.verdict)) + (d.gated ? "" : " (info)"));
+  }
+  table.print(std::cout);
+
+  std::cout << "\n" << result.regressions << " regression(s), " << result.missing
+            << " missing, " << result.improvements << " improvement(s) on gated metrics ("
+            << [&] {
+                 std::string s;
+                 for (const auto& g : opts.gate_metrics) s += (s.empty() ? "" : ",") + g;
+                 return s;
+               }() << ")\n";
+  if (!result.ok()) {
+    std::cout << "verdict: FAIL\n";
+    return 1;
+  }
+  std::cout << "verdict: OK\n";
+  return 0;
+} catch (const std::exception& e) {
+  std::cerr << "bench_compare: " << e.what() << "\n";
+  return 2;
+}

@@ -1,0 +1,139 @@
+// bench_suite — the canonical machine-readable benchmark run.
+//
+// Runs a deterministic workload set (the scaled Table II dataset family)
+// through the CSR baseline and both CSCV variants, and writes one
+// BenchReport JSON (schema: docs/BENCHMARKING.md) for bench_compare to
+// gate against. This is the binary CI runs; the per-figure benches remain
+// the human-readable view of the same protocol.
+//
+//   bench_suite --quick --out BENCH_ci.json     # CI smoke (small, f32)
+//   bench_suite --scale=4 --tag=pr2             # heavier local run
+//
+// Determinism: datasets are generated from geometry formulas, inputs are
+// seeded, and the engine set is fixed — two runs on one machine differ
+// only by timing noise, which the JSON captures as p10/p90.
+#include <iostream>
+
+#include "benchlib/compare.hpp"
+#include "benchlib/runner.hpp"
+#include "benchlib/workloads.hpp"
+#include "core/format.hpp"
+#include "core/plan.hpp"
+#include "ct/system_matrix.hpp"
+#include "sparse/convert.hpp"
+#include "util/cli.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace cscv;
+
+struct SuiteFlags {
+  int scale = 8;
+  int iters = 12;
+  int threads = 0;  // 0 = ambient omp max
+  bool quick = false;
+  bool f32 = true;
+  bool f64 = true;
+  std::string out;
+  std::string tag = "local";
+};
+
+template <typename T>
+void run_precision(const benchlib::Dataset& dataset, const SuiteFlags& flags,
+                   benchlib::BenchReport& report, util::Table& table) {
+  auto csc = ct::build_system_matrix_csc<T>(dataset.geometry);
+  auto csr = sparse::csr_from_csc(csc);
+  const auto layout = core::OperatorLayout::from_geometry(dataset.geometry);
+  const auto cols = static_cast<std::size_t>(csc.cols());
+  const auto rows = static_cast<std::size_t>(csc.rows());
+  const int threads = flags.threads > 0 ? flags.threads : util::max_threads();
+
+  const core::CscvParams params{.s_vvec = 8, .s_imgb = 16, .s_vxg = 4};
+  auto z = std::make_shared<core::CscvMatrix<T>>(
+      core::CscvMatrix<T>::build(csc, layout, params, core::CscvMatrix<T>::Variant::kZ));
+  auto m = std::make_shared<core::CscvMatrix<T>>(
+      core::CscvMatrix<T>::build(csc, layout, params, core::CscvMatrix<T>::Variant::kM));
+
+  std::vector<benchlib::Engine<T>> engines;
+  engines.push_back({"CSR", [&csr](auto x, auto y) { csr.spmv(x, y); },
+                     csr.matrix_bytes(), csr.nnz(), nullptr});
+  engines.push_back({"CSCV-Z", [z](auto x, auto y) { z->spmv(x, y); }, z->matrix_bytes(),
+                     z->nnz(), z, [z] { (void)z->plan(); }});
+  engines.push_back({"CSCV-M", [m](auto x, auto y) { m->spmv(x, y); }, m->matrix_bytes(),
+                     m->nnz(), m, [m] { (void)m->plan(); }});
+
+  for (const auto& engine : engines) {
+    auto samples =
+        benchlib::measure_spmv_samples(engine, cols, rows, threads, flags.iters);
+    auto record = benchlib::make_spmv_record(dataset.name, engine, threads, flags.iters,
+                                             cols, rows, samples);
+    // CSCV engines carry their plan/format telemetry: the structural
+    // metrics are machine-independent (ideal regression-gate candidates),
+    // the timing-derived ones appear when built with CSCV_TELEMETRY.
+    const core::CscvMatrix<T>* cscv =
+        engine.name == "CSCV-Z" ? z.get() : engine.name == "CSCV-M" ? m.get() : nullptr;
+    if (cscv != nullptr) {
+      const int saved = util::max_threads();
+      util::set_num_threads(threads);  // address the plan the timed loop used
+      const core::PlanStats st = cscv->plan().stats();
+      util::set_num_threads(saved);
+      record.set("padding_fraction", st.padding_fraction);
+      record.set("r_nnze", st.r_nnze);
+      record.set("vxg_occupancy", st.vxg_occupancy);
+      record.set("load_imbalance", st.load_imbalance);
+      if (st.telemetry_enabled && st.applies > 0) {
+        record.set("telemetry_gflops_best", st.gflops_best);
+        record.set("telemetry_plan_build_seconds", st.plan_build_seconds);
+      }
+    }
+    table.add(dataset.name, engine.name, record.precision, threads,
+              util::fmt_fixed(samples.median * 1e3, 3),
+              util::fmt_fixed(*record.find("gflops"), 2),
+              util::fmt_fixed(*record.find("gbps"), 2));
+    report.records.push_back(std::move(record));
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) try {
+  util::CliFlags cli(argc, argv);
+  SuiteFlags flags;
+  flags.quick = cli.get_bool("quick");
+  if (flags.quick) {  // CI smoke defaults; explicit flags still override
+    flags.scale = 16;
+    flags.iters = 6;
+    flags.f64 = false;
+  }
+  flags.scale = cli.get_int("scale", flags.scale);
+  flags.iters = cli.get_int("iters", flags.iters);
+  flags.threads = cli.get_int("threads", flags.threads);
+  flags.tag = cli.get_string("tag", flags.tag);
+  flags.out = cli.get_string("out", "BENCH_" + flags.tag + ".json");
+  const std::string precision = cli.get_string("precision", "");
+  if (precision == "f32") flags.f64 = false;
+  if (precision == "f64") flags.f32 = false;
+  cli.finish();
+
+  benchlib::BenchReport report;
+  report.tag = flags.tag;
+  benchlib::fill_machine_info(report);
+  report.set_machine("scale", std::to_string(flags.scale));
+  report.set_machine("iterations", std::to_string(flags.iters));
+
+  util::Table table({"workload", "engine", "precision", "threads", "median ms",
+                     "GFLOP/s", "GB/s"});
+  for (const auto& dataset : benchlib::standard_datasets(flags.scale)) {
+    if (flags.f32) run_precision<float>(dataset, flags, report, table);
+    if (flags.f64) run_precision<double>(dataset, flags, report, table);
+  }
+  table.print(std::cout);
+
+  benchlib::write_report_file(flags.out, report);
+  std::cout << "\nwrote " << report.records.size() << " records to " << flags.out << "\n";
+  return 0;
+} catch (const std::exception& e) {
+  std::cerr << "bench_suite: " << e.what() << "\n";
+  return 2;
+}
