@@ -7,7 +7,10 @@
 //   kWithinNoise — |relative change| <= threshold,
 //   kRegression  — candidate worse by more than the threshold,
 //   kMissingMetric — the baseline has a gated metric/record the candidate
-//                  lacks (a silently-dropped measurement must fail loudly).
+//                  lacks (a silently-dropped measurement must fail loudly),
+//   kSkipped     — a timing-class metric whose two reports were produced on
+//                  incomparable machines (different `isa` metadata → different
+//                  kernels dispatch); reported but never gates.
 //
 // Only metrics in CompareOptions::gate_metrics arm the gate; all other
 // metrics shared by both records are classified for the report but cannot
@@ -23,7 +26,7 @@
 
 namespace cscv::benchlib {
 
-enum class Verdict { kImprovement, kWithinNoise, kRegression, kMissingMetric };
+enum class Verdict { kImprovement, kWithinNoise, kRegression, kMissingMetric, kSkipped };
 
 inline const char* verdict_name(Verdict v) {
   switch (v) {
@@ -31,6 +34,7 @@ inline const char* verdict_name(Verdict v) {
     case Verdict::kWithinNoise: return "within-noise";
     case Verdict::kRegression: return "REGRESSION";
     case Verdict::kMissingMetric: return "MISSING";
+    case Verdict::kSkipped: return "skipped";
   }
   return "?";
 }
@@ -42,6 +46,17 @@ inline bool lower_is_better(const std::string& metric) {
          metric.find("bytes") != std::string::npos ||
          metric.find("padding") != std::string::npos ||
          metric.find("r_nnze") != std::string::npos;
+}
+
+/// Metrics whose value depends on which machine (and which dispatched
+/// kernel) produced the run. These only compare meaningfully between
+/// reports recorded on the same ISA; structural metrics (nnz, bytes,
+/// padding layout) are bit-stable everywhere.
+inline bool is_timing_metric(const std::string& metric) {
+  return metric.find("seconds") != std::string::npos ||
+         metric.find("gflops") != std::string::npos ||
+         metric.find("gbps") != std::string::npos ||
+         metric.find("speedup") != std::string::npos;
 }
 
 /// Classifies one metric pair. `threshold` is the relative noise band,
@@ -77,6 +92,11 @@ struct CompareOptions {
   std::vector<std::string> gate_metrics = {"seconds_median"};
   /// When true, baseline records absent from the candidate fail the gate.
   bool require_all_records = true;
+  /// When true (default), timing-class metrics become kSkipped whenever the
+  /// two reports carry different `isa` machine metadata: a baseline recorded
+  /// on (or compiled for) another ISA dispatches different kernels, so its
+  /// wall times are not a regression signal. Structural gates still apply.
+  bool skip_timing_on_isa_mismatch = true;
 };
 
 struct CompareResult {
@@ -84,6 +104,8 @@ struct CompareResult {
   int regressions = 0;      // gated regressions
   int missing = 0;          // gated missing metrics / records
   int improvements = 0;     // gated improvements (informational)
+  int skipped = 0;          // gated timing metrics skipped (isa mismatch)
+  std::string timing_skip_reason;  // non-empty when timing gates were skipped
   [[nodiscard]] bool ok() const { return regressions == 0 && missing == 0; }
 };
 
@@ -94,6 +116,14 @@ inline bool is_gated(const CompareOptions& opts, const std::string& metric) {
   }
   return false;
 }
+
+inline const std::string* machine_value(const BenchReport& report,
+                                        const std::string& key) {
+  for (const auto& [k, v] : report.machine) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
 }  // namespace detail
 
 /// Diffs candidate against baseline record-by-record (matched on key()).
@@ -103,6 +133,17 @@ inline CompareResult compare_reports(const BenchReport& baseline,
                                      const BenchReport& candidate,
                                      const CompareOptions& opts = {}) {
   CompareResult result;
+  // Reports without `isa` metadata (hand-built, unit tests) compare fully;
+  // only a *known* mismatch disarms the timing comparisons.
+  if (opts.skip_timing_on_isa_mismatch) {
+    const std::string* base_isa = detail::machine_value(baseline, "isa");
+    const std::string* cand_isa = detail::machine_value(candidate, "isa");
+    if (base_isa != nullptr && cand_isa != nullptr && *base_isa != *cand_isa) {
+      result.timing_skip_reason =
+          "baseline \"" + *base_isa + "\" vs candidate \"" + *cand_isa + '"';
+    }
+  }
+  const bool timings_comparable = result.timing_skip_reason.empty();
   for (const BenchRecord& base : baseline.records) {
     const BenchRecord* cand = nullptr;
     for (const BenchRecord& c : candidate.records) {
@@ -141,9 +182,14 @@ inline CompareResult compare_reports(const BenchReport& baseline,
         d.candidate = *cand_value;
         d.relative_change =
             base_value == 0.0 ? 0.0 : (*cand_value - base_value) / std::abs(base_value);
-        d.verdict = judge_metric(metric, base_value, *cand_value, opts.threshold);
-        if (gated && d.verdict == Verdict::kRegression) ++result.regressions;
-        if (gated && d.verdict == Verdict::kImprovement) ++result.improvements;
+        if (!timings_comparable && is_timing_metric(metric)) {
+          d.verdict = Verdict::kSkipped;
+          if (gated) ++result.skipped;
+        } else {
+          d.verdict = judge_metric(metric, base_value, *cand_value, opts.threshold);
+          if (gated && d.verdict == Verdict::kRegression) ++result.regressions;
+          if (gated && d.verdict == Verdict::kImprovement) ++result.improvements;
+        }
       }
       result.deltas.push_back(std::move(d));
     }

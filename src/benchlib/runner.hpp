@@ -3,6 +3,7 @@
 // *original* nonzeros (padding never counts as useful work).
 #pragma once
 
+#include <algorithm>
 #include <span>
 #include <string>
 #include <vector>
@@ -11,6 +12,7 @@
 #include "benchlib/engines.hpp"
 #include "benchlib/record.hpp"
 #include "sparse/random.hpp"
+#include "util/assertx.hpp"
 #include "util/parallel.hpp"
 #include "util/stats.hpp"
 #include "util/timing.hpp"
@@ -29,6 +31,8 @@ struct Measurement {
 template <typename T>
 Measurement measure_spmv(const Engine<T>& engine, std::size_t cols, std::size_t rows,
                          int threads, int iterations) {
+  CSCV_CHECK_MSG(iterations >= 1, "measure_spmv: iterations must be >= 1, got "
+                                      << iterations);
   auto x = sparse::random_vector<T>(cols, 12345, 0.0, 1.0);
   util::AlignedVector<T> y(rows);
   const int saved = util::max_threads();
@@ -59,6 +63,11 @@ struct SampleMeasurement {
 template <typename T>
 SampleMeasurement measure_spmv_samples(const Engine<T>& engine, std::size_t cols,
                                        std::size_t rows, int threads, int iterations) {
+  // An empty sample would hand min_element/percentile an empty range (UB),
+  // reachable from bench_suite --iters=0; refuse it here, once, for every
+  // caller.
+  CSCV_CHECK_MSG(iterations >= 1, "measure_spmv_samples: iterations must be >= 1, got "
+                                      << iterations);
   auto x = sparse::random_vector<T>(cols, 12345, 0.0, 1.0);
   util::AlignedVector<T> y(rows);
   const int saved = util::max_threads();

@@ -193,6 +193,11 @@ class Parser {
  public:
   explicit Parser(std::string_view text) : text_(text) {}
 
+  // Recursion bound: parse_value recurses once per container level, so a
+  // hostile document of thousands of '[' would otherwise turn a CheckError
+  // situation into a stack overflow. 256 is far beyond any bench report.
+  static constexpr int kMaxDepth = 256;
+
   Json parse_document() {
     Json v = parse_value();
     skip_ws();
@@ -248,7 +253,22 @@ class Parser {
     }
   }
 
+  // Enters one container nesting level for the lifetime of the guard.
+  class DepthGuard {
+   public:
+    explicit DepthGuard(Parser& p) : p_(p) {
+      if (++p_.depth_ > kMaxDepth) p_.fail("nesting too deep");
+    }
+    ~DepthGuard() { --p_.depth_; }
+    DepthGuard(const DepthGuard&) = delete;
+    DepthGuard& operator=(const DepthGuard&) = delete;
+
+   private:
+    Parser& p_;
+  };
+
   Json parse_object() {
+    const DepthGuard guard(*this);
     expect('{');
     Json obj = Json::object();
     if (peek() == '}') {
@@ -268,6 +288,7 @@ class Parser {
   }
 
   Json parse_array() {
+    const DepthGuard guard(*this);
     expect('[');
     Json arr = Json::array();
     if (peek() == ']') {
@@ -355,6 +376,7 @@ class Parser {
 
   std::string_view text_;
   std::size_t pos_ = 0;
+  int depth_ = 0;
 };
 
 }  // namespace

@@ -89,6 +89,20 @@ TEST(Runner, MeasurementProducesPositiveGflops) {
   EXPECT_GT(m.gflops, 0.0);
 }
 
+TEST(Runner, RejectsNonPositiveIterationCounts) {
+  // iterations=0 (reachable via bench_suite --iters=0) would hand
+  // min_element/percentile an empty sample — must throw, not UB.
+  const auto& csc = cscv::testing::cached_ct_csc<float>(32, 24);
+  auto csr = sparse::csr_from_csc(csc);
+  Engine<float> engine{"CSR", [&csr](auto x, auto y) { csr.spmv(x, y); },
+                       csr.matrix_bytes(), csr.nnz(), nullptr};
+  const auto cols = static_cast<std::size_t>(csr.cols());
+  const auto rows = static_cast<std::size_t>(csr.rows());
+  EXPECT_THROW((void)measure_spmv_samples(engine, cols, rows, 1, 0), util::CheckError);
+  EXPECT_THROW((void)measure_spmv_samples(engine, cols, rows, 1, -3), util::CheckError);
+  EXPECT_THROW((void)measure_spmv(engine, cols, rows, 1, 0), util::CheckError);
+}
+
 TEST(Runner, ThreadCountsStartAtOne) {
   auto counts = scalability_thread_counts();
   ASSERT_FALSE(counts.empty());

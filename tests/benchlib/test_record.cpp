@@ -218,6 +218,61 @@ TEST(Compare, CandidateOnlyRecordsAreIgnored) {
   }
 }
 
+TEST(Compare, IsaMismatchSkipsTimingGatesButKeepsStructuralOnes) {
+  BenchReport base = report_with({make_record()});
+  base.set_machine("isa", "isa: avx2 avx512f (compiled avx512f)");
+  BenchRecord slow = make_record();
+  slow.set("seconds_median", 0.020);  // 2x slower — but on different silicon
+  slow.set("nnz", 999.0);             // structural drift — machine-independent
+  BenchReport cand = report_with({slow});
+  cand.set_machine("isa", "isa: avx2 (compiled generic)");
+
+  CompareOptions opts;
+  opts.gate_metrics = {"seconds_median", "nnz"};
+  const CompareResult result = compare_reports(base, cand, opts);
+  EXPECT_FALSE(result.timing_skip_reason.empty());
+  EXPECT_EQ(result.skipped, 1);
+  EXPECT_EQ(result.regressions, 1);  // nnz still fails; timing does not
+  for (const auto& d : result.deltas) {
+    if (d.metric == "seconds_median") EXPECT_EQ(d.verdict, Verdict::kSkipped);
+    if (d.metric == "nnz") EXPECT_EQ(d.verdict, Verdict::kRegression);
+  }
+
+  // --force-timing semantics: the 2x slowdown gates again.
+  opts.skip_timing_on_isa_mismatch = false;
+  EXPECT_EQ(compare_reports(base, cand, opts).regressions, 2);
+}
+
+TEST(Compare, MatchingOrAbsentIsaKeepsTimingGatesArmed) {
+  BenchRecord slow = make_record();
+  slow.set("seconds_median", 0.020);
+  // No isa metadata on either side (hand-built reports): full comparison.
+  EXPECT_EQ(compare_reports(report_with({make_record()}), report_with({slow}))
+                .regressions,
+            1);
+  // Identical isa strings: full comparison.
+  BenchReport base = report_with({make_record()});
+  BenchReport cand = report_with({slow});
+  base.set_machine("isa", "isa: avx2 (compiled generic)");
+  cand.set_machine("isa", "isa: avx2 (compiled generic)");
+  const CompareResult result = compare_reports(base, cand);
+  EXPECT_TRUE(result.timing_skip_reason.empty());
+  EXPECT_EQ(result.regressions, 1);
+  EXPECT_EQ(result.skipped, 0);
+}
+
+TEST(Compare, TimingMetricClassifierConvention) {
+  EXPECT_TRUE(is_timing_metric("seconds_median"));
+  EXPECT_TRUE(is_timing_metric("gflops"));
+  EXPECT_TRUE(is_timing_metric("gbps"));
+  EXPECT_TRUE(is_timing_metric("speedup_vs_csr"));
+  EXPECT_TRUE(is_timing_metric("telemetry_plan_build_seconds"));
+  EXPECT_FALSE(is_timing_metric("nnz"));
+  EXPECT_FALSE(is_timing_metric("matrix_bytes"));
+  EXPECT_FALSE(is_timing_metric("padding_fraction"));
+  EXPECT_FALSE(is_timing_metric("vxg_occupancy"));
+}
+
 TEST(Compare, CustomGateMetricsAndThreshold) {
   const BenchReport base = report_with({make_record()});
   BenchRecord cand = make_record();

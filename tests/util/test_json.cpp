@@ -100,6 +100,19 @@ TEST(Json, ParseRejectsMalformedInput) {
   EXPECT_THROW(Json::parse("nul"), CheckError);
 }
 
+TEST(Json, DeepNestingThrowsInsteadOfOverflowingTheStack) {
+  // Containers recurse; a hostile document of thousands of '[' must become
+  // a CheckError, not a stack overflow.
+  const std::string deep(100000, '[');
+  EXPECT_THROW(Json::parse(deep), CheckError);
+  std::string closed = std::string(10000, '[') + std::string(10000, ']');
+  EXPECT_THROW(Json::parse(closed), CheckError);
+  // Well under the bound still parses (nesting an object level too).
+  std::string ok = std::string(100, '[') + "{\"a\":1}" + std::string(100, ']');
+  const Json j = Json::parse(ok);
+  EXPECT_EQ(j.size(), 1u);
+}
+
 TEST(Json, TypeMismatchesThrow) {
   const Json j = Json::parse("{\"n\": 1.5}");
   EXPECT_THROW((void)j.at("n").as_string(), CheckError);

@@ -2,13 +2,16 @@
 //
 //   bench_compare <baseline.json> <candidate.json>
 //                 [--threshold=0.10] [--gate=seconds_median,gflops]
-//                 [--all-metrics] [--allow-missing]
+//                 [--all-metrics] [--allow-missing] [--force-timing]
 //
 // Diffs two bench_suite/BenchReport JSON files record-by-record and exits
 // nonzero when any gated metric regressed beyond the noise threshold or a
 // gated measurement disappeared. Improvements and within-noise deltas are
 // reported but never fail the gate; candidate-only records are ignored
-// (new coverage can't regress). Verdict logic lives in
+// (new coverage can't regress). Timing-class metrics are skipped (never
+// gate) when the two reports carry different `isa` machine metadata —
+// cross-ISA wall times dispatch different kernels and compare as noise;
+// --force-timing overrides. Verdict logic lives in
 // src/benchlib/compare.hpp (unit-tested); this binary is argument parsing
 // and table printing.
 #include <iostream>
@@ -24,6 +27,7 @@ int main(int argc, char** argv) try {
   benchlib::CompareOptions opts;
   opts.threshold = cli.get_double("threshold", opts.threshold);
   opts.require_all_records = !cli.get_bool("allow-missing");
+  opts.skip_timing_on_isa_mismatch = !cli.get_bool("force-timing");
   const bool all_metrics = cli.get_bool("all-metrics");
   const std::string gate = cli.get_string("gate", "");
   if (!gate.empty()) {
@@ -37,7 +41,8 @@ int main(int argc, char** argv) try {
   cli.finish();
   if (paths.size() != 2) {
     std::cerr << "usage: bench_compare <baseline.json> <candidate.json>"
-                 " [--threshold=0.10] [--gate=m1,m2] [--all-metrics] [--allow-missing]\n";
+                 " [--threshold=0.10] [--gate=m1,m2] [--all-metrics] [--allow-missing]"
+                 " [--force-timing]\n";
     return 2;
   }
 
@@ -61,8 +66,15 @@ int main(int argc, char** argv) try {
   }
   table.print(std::cout);
 
+  if (!result.timing_skip_reason.empty()) {
+    std::cout << "\nnote: timing metrics skipped, isa mismatch: "
+              << result.timing_skip_reason
+              << " (pass --force-timing to compare anyway)\n";
+  }
+
   std::cout << "\n" << result.regressions << " regression(s), " << result.missing
-            << " missing, " << result.improvements << " improvement(s) on gated metrics ("
+            << " missing, " << result.improvements << " improvement(s), "
+            << result.skipped << " skipped on gated metrics ("
             << [&] {
                  std::string s;
                  for (const auto& g : opts.gate_metrics) s += (s.empty() ? "" : ",") + g;

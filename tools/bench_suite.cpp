@@ -63,11 +63,21 @@ void run_precision(const benchlib::Dataset& dataset, const SuiteFlags& flags,
   engines.push_back({"CSCV-M", [m](auto x, auto y) { m->spmv(x, y); }, m->matrix_bytes(),
                      m->nnz(), m, [m] { (void)m->plan(); }});
 
+  double csr_median = 0.0;  // same-run CSR reference for the speedup ratio
   for (const auto& engine : engines) {
     auto samples =
         benchlib::measure_spmv_samples(engine, cols, rows, threads, flags.iters);
     auto record = benchlib::make_spmv_record(dataset.name, engine, threads, flags.iters,
                                              cols, rows, samples);
+    if (engine.name == "CSR") {
+      csr_median = samples.median;
+    } else if (csr_median > 0.0 && samples.median > 0.0) {
+      // Machine-portable headline for the regression gate: how much faster
+      // than the CSR baseline *of this same run* (higher is better). Load
+      // and CPU-generation noise hit numerator and denominator together,
+      // unlike absolute wall times.
+      record.set("speedup_vs_csr", csr_median / samples.median);
+    }
     // CSCV engines carry their plan/format telemetry: the structural
     // metrics are machine-independent (ideal regression-gate candidates),
     // the timing-derived ones appear when built with CSCV_TELEMETRY.
