@@ -26,7 +26,14 @@ int main(int argc, char** argv) {
   util::Table t({"ref pixel", "padding zeros", "CSCVEs", "offset min", "offset max",
                  "offset span"});
   for (const auto& s : stats) {
-    t.add("(" + std::to_string(s.ref_px) + "," + std::to_string(s.ref_py) + ")",
+    // Built with += (not one operator+ chain): gcc 12's -Wrestrict misfires
+    // on the inlined chained concatenation, and CI builds with -Werror.
+    std::string pixel = "(";
+    pixel += std::to_string(s.ref_px);
+    pixel += ",";
+    pixel += std::to_string(s.ref_py);
+    pixel += ")";
+    t.add(pixel,
           static_cast<long long>(s.padding_zeros), static_cast<long long>(s.cscve_count),
           s.offset_min, s.offset_max, s.offset_max - s.offset_min + 1);
   }

@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "core/format.hpp"
+#include "core/verify.hpp"
 #include "util/assertx.hpp"
 #include "util/parallel.hpp"
 #include "util/prefix_sum.hpp"
@@ -338,6 +339,13 @@ CscvMatrix<T> CscvMatrix<T>::build(const sparse::CscMatrix<T>& a, const Operator
     CSCV_CHECK_MSG(val_cursor == m.nnz_,
                    "mask packing mismatch: " << val_cursor << " of " << m.nnz_);
   }
+#ifndef NDEBUG
+  // CSCV_DCHECK tier: exhaustively re-check every structural invariant of
+  // the freshly built matrix in debug builds (free in release). A failure
+  // here is a builder bug, caught at the source instead of as a wrong
+  // sinogram downstream.
+  verify(m, VerifyLevel::kFull).require_ok("CSCV builder postcondition");
+#endif
   return m;
 }
 

@@ -12,14 +12,34 @@
 
 #include "simd/expand.hpp"
 #include "sparse/types.hpp"
+#include "util/assertx.hpp"
 
 namespace cscv::core::kernels {
+
+// Hot-loop preconditions, debug builds only (the macro vanishes entirely
+// under NDEBUG, so release codegen is untouched — the gbench cold/warm pair
+// guards that). The y~ base must sit on an element boundary and every VxG
+// start slot must lie on a CSCVE boundary (vxg_q % S == 0, the invariant
+// the contiguous S_VxG*S_VVec FMA window relies on).
+#ifdef NDEBUG
+#define CSCV_KERNEL_DCHECKS(S, vxg_begin, vxg_end, vxg_q, yt) ((void)0)
+#else
+#define CSCV_KERNEL_DCHECKS(S, vxg_begin, vxg_end, vxg_q, yt)                      \
+  do {                                                                             \
+    CSCV_DCHECK((vxg_begin) >= 0 && (vxg_begin) <= (vxg_end));                     \
+    CSCV_DCHECK(reinterpret_cast<std::uintptr_t>(yt) % alignof(T) == 0);           \
+    for (sparse::offset_t cscv_g_ = (vxg_begin); cscv_g_ < (vxg_end); ++cscv_g_) { \
+      CSCV_DCHECK((vxg_q)[cscv_g_] >= 0 && (vxg_q)[cscv_g_] % (S) == 0);           \
+    }                                                                              \
+  } while (0)
+#endif
 
 /// CSCV-Z: padding zeros are stored, the kernel is a pure FMA stream.
 template <typename T, int S, int V>
 inline void run_block_z(sparse::offset_t vxg_begin, sparse::offset_t vxg_end,
                         const sparse::index_t* vxg_col, const std::int32_t* vxg_q,
                         const T* values, const T* x, T* __restrict yt) {
+  CSCV_KERNEL_DCHECKS(S, vxg_begin, vxg_end, vxg_q, yt);
   const T* vals = values;
   for (sparse::offset_t g = vxg_begin; g < vxg_end; ++g) {
     const T xv = x[static_cast<std::size_t>(vxg_col[g])];
@@ -38,6 +58,7 @@ inline void run_block_m(sparse::offset_t vxg_begin, sparse::offset_t vxg_end,
                         const sparse::index_t* vxg_col, const std::int32_t* vxg_q,
                         const T* packed, const std::uint16_t* masks, const T* x,
                         T* __restrict yt) {
+  CSCV_KERNEL_DCHECKS(S, vxg_begin, vxg_end, vxg_q, yt);
   const T* p = packed;
   for (sparse::offset_t g = vxg_begin; g < vxg_end; ++g) {
     const T xv = x[static_cast<std::size_t>(vxg_col[g])];
@@ -60,6 +81,7 @@ inline void run_block_z_multi(sparse::offset_t vxg_begin, sparse::offset_t vxg_e
                               const sparse::index_t* vxg_col, const std::int32_t* vxg_q,
                               const T* values, const T* x, int num_rhs,
                               T* __restrict yt) {
+  CSCV_KERNEL_DCHECKS(S, vxg_begin, vxg_end, vxg_q, yt);
   if constexpr (K > 0) num_rhs = K;
   const T* vals = values;
   for (sparse::offset_t g = vxg_begin; g < vxg_end; ++g) {
@@ -83,6 +105,7 @@ inline void run_block_m_multi(sparse::offset_t vxg_begin, sparse::offset_t vxg_e
                               const sparse::index_t* vxg_col, const std::int32_t* vxg_q,
                               const T* packed, const std::uint16_t* masks, const T* x,
                               int num_rhs, T* __restrict yt) {
+  CSCV_KERNEL_DCHECKS(S, vxg_begin, vxg_end, vxg_q, yt);
   if constexpr (K > 0) num_rhs = K;
   const T* p = packed;
   alignas(64) T dense[V * S];
@@ -109,6 +132,7 @@ template <typename T, int S, int V>
 inline void run_block_z_transpose(sparse::offset_t vxg_begin, sparse::offset_t vxg_end,
                                   const sparse::index_t* vxg_col, const std::int32_t* vxg_q,
                                   const T* values, const T* __restrict yt, T* x) {
+  CSCV_KERNEL_DCHECKS(S, vxg_begin, vxg_end, vxg_q, yt);
   const T* vals = values;
   for (sparse::offset_t g = vxg_begin; g < vxg_end; ++g) {
     const T* src = yt + vxg_q[g];
@@ -131,6 +155,7 @@ inline void run_block_m_transpose(sparse::offset_t vxg_begin, sparse::offset_t v
                                   const sparse::index_t* vxg_col, const std::int32_t* vxg_q,
                                   const T* packed, const std::uint16_t* masks,
                                   const T* __restrict yt, T* x) {
+  CSCV_KERNEL_DCHECKS(S, vxg_begin, vxg_end, vxg_q, yt);
   const T* p = packed;
   if constexpr (UseHw) {
     alignas(64) T dense[V * S];

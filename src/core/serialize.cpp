@@ -1,9 +1,12 @@
 #include "core/serialize.hpp"
 
+#include <cstdint>
 #include <fstream>
 #include <istream>
+#include <limits>
 #include <ostream>
 
+#include "core/verify.hpp"
 #include "util/assertx.hpp"
 
 namespace cscv::core {
@@ -38,13 +41,38 @@ void write_array(std::ostream& out, const Vec& v) {
             static_cast<std::streamsize>(v.size() * sizeof(typename Vec::value_type)));
 }
 
+/// Bytes left in the stream past the current position, or -1 when the
+/// stream is not seekable. Lets array reads reject a corrupted count before
+/// allocating: a flipped count byte must not turn into a multi-gigabyte
+/// resize followed by a short read.
+std::int64_t remaining_bytes(std::istream& in) {
+  const auto here = in.tellg();
+  if (here == std::istream::pos_type(-1)) return -1;
+  in.seekg(0, std::ios::end);
+  const auto end = in.tellg();
+  in.seekg(here);
+  if (end == std::istream::pos_type(-1)) return -1;
+  return static_cast<std::int64_t>(end - here);
+}
+
+/// Reads an array whose element count is known from the (already validated)
+/// header. The stored count must match it exactly and the payload must fit
+/// in the stream — both checked before any memory is touched.
 template <typename Vec>
-void read_array(std::istream& in, Vec& v) {
+void read_array_checked(std::istream& in, Vec& v, std::uint64_t expected,
+                        const char* what) {
   const auto n = read_pod<std::uint64_t>(in);
+  CSCV_CHECK_MSG(n == expected, "cscv.array.count: " << what << " stores " << n
+                                                     << " elements, header implies "
+                                                     << expected);
+  const std::uint64_t bytes = n * sizeof(typename Vec::value_type);
+  const std::int64_t left = remaining_bytes(in);
+  CSCV_CHECK_MSG(left < 0 || bytes <= static_cast<std::uint64_t>(left),
+                 "cscv.array.payload: " << what << " claims " << bytes
+                                        << " bytes, stream has " << left);
   v.resize(static_cast<std::size_t>(n));
-  in.read(reinterpret_cast<char*>(v.data()),
-          static_cast<std::streamsize>(v.size() * sizeof(typename Vec::value_type)));
-  CSCV_CHECK_MSG(static_cast<bool>(in), "truncated CSCV array");
+  in.read(reinterpret_cast<char*>(v.data()), static_cast<std::streamsize>(bytes));
+  CSCV_CHECK_MSG(static_cast<bool>(in), "truncated CSCV array (" << what << ")");
 }
 
 }  // namespace
@@ -74,39 +102,98 @@ void CscvBuilderAccess<T>::write(std::ostream& out, const CscvMatrix<T>& m) {
   CSCV_CHECK_MSG(static_cast<bool>(out), "CSCV write failed");
 }
 
+// Deserialization is treated as hostile input: every header field is
+// validated, and every array count is cross-checked against the sizes the
+// header implies *before* any allocation or pointer arithmetic. After the
+// raw arrays are in memory, the mandatory cheap-level structural verify
+// (core/verify.hpp) re-checks the table invariants as a whole, so a blob
+// that decodes but lies about its structure still fails to load.
 template <typename T>
 CscvMatrix<T> CscvBuilderAccess<T>::read(std::istream& in) {
-  CSCV_CHECK_MSG(read_pod<std::uint32_t>(in) == kCscvFileMagic, "not a CSCV file");
+  CSCV_CHECK_MSG(read_pod<std::uint32_t>(in) == kCscvFileMagic,
+                 "cscv.header.magic: not a CSCV file");
   CSCV_CHECK_MSG(read_pod<std::uint32_t>(in) == kCscvFileVersion,
-                 "unsupported CSCV file version");
+                 "cscv.header.version: unsupported CSCV file version");
   CSCV_CHECK_MSG(read_pod<std::uint32_t>(in) == sizeof(T),
-                 "element type mismatch (saved with different precision)");
+                 "cscv.header.elem_size: element type mismatch (saved with different "
+                 "precision)");
   CscvMatrix<T> m;
-  m.variant_ = static_cast<typename CscvMatrix<T>::Variant>(read_pod<std::int32_t>(in));
+  const auto variant = read_pod<std::int32_t>(in);
+  CSCV_CHECK_MSG(variant == 0 || variant == 1,
+                 "cscv.header.variant: unknown variant tag " << variant);
+  m.variant_ = static_cast<typename CscvMatrix<T>::Variant>(variant);
   m.params_.s_vvec = read_pod<std::int32_t>(in);
   m.params_.s_imgb = read_pod<std::int32_t>(in);
   m.params_.s_vxg = read_pod<std::int32_t>(in);
-  m.params_.reference = static_cast<ReferenceStrategy>(read_pod<std::int32_t>(in));
-  m.params_.order = static_cast<VxgOrder>(read_pod<std::int32_t>(in));
+  const auto reference = read_pod<std::int32_t>(in);
+  CSCV_CHECK_MSG(reference >= 0 && reference <= static_cast<int>(ReferenceStrategy::kConstantBtb),
+                 "cscv.header.reference: unknown reference strategy " << reference);
+  m.params_.reference = static_cast<ReferenceStrategy>(reference);
+  const auto order = read_pod<std::int32_t>(in);
+  CSCV_CHECK_MSG(order >= 0 && order <= static_cast<int>(VxgOrder::kByCount),
+                 "cscv.header.order: unknown VxG order " << order);
+  m.params_.order = static_cast<VxgOrder>(order);
   m.layout_.image_size = read_pod<std::int32_t>(in);
   m.layout_.num_bins = read_pod<std::int32_t>(in);
   m.layout_.num_views = read_pod<std::int32_t>(in);
   m.params_.validate();
   m.layout_.validate();
+  // Shape products must fit the 32-bit index type before anything derives
+  // row/column counts from them (a corrupted header must not overflow into
+  // a plausible-looking small grid).
+  constexpr auto kIndexMax =
+      static_cast<std::int64_t>(std::numeric_limits<sparse::index_t>::max());
+  CSCV_CHECK_MSG(static_cast<std::int64_t>(m.layout_.num_views) * m.layout_.num_bins <=
+                     kIndexMax,
+                 "cscv.header.layout: num_views * num_bins overflows the row index");
+  CSCV_CHECK_MSG(static_cast<std::int64_t>(m.layout_.image_size) * m.layout_.image_size <=
+                     kIndexMax,
+                 "cscv.header.layout: image_size^2 overflows the column index");
   m.grid_ = BlockGrid(m.layout_, m.params_.s_vvec, m.params_.s_imgb);
+  const std::int64_t num_blocks =
+      static_cast<std::int64_t>(m.grid_.view_groups) * m.grid_.tiles_y * m.grid_.tiles_x;
+  CSCV_CHECK_MSG(num_blocks <= kIndexMax,
+                 "cscv.header.layout: block grid overflows the block index");
   m.nnz_ = read_pod<std::int64_t>(in);
+  CSCV_CHECK_MSG(m.nnz_ >= 0 && m.nnz_ <= static_cast<std::int64_t>(m.layout_.num_rows()) *
+                                              m.layout_.num_cols(),
+                 "cscv.header.nnz: nnz = " << m.nnz_ << " outside [0, rows*cols]");
   m.ytilde_max_slots_ = static_cast<std::size_t>(read_pod<std::uint64_t>(in));
-  read_array(in, m.blocks_);
-  read_array(in, m.refs_);
-  read_array(in, m.vxg_col_);
-  read_array(in, m.vxg_q_);
-  read_array(in, m.values_);
-  read_array(in, m.masks_);
-  CSCV_CHECK_MSG(static_cast<int>(m.blocks_.size()) == m.grid_.num_blocks(),
-                 "block table size does not match the grid");
-  CSCV_CHECK_MSG(m.refs_.size() == m.blocks_.size() * static_cast<std::size_t>(m.params_.s_vvec),
-                 "reference table size mismatch");
-  CSCV_CHECK_MSG(m.vxg_col_.size() == m.vxg_q_.size(), "VxG index arrays disagree");
+
+  // Array counts are fully determined by the header plus the block table;
+  // each read rejects a mismatched count before allocating.
+  read_array_checked(in, m.blocks_, static_cast<std::uint64_t>(num_blocks), "block table");
+  read_array_checked(in, m.refs_,
+                     static_cast<std::uint64_t>(num_blocks) *
+                         static_cast<std::uint64_t>(m.params_.s_vvec),
+                     "reference bins");
+  std::uint64_t num_vxgs = 0;
+  for (std::size_t b = 0; b < m.blocks_.size(); ++b) {
+    const auto& info = m.blocks_[b];
+    CSCV_CHECK_MSG(info.vxg_begin == static_cast<sparse::offset_t>(num_vxgs) &&
+                       info.vxg_end >= info.vxg_begin,
+                   "cscv.block_table.vxg_contiguous: block "
+                       << b << " VxG range [" << info.vxg_begin << ", " << info.vxg_end
+                       << ") does not continue at " << num_vxgs);
+    num_vxgs = static_cast<std::uint64_t>(info.vxg_end);
+  }
+  read_array_checked(in, m.vxg_col_, num_vxgs, "VxG columns");
+  read_array_checked(in, m.vxg_q_, num_vxgs, "VxG start slots");
+  const std::uint64_t expected_values =
+      m.variant_ == CscvMatrix<T>::Variant::kZ
+          ? num_vxgs * static_cast<std::uint64_t>(m.params_.s_vxg) *
+                static_cast<std::uint64_t>(m.params_.s_vvec)
+          : static_cast<std::uint64_t>(m.nnz_) +
+                static_cast<std::uint64_t>(m.params_.s_vvec);
+  read_array_checked(in, m.values_, expected_values, "values");
+  const std::uint64_t expected_masks =
+      m.variant_ == CscvMatrix<T>::Variant::kZ
+          ? 0
+          : num_vxgs * static_cast<std::uint64_t>(m.params_.s_vxg);
+  read_array_checked(in, m.masks_, expected_masks, "masks");
+
+  // Mandatory structural pass over the decoded tables (docs/FORMAT.md §8).
+  verify(m, VerifyLevel::kCheap).require_ok("cscv.load");
   return m;
 }
 

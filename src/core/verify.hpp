@@ -1,0 +1,89 @@
+// Structural invariant verifier for CscvMatrix / SpmvPlan.
+//
+// CSCV's correctness rests on invariants the paper states but the kernels
+// never re-check: every CSCVE addresses S_VVec contiguous slots of the
+// IOBLR-reordered block output, the IOBLR slot->row map is injective per
+// block, VxG index pairs stay inside the block's y~ window, and CSCV-M
+// bitmask popcounts account for exactly the stored nonzeros. A malformed
+// matrix — a builder bug, a corrupted .cscv blob, a bad autotune parameter
+// — otherwise surfaces only as silently-wrong sinograms far downstream.
+//
+// verify() walks the format and reports every violated invariant by name.
+// It is wired in at three points:
+//   * builder.cpp runs a full verify after construction in debug builds
+//     (the CSCV_DCHECK tier: free in release, exhaustive under test);
+//   * load_cscv runs a mandatory cheap verify on every deserialize, after
+//     the header/size validation hardened against untrusted files;
+//   * `cscv_cli verify <file>` prints a VerifyReport (table or JSON) and
+//     exits nonzero when any invariant fails.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/format.hpp"
+#include "util/json.hpp"
+
+namespace cscv::core {
+
+/// How much of the format a verify() call walks.
+enum class VerifyLevel {
+  kCheap,  // O(blocks + VxGs): header/table consistency, index bounds
+  kFull,   // adds O(nnz + slots): IOBLR injectivity, mask/value accounting
+};
+
+/// One violated invariant. `invariant` is a stable dotted name (the names
+/// are enumerated in docs/FORMAT.md section 8); `detail` says where and by
+/// how much.
+struct VerifyIssue {
+  std::string invariant;
+  std::string detail;
+};
+
+/// Result of a verify() walk. Issue storage is capped (kMaxIssues) so a
+/// thoroughly corrupted matrix cannot allocate without bound; the total
+/// violation count keeps counting past the cap.
+struct VerifyReport {
+  static constexpr std::size_t kMaxIssues = 64;
+
+  VerifyLevel level = VerifyLevel::kCheap;
+  std::vector<VerifyIssue> issues;
+  std::uint64_t total_violations = 0;  // includes issues dropped by the cap
+
+  // Coverage counters, so a clean report shows what was actually walked.
+  std::uint64_t blocks_checked = 0;
+  std::uint64_t vxgs_checked = 0;
+  std::uint64_t slots_checked = 0;    // full level: live y~ slots walked
+  std::uint64_t values_nonzero = 0;   // full level: nonzero stored values
+
+  [[nodiscard]] bool ok() const { return total_violations == 0; }
+  void add(std::string invariant, std::string detail);
+
+  /// One-line human summary ("ok" or "N invariant(s) violated: first ...").
+  [[nodiscard]] std::string summary() const;
+  /// Machine-readable form (the CLI's --json output).
+  [[nodiscard]] util::Json to_json() const;
+  /// Throws util::CheckError listing the leading issues when !ok().
+  void require_ok(const std::string& context) const;
+};
+
+/// Checks every structural invariant of `m` (see docs/FORMAT.md section 8).
+/// Never throws on a malformed matrix — violations land in the report.
+template <typename T>
+[[nodiscard]] VerifyReport verify(const CscvMatrix<T>& m,
+                                  VerifyLevel level = VerifyLevel::kFull);
+
+/// Verifies a plan: the underlying matrix (at `level`) plus the partition
+/// and scratch invariants of the plan itself (work accounting covers all
+/// VxGs, scratch fits the largest block, stats agree with the matrix).
+template <typename T>
+[[nodiscard]] VerifyReport verify(const SpmvPlan<T>& plan,
+                                  VerifyLevel level = VerifyLevel::kFull);
+
+extern template VerifyReport verify<float>(const CscvMatrix<float>&, VerifyLevel);
+extern template VerifyReport verify<double>(const CscvMatrix<double>&, VerifyLevel);
+extern template VerifyReport verify<float>(const SpmvPlan<float>&, VerifyLevel);
+extern template VerifyReport verify<double>(const SpmvPlan<double>&, VerifyLevel);
+
+}  // namespace cscv::core

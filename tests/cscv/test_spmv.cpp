@@ -124,9 +124,16 @@ std::vector<SweepParam> sweep_params() {
 
 INSTANTIATE_TEST_SUITE_P(AllParams, CscvSweep, ::testing::ValuesIn(sweep_params()),
                          [](const ::testing::TestParamInfo<SweepParam>& info) {
-                           return "S" + std::to_string(info.param.s_vvec) + "_B" +
-                                  std::to_string(info.param.s_imgb) + "_V" +
-                                  std::to_string(info.param.s_vxg);
+                           // += instead of a chained operator+: gcc 12's
+                           // -Wrestrict misfires on the inlined chain and CI
+                           // builds with -Werror.
+                           std::string name = "S";
+                           name += std::to_string(info.param.s_vvec);
+                           name += "_B";
+                           name += std::to_string(info.param.s_imgb);
+                           name += "_V";
+                           name += std::to_string(info.param.s_vxg);
+                           return name;
                          });
 
 // Reference-strategy and VxG-order policies must not change results.

@@ -1,0 +1,42 @@
+#!/usr/bin/env bash
+# Header self-containment check (CSCV_CHECK_HEADERS CMake target).
+#
+# Usage: tools/check_headers.sh [compiler]
+#
+# Compiles every header under src/ (plus the shared test helpers) as its own
+# translation unit with -fsyntax-only. A header that sneaks its dependencies
+# in via include order in some .cpp passes a normal build but fails here —
+# include-what-you-use discipline without needing clang tooling.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+CXX_BIN="${1:-${CXX:-c++}}"
+
+# Shared test helpers also get the tests/ include root; gtest is expected
+# on the system include path (the same place find_package(GTest) finds it).
+FLAGS=(-std=c++20 -fsyntax-only -fopenmp -Wall -Wextra -Werror -I src)
+
+# Compile a wrapper TU per header (not the header itself, which would trip
+# -Werror on "#pragma once in main file").
+WRAPPER="$(mktemp --suffix=.cpp)"
+trap 'rm -f "${WRAPPER}"' EXIT
+
+status=0
+checked=0
+while IFS= read -r hdr; do
+  extra=()
+  case "${hdr}" in
+    tests/*) extra=(-I tests) ;;
+  esac
+  printf '#include "%s"\n' "${PWD}/${hdr}" > "${WRAPPER}"
+  if ! "${CXX_BIN}" "${FLAGS[@]}" "${extra[@]}" "${WRAPPER}"; then
+    echo "check_headers.sh: ${hdr} is not self-contained" >&2
+    status=1
+  fi
+  checked=$((checked + 1))
+done < <(find src tests -name '*.hpp' | sort)
+
+if [[ "${status}" -eq 0 ]]; then
+  echo "check_headers.sh: ${checked} headers are self-contained"
+fi
+exit "${status}"

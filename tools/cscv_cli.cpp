@@ -6,14 +6,17 @@
 //   cscv_cli convert  --mtx=in.mtx --image=N --bins=B --views=V --cscv=out.cscv
 //                     [--svvec=8 --simgb=16 --svxg=4 --variant=m|z]
 //   cscv_cli spmv     --cscv=matrix.cscv [--iters=20] [--threads=N]
+//   cscv_cli verify   <file.cscv> [--level=cheap|full] [--json]
 //
 // Everything the bench harness measures is reachable from here on user data.
+#include <fstream>
 #include <iostream>
 #include <string>
 
 #include "core/autotune.hpp"
 #include "core/plan.hpp"
 #include "core/serialize.hpp"
+#include "core/verify.hpp"
 #include "ct/fan_beam.hpp"
 #include "ct/system_matrix.hpp"
 #include "sparse/convert.hpp"
@@ -202,7 +205,7 @@ int cmd_spmv(util::CliFlags& cli) {
                                                                    : "private-y")
             << " scheme, " << (plan.hardware_expand() ? "hardware" : "software")
             << " expand, " << plan.threads() << " threads, "
-            << plan.scratch_bytes() / 1024.0 << " KiB scratch\n";
+            << static_cast<double>(plan.scratch_bytes()) / 1024.0 << " KiB scratch\n";
   const double seconds = util::min_time_seconds(iters, [&] { plan.execute(x, y); });
   std::cout << "y = Ax: " << seconds * 1e3 << " ms/iter (min of " << iters << "), "
             << util::spmv_gflops(static_cast<std::uint64_t>(m.nnz()), seconds)
@@ -210,12 +213,71 @@ int cmd_spmv(util::CliFlags& cli) {
   return 0;
 }
 
+/// Element width recorded in a .cscv header (so verify can dispatch to the
+/// right precision without asking the user). Throws on non-CSCV files.
+std::uint32_t peek_elem_size(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  CSCV_CHECK_MSG(in.is_open(), "cannot open " << path);
+  std::uint32_t header[3] = {0, 0, 0};
+  in.read(reinterpret_cast<char*>(header), sizeof(header));
+  CSCV_CHECK_MSG(static_cast<bool>(in), "cscv.header.magic: truncated CSCV header");
+  CSCV_CHECK_MSG(header[0] == core::kCscvFileMagic, "cscv.header.magic: not a CSCV file");
+  return header[2];
+}
+
+template <typename T>
+core::VerifyReport load_and_verify(const std::string& path, core::VerifyLevel level) {
+  auto m = core::load_cscv_file<T>(path);
+  return core::verify(m, level);
+}
+
+int cmd_verify(util::CliFlags& cli) {
+  std::string path = cli.get_string("cscv", "");
+  const std::string level_name = cli.get_string("level", "full");
+  const bool as_json = cli.get_bool("json");
+  if (path.empty() && !cli.positional().empty()) path = cli.positional().front();
+  cli.finish();
+  CSCV_CHECK_MSG(!path.empty(), "verify needs a file: cscv_cli verify matrix.cscv");
+  CSCV_CHECK_MSG(level_name == "cheap" || level_name == "full",
+                 "--level must be cheap or full (got " << level_name << ")");
+  const auto level =
+      level_name == "cheap" ? core::VerifyLevel::kCheap : core::VerifyLevel::kFull;
+
+  core::VerifyReport report;
+  report.level = level;
+  try {
+    report = peek_elem_size(path) == sizeof(double)
+                 ? load_and_verify<double>(path, level)
+                 : load_and_verify<float>(path, level);
+  } catch (const util::CheckError& e) {
+    // Deserialization rejected the blob before a matrix existed; surface
+    // the named invariant from the exception as the report.
+    report.add("load", e.what());
+  }
+
+  if (as_json) {
+    auto j = report.to_json();
+    j["file"] = path;
+    std::cout << j.dump(2) << "\n";
+  } else {
+    std::cout << path << ": " << report.summary() << "\n";
+    for (const auto& issue : report.issues) {
+      std::cout << "  [" << issue.invariant << "] " << issue.detail << "\n";
+    }
+    if (report.total_violations > report.issues.size()) {
+      std::cout << "  ... and " << report.total_violations - report.issues.size()
+                << " more\n";
+    }
+  }
+  return report.ok() ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   using namespace cscv;
   if (argc < 2) {
-    std::cerr << "usage: cscv_cli <generate|info|convert|spmv|tune> [--flags]\n";
+    std::cerr << "usage: cscv_cli <generate|info|convert|spmv|tune|verify> [--flags]\n";
     return 2;
   }
   const std::string cmd = argv[1];
@@ -226,6 +288,7 @@ int main(int argc, char** argv) {
     if (cmd == "convert") return cmd_convert(cli);
     if (cmd == "spmv") return cmd_spmv(cli);
     if (cmd == "tune") return cmd_tune(cli);
+    if (cmd == "verify") return cmd_verify(cli);
     std::cerr << "unknown command: " << cmd << "\n";
     return 2;
   } catch (const std::exception& e) {

@@ -1,0 +1,65 @@
+#!/usr/bin/env bash
+# clang-tidy driver for the CSCV_LINT CMake target and the `lint` CI job.
+#
+# Usage: tools/lint.sh [build-dir]
+#
+# Runs clang-tidy (config: .clang-tidy at the repo root) over every
+# translation unit of src/, tools/ and tests/ listed in the build
+# directory's compile_commands.json. WarningsAsErrors is '*' in the config,
+# so any finding exits nonzero. Prefers run-clang-tidy for parallelism,
+# falls back to invoking clang-tidy per file.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD_DIR="${1:-build}"
+DB="${BUILD_DIR}/compile_commands.json"
+
+if [[ ! -f "${DB}" ]]; then
+  echo "lint.sh: ${DB} not found." >&2
+  echo "Configure with: cmake -B ${BUILD_DIR} -S . (CMAKE_EXPORT_COMPILE_COMMANDS is on by default)" >&2
+  exit 2
+fi
+
+TIDY="${CLANG_TIDY:-}"
+if [[ -z "${TIDY}" ]]; then
+  for candidate in clang-tidy clang-tidy-19 clang-tidy-18 clang-tidy-17 clang-tidy-16 clang-tidy-15; do
+    if command -v "${candidate}" >/dev/null 2>&1; then
+      TIDY="${candidate}"
+      break
+    fi
+  done
+fi
+if [[ -z "${TIDY}" ]]; then
+  echo "lint.sh: no clang-tidy found on PATH (set CLANG_TIDY=... to override)." >&2
+  echo "Install clang-tidy, or rely on the CI lint job which provisions it." >&2
+  exit 2
+fi
+
+# TUs under src/ tools/ tests/ only — bench/ and examples/ are not part of
+# the lint gate (they follow looser, benchmark-idiomatic style).
+FILTER='/(src|tools|tests)/.*\.cpp$'
+
+RUNNER=""
+for candidate in run-clang-tidy run-clang-tidy-19 run-clang-tidy-18 run-clang-tidy-17 run-clang-tidy-16 run-clang-tidy-15; do
+  if command -v "${candidate}" >/dev/null 2>&1; then
+    RUNNER="${candidate}"
+    break
+  fi
+done
+
+if [[ -n "${RUNNER}" ]]; then
+  echo "lint.sh: ${RUNNER} with $(${TIDY} --version | head -n1)"
+  "${RUNNER}" -clang-tidy-binary "$(command -v "${TIDY}")" -p "${BUILD_DIR}" \
+    -quiet "${FILTER}"
+else
+  # Portable fallback: extract the file list from the compile database
+  # without assuming jq exists.
+  mapfile -t FILES < <(grep -o '"file": *"[^"]*"' "${DB}" | sed 's/.*"file": *"//; s/"$//' |
+    grep -E "${FILTER}" | sort -u)
+  echo "lint.sh: ${TIDY} over ${#FILES[@]} files (serial fallback)"
+  status=0
+  for f in "${FILES[@]}"; do
+    "${TIDY}" -p "${BUILD_DIR}" --quiet "$f" || status=1
+  done
+  exit "${status}"
+fi
