@@ -56,7 +56,8 @@ inline bool is_timing_metric(const std::string& metric) {
   return metric.find("seconds") != std::string::npos ||
          metric.find("gflops") != std::string::npos ||
          metric.find("gbps") != std::string::npos ||
-         metric.find("speedup") != std::string::npos;
+         metric.find("speedup") != std::string::npos ||
+         metric.find("per_sec") != std::string::npos;
 }
 
 /// Classifies one metric pair. `threshold` is the relative noise band,

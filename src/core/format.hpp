@@ -19,6 +19,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <span>
 
 #include "core/layout.hpp"
@@ -145,9 +146,17 @@ class CscvMatrix {
   /// scratch allocation exactly once per configuration. The cache holds one
   /// single-RHS and one multi-RHS plan; a plan is rebuilt when the options,
   /// the ambient util::max_threads(), or the matrix identity change (so
-  /// set_num_threads() between calls is always honored). Not safe against
-  /// concurrent first use from multiple caller threads — build the plan (or
-  /// run one apply) before sharing a matrix across callers.
+  /// set_num_threads() between calls is always honored).
+  ///
+  /// Plan *acquisition* is thread-safe: a small mutex guards the cache, so
+  /// concurrent first calls single-flight the build (one thread constructs,
+  /// the rest wait and receive the same plan). The returned reference stays
+  /// valid while the matrix lives and no caller requests a different
+  /// configuration — a rebuild (changed options or thread count) replaces
+  /// the cached plan and frees the old one. Plan *execution* mutates the
+  /// plan's private scratch, so concurrent execute() calls still need one
+  /// SpmvPlan per caller thread (see pipeline::ReconService's per-worker
+  /// plans for the intended pattern).
   const SpmvPlan<T>& plan(const PlanOptions& opts = {}) const;
 
   // ---- introspection (tests, analysis benches) -------------------------
@@ -182,11 +191,31 @@ class CscvMatrix {
   util::AlignedVector<T> values_;                // kZ: VxG-major dense; kM: packed
   util::AlignedVector<std::uint16_t> masks_;     // kM: per-CSCVE lane masks
 
-  // Cached plans (single-RHS and multi-RHS slots). shared_ptr so copies of
-  // the matrix stay cheap and safe: a plan remembers which matrix it was
-  // built for, and plan() rebuilds when that identity no longer matches.
-  mutable std::shared_ptr<SpmvPlan<T>> plan_cache_;
-  mutable std::shared_ptr<SpmvPlan<T>> multi_plan_cache_;
+  // Cached plans (single-RHS and multi-RHS slots), guarded by a mutex so
+  // concurrent first calls to plan()/spmv() on a shared matrix cannot race
+  // on the slots (the warm path pays one uncontended lock). Copies and
+  // moves of the matrix start with a cold cache: a plan remembers the
+  // address of the matrix it was built for, so a carried-over plan would
+  // only be discarded by the staleness check anyway.
+  struct PlanCache {
+    std::mutex mu;
+    std::shared_ptr<SpmvPlan<T>> single;
+    std::shared_ptr<SpmvPlan<T>> multi;
+
+    PlanCache() = default;
+    PlanCache(const PlanCache&) noexcept {}
+    PlanCache& operator=(const PlanCache&) noexcept { return *this; }
+    PlanCache(PlanCache&& other) noexcept {
+      other.single.reset();  // match pre-mutex semantics: the moved-from
+      other.multi.reset();   // matrix is gutted, so its plans must go too
+    }
+    PlanCache& operator=(PlanCache&& other) noexcept {
+      other.single.reset();
+      other.multi.reset();
+      return *this;
+    }
+  };
+  mutable PlanCache plan_cache_;
 
   template <typename U>
   friend class CscvBuilderAccess;

@@ -43,6 +43,8 @@ struct CscvParams {
     CSCV_CHECK_MSG(s_vxg == 1 || s_vxg == 2 || s_vxg == 4 || s_vxg == 8 || s_vxg == 16,
                    "S_VxG must be 1, 2, 4, 8 or 16 (got " << s_vxg << ")");
   }
+
+  friend bool operator==(const CscvParams&, const CscvParams&) = default;
 };
 
 inline std::string reference_name(ReferenceStrategy s) {

@@ -330,8 +330,12 @@ PlanStats SpmvPlan<T>::stats() const {
 
 template <typename T>
 const SpmvPlan<T>& CscvMatrix<T>::plan(const PlanOptions& opts) const {
-  auto& slot = opts.num_rhs > 1 ? multi_plan_cache_ : plan_cache_;
   const int want_threads = opts.threads > 0 ? opts.threads : util::max_threads();
+  // The build happens under the lock on purpose: concurrent cold callers
+  // single-flight onto one construction instead of each building (and all
+  // but one discarding) a plan. The warm path is one uncontended lock.
+  std::lock_guard<std::mutex> lock(plan_cache_.mu);
+  auto& slot = opts.num_rhs > 1 ? plan_cache_.multi : plan_cache_.single;
   if (!slot || !slot->matches(*this, opts, want_threads)) {
     slot = std::make_shared<SpmvPlan<T>>(*this, opts);
   }

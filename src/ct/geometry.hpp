@@ -74,6 +74,11 @@ struct ParallelGeometry {
     CSCV_CHECK(image_size > 0 && num_bins > 0 && num_views > 0);
     CSCV_CHECK(delta_angle_deg > 0.0);
   }
+
+  /// Exact field-wise equality — the cache-key identity used by
+  /// pipeline::SystemMatrixCache (two geometries that differ in any
+  /// discretization field produce different system matrices).
+  friend bool operator==(const ParallelGeometry&, const ParallelGeometry&) = default;
 };
 
 /// Bin count that covers the image diagonal with a small safety margin —

@@ -1,0 +1,46 @@
+#include "pipeline/job.hpp"
+
+namespace cscv::pipeline {
+
+const char* job_status_name(JobStatus s) {
+  switch (s) {
+    case JobStatus::kOk: return "ok";
+    case JobStatus::kRejected: return "rejected";
+    case JobStatus::kExpired: return "expired";
+    case JobStatus::kCancelled: return "cancelled";
+    case JobStatus::kFailed: return "failed";
+  }
+  return "?";
+}
+
+util::Json ReconResult::to_json() const {
+  util::Json j = util::Json::object();
+  j["job_id"] = util::Json(job_id);
+  if (!tag.empty()) j["tag"] = util::Json(tag);
+  j["status"] = util::Json(job_status_name(status));
+  if (!error.empty()) j["error"] = util::Json(error);
+  j["worker"] = util::Json(worker);
+  j["cache_hit"] = util::Json(cache_hit);
+  j["queue_wait_seconds"] = util::Json(queue_wait_seconds);
+  j["acquire_seconds"] = util::Json(acquire_seconds);
+  j["solve_seconds"] = util::Json(solve_seconds);
+  j["iterations_run"] = util::Json(iterations_run);
+  j["final_residual"] = util::Json(final_residual);
+  j["volume_elements"] = util::Json(volume.size());
+  if (plan_stats.nnz > 0) {
+    util::Json p = util::Json::object();
+    p["nnz"] = util::Json(plan_stats.nnz);
+    p["padding_fraction"] = util::Json(plan_stats.padding_fraction);
+    p["threads"] = util::Json(plan_stats.threads);
+    p["scratch_bytes"] = util::Json(plan_stats.scratch_bytes);
+    if (plan_stats.telemetry_enabled) {
+      p["applies"] = util::Json(plan_stats.applies);
+      p["transpose_applies"] = util::Json(plan_stats.transpose_applies);
+      p["gflops_best"] = util::Json(plan_stats.gflops_best);
+    }
+    j["plan"] = p;
+  }
+  return j;
+}
+
+}  // namespace cscv::pipeline

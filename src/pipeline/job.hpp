@@ -1,0 +1,87 @@
+// ReconJob / ReconResult — the value types that flow through ReconService.
+//
+// A job carries everything needed to reconstruct one slice: the acquisition
+// geometry, the CSCV tuning of the operator it wants, the algorithm and its
+// solver options, and the sinogram itself. A result carries the volume plus
+// the telemetry a service operator actually looks at: where time went
+// (queue wait / operator acquire / solve), whether the system matrix was a
+// cache hit, and the PlanStats snapshot of the worker's execution plan.
+// Results serialize to util::Json (summary only — the volume payload stays
+// in memory).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "core/plan.hpp"
+#include "pipeline/matrix_cache.hpp"
+#include "recon/solvers.hpp"
+#include "util/aligned_vector.hpp"
+#include "util/json.hpp"
+
+namespace cscv::pipeline {
+
+struct ReconJob {
+  ct::ParallelGeometry geometry;
+  core::CscvParams cscv{};
+  core::CscvMatrix<float>::Variant variant = core::CscvMatrix<float>::Variant::kM;
+  Algorithm algorithm = Algorithm::kSirt;
+
+  /// Solver knobs for the iterative algorithms (ignored by kFbp).
+  recon::SolveOptions solve{};
+  /// Subset count for kOsSart (ignored elsewhere).
+  int os_sart_subsets = 8;
+
+  /// Wall-clock budget measured from submit(); 0 disables. A job whose
+  /// budget is spent before its solve starts resolves as kExpired (checked
+  /// at dequeue and again after operator acquisition — a running solve is
+  /// never interrupted).
+  double deadline_seconds = 0.0;
+
+  /// Free-form label echoed into the result (dataset name, client id, ...).
+  std::string tag;
+
+  /// Bin-major sinogram, geometry.num_rows() elements.
+  util::AlignedVector<float> sinogram;
+
+  [[nodiscard]] MatrixKey matrix_key() const {
+    return MatrixKey{geometry, cscv, variant, algorithm};
+  }
+};
+
+enum class JobStatus {
+  kOk,         // volume is valid
+  kRejected,   // refused at admission (queue full under kReject, or shutdown)
+  kExpired,    // deadline spent before the solve started
+  kCancelled,  // cancel() reached it while queued, or abort-shutdown drained it
+  kFailed,     // the build or solve threw; see error
+};
+
+[[nodiscard]] const char* job_status_name(JobStatus s);
+
+struct ReconResult {
+  std::uint64_t job_id = 0;
+  std::string tag;
+  JobStatus status = JobStatus::kFailed;
+  std::string error;  // empty unless status == kFailed
+
+  int worker = -1;  // worker index that ran the job (-1: never ran)
+  bool cache_hit = false;
+  double queue_wait_seconds = 0.0;
+  double acquire_seconds = 0.0;  // time inside SystemMatrixCache::get_or_build
+  double solve_seconds = 0.0;
+
+  int iterations_run = 0;
+  double final_residual = 0.0;  // ||b - A x|| after the last iteration
+
+  /// Reconstructed image, geometry.num_cols() elements (empty unless kOk).
+  util::AlignedVector<float> volume;
+  /// Snapshot of the worker plan that ran the job (zero for kOsSart, which
+  /// runs on CSR subsets instead of a plan).
+  core::PlanStats plan_stats{};
+
+  /// Telemetry summary (status, timings, plan highlights) — not the volume.
+  [[nodiscard]] util::Json to_json() const;
+};
+
+}  // namespace cscv::pipeline

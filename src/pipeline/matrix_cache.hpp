@@ -1,0 +1,174 @@
+// SystemMatrixCache — shared, single-flight cache of built CT operators.
+//
+// Building a system matrix dominates end-to-end tomography service time
+// once SpMV itself is fast (Marchesini et al., "Sparse Matrix-Based HPC
+// Tomography"): one pixel-driven CSC build plus the CSCV conversion costs
+// orders of magnitude more than the reconstruction it feeds. A service
+// handling a stream of slices therefore lives or dies on operator reuse:
+//
+//   * keyed on (geometry, CscvParams, variant, algorithm) — everything that
+//     changes the bytes of the built operator set;
+//   * single-flight build deduplication: when N requests for the same key
+//     arrive while nothing is cached, exactly one caller builds and the
+//     other N-1 block on the in-flight slot, then share the result;
+//   * byte-budget LRU: ready entries are evicted least-recently-used first
+//     once the resident total exceeds the budget (a single entry larger
+//     than the whole budget stays resident — a cache of one);
+//   * optional disk spill: evicted entries write their CSCV half through
+//     core::save_cscv, and a later miss restores via core::load_cscv —
+//     which runs the mandatory cheap invariant verify on every load, so a
+//     truncated or corrupted spill file falls back to a full rebuild
+//     instead of serving garbage.
+//
+// Entries are immutable once published and handed out as shared_ptr, so
+// eviction never invalidates an operator a worker is still reconstructing
+// with — the entry dies when its last user lets go.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "core/format.hpp"
+#include "core/layout.hpp"
+#include "core/params.hpp"
+#include "ct/geometry.hpp"
+#include "sparse/csr.hpp"
+#include "util/json.hpp"
+
+namespace cscv::pipeline {
+
+/// Reconstruction algorithm a job runs — part of the cache key because it
+/// decides which operator representations an entry must carry (the
+/// plan-driven algorithms need only the CSCV matrix; OS-SART needs CSR).
+enum class Algorithm { kFbp, kSirt, kCgls, kOsSart };
+
+[[nodiscard]] const char* algorithm_name(Algorithm a);
+/// Inverse of algorithm_name; throws util::CheckError on unknown names.
+[[nodiscard]] Algorithm algorithm_from_name(std::string_view name);
+
+/// Cache identity: two keys compare equal exactly when the built operator
+/// sets would be byte-identical.
+struct MatrixKey {
+  ct::ParallelGeometry geometry;
+  core::CscvParams cscv{};
+  core::CscvMatrix<float>::Variant variant = core::CscvMatrix<float>::Variant::kM;
+  Algorithm algorithm = Algorithm::kSirt;
+
+  /// Stable, filesystem-safe serialization of the key — the map key and
+  /// the spill file stem (docs/PIPELINE.md documents the format).
+  [[nodiscard]] std::string fingerprint() const;
+
+  friend bool operator==(const MatrixKey&, const MatrixKey&) = default;
+};
+
+/// One resident operator set. Immutable after publication; shared between
+/// the cache and every worker currently reconstructing with it.
+struct SystemMatrixEntry {
+  ct::ParallelGeometry geometry;
+  core::OperatorLayout layout;
+  Algorithm algorithm = Algorithm::kSirt;
+  bool restored_from_spill = false;
+  double build_seconds = 0.0;  // wall time of the build (or restore)
+
+  /// The house format: forward via SpmvPlan::execute, backprojection via
+  /// SpmvPlan::execute_transpose. Always present.
+  std::shared_ptr<const core::CscvMatrix<float>> cscv;
+  /// Row-major operator for OS-SART's row subsets; only built (and only
+  /// counted against the budget) when algorithm == kOsSart.
+  std::shared_ptr<const sparse::CsrMatrix<float>> csr;
+
+  /// Budget-relevant footprint of the resident arrays.
+  [[nodiscard]] std::size_t bytes() const;
+};
+
+struct CacheStats {
+  std::uint64_t hits = 0;    // served instantly from a ready entry
+  std::uint64_t misses = 0;  // this call built (or restored) the entry
+  std::uint64_t single_flight_waits = 0;  // blocked on someone else's build
+  std::uint64_t builds = 0;   // full builds performed (the stampede metric)
+  std::uint64_t restores = 0; // rebuilt from a spill file instead
+  std::uint64_t evictions = 0;
+  std::uint64_t spills = 0;   // evictions that wrote a spill file
+  std::size_t resident_bytes = 0;
+  std::size_t resident_entries = 0;
+
+  /// Fraction of lookups that never blocked: hits / all lookups.
+  [[nodiscard]] double hit_rate() const {
+    const std::uint64_t total = hits + misses + single_flight_waits;
+    return total == 0 ? 0.0 : static_cast<double>(hits) / static_cast<double>(total);
+  }
+  [[nodiscard]] util::Json to_json() const;
+};
+
+class SystemMatrixCache {
+ public:
+  struct Options {
+    /// Resident-set ceiling. Eviction runs after each insertion until the
+    /// total fits (the newest entry itself is never evicted).
+    std::size_t budget_bytes = std::size_t{512} << 20;
+    /// Directory for spill files; empty disables spill/restore. Created on
+    /// first spill if missing.
+    std::string spill_dir;
+  };
+
+  /// What one get_or_build call experienced.
+  struct Acquired {
+    std::shared_ptr<const SystemMatrixEntry> entry;
+    bool hit = false;       // served without building or waiting
+    bool restored = false;  // this call restored the entry from spill
+    double seconds = 0.0;   // time spent inside the call
+  };
+
+  SystemMatrixCache() : SystemMatrixCache(Options{}) {}
+  explicit SystemMatrixCache(Options options);
+
+  /// Returns the entry for `key`, building it exactly once per residency no
+  /// matter how many threads ask concurrently. Throws whatever the build
+  /// threw (waiters receive the same error; the slot is cleared so a later
+  /// call retries).
+  Acquired get_or_build(const MatrixKey& key);
+
+  [[nodiscard]] CacheStats stats() const;
+  /// Resident keys, most-recently-used first (tests assert eviction order).
+  [[nodiscard]] std::vector<std::string> resident_fingerprints() const;
+  /// Drops every ready entry (spilling per policy). In-flight builds finish
+  /// and publish normally.
+  void clear();
+
+  [[nodiscard]] const Options& options() const { return options_; }
+  /// Spill file path for a key (exposed so tests can corrupt/inspect it).
+  [[nodiscard]] std::string spill_path(const MatrixKey& key) const;
+
+ private:
+  struct Slot {
+    bool building = true;
+    std::shared_ptr<const SystemMatrixEntry> entry;  // set once ready
+    std::exception_ptr error;                        // set when the build threw
+  };
+
+  /// Full build from the geometry (CSC -> CSCV [-> CSR]); no lock held.
+  static std::shared_ptr<SystemMatrixEntry> build_entry(const MatrixKey& key);
+  /// Attempts a spill restore; nullptr when unavailable/unusable.
+  [[nodiscard]] std::shared_ptr<SystemMatrixEntry> try_restore(const MatrixKey& key) const;
+  /// Evicts LRU entries (never `keep`) until the budget fits. Lock held.
+  void evict_locked(const std::string& keep);
+  void touch_locked(const std::string& fingerprint);
+
+  Options options_;
+  mutable std::mutex mu_;
+  std::condition_variable ready_;  // signaled when a slot leaves kBuilding
+  std::unordered_map<std::string, std::shared_ptr<Slot>> slots_;
+  std::list<std::string> lru_;  // ready entries only; front = most recent
+  std::size_t resident_bytes_ = 0;
+  CacheStats stats_;
+};
+
+}  // namespace cscv::pipeline

@@ -1,0 +1,119 @@
+// Bounded MPMC queue — the admission stage of the reconstruction service.
+//
+// A deliberately boring mutex + two-condvar queue: the items that flow
+// through it are whole reconstruction jobs (milliseconds to seconds of
+// work each), so lock-free cleverness would buy nothing while costing
+// ThreadSanitizer transparency. The two admission verbs map onto the
+// service's backpressure policies:
+//   * push     — blocks while the queue is full (AdmissionPolicy::kBlock),
+//   * try_push — returns kFull immediately (AdmissionPolicy::kReject).
+// Both take the item by reference and move from it only on kOk, so a
+// rejected item (carrying its promise) stays with the caller to resolve.
+//
+// close() starts shutdown: producers are refused from that point on, while
+// consumers keep draining whatever is already queued and pop() returns
+// false only once the queue is closed *and* empty — the graceful-drain
+// contract. drain() grabs everything still queued in one swoop (the abort
+// path, where the service fails the leftovers itself).
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <utility>
+#include <vector>
+
+#include "util/assertx.hpp"
+
+namespace cscv::pipeline {
+
+enum class PushResult { kOk, kFull, kClosed };
+
+template <typename T>
+class BoundedQueue {
+ public:
+  explicit BoundedQueue(std::size_t capacity) : capacity_(capacity) {
+    CSCV_CHECK_MSG(capacity >= 1, "BoundedQueue capacity must be >= 1");
+  }
+
+  BoundedQueue(const BoundedQueue&) = delete;
+  BoundedQueue& operator=(const BoundedQueue&) = delete;
+
+  /// Blocking admission: waits for space, moves from `item` on kOk.
+  /// Returns kClosed (item untouched) if the queue closes while waiting.
+  PushResult push(T& item) {
+    std::unique_lock<std::mutex> lock(mu_);
+    space_.wait(lock, [&] { return closed_ || items_.size() < capacity_; });
+    if (closed_) return PushResult::kClosed;
+    items_.push_back(std::move(item));
+    lock.unlock();
+    ready_.notify_one();
+    return PushResult::kOk;
+  }
+
+  /// Non-blocking admission: moves from `item` only on kOk.
+  PushResult try_push(T& item) {
+    std::unique_lock<std::mutex> lock(mu_);
+    if (closed_) return PushResult::kClosed;
+    if (items_.size() >= capacity_) return PushResult::kFull;
+    items_.push_back(std::move(item));
+    lock.unlock();
+    ready_.notify_one();
+    return PushResult::kOk;
+  }
+
+  /// Blocks until an item is available (true) or the queue is closed and
+  /// fully drained (false) — consumers use the false return to exit.
+  bool pop(T& out) {
+    std::unique_lock<std::mutex> lock(mu_);
+    ready_.wait(lock, [&] { return closed_ || !items_.empty(); });
+    if (items_.empty()) return false;
+    out = std::move(items_.front());
+    items_.pop_front();
+    lock.unlock();
+    space_.notify_one();
+    return true;
+  }
+
+  /// Refuses producers from now on; consumers drain the remaining items.
+  void close() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      closed_ = true;
+    }
+    ready_.notify_all();
+    space_.notify_all();
+  }
+
+  /// Removes and returns everything still queued (the abort-shutdown path;
+  /// the caller owns resolving the drained items).
+  std::vector<T> drain() {
+    std::lock_guard<std::mutex> lock(mu_);
+    std::vector<T> out;
+    out.reserve(items_.size());
+    for (T& item : items_) out.push_back(std::move(item));
+    items_.clear();
+    return out;
+  }
+
+  [[nodiscard]] std::size_t size() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return items_.size();
+  }
+  [[nodiscard]] std::size_t capacity() const { return capacity_; }
+  [[nodiscard]] bool closed() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return closed_;
+  }
+
+ private:
+  const std::size_t capacity_;
+  mutable std::mutex mu_;
+  std::condition_variable ready_;  // signaled on push / close
+  std::condition_variable space_;  // signaled on pop / close
+  std::deque<T> items_;
+  bool closed_ = false;
+};
+
+}  // namespace cscv::pipeline

@@ -1,0 +1,291 @@
+#include "pipeline/service.hpp"
+
+#include <algorithm>
+#include <exception>
+#include <list>
+#include <utility>
+
+#include "recon/fbp.hpp"
+#include "recon/operators.hpp"
+#include "recon/os_sart.hpp"
+#include "util/parallel.hpp"
+#include "util/timing.hpp"
+
+namespace cscv::pipeline {
+
+util::Json ServiceStats::to_json() const {
+  util::Json j = util::Json::object();
+  j["submitted"] = util::Json(submitted);
+  j["completed"] = util::Json(completed);
+  j["rejected"] = util::Json(rejected);
+  j["expired"] = util::Json(expired);
+  j["cancelled"] = util::Json(cancelled);
+  j["failed"] = util::Json(failed);
+  return j;
+}
+
+ReconResult execute_job(const ReconJob& job, const SystemMatrixEntry& entry,
+                        const core::SpmvPlan<float>* plan) {
+  job.geometry.validate();
+  const auto rows = static_cast<std::size_t>(job.geometry.num_rows());
+  const auto cols = static_cast<std::size_t>(job.geometry.num_cols());
+  CSCV_CHECK_MSG(job.sinogram.size() == rows, "sinogram has " << job.sinogram.size()
+                                                              << " elements, geometry wants "
+                                                              << rows);
+  ReconResult r;
+  r.tag = job.tag;
+  util::WallTimer timer;
+  r.volume.assign(cols, 0.0F);
+  switch (job.algorithm) {
+    case Algorithm::kFbp: {
+      CSCV_CHECK_MSG(plan != nullptr && plan->matrix() == entry.cscv.get(),
+                     "kFbp needs a plan over the entry's CSCV matrix");
+      const recon::PlanOperator<float> op(*plan);
+      r.volume = recon::fbp<float>(job.geometry, op, job.sinogram);
+      r.iterations_run = 1;
+      break;
+    }
+    case Algorithm::kSirt:
+    case Algorithm::kCgls: {
+      CSCV_CHECK_MSG(plan != nullptr && plan->matrix() == entry.cscv.get(),
+                     "iterative algorithms need a plan over the entry's CSCV matrix");
+      const recon::PlanOperator<float> op(*plan);
+      const recon::RunStats stats =
+          job.algorithm == Algorithm::kSirt
+              ? recon::sirt<float>(op, job.sinogram, r.volume, job.solve)
+              : recon::cgls<float>(op, job.sinogram, r.volume, job.solve);
+      r.iterations_run = stats.iterations_run;
+      if (!stats.residual_norms.empty()) r.final_residual = stats.residual_norms.back();
+      break;
+    }
+    case Algorithm::kOsSart: {
+      CSCV_CHECK_MSG(entry.csr != nullptr, "kOsSart entry is missing its CSR operator");
+      recon::OsSartOptions opts;
+      opts.iterations = job.solve.iterations;
+      opts.num_subsets = job.os_sart_subsets;
+      opts.relaxation = job.solve.relaxation;
+      opts.enforce_nonneg = job.solve.enforce_nonneg;
+      const recon::RunStats stats =
+          recon::os_sart<float>(*entry.csr, entry.layout, job.sinogram, r.volume, opts);
+      r.iterations_run = stats.iterations_run;
+      if (!stats.residual_norms.empty()) r.final_residual = stats.residual_norms.back();
+      break;
+    }
+  }
+  r.solve_seconds = timer.seconds();
+  if (plan != nullptr) r.plan_stats = plan->stats();
+  r.status = JobStatus::kOk;
+  return r;
+}
+
+ReconService::ReconService(ServiceOptions options)
+    : options_(std::move(options)), cache_(options_.cache), queue_(options_.queue_capacity) {
+  CSCV_CHECK_MSG(options_.num_workers >= 0, "num_workers must be >= 0");
+  CSCV_CHECK_MSG(options_.omp_threads_per_worker >= 1,
+                 "omp_threads_per_worker must be >= 1");
+  CSCV_CHECK_MSG(options_.plans_per_worker >= 1, "plans_per_worker must be >= 1");
+  workers_.reserve(static_cast<std::size_t>(options_.num_workers));
+  for (int i = 0; i < options_.num_workers; ++i) {
+    workers_.emplace_back(&ReconService::worker_main, this, i);
+  }
+}
+
+ReconService::~ReconService() { shutdown(DrainMode::kDrain); }
+
+void ReconService::resolve_without_running(Pending& p, JobStatus status) {
+  ReconResult r;
+  r.job_id = p.id;
+  r.tag = p.job.tag;
+  r.status = status;
+  p.promise.set_value(std::move(r));
+}
+
+void ReconService::count_status(JobStatus status) {
+  std::lock_guard<std::mutex> lock(mu_);
+  switch (status) {
+    case JobStatus::kOk: ++stats_.completed; break;
+    case JobStatus::kRejected: ++stats_.rejected; break;
+    case JobStatus::kExpired: ++stats_.expired; break;
+    case JobStatus::kCancelled: ++stats_.cancelled; break;
+    case JobStatus::kFailed: ++stats_.failed; break;
+  }
+}
+
+ReconService::Submitted ReconService::submit(ReconJob job) {
+  Pending p;
+  p.job = std::move(job);
+  p.id = next_id_.fetch_add(1, std::memory_order_relaxed);
+  p.submit_time = std::chrono::steady_clock::now();
+  Submitted handle{p.id, p.promise.get_future()};
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.submitted;
+    // Registered before the push so cancel() can never observe a job that
+    // is in the queue but unknown to it.
+    queued_ids_.insert(p.id);
+  }
+  const PushResult admitted = options_.admission == AdmissionPolicy::kReject
+                                  ? queue_.try_push(p)
+                                  : queue_.push(p);
+  if (admitted != PushResult::kOk) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      queued_ids_.erase(p.id);
+      cancelled_.erase(p.id);
+    }
+    // The move in push() only happens on kOk, so `p` still owns the
+    // promise and we can resolve the rejection ourselves.
+    count_status(JobStatus::kRejected);
+    resolve_without_running(p, JobStatus::kRejected);
+  }
+  return handle;
+}
+
+bool ReconService::cancel(std::uint64_t job_id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (queued_ids_.count(job_id) == 0) return false;
+  cancelled_.insert(job_id);
+  return true;
+}
+
+ServiceStats ReconService::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+void ReconService::worker_main(int worker_index) {
+  // An OpenMP ICV is per-thread: this caps only *this* worker's parallel
+  // regions, so the pool as a whole uses workers * omp_threads_per_worker.
+  util::set_num_threads(options_.omp_threads_per_worker);
+
+  // Worker-local plan LRU. Plans carry mutable scratch, so they are never
+  // shared across workers; the entry shared_ptr keeps the matrix under a
+  // plan alive even after the shared cache evicts it.
+  struct WorkerPlan {
+    std::shared_ptr<const SystemMatrixEntry> entry;
+    std::unique_ptr<core::SpmvPlan<float>> plan;
+  };
+  std::list<WorkerPlan> plans;  // front = most recently used
+  core::PlanOptions plan_opts;
+  plan_opts.threads = options_.omp_threads_per_worker;
+
+  Pending p;
+  while (queue_.pop(p)) {
+    const auto dequeued = std::chrono::steady_clock::now();
+    bool was_cancelled = false;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      queued_ids_.erase(p.id);
+      was_cancelled = cancelled_.erase(p.id) > 0;
+    }
+    if (was_cancelled) {
+      // Count before fulfilling the promise: a caller woken by get() must
+      // see the status already reflected in stats().
+      count_status(JobStatus::kCancelled);
+      resolve_without_running(p, JobStatus::kCancelled);
+      continue;
+    }
+
+    ReconResult meta;
+    meta.job_id = p.id;
+    meta.tag = p.job.tag;
+    meta.worker = worker_index;
+    meta.queue_wait_seconds =
+        std::chrono::duration<double>(dequeued - p.submit_time).count();
+
+    const auto deadline_spent = [&p](std::chrono::steady_clock::time_point now) {
+      return p.job.deadline_seconds > 0.0 &&
+             std::chrono::duration<double>(now - p.submit_time).count() >
+                 p.job.deadline_seconds;
+    };
+    if (deadline_spent(dequeued)) {
+      meta.status = JobStatus::kExpired;
+      count_status(JobStatus::kExpired);
+      p.promise.set_value(std::move(meta));
+      continue;
+    }
+
+    try {
+      const SystemMatrixCache::Acquired acquired = cache_.get_or_build(p.job.matrix_key());
+      meta.cache_hit = acquired.hit;
+      meta.acquire_seconds = acquired.seconds;
+      // A cold build can be the slow part; re-check the budget before
+      // committing to the solve (which is never interrupted).
+      if (deadline_spent(std::chrono::steady_clock::now())) {
+        meta.status = JobStatus::kExpired;
+        count_status(JobStatus::kExpired);
+        p.promise.set_value(std::move(meta));
+        continue;
+      }
+
+      const core::SpmvPlan<float>* plan = nullptr;
+      if (p.job.algorithm != Algorithm::kOsSart) {
+        auto it = plans.begin();
+        while (it != plans.end() && it->entry->cscv.get() != acquired.entry->cscv.get()) {
+          ++it;
+        }
+        if (it != plans.end()) {
+          plans.splice(plans.begin(), plans, it);
+        } else {
+          WorkerPlan warm;
+          warm.entry = acquired.entry;
+          warm.plan = std::make_unique<core::SpmvPlan<float>>(*acquired.entry->cscv,
+                                                              plan_opts);
+          plans.push_front(std::move(warm));
+          while (plans.size() > static_cast<std::size_t>(options_.plans_per_worker)) {
+            plans.pop_back();
+          }
+        }
+        plan = plans.front().plan.get();
+      }
+
+      ReconResult r = execute_job(p.job, *acquired.entry, plan);
+      r.job_id = meta.job_id;
+      r.worker = meta.worker;
+      r.cache_hit = meta.cache_hit;
+      r.queue_wait_seconds = meta.queue_wait_seconds;
+      r.acquire_seconds = meta.acquire_seconds;
+      count_status(r.status);
+      p.promise.set_value(std::move(r));
+    } catch (const std::exception& e) {
+      meta.status = JobStatus::kFailed;
+      meta.error = e.what();
+      count_status(JobStatus::kFailed);
+      p.promise.set_value(std::move(meta));
+    }
+  }
+}
+
+void ReconService::shutdown(DrainMode mode) {
+  std::lock_guard<std::mutex> guard(shutdown_mu_);
+  if (shut_down_) return;
+  shut_down_ = true;
+
+  queue_.close();  // producers refused; workers keep draining
+  if (mode == DrainMode::kAbort) {
+    for (Pending& p : queue_.drain()) {
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        queued_ids_.erase(p.id);
+        cancelled_.erase(p.id);
+      }
+      count_status(JobStatus::kCancelled);
+      resolve_without_running(p, JobStatus::kCancelled);
+    }
+  }
+  for (std::thread& w : workers_) w.join();
+  workers_.clear();
+  // With num_workers == 0 (or an abort racing a pop) jobs can still be
+  // queued here; every admitted future must resolve before we return.
+  for (Pending& p : queue_.drain()) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      queued_ids_.erase(p.id);
+      cancelled_.erase(p.id);
+    }
+    count_status(JobStatus::kCancelled);
+    resolve_without_running(p, JobStatus::kCancelled);
+  }
+}
+
+}  // namespace cscv::pipeline

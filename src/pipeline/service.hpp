@@ -1,0 +1,158 @@
+// ReconService — the concurrent reconstruction front-end.
+//
+// Wires the three pipeline pieces into a serving loop:
+//
+//   submit(job) ──► BoundedQueue ──► worker pool ──► future<ReconResult>
+//                                        │
+//                                        └──► SystemMatrixCache (shared,
+//                                             single-flight, LRU)
+//
+// Concurrency model:
+//   * Admission is bounded: kBlock applies backpressure to the submitter,
+//     kReject resolves the returned future immediately with kRejected —
+//     the job never enters the queue.
+//   * Each worker is a plain std::thread that pins its own OpenMP thread
+//     count (an OMP ICV is per-thread, so workers can't oversubscribe each
+//     other) and owns a small LRU of SpmvPlans — a plan's scratch forbids
+//     sharing one instance across threads, so plans are strictly
+//     worker-local while the matrices under them are shared via the cache.
+//     After the first job per (worker, operator), the warm loop performs
+//     no allocation: queue pop, cache hit, plan reuse, solve.
+//   * Determinism: with omp_threads_per_worker == 1 a job's volume is
+//     bitwise identical to running execute_job() serially with a
+//     threads=1 plan, regardless of worker count, queue order, or cache
+//     state — summation order is fixed by the plan shape, which is part of
+//     neither the queue nor the cache. The stress test asserts this.
+//   * shutdown(kDrain) stops admission, lets workers finish everything
+//     queued, then joins. shutdown(kAbort) additionally fails the
+//     still-queued jobs as kCancelled. The destructor drains.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <unordered_set>
+#include <vector>
+
+#include "core/plan.hpp"
+#include "pipeline/job.hpp"
+#include "pipeline/matrix_cache.hpp"
+#include "pipeline/queue.hpp"
+#include "util/json.hpp"
+
+namespace cscv::pipeline {
+
+/// What happens when submit() meets a full queue.
+enum class AdmissionPolicy { kBlock, kReject };
+
+/// How shutdown treats jobs still queued: finish them (kDrain) or resolve
+/// them as kCancelled (kAbort).
+enum class DrainMode { kDrain, kAbort };
+
+struct ServiceOptions {
+  /// Worker threads. 0 is a valid degenerate mode — jobs queue but nothing
+  /// runs them — used by admission/cancellation tests that need
+  /// deterministic queue occupancy.
+  int num_workers = 2;
+  std::size_t queue_capacity = 32;
+  AdmissionPolicy admission = AdmissionPolicy::kBlock;
+  /// OpenMP threads *inside* each worker's solves. Keep at 1 unless the
+  /// pool is smaller than the machine; workers * omp_threads_per_worker
+  /// should not exceed the core count.
+  int omp_threads_per_worker = 1;
+  /// Plans each worker keeps warm (per distinct operator), LRU-evicted.
+  int plans_per_worker = 4;
+  SystemMatrixCache::Options cache{};
+};
+
+struct ServiceStats {
+  std::uint64_t submitted = 0;  // every submit() call
+  std::uint64_t completed = 0;  // resolved kOk
+  std::uint64_t rejected = 0;
+  std::uint64_t expired = 0;
+  std::uint64_t cancelled = 0;
+  std::uint64_t failed = 0;
+
+  [[nodiscard]] util::Json to_json() const;
+};
+
+/// Runs one job against an acquired operator entry, synchronously on the
+/// calling thread. `plan` is the execution plan for the plan-driven
+/// algorithms (kFbp/kSirt/kCgls; must be a plan over *entry.cscv) and is
+/// ignored by kOsSart (which runs on entry.csr). Fills the solve half of
+/// the result (status/volume/iterations/residual/solve_seconds/plan_stats);
+/// the service half (ids, waits, cache flags) belongs to the caller.
+///
+/// Exposed so tests and benches can produce the serial reference volumes
+/// the service's outputs are compared against — same code path, no queue.
+ReconResult execute_job(const ReconJob& job, const SystemMatrixEntry& entry,
+                        const core::SpmvPlan<float>* plan);
+
+class ReconService {
+ public:
+  explicit ReconService(ServiceOptions options = {});
+  ~ReconService();  // shutdown(kDrain)
+
+  ReconService(const ReconService&) = delete;
+  ReconService& operator=(const ReconService&) = delete;
+
+  /// Handle returned by submit(): the service-assigned job id (usable with
+  /// cancel()) plus the future carrying the eventual result.
+  struct Submitted {
+    std::uint64_t id = 0;
+    std::future<ReconResult> result;
+  };
+
+  /// Admits a job. Always returns a valid future: admitted jobs resolve
+  /// when a worker finishes them; refused jobs (queue full under kReject,
+  /// or the service is shutting down) resolve immediately with kRejected.
+  Submitted submit(ReconJob job);
+
+  /// Best-effort cancellation of a job that is still queued. True when the
+  /// job will resolve as kCancelled instead of running; false when it
+  /// already started, finished, or was never admitted.
+  bool cancel(std::uint64_t job_id);
+
+  /// Idempotent. Stops admission, handles queued jobs per `mode`, joins
+  /// the workers. Every admitted future is resolved before this returns.
+  void shutdown(DrainMode mode = DrainMode::kDrain);
+
+  [[nodiscard]] ServiceStats stats() const;
+  [[nodiscard]] CacheStats cache_stats() const { return cache_.stats(); }
+  [[nodiscard]] SystemMatrixCache& cache() { return cache_; }
+  [[nodiscard]] const ServiceOptions& options() const { return options_; }
+  [[nodiscard]] std::size_t queue_depth() const { return queue_.size(); }
+
+ private:
+  struct Pending {
+    ReconJob job;
+    std::uint64_t id = 0;
+    std::chrono::steady_clock::time_point submit_time{};
+    std::promise<ReconResult> promise;
+  };
+
+  void worker_main(int worker_index);
+  /// Resolves a pending job with a no-run status (rejected/expired/...).
+  static void resolve_without_running(Pending& p, JobStatus status);
+  void count_status(JobStatus status);
+
+  ServiceOptions options_;
+  SystemMatrixCache cache_;
+  BoundedQueue<Pending> queue_;
+  std::atomic<std::uint64_t> next_id_{1};
+
+  mutable std::mutex mu_;  // guards stats_, queued_ids_, cancelled_
+  ServiceStats stats_;
+  std::unordered_set<std::uint64_t> queued_ids_;
+  std::unordered_set<std::uint64_t> cancelled_;
+
+  std::vector<std::thread> workers_;
+  std::mutex shutdown_mu_;  // serializes shutdown() callers
+  bool shut_down_ = false;  // guarded by shutdown_mu_
+};
+
+}  // namespace cscv::pipeline

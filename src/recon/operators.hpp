@@ -122,4 +122,27 @@ class CscvOperator final : public LinearOperator<T> {
   bool use_cscv_adjoint_;
 };
 
+/// Operator over a caller-owned SpmvPlan: forward via execute, adjoint via
+/// execute_transpose. Unlike CscvOperator (which routes through the
+/// matrix's shared cached plan), the caller decides which plan instance
+/// serves which thread — the building block pipeline::ReconService uses to
+/// give every worker its own plan, since a plan's scratch forbids
+/// concurrent execute() calls on one instance.
+template <typename T>
+class PlanOperator final : public LinearOperator<T> {
+ public:
+  explicit PlanOperator(const core::SpmvPlan<T>& plan) : plan_(&plan) {}
+  [[nodiscard]] sparse::index_t rows() const override { return plan_->matrix()->rows(); }
+  [[nodiscard]] sparse::index_t cols() const override { return plan_->matrix()->cols(); }
+  void forward(std::span<const T> x, std::span<T> y) const override {
+    plan_->execute(x, y);
+  }
+  void adjoint(std::span<const T> y, std::span<T> x) const override {
+    plan_->execute_transpose(y, x);
+  }
+
+ private:
+  const core::SpmvPlan<T>* plan_;
+};
+
 }  // namespace cscv::recon

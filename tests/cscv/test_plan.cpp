@@ -8,8 +8,12 @@
 // guarantee (a stale plan built at N threads stays correct at any count).
 #include <gtest/gtest.h>
 
+#include <array>
+#include <barrier>
 #include <cstring>
 #include <numeric>
+#include <thread>
+#include <vector>
 
 #include "core/format.hpp"
 #include "core/plan.hpp"
@@ -236,6 +240,47 @@ TEST(SpmvPlan, CacheReuseAndInvalidation) {
   const SpmvPlan<float>& copy_plan = copy.plan();
   EXPECT_EQ(copy_plan.matrix(), &copy);
   util::set_num_threads(saved);
+}
+
+// Many threads hitting the cached plan() of a cold matrix at once: the
+// accessor is locked and single-flight, so everyone must receive the same
+// instance (no torn shared_ptr, no duplicate builds racing into the slot).
+// Execution stays per-thread: each thread runs its own private plan and
+// must reproduce the serial result bitwise. Exercised under TSan in CI.
+TEST(SpmvPlan, ConcurrentColdPlanAccessIsSingleFlight) {
+  constexpr int kThreads = 8;
+  const auto m = build_cscv<float>(CscvMatrix<float>::Variant::kM);
+  const std::size_t rows = static_cast<std::size_t>(m.rows());
+  const auto x = sparse::random_vector<float>(static_cast<std::size_t>(m.cols()), 10);
+  util::AlignedVector<float> y_ref(rows);
+  {
+    const SpmvPlan<float> serial(m, {.threads = 1});
+    serial.execute(x, y_ref);
+  }
+
+  std::array<const SpmvPlan<float>*, kThreads> seen{};
+  std::vector<util::AlignedVector<float>> results(kThreads);
+  std::barrier sync(kThreads);
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      sync.arrive_and_wait();  // everyone asks the cold cache together
+      seen[static_cast<std::size_t>(t)] = &m.plan({.threads = 1});
+      // Acquisition is shared; execution is not — run a private plan.
+      const SpmvPlan<float> mine(m, {.threads = 1});
+      util::AlignedVector<float> y(rows);
+      mine.execute(x, y);
+      results[static_cast<std::size_t>(t)] = std::move(y);
+    });
+  }
+  for (auto& th : threads) th.join();
+
+  for (int t = 0; t < kThreads; ++t) {
+    EXPECT_EQ(seen[static_cast<std::size_t>(t)], seen[0])
+        << "cold stampede produced more than one cached plan";
+    expect_bitwise_equal<float>(results[static_cast<std::size_t>(t)], y_ref);
+  }
 }
 
 // Scratch is sized and warm after construction; executing does not grow it.

@@ -1,0 +1,120 @@
+// BoundedQueue — admission semantics of the reconstruction service.
+//
+// The queue's contract is precise about when it moves from the caller's
+// item: only on kOk. A rejected or refused item must stay intact with the
+// caller (the service resolves the rejection through the promise the item
+// still carries), so several tests push move-only payloads and check them
+// after a refusal.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "pipeline/queue.hpp"
+
+namespace cscv::pipeline {
+namespace {
+
+TEST(BoundedQueue, FifoOrder) {
+  BoundedQueue<int> q(8);
+  for (int i = 0; i < 5; ++i) {
+    int item = i;
+    EXPECT_EQ(q.push(item), PushResult::kOk);
+  }
+  EXPECT_EQ(q.size(), 5U);
+  for (int i = 0; i < 5; ++i) {
+    int out = -1;
+    ASSERT_TRUE(q.pop(out));
+    EXPECT_EQ(out, i);
+  }
+  EXPECT_EQ(q.size(), 0U);
+}
+
+TEST(BoundedQueue, TryPushReportsFullWithoutConsumingTheItem) {
+  BoundedQueue<std::unique_ptr<int>> q(2);
+  auto a = std::make_unique<int>(1);
+  auto b = std::make_unique<int>(2);
+  auto c = std::make_unique<int>(3);
+  EXPECT_EQ(q.try_push(a), PushResult::kOk);
+  EXPECT_EQ(q.try_push(b), PushResult::kOk);
+  EXPECT_EQ(q.try_push(c), PushResult::kFull);
+  ASSERT_NE(c, nullptr) << "a refused item must stay with the caller";
+  EXPECT_EQ(*c, 3);
+}
+
+TEST(BoundedQueue, ClosedQueueRefusesProducersAndDrainsConsumers) {
+  BoundedQueue<std::unique_ptr<int>> q(4);
+  auto a = std::make_unique<int>(1);
+  auto b = std::make_unique<int>(2);
+  EXPECT_EQ(q.push(a), PushResult::kOk);
+  EXPECT_EQ(q.push(b), PushResult::kOk);
+  q.close();
+  EXPECT_TRUE(q.closed());
+
+  auto late = std::make_unique<int>(9);
+  EXPECT_EQ(q.push(late), PushResult::kClosed);
+  EXPECT_EQ(q.try_push(late), PushResult::kClosed);
+  ASSERT_NE(late, nullptr);
+
+  // The graceful-drain contract: queued items still come out in order,
+  // then pop reports exhaustion.
+  std::unique_ptr<int> out;
+  ASSERT_TRUE(q.pop(out));
+  EXPECT_EQ(*out, 1);
+  ASSERT_TRUE(q.pop(out));
+  EXPECT_EQ(*out, 2);
+  EXPECT_FALSE(q.pop(out));
+}
+
+TEST(BoundedQueue, DrainReturnsLeftoversInOrder) {
+  BoundedQueue<int> q(8);
+  for (int i = 0; i < 4; ++i) {
+    int item = 10 + i;
+    ASSERT_EQ(q.push(item), PushResult::kOk);
+  }
+  q.close();
+  const std::vector<int> leftovers = q.drain();
+  ASSERT_EQ(leftovers.size(), 4U);
+  for (int i = 0; i < 4; ++i) EXPECT_EQ(leftovers[static_cast<std::size_t>(i)], 10 + i);
+  int out = -1;
+  EXPECT_FALSE(q.pop(out));
+}
+
+TEST(BoundedQueue, BlockingPushWakesWhenSpaceFrees) {
+  BoundedQueue<int> q(1);
+  int first = 1;
+  ASSERT_EQ(q.push(first), PushResult::kOk);
+
+  PushResult second_result = PushResult::kClosed;
+  std::thread producer([&] {
+    int second = 2;
+    second_result = q.push(second);  // blocks until the consumer pops
+  });
+
+  int out = -1;
+  ASSERT_TRUE(q.pop(out));
+  EXPECT_EQ(out, 1);
+  producer.join();
+  EXPECT_EQ(second_result, PushResult::kOk);
+  ASSERT_TRUE(q.pop(out));
+  EXPECT_EQ(out, 2);
+}
+
+TEST(BoundedQueue, CloseWakesBlockedProducer) {
+  BoundedQueue<std::unique_ptr<int>> q(1);
+  auto first = std::make_unique<int>(1);
+  ASSERT_EQ(q.push(first), PushResult::kOk);
+
+  PushResult blocked_result = PushResult::kOk;
+  std::unique_ptr<int> second = std::make_unique<int>(2);
+  std::thread producer([&] { blocked_result = q.push(second); });
+
+  q.close();
+  producer.join();
+  EXPECT_EQ(blocked_result, PushResult::kClosed);
+  ASSERT_NE(second, nullptr) << "close() must not consume the blocked item";
+}
+
+}  // namespace
+}  // namespace cscv::pipeline

@@ -12,17 +12,23 @@
 // Determinism: datasets are generated from geometry formulas, inputs are
 // seeded, and the engine set is fixed — two runs on one machine differ
 // only by timing noise, which the JSON captures as p10/p90.
+#include <future>
 #include <iostream>
+#include <memory>
 
 #include "benchlib/compare.hpp"
 #include "benchlib/runner.hpp"
 #include "benchlib/workloads.hpp"
 #include "core/format.hpp"
 #include "core/plan.hpp"
+#include "ct/phantom.hpp"
 #include "ct/system_matrix.hpp"
+#include "pipeline/service.hpp"
 #include "sparse/convert.hpp"
 #include "util/cli.hpp"
+#include "util/stats.hpp"
 #include "util/table.hpp"
+#include "util/timing.hpp"
 
 namespace {
 
@@ -105,6 +111,118 @@ void run_precision(const benchlib::Dataset& dataset, const SuiteFlags& flags,
   }
 }
 
+// End-to-end serving throughput: a burst of reconstruction jobs through
+// ReconService vs the same jobs run serially through execute_job. One
+// warm-up job per distinct operator key makes the cache hit rate of the
+// burst deterministic (the structural gate metric); the wall-time-derived
+// metrics are timing-class and informational.
+void run_pipeline_throughput(const SuiteFlags& flags, benchlib::BenchReport& report) {
+  using pipeline::Algorithm;
+  const auto datasets = benchlib::standard_datasets(flags.scale);
+  const std::size_t num_geoms = std::min<std::size_t>(3, datasets.size());
+  const Algorithm algorithms[] = {Algorithm::kFbp, Algorithm::kSirt};
+  const int workers = flags.threads > 0 ? flags.threads : util::max_threads();
+  constexpr int kJobsPerKey = 3;
+
+  // One template job per (geometry, algorithm) cache key.
+  std::vector<pipeline::ReconJob> specs;
+  for (std::size_t g = 0; g < num_geoms; ++g) {
+    const benchlib::Dataset& d = datasets[g];
+    const auto sinogram =
+        ct::analytic_sinogram<float>(ct::shepp_logan_modified(), d.geometry);
+    for (Algorithm a : algorithms) {
+      pipeline::ReconJob job;
+      job.geometry = d.geometry;
+      job.cscv = {.s_vvec = 8, .s_imgb = 16, .s_vxg = 4};
+      job.algorithm = a;
+      job.solve.iterations = 4;
+      job.tag = d.name;
+      job.sinogram = sinogram;
+      specs.push_back(std::move(job));
+    }
+  }
+  const std::size_t num_keys = specs.size();
+  const std::size_t burst_jobs = num_keys * kJobsPerKey;
+
+  // Serial reference: identical job set and code path, one thread, no queue.
+  double serial_seconds = 0.0;
+  {
+    pipeline::SystemMatrixCache ref_cache;
+    std::vector<std::shared_ptr<const pipeline::SystemMatrixEntry>> entries;
+    std::vector<std::unique_ptr<core::SpmvPlan<float>>> plans;
+    for (const pipeline::ReconJob& spec : specs) {
+      entries.push_back(ref_cache.get_or_build(spec.matrix_key()).entry);
+      plans.push_back(std::make_unique<core::SpmvPlan<float>>(
+          *entries.back()->cscv, core::PlanOptions{.threads = 1}));
+    }
+    const int saved = util::max_threads();
+    util::set_num_threads(1);
+    util::WallTimer timer;
+    for (int r = 0; r < kJobsPerKey; ++r) {
+      for (std::size_t k = 0; k < num_keys; ++k) {
+        (void)pipeline::execute_job(specs[k], *entries[k], plans[k].get());
+      }
+    }
+    serial_seconds = timer.seconds();
+    util::set_num_threads(saved);
+  }
+
+  pipeline::ServiceOptions opts;
+  opts.num_workers = workers;
+  opts.queue_capacity = std::max<std::size_t>(8, burst_jobs);
+  opts.admission = pipeline::AdmissionPolicy::kBlock;
+  opts.omp_threads_per_worker = 1;
+  opts.plans_per_worker = static_cast<int>(num_keys);
+  pipeline::ReconService service(opts);
+
+  std::uint64_t jobs_ok = 0;
+  // Warm one job per key sequentially: exactly num_keys cold builds, so
+  // every burst lookup below is a hit and hit_rate is burst/(burst+keys).
+  for (const pipeline::ReconJob& spec : specs) {
+    if (service.submit(spec).result.get().status == pipeline::JobStatus::kOk) ++jobs_ok;
+  }
+
+  util::WallTimer burst_timer;
+  std::vector<std::future<pipeline::ReconResult>> inflight;
+  inflight.reserve(burst_jobs);
+  for (int r = 0; r < kJobsPerKey; ++r) {
+    for (const pipeline::ReconJob& spec : specs) {
+      inflight.push_back(service.submit(spec).result);
+    }
+  }
+  std::vector<double> queue_waits;
+  queue_waits.reserve(burst_jobs);
+  for (auto& f : inflight) {
+    const pipeline::ReconResult r = f.get();
+    if (r.status == pipeline::JobStatus::kOk) ++jobs_ok;
+    queue_waits.push_back(r.queue_wait_seconds);
+  }
+  const double service_seconds = burst_timer.seconds();
+  service.shutdown();
+
+  const pipeline::CacheStats cache = service.cache_stats();
+  benchlib::BenchRecord record;
+  record.workload = "pipeline";
+  record.engine = "ReconService";
+  record.precision = "f32";
+  record.threads = workers;
+  record.iterations = static_cast<int>(burst_jobs);
+  record.set("slices_per_sec", static_cast<double>(burst_jobs) / service_seconds);
+  record.set("serial_slices_per_sec", static_cast<double>(burst_jobs) / serial_seconds);
+  record.set("speedup_vs_serial", serial_seconds / service_seconds);
+  record.set("queue_wait_p90_seconds", util::percentile(queue_waits, 90.0));
+  record.set("cache_hit_rate", cache.hit_rate());
+  record.set("cache_builds", static_cast<double>(cache.builds));
+  record.set("jobs_ok", static_cast<double>(jobs_ok));
+  report.records.push_back(std::move(record));
+
+  std::cout << "\npipeline: " << burst_jobs << " jobs, " << workers << " workers, "
+            << util::fmt_fixed(static_cast<double>(burst_jobs) / service_seconds, 2)
+            << " slices/s (serial "
+            << util::fmt_fixed(static_cast<double>(burst_jobs) / serial_seconds, 2)
+            << "), hit rate " << util::fmt_fixed(cache.hit_rate(), 3) << "\n";
+}
+
 }  // namespace
 
 int main(int argc, char** argv) try {
@@ -139,6 +257,7 @@ int main(int argc, char** argv) try {
     if (flags.f64) run_precision<double>(dataset, flags, report, table);
   }
   table.print(std::cout);
+  run_pipeline_throughput(flags, report);
 
   benchlib::write_report_file(flags.out, report);
   std::cout << "\nwrote " << report.records.size() << " records to " << flags.out << "\n";
