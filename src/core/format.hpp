@@ -193,10 +193,11 @@ class CscvMatrix {
 
   // Cached plans (single-RHS and multi-RHS slots), guarded by a mutex so
   // concurrent first calls to plan()/spmv() on a shared matrix cannot race
-  // on the slots (the warm path pays one uncontended lock). Copies and
-  // moves of the matrix start with a cold cache: a plan remembers the
-  // address of the matrix it was built for, so a carried-over plan would
-  // only be discarded by the staleness check anyway.
+  // on the slots (the warm path pays one uncontended lock). Every copy,
+  // move, and assignment leaves BOTH matrices with a cold cache: a plan
+  // remembers the address of the matrix it was built for, so an assignment
+  // target's stale plan would still "match" its own address while indexing
+  // the replaced (or destroyed) arrays — the slots must go, on both sides.
   struct PlanCache {
     std::mutex mu;
     std::shared_ptr<SpmvPlan<T>> single;
@@ -204,12 +205,18 @@ class CscvMatrix {
 
     PlanCache() = default;
     PlanCache(const PlanCache&) noexcept {}
-    PlanCache& operator=(const PlanCache&) noexcept { return *this; }
+    PlanCache& operator=(const PlanCache&) noexcept {
+      single.reset();
+      multi.reset();
+      return *this;
+    }
     PlanCache(PlanCache&& other) noexcept {
-      other.single.reset();  // match pre-mutex semantics: the moved-from
-      other.multi.reset();   // matrix is gutted, so its plans must go too
+      other.single.reset();  // the moved-from matrix is gutted, so its
+      other.multi.reset();   // plans must go too
     }
     PlanCache& operator=(PlanCache&& other) noexcept {
+      single.reset();
+      multi.reset();
       other.single.reset();
       other.multi.reset();
       return *this;

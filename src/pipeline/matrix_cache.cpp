@@ -124,7 +124,10 @@ std::shared_ptr<SystemMatrixEntry> SystemMatrixCache::try_restore(
     entry->cscv = std::make_shared<const core::CscvMatrix<float>>(std::move(m));
     entry->build_seconds = timer.seconds();
     return entry;
-  } catch (const util::CheckError&) {
+  } catch (const std::exception&) {
+    // CheckError from the invariant verify, bad_alloc on an oversized file,
+    // iostream/filesystem failures — any unusable spill degrades to a
+    // rebuild rather than failing the job.
     return nullptr;
   }
 }
@@ -138,9 +141,10 @@ void SystemMatrixCache::touch_locked(const std::string& fingerprint) {
   }
 }
 
-void SystemMatrixCache::evict_locked(const std::string& keep) {
-  while (resident_bytes_ > options_.budget_bytes && !lru_.empty() &&
-         lru_.back() != keep) {
+std::vector<std::shared_ptr<const SystemMatrixEntry>> SystemMatrixCache::evict_to_locked(
+    std::size_t budget, const std::string& keep) {
+  std::vector<std::shared_ptr<const SystemMatrixEntry>> victims;
+  while (resident_bytes_ > budget && !lru_.empty() && lru_.back() != keep) {
     const std::string victim = lru_.back();
     lru_.pop_back();
     auto it = slots_.find(victim);
@@ -151,17 +155,26 @@ void SystemMatrixCache::evict_locked(const std::string& keep) {
       resident_bytes_ -= std::min(resident_bytes_, entry->bytes());
       ++stats_.evictions;
       if (!options_.spill_dir.empty() && entry->algorithm != Algorithm::kOsSart) {
-        try {
-          std::filesystem::create_directories(options_.spill_dir);
-          MatrixKey key{entry->geometry, entry->cscv->params(), entry->cscv->variant(),
-                        entry->algorithm};
-          core::save_cscv_file(spill_path(key), *entry->cscv);
-          ++stats_.spills;
-        } catch (const std::exception&) {
-          // Spill is an optimization; a full-disk or unwritable directory
-          // must not take the serving path down. The entry is simply gone.
-        }
+        victims.push_back(entry);
       }
+    }
+  }
+  return victims;
+}
+
+void SystemMatrixCache::spill_entries(
+    const std::vector<std::shared_ptr<const SystemMatrixEntry>>& victims) {
+  for (const auto& entry : victims) {
+    try {
+      std::filesystem::create_directories(options_.spill_dir);
+      MatrixKey key{entry->geometry, entry->cscv->params(), entry->cscv->variant(),
+                    entry->algorithm};
+      core::save_cscv_file(spill_path(key), *entry->cscv);
+      std::lock_guard<std::mutex> lock(mu_);
+      ++stats_.spills;
+    } catch (const std::exception&) {
+      // Spill is an optimization; a full-disk or unwritable directory
+      // must not take the serving path down. The entry is simply gone.
     }
   }
 }
@@ -210,6 +223,7 @@ SystemMatrixCache::Acquired SystemMatrixCache::get_or_build(const MatrixKey& key
     throw;
   }
 
+  std::vector<std::shared_ptr<const SystemMatrixEntry>> victims;
   {
     std::lock_guard<std::mutex> lock(mu_);
     slot->building = false;
@@ -221,9 +235,10 @@ SystemMatrixCache::Acquired SystemMatrixCache::get_or_build(const MatrixKey& key
     }
     lru_.push_front(fp);
     resident_bytes_ += entry->bytes();
-    evict_locked(fp);
+    victims = evict_to_locked(options_.budget_bytes, fp);
     ready_.notify_all();
   }
+  spill_entries(victims);
   return {std::move(entry), false, restored, timer.seconds()};
 }
 
@@ -241,13 +256,16 @@ std::vector<std::string> SystemMatrixCache::resident_fingerprints() const {
 }
 
 void SystemMatrixCache::clear() {
-  std::lock_guard<std::mutex> lock(mu_);
-  // Force the budget check to evict everything ready; in-flight builds are
-  // untracked by the LRU and publish normally.
-  const std::size_t saved = options_.budget_bytes;
-  options_.budget_bytes = 1;
-  evict_locked("");
-  options_.budget_bytes = saved;
+  // Budget 0 evicts everything ready; in-flight builds are untracked by
+  // the LRU and publish normally. options_ itself stays untouched —
+  // options() hands out an unsynchronized reference, so mutating the
+  // budget here (even briefly) would be a data race against readers.
+  std::vector<std::shared_ptr<const SystemMatrixEntry>> victims;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    victims = evict_to_locked(0, "");
+  }
+  spill_entries(victims);
 }
 
 }  // namespace cscv::pipeline

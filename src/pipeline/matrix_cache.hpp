@@ -158,8 +158,17 @@ class SystemMatrixCache {
   static std::shared_ptr<SystemMatrixEntry> build_entry(const MatrixKey& key);
   /// Attempts a spill restore; nullptr when unavailable/unusable.
   [[nodiscard]] std::shared_ptr<SystemMatrixEntry> try_restore(const MatrixKey& key) const;
-  /// Evicts LRU entries (never `keep`) until the budget fits. Lock held.
-  void evict_locked(const std::string& keep);
+  /// Evicts LRU entries (never `keep`) until resident bytes fit `budget`.
+  /// Lock held. Returns the evicted entries that want a spill file; the
+  /// caller writes them via spill_entries() AFTER releasing mu_ — spilling
+  /// a multi-hundred-MB matrix under the lock would stall every concurrent
+  /// lookup (including pure hits) for the full duration of the disk write.
+  [[nodiscard]] std::vector<std::shared_ptr<const SystemMatrixEntry>> evict_to_locked(
+      std::size_t budget, const std::string& keep);
+  /// Writes spill files for evicted entries. No lock held: entries are
+  /// immutable shared_ptrs and options_ never changes after construction.
+  void spill_entries(
+      const std::vector<std::shared_ptr<const SystemMatrixEntry>>& victims);
   void touch_locked(const std::string& fingerprint);
 
   Options options_;

@@ -128,15 +128,21 @@ ReconService::Submitted ReconService::submit(ReconJob job) {
                                   ? queue_.try_push(p)
                                   : queue_.push(p);
   if (admitted != PushResult::kOk) {
+    bool was_cancelled = false;
     {
       std::lock_guard<std::mutex> lock(mu_);
       queued_ids_.erase(p.id);
-      cancelled_.erase(p.id);
+      // A concurrent cancel() may have seen the id (registered above) and
+      // returned true; that promises a kCancelled resolution, which wins
+      // over kRejected even though try_push refused the job.
+      was_cancelled = cancelled_.erase(p.id) > 0;
     }
     // The move in push() only happens on kOk, so `p` still owns the
-    // promise and we can resolve the rejection ourselves.
-    count_status(JobStatus::kRejected);
-    resolve_without_running(p, JobStatus::kRejected);
+    // promise and we can resolve the refusal ourselves.
+    const JobStatus status =
+        was_cancelled ? JobStatus::kCancelled : JobStatus::kRejected;
+    count_status(status);
+    resolve_without_running(p, status);
   }
   return handle;
 }

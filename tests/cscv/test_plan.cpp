@@ -242,6 +242,40 @@ TEST(SpmvPlan, CacheReuseAndInvalidation) {
   util::set_num_threads(saved);
 }
 
+// Assignment must also leave the *target* with a cold cache. A cached plan
+// keys on the matrix address (which assignment does not change), so a stale
+// plan would still "match" after `a = b` while indexing a's replaced — for
+// move-assign, destroyed — arrays (regression test: wrong SpMV results and
+// a use-after-free that the sanitizer jobs catch).
+TEST(SpmvPlan, AssignmentInvalidatesTargetCachedPlans) {
+  CscvMatrix<float> a = build_cscv<float>(CscvMatrix<float>::Variant::kM, 32, 24);
+  CscvMatrix<float> b = build_cscv<float>(CscvMatrix<float>::Variant::kM, 48, 16);
+
+  // Reference result through b's own spmv (same entry point, same global
+  // thread settings as the post-assignment calls, so bitwise comparable).
+  const auto x = sparse::random_vector<float>(static_cast<std::size_t>(b.cols()), 11);
+  util::AlignedVector<float> y_ref(static_cast<std::size_t>(b.rows()));
+  b.spmv(x, y_ref);
+
+  // Warm a's cached plan, then copy-assign over it.
+  {
+    const auto xa = sparse::random_vector<float>(static_cast<std::size_t>(a.cols()), 12);
+    util::AlignedVector<float> ya(static_cast<std::size_t>(a.rows()));
+    a.spmv(xa, ya);
+  }
+  a = b;
+  util::AlignedVector<float> y_copy(static_cast<std::size_t>(a.rows()));
+  a.spmv(x, y_copy);
+  expect_bitwise_equal<float>(y_copy, y_ref);
+
+  // a.spmv above re-warmed a's cache; move-assign must clear it again (and
+  // gut the moved-from b's cache, whose arrays now live inside a).
+  a = std::move(b);
+  util::AlignedVector<float> y_move(static_cast<std::size_t>(a.rows()));
+  a.spmv(x, y_move);
+  expect_bitwise_equal<float>(y_move, y_ref);
+}
+
 // Many threads hitting the cached plan() of a cold matrix at once: the
 // accessor is locked and single-flight, so everyone must receive the same
 // instance (no torn shared_ptr, no duplicate builds racing into the slot).
