@@ -5,6 +5,7 @@
 // machine: forcing the software path models a CPU without AVX-512, where
 // CSCV-M's instruction overhead makes it lose to CSCV-Z single-threaded.
 #include "bench_common.hpp"
+#include "core/dispatch.hpp"
 
 int main(int argc, char** argv) {
   using namespace cscv;
@@ -15,8 +16,18 @@ int main(int argc, char** argv) {
   auto dataset = benchlib::tuning_dataset(flags.scale);
   benchlib::print_header("Ablation: hardware vexpand vs soft-vexpand, dataset " +
                          dataset.name + " (single precision, 1 thread)");
+  // The CSCV-M kernels come from the runtime-dispatched tier (which may carry
+  // AVX-512 even in a generic build of this TU); SPC5's expansion is compiled
+  // into this binary with the ambient flags, so it has its own caveat.
+  const simd::IsaTier tier = core::dispatch::select_tier().tier;
+  if (!core::dispatch::resolve_expand_path(simd::ExpandPath::kAuto, false, 8, tier)) {
+    std::cout << "NOTE: dispatched tier '" << simd::isa_tier_name(tier)
+              << "' has no hardware vexpand; CSCV-M hardware rows replicate the"
+                 " soft path.\n";
+  }
   if (!(simd::cpu_isa().avx512f && simd::kCompiledAvx512f)) {
-    std::cout << "NOTE: no AVX-512 available; hardware rows replicate the soft path.\n";
+    std::cout << "NOTE: no compiled-in AVX-512; SPC5 hardware rows replicate the"
+                 " soft path.\n";
   }
   auto m = benchlib::build_matrices<float>(dataset);
   const auto cols = static_cast<std::size_t>(m.csc.cols());

@@ -94,9 +94,12 @@ struct CompareOptions {
   /// When true, baseline records absent from the candidate fail the gate.
   bool require_all_records = true;
   /// When true (default), timing-class metrics become kSkipped whenever the
-  /// two reports carry different `isa` machine metadata: a baseline recorded
-  /// on (or compiled for) another ISA dispatches different kernels, so its
-  /// wall times are not a regression signal. Structural gates still apply.
+  /// two reports demonstrably ran different kernels. When both reports carry
+  /// the runtime-dispatched `isa_tier` key (fill_machine_info), that is the
+  /// whole test — two builds that both dispatched, say, the avx512 tier time
+  /// the same kernels even if their compile flags differ, so their timings
+  /// gate. Only reports predating `isa_tier` fall back to the blunt
+  /// compile-time `isa` string comparison. Structural gates always apply.
   bool skip_timing_on_isa_mismatch = true;
 };
 
@@ -134,14 +137,25 @@ inline CompareResult compare_reports(const BenchReport& baseline,
                                      const BenchReport& candidate,
                                      const CompareOptions& opts = {}) {
   CompareResult result;
-  // Reports without `isa` metadata (hand-built, unit tests) compare fully;
-  // only a *known* mismatch disarms the timing comparisons.
+  // Reports without ISA metadata (hand-built, unit tests) compare fully;
+  // only a *known* mismatch disarms the timing comparisons. The runtime
+  // `isa_tier` wins when both sides have it; the compile-time `isa` string
+  // is the legacy fallback.
   if (opts.skip_timing_on_isa_mismatch) {
-    const std::string* base_isa = detail::machine_value(baseline, "isa");
-    const std::string* cand_isa = detail::machine_value(candidate, "isa");
-    if (base_isa != nullptr && cand_isa != nullptr && *base_isa != *cand_isa) {
-      result.timing_skip_reason =
-          "baseline \"" + *base_isa + "\" vs candidate \"" + *cand_isa + '"';
+    const std::string* base_tier = detail::machine_value(baseline, "isa_tier");
+    const std::string* cand_tier = detail::machine_value(candidate, "isa_tier");
+    if (base_tier != nullptr && cand_tier != nullptr) {
+      if (*base_tier != *cand_tier) {
+        result.timing_skip_reason = "baseline dispatched kernel tier \"" + *base_tier +
+                                    "\" vs candidate \"" + *cand_tier + '"';
+      }
+    } else {
+      const std::string* base_isa = detail::machine_value(baseline, "isa");
+      const std::string* cand_isa = detail::machine_value(candidate, "isa");
+      if (base_isa != nullptr && cand_isa != nullptr && *base_isa != *cand_isa) {
+        result.timing_skip_reason =
+            "baseline \"" + *base_isa + "\" vs candidate \"" + *cand_isa + '"';
+      }
     }
   }
   const bool timings_comparable = result.timing_skip_reason.empty();

@@ -12,6 +12,7 @@
 #include <utility>
 #include <vector>
 
+#include "core/dispatch.hpp"
 #include "simd/isa.hpp"
 #include "util/assertx.hpp"
 #include "util/json.hpp"
@@ -74,8 +75,14 @@ struct BenchReport {
 };
 
 /// Standard machine metadata: ISA, OpenMP ceiling, build mode, word size.
+/// "isa" is the legacy compile-time description (kept for humans);
+/// "isa_tier" is the *runtime-dispatched* kernel tier this process resolved
+/// (honoring CSCV_FORCE_ISA) — the key compare.hpp uses to decide whether
+/// two reports' timings ran the same kernels.
 inline void fill_machine_info(BenchReport& report) {
   report.set_machine("isa", simd::describe_isa());
+  report.set_machine("isa_tier",
+                     simd::isa_tier_name(core::dispatch::select_tier().tier));
   report.set_machine("omp_max_threads", std::to_string(util::max_threads()));
 #ifdef NDEBUG
   report.set_machine("build", "release");

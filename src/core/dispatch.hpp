@@ -1,18 +1,23 @@
-// Unified kernel dispatch for the CSCV runtime.
+// Unified kernel dispatch for the CSCV runtime — two levels.
 //
-// The S_VVec / S_VxG / num_rhs template parameters of the block kernels
-// (kernels.hpp) are runtime values on the matrix, so every apply path needs
-// a switch ladder from runtime ints to compile-time tags. This header owns
-// that ladder — once — and resolves it into plain function pointers with a
-// uniform signature (Z kernels ignore the mask pointer), so SpmvPlan can
-// pay for the dispatch at plan-build time and the hot loop is an indirect
-// call with zero branching.
+// Level one picks an ISA *tier*: the hot kernels (kernels_body.inc +
+// expand_body.inc) are compiled once per tier with that tier's arch flags
+// (core/kernels_isa.cpp, built by CSCV_MULTIVERSION), and each compiled tier
+// registers a TierOps entry here. At run time the highest registered tier
+// the CPU supports wins, overridable via the CSCV_FORCE_ISA env var or
+// PlanOptions::isa (docs/DISPATCH.md).
+//
+// Level two is the original ladder: the S_VVec / S_VxG / num_rhs template
+// parameters of the block kernels are runtime values on the matrix, so the
+// selected tier maps (variant, S, V, expand path, num_rhs) to plain function
+// pointers with a uniform signature (Z kernels ignore the mask pointer).
+// SpmvPlan pays for both levels at plan-build time; the hot loop is an
+// indirect call with zero branching.
 #pragma once
 
 #include <cstdint>
 
 #include "core/format.hpp"
-#include "core/kernels.hpp"
 #include "simd/expand.hpp"
 #include "simd/isa.hpp"
 #include "sparse/types.hpp"
@@ -48,135 +53,61 @@ struct KernelSet {
   TransposeFn<T> transpose = nullptr;
 };
 
-/// Resolves kAuto against CPU + binary capabilities for element type T and
-/// CSCVE width S (CSCV-M only uses hardware expansion when it exists).
-template <typename T>
-inline bool resolve_expand_path(simd::ExpandPath path, int s_vvec) {
-  switch (path) {
-    case simd::ExpandPath::kHardware: return true;
-    case simd::ExpandPath::kSoftware: return false;
-    case simd::ExpandPath::kAuto: break;
-  }
-  if (!(simd::cpu_isa().avx512f && simd::kCompiledAvx512f)) return false;
-  // Narrow widths need AVX-512VL; chunked double-16 needs only F.
-  switch (s_vvec) {
-    case 16: return true;
-    case 8:
-      return sizeof(T) == 8 || (simd::cpu_isa().avx512vl && simd::kCompiledAvx512vl);
-    case 4: return simd::cpu_isa().avx512vl && simd::kCompiledAvx512vl;
-    default: return false;
-  }
-}
+/// Entry points of one compiled kernel tier (one kernels_isa.cpp object).
+/// `hw_expand` answers whether that tier's codegen carries the chunked
+/// hardware vexpand for (element type, S_VVec); `compiled_tier` is the
+/// simd::IsaTier the object was actually compiled for (a CSCV_NATIVE build
+/// compiles one object whose flags follow the host, so it self-reports).
+struct TierOps {
+  KernelSet<float> (*resolve_f)(bool is_m, int s_vvec, int s_vxg, bool use_hw,
+                                int num_rhs) = nullptr;
+  KernelSet<double> (*resolve_d)(bool is_m, int s_vvec, int s_vxg, bool use_hw,
+                                 int num_rhs) = nullptr;
+  bool (*hw_expand)(bool is_double, int s_vvec) = nullptr;
+  int compiled_tier = 0;
+};
 
-namespace detail {
+/// The TierOps registered for `tier`, or nullptr when this binary does not
+/// carry that tier. At least one tier is always present.
+const TierOps* tier_ops(simd::IsaTier tier);
 
-// Uniform-signature wrappers. kHw degrades to the software path at compile
-// time when the binary lacks the chunked hardware expand for (T, S), so a
-// forced ExpandPath::kHardware is always safe to resolve.
-template <typename T, int S, int V>
-void forward_z(sparse::offset_t b, sparse::offset_t e, const sparse::index_t* col,
-               const std::int32_t* q, const T* values, const std::uint16_t* /*masks*/,
-               const T* x, T* yt) {
-  kernels::run_block_z<T, S, V>(b, e, col, q, values, x, yt);
-}
+inline bool tier_registered(simd::IsaTier tier) { return tier_ops(tier) != nullptr; }
 
-template <typename T, int S, int V, bool Hw>
-void forward_m(sparse::offset_t b, sparse::offset_t e, const sparse::index_t* col,
-               const std::int32_t* q, const T* values, const std::uint16_t* masks,
-               const T* x, T* yt) {
-  constexpr bool kHw = Hw && simd::has_chunked_hardware_expand<T, S>();
-  kernels::run_block_m<T, S, V, kHw>(b, e, col, q, values, masks, x, yt);
-}
+/// Outcome of level-one dispatch: the tier that will run, whether the caller
+/// (env var or PlanOptions) forced a specific tier, and whether that request
+/// had to be clamped to a different tier because the binary does not carry
+/// it or the CPU cannot run it.
+struct TierChoice {
+  simd::IsaTier tier = simd::IsaTier::kGeneric;
+  bool forced = false;
+  bool clamped = false;
 
-template <typename T, int S, int V, int K>
-void multi_z(sparse::offset_t b, sparse::offset_t e, const sparse::index_t* col,
-             const std::int32_t* q, const T* values, const std::uint16_t* /*masks*/,
-             const T* x, int num_rhs, T* yt) {
-  kernels::run_block_z_multi<T, S, V, K>(b, e, col, q, values, x, num_rhs, yt);
-}
+  friend bool operator==(const TierChoice&, const TierChoice&) = default;
+};
 
-template <typename T, int S, int V, int K, bool Hw>
-void multi_m(sparse::offset_t b, sparse::offset_t e, const sparse::index_t* col,
-             const std::int32_t* q, const T* values, const std::uint16_t* masks, const T* x,
-             int num_rhs, T* yt) {
-  constexpr bool kHw = Hw && simd::has_chunked_hardware_expand<T, S>();
-  kernels::run_block_m_multi<T, S, V, K, kHw>(b, e, col, q, values, masks, x, num_rhs, yt);
-}
+/// Reads the CSCV_FORCE_ISA environment variable. Unset or "auto" means no
+/// force (kAuto); an unrecognized value throws util::CheckError.
+simd::IsaTier forced_tier_from_env();
 
-template <typename T, int S, int V>
-void transpose_z(sparse::offset_t b, sparse::offset_t e, const sparse::index_t* col,
-                 const std::int32_t* q, const T* values, const std::uint16_t* /*masks*/,
-                 const T* yt, T* x) {
-  kernels::run_block_z_transpose<T, S, V>(b, e, col, q, values, yt, x);
-}
+/// Level-one dispatch. kAuto consults CSCV_FORCE_ISA, then picks the highest
+/// registered tier the CPU supports (cached — "once per process"). A
+/// concrete request resolves to the highest registered + CPU-supported tier
+/// not above it, falling back to the lowest registered tier; `clamped` is
+/// set whenever the result differs from the request.
+TierChoice select_tier(simd::IsaTier requested = simd::IsaTier::kAuto);
 
-template <typename T, int S, int V, bool Hw>
-void transpose_m(sparse::offset_t b, sparse::offset_t e, const sparse::index_t* col,
-                 const std::int32_t* q, const T* values, const std::uint16_t* masks,
-                 const T* yt, T* x) {
-  constexpr bool kHw = Hw && simd::has_chunked_hardware_expand<T, S>();
-  kernels::run_block_m_transpose<T, S, V, kHw>(b, e, col, q, values, masks, yt, x);
-}
+/// Resolves an ExpandPath against the CPU *and* the selected tier's compiled
+/// capabilities: CSCV-M only uses hardware expansion when `tier`'s codegen
+/// has it for (element type, S_VVec) and the CPU agrees.
+bool resolve_expand_path(simd::ExpandPath path, bool is_double, int s_vvec,
+                         simd::IsaTier tier);
 
-template <typename T, typename Variant, int S, int V, int K, bool Hw>
-KernelSet<T> make_set(Variant variant) {
-  KernelSet<T> set;
-  if (variant == Variant::kZ) {
-    set.forward = &forward_z<T, S, V>;
-    set.multi = &multi_z<T, S, V, K>;
-    set.transpose = &transpose_z<T, S, V>;
-  } else {
-    set.forward = &forward_m<T, S, V, Hw>;
-    set.multi = &multi_m<T, S, V, K, Hw>;
-    set.transpose = &transpose_m<T, S, V, Hw>;
-  }
-  return set;
-}
-
-}  // namespace detail
-
-/// Resolves (variant, S_VVec, S_VxG, expand path, num_rhs) to concrete
-/// kernels. `use_hw` must already be resolved via resolve_expand_path.
-/// num_rhs values without a compile-time specialization fall back to the
-/// generic runtime-K kernel (K = 0).
+/// Level-two dispatch inside `tier` (must be a registered tier, i.e. the
+/// .tier of a TierChoice): resolves (variant, S_VVec, S_VxG, expand path,
+/// num_rhs) to concrete kernels. `use_hw` must already be resolved via
+/// resolve_expand_path. Defined in dispatch.cpp for T = float, double.
 template <typename T>
 KernelSet<T> resolve_kernels(typename CscvMatrix<T>::Variant variant, int s_vvec, int s_vxg,
-                             bool use_hw, int num_rhs) {
-  using Variant = typename CscvMatrix<T>::Variant;
-  const auto with_svk = [&](auto s_tag, auto v_tag, auto k_tag) {
-    constexpr int S = decltype(s_tag)::value;
-    constexpr int V = decltype(v_tag)::value;
-    constexpr int K = decltype(k_tag)::value;
-    return use_hw ? detail::make_set<T, Variant, S, V, K, true>(variant)
-                  : detail::make_set<T, Variant, S, V, K, false>(variant);
-  };
-  using std::integral_constant;
-  const auto with_sv = [&](auto s_tag, auto v_tag) {
-    switch (num_rhs) {
-      case 1: return with_svk(s_tag, v_tag, integral_constant<int, 1>{});
-      case 2: return with_svk(s_tag, v_tag, integral_constant<int, 2>{});
-      case 4: return with_svk(s_tag, v_tag, integral_constant<int, 4>{});
-      case 8: return with_svk(s_tag, v_tag, integral_constant<int, 8>{});
-      case 16: return with_svk(s_tag, v_tag, integral_constant<int, 16>{});
-      default: return with_svk(s_tag, v_tag, integral_constant<int, 0>{});
-    }
-  };
-  const auto with_s = [&](auto s_tag) {
-    switch (s_vxg) {
-      case 1: return with_sv(s_tag, integral_constant<int, 1>{});
-      case 2: return with_sv(s_tag, integral_constant<int, 2>{});
-      case 4: return with_sv(s_tag, integral_constant<int, 4>{});
-      case 8: return with_sv(s_tag, integral_constant<int, 8>{});
-      case 16: return with_sv(s_tag, integral_constant<int, 16>{});
-      default: CSCV_CHECK_MSG(false, "bad S_VxG " << s_vxg);
-    }
-  };
-  switch (s_vvec) {
-    case 4: return with_s(integral_constant<int, 4>{});
-    case 8: return with_s(integral_constant<int, 8>{});
-    case 16: return with_s(integral_constant<int, 16>{});
-    default: CSCV_CHECK_MSG(false, "bad S_VVec " << s_vvec);
-  }
-}
+                             bool use_hw, int num_rhs, simd::IsaTier tier);
 
 }  // namespace cscv::core::dispatch

@@ -25,11 +25,17 @@
 #include "core/layout.hpp"
 #include "core/params.hpp"
 #include "simd/expand.hpp"
+#include "simd/isa.hpp"
 #include "sparse/csc.hpp"
 #include "sparse/types.hpp"
 #include "util/aligned_vector.hpp"
 
 namespace cscv::core {
+
+namespace dispatch {
+template <typename T>
+struct KernelSet;
+}  // namespace dispatch
 
 /// Thread-level scheduling of the block loop (Section IV-E).
 enum class ThreadScheme {
@@ -49,6 +55,10 @@ struct PlanOptions {
   simd::ExpandPath path = simd::ExpandPath::kAuto;
   int num_rhs = 1;  // interleaved right-hand sides (1 = plain SpMV)
   int threads = 0;  // partition slots; 0 = util::max_threads() at build time
+  // Kernel ISA tier (docs/DISPATCH.md). kAuto honors CSCV_FORCE_ISA, then
+  // picks the best registered tier for this CPU; a concrete tier pins the
+  // plan to it (clamped to what the binary carries — see PlanStats).
+  simd::IsaTier isa = simd::IsaTier::kAuto;
 
   friend bool operator==(const PlanOptions&, const PlanOptions&) = default;
 };
@@ -175,7 +185,8 @@ class CscvMatrix {
  private:
   void scatter_add_block(int block, const T* ytilde, T* y) const;
   void gather_block(int block, const T* y, T* ytilde) const;
-  void run_block(int block, std::span<const T> x, T* ytilde, bool use_hw) const;
+  void run_block(int block, std::span<const T> x, T* ytilde,
+                 const dispatch::KernelSet<T>& kernels) const;
 
   Variant variant_ = Variant::kZ;
   CscvParams params_;

@@ -1,0 +1,29 @@
+// Per-tier kernel entry points (internal). Each compiled instance of
+// core/kernels_isa.cpp defines these four functions in the namespace named
+// by its CSCV_TIER_NS compile definition; core/dispatch.cpp references the
+// namespaces the build actually linked to assemble the tier registry.
+// Declaring a tier here does not require it to be compiled — an unreferenced
+// declaration is harmless.
+#pragma once
+
+#include "core/dispatch.hpp"
+
+namespace cscv::core::dispatch {
+
+#define CSCV_DECLARE_KERNEL_TIER(ns)                                              \
+  namespace ns { /* NOLINT(bugprone-macro-parentheses) — ns is a namespace id */  \
+  KernelSet<float> resolve_f(bool is_m, int s_vvec, int s_vxg, bool use_hw,       \
+                             int num_rhs);                                        \
+  KernelSet<double> resolve_d(bool is_m, int s_vvec, int s_vxg, bool use_hw,      \
+                              int num_rhs);                                       \
+  bool hw_expand(bool is_double, int s_vvec);                                     \
+  int compiled_tier();                                                            \
+  }
+
+CSCV_DECLARE_KERNEL_TIER(tier_generic)
+CSCV_DECLARE_KERNEL_TIER(tier_avx2)
+CSCV_DECLARE_KERNEL_TIER(tier_avx512)
+
+#undef CSCV_DECLARE_KERNEL_TIER
+
+}  // namespace cscv::core::dispatch

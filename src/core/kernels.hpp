@@ -6,6 +6,10 @@
 // is no gather, scatter, or index arithmetic inside the loops; S and V are
 // compile-time so the compiler emits straight-line vector code (the paper's
 // "compiler-assisted vectorization" claim — no intrinsics in the Z kernel).
+//
+// The kernel bodies live in kernels_body.inc so the multiversioned tier TU
+// (core/kernels_isa.cpp, docs/DISPATCH.md) can compile an internal-linkage
+// copy per ISA tier; including this header gives the ambient-flags build.
 #pragma once
 
 #include <cstdint>
@@ -34,155 +38,6 @@ namespace cscv::core::kernels {
   } while (0)
 #endif
 
-/// CSCV-Z: padding zeros are stored, the kernel is a pure FMA stream.
-template <typename T, int S, int V>
-inline void run_block_z(sparse::offset_t vxg_begin, sparse::offset_t vxg_end,
-                        const sparse::index_t* vxg_col, const std::int32_t* vxg_q,
-                        const T* values, const T* x, T* __restrict yt) {
-  CSCV_KERNEL_DCHECKS(S, vxg_begin, vxg_end, vxg_q, yt);
-  const T* vals = values;
-  for (sparse::offset_t g = vxg_begin; g < vxg_end; ++g) {
-    const T xv = x[static_cast<std::size_t>(vxg_col[g])];
-    T* dst = yt + vxg_q[g];
-    for (int e = 0; e < V * S; ++e) {  // contiguous, compile-time length
-      dst[e] += xv * vals[e];
-    }
-    vals += V * S;
-  }
-}
-
-/// CSCV-M: padding removed; each CSCVE re-expands its packed values under a
-/// lane mask (hardware vexpand+FMA when UseHw, soft-vexpand otherwise).
-template <typename T, int S, int V, bool UseHw>
-inline void run_block_m(sparse::offset_t vxg_begin, sparse::offset_t vxg_end,
-                        const sparse::index_t* vxg_col, const std::int32_t* vxg_q,
-                        const T* packed, const std::uint16_t* masks, const T* x,
-                        T* __restrict yt) {
-  CSCV_KERNEL_DCHECKS(S, vxg_begin, vxg_end, vxg_q, yt);
-  const T* p = packed;
-  for (sparse::offset_t g = vxg_begin; g < vxg_end; ++g) {
-    const T xv = x[static_cast<std::size_t>(vxg_col[g])];
-    T* dst = yt + vxg_q[g];
-    const std::uint16_t* m = masks + g * V;
-    for (int e = 0; e < V; ++e) {
-      p += simd::expand_fma<T, S, UseHw>(p, m[e], xv, dst + e * S);
-    }
-  }
-}
-
-/// Multi-RHS CSCV-Z: K interleaved right-hand sides advance per VxG. The
-/// value is loaded once and FMA'd against K x entries — matrix traffic is
-/// amortized K-fold (the multi-slice reconstruction case). y~ slots are
-/// K-interleaved like x/y.
-/// K > 0: compile-time RHS count (unrolled, vectorizable); K == 0 falls
-/// back to the runtime `num_rhs` loop for unusual counts.
-template <typename T, int S, int V, int K>
-inline void run_block_z_multi(sparse::offset_t vxg_begin, sparse::offset_t vxg_end,
-                              const sparse::index_t* vxg_col, const std::int32_t* vxg_q,
-                              const T* values, const T* x, int num_rhs,
-                              T* __restrict yt) {
-  CSCV_KERNEL_DCHECKS(S, vxg_begin, vxg_end, vxg_q, yt);
-  if constexpr (K > 0) num_rhs = K;
-  const T* vals = values;
-  for (sparse::offset_t g = vxg_begin; g < vxg_end; ++g) {
-    const T* xv = x + static_cast<std::size_t>(vxg_col[g]) * num_rhs;
-    T* dst = yt + static_cast<std::size_t>(vxg_q[g]) * num_rhs;
-    for (int e = 0; e < V * S; ++e) {
-      const T v = vals[e];
-      T* d = dst + static_cast<std::size_t>(e) * num_rhs;
-      for (int k = 0; k < num_rhs; ++k) d[k] += v * xv[k];
-    }
-    vals += V * S;
-  }
-}
-
-/// Multi-RHS CSCV-M: each CSCVE's packed values are first re-inflated into
-/// a stack vector (hardware vexpand when available), then FMA'd K-wide —
-/// padding lanes multiply by zero, keeping the K-loop branch-free and
-/// vectorizable just like the Z kernel.
-template <typename T, int S, int V, int K, bool UseHw>
-inline void run_block_m_multi(sparse::offset_t vxg_begin, sparse::offset_t vxg_end,
-                              const sparse::index_t* vxg_col, const std::int32_t* vxg_q,
-                              const T* packed, const std::uint16_t* masks, const T* x,
-                              int num_rhs, T* __restrict yt) {
-  CSCV_KERNEL_DCHECKS(S, vxg_begin, vxg_end, vxg_q, yt);
-  if constexpr (K > 0) num_rhs = K;
-  const T* p = packed;
-  alignas(64) T dense[V * S];
-  for (sparse::offset_t g = vxg_begin; g < vxg_end; ++g) {
-    // Re-inflate the whole VxG once; the expansion cost amortizes over the
-    // K right-hand sides, after which the loop is identical to the Z case.
-    const std::uint16_t* m = masks + g * V;
-    for (int e = 0; e < V; ++e) {
-      p += simd::expand_any<T, S, UseHw>(p, m[e], dense + e * S);
-    }
-    const T* xv = x + static_cast<std::size_t>(vxg_col[g]) * num_rhs;
-    T* dst = yt + static_cast<std::size_t>(vxg_q[g]) * num_rhs;
-    for (int e = 0; e < V * S; ++e) {
-      const T v = dense[e];
-      T* d = dst + static_cast<std::size_t>(e) * num_rhs;
-      for (int k = 0; k < num_rhs; ++k) d[k] += v * xv[k];
-    }
-  }
-}
-
-/// Transpose CSCV-Z: each VxG contracts V*S contiguous y~ slots with its
-/// values into one x entry (x = A^T y, the backprojection direction).
-template <typename T, int S, int V>
-inline void run_block_z_transpose(sparse::offset_t vxg_begin, sparse::offset_t vxg_end,
-                                  const sparse::index_t* vxg_col, const std::int32_t* vxg_q,
-                                  const T* values, const T* __restrict yt, T* x) {
-  CSCV_KERNEL_DCHECKS(S, vxg_begin, vxg_end, vxg_q, yt);
-  const T* vals = values;
-  for (sparse::offset_t g = vxg_begin; g < vxg_end; ++g) {
-    const T* src = yt + vxg_q[g];
-    T acc = T(0);
-    for (int e = 0; e < V * S; ++e) {  // contiguous reduction, fixed length
-      acc += vals[e] * src[e];
-    }
-    x[static_cast<std::size_t>(vxg_col[g])] += acc;
-    vals += V * S;
-  }
-}
-
-/// Transpose CSCV-M: the packed values contract against the mask-selected
-/// y~ lanes. UseHw re-inflates each VxG with the hardware vexpand and runs
-/// the same fixed-length reduction as the Z path (dead lanes contribute
-/// zero); the soft path walks the packed cursor lane by lane, which stays
-/// portable off AVX-512.
-template <typename T, int S, int V, bool UseHw = false>
-inline void run_block_m_transpose(sparse::offset_t vxg_begin, sparse::offset_t vxg_end,
-                                  const sparse::index_t* vxg_col, const std::int32_t* vxg_q,
-                                  const T* packed, const std::uint16_t* masks,
-                                  const T* __restrict yt, T* x) {
-  CSCV_KERNEL_DCHECKS(S, vxg_begin, vxg_end, vxg_q, yt);
-  const T* p = packed;
-  if constexpr (UseHw) {
-    alignas(64) T dense[V * S];
-    for (sparse::offset_t g = vxg_begin; g < vxg_end; ++g) {
-      const std::uint16_t* m = masks + g * V;
-      for (int e = 0; e < V; ++e) {
-        p += simd::expand_any<T, S, true>(p, m[e], dense + e * S);
-      }
-      const T* src = yt + vxg_q[g];
-      T acc = T(0);
-      for (int e = 0; e < V * S; ++e) acc += dense[e] * src[e];
-      x[static_cast<std::size_t>(vxg_col[g])] += acc;
-    }
-  } else {
-    for (sparse::offset_t g = vxg_begin; g < vxg_end; ++g) {
-      const T* src = yt + vxg_q[g];
-      const std::uint16_t* m = masks + g * V;
-      T acc = T(0);
-      for (int e = 0; e < V; ++e) {
-        const std::uint32_t mask = m[e];
-        for (int l = 0; l < S; ++l) {
-          if (mask & (1u << l)) acc += *p++ * src[e * S + l];
-        }
-      }
-      x[static_cast<std::size_t>(vxg_col[g])] += acc;
-    }
-  }
-}
+#include "core/kernels_body.inc"  // NOLINT(bugprone-suspicious-include)
 
 }  // namespace cscv::core::kernels

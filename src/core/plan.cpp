@@ -2,6 +2,7 @@
 #include "core/plan.hpp"
 
 #include <algorithm>
+#include <type_traits>
 
 #include "util/assertx.hpp"
 #include "util/parallel.hpp"
@@ -27,10 +28,12 @@ SpmvPlan<T>::SpmvPlan(const CscvMatrix<T>& a, const PlanOptions& opts)
                                               : ThreadScheme::kPrivateY;
   }
   if (threads_ == 1) scheme_ = ThreadScheme::kRowPartition;  // trivially race-free
+  tier_ = dispatch::select_tier(opts.isa);
   use_hw_ = a.variant_ == CscvMatrix<T>::Variant::kM &&
-            dispatch::resolve_expand_path<T>(opts.path, a.params_.s_vvec);
+            dispatch::resolve_expand_path(opts.path, std::is_same_v<T, double>,
+                                          a.params_.s_vvec, tier_.tier);
   kernels_ = dispatch::resolve_kernels<T>(a.variant_, a.params_.s_vvec, a.params_.s_vxg,
-                                          use_hw_, num_rhs_);
+                                          use_hw_, num_rhs_, tier_.tier);
 
   // Weighted partitions: a block's work is its VxG count, so prefix-sum
   // splits balance actual FMA work, not block counts (corner tiles of a CT
@@ -294,6 +297,9 @@ PlanStats SpmvPlan<T>::stats() const {
   s.num_rhs = num_rhs_;
   s.scheme = scheme_;
   s.hardware_expand = use_hw_;
+  s.isa_tier = tier_.tier;
+  s.isa_forced = tier_.forced;
+  s.isa_clamped = tier_.clamped;
   std::uint64_t total_work = 0, max_work = 0;
   for (std::uint64_t w : work_) {
     total_work += w;

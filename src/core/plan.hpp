@@ -64,6 +64,13 @@ struct PlanStats {
   int num_rhs = 1;
   ThreadScheme scheme = ThreadScheme::kRowPartition;
   bool hardware_expand = false;
+  /// The kernel ISA tier this plan dispatched to (docs/DISPATCH.md), plus
+  /// whether it was forced (CSCV_FORCE_ISA / PlanOptions::isa) and whether
+  /// the request had to be clamped to a tier the binary/CPU actually has —
+  /// the telemetry trail for "why is this not running AVX-512?".
+  simd::IsaTier isa_tier = simd::IsaTier::kGeneric;
+  bool isa_forced = false;
+  bool isa_clamped = false;
   /// max/mean of per-slot VxG work — 1.0 is a perfectly balanced partition.
   double load_imbalance = 0.0;
 
@@ -103,6 +110,8 @@ class SpmvPlan {
   /// The scheme after kAuto resolution.
   [[nodiscard]] ThreadScheme scheme() const { return scheme_; }
   [[nodiscard]] bool hardware_expand() const { return use_hw_; }
+  /// The kernel ISA tier the plan resolved (never kAuto).
+  [[nodiscard]] simd::IsaTier isa_tier() const { return tier_.tier; }
   [[nodiscard]] int num_rhs() const { return num_rhs_; }
   /// VxGs assigned to each forward-partition slot (load-balance checks).
   [[nodiscard]] std::span<const std::uint64_t> work_per_slot() const { return work_; }
@@ -119,9 +128,12 @@ class SpmvPlan {
   void reset_telemetry() { counters_.reset(); }
 
   /// True when this cached plan can serve (matrix, opts) at `threads`.
+  /// Re-runs tier selection so a CSCV_FORCE_ISA change between calls (tests,
+  /// A/B runs) rebuilds instead of serving the stale tier's kernels.
   [[nodiscard]] bool matches(const CscvMatrix<T>& a, const PlanOptions& opts,
                              int threads) const {
-    return a_ == &a && requested_ == opts && threads_ == threads;
+    return a_ == &a && requested_ == opts && threads_ == threads &&
+           tier_ == dispatch::select_tier(opts.isa);
   }
 
  private:
@@ -138,6 +150,7 @@ class SpmvPlan {
   int num_rhs_ = 1;
   ThreadScheme scheme_ = ThreadScheme::kRowPartition;  // resolved, never kAuto
   bool use_hw_ = false;
+  dispatch::TierChoice tier_;  // resolved ISA tier (level-one dispatch)
   dispatch::KernelSet<T> kernels_;
 
   // Forward partition: view-group granularity for kRowPartition, block

@@ -10,7 +10,6 @@
 
 #include "core/dispatch.hpp"
 #include "core/format.hpp"
-#include "core/kernels.hpp"
 #include "core/plan.hpp"
 #include "simd/isa.hpp"
 #include "util/assertx.hpp"
@@ -60,12 +59,11 @@ void CscvMatrix<T>::gather_block(int block, const T* y, T* ytilde) const {
 }
 
 template <typename T>
-void CscvMatrix<T>::run_block(int block, std::span<const T> x, T* ytilde, bool use_hw) const {
+void CscvMatrix<T>::run_block(int block, std::span<const T> x, T* ytilde,
+                              const dispatch::KernelSet<T>& kernels) const {
   const BlockInfo& info = blocks_[static_cast<std::size_t>(block)];
-  const auto set =
-      dispatch::resolve_kernels<T>(variant_, params_.s_vvec, params_.s_vxg, use_hw, 1);
-  set.forward(info.vxg_begin, info.vxg_end, vxg_col_.data(), vxg_q_.data(),
-              values_.data() + info.val_begin, masks_.data(), x.data(), ytilde);
+  kernels.forward(info.vxg_begin, info.vxg_end, vxg_col_.data(), vxg_q_.data(),
+                  values_.data() + info.val_begin, masks_.data(), x.data(), ytilde);
 }
 
 template <typename T>
@@ -96,8 +94,15 @@ void CscvMatrix<T>::apply_accumulate(std::span<const T> x, std::span<T> y,
                                      simd::ExpandPath path) const {
   CSCV_CHECK(static_cast<index_t>(x.size()) == cols());
   CSCV_CHECK(static_cast<index_t>(y.size()) == rows());
+  // Both dispatch levels resolve once per apply, not once per block: pick
+  // the ISA tier (honoring CSCV_FORCE_ISA), resolve the expand path against
+  // it, and fetch the kernel set the block loop will reuse.
+  const simd::IsaTier tier = dispatch::select_tier().tier;
   const bool use_hw =
-      variant_ == Variant::kM && dispatch::resolve_expand_path<T>(path, params_.s_vvec);
+      variant_ == Variant::kM &&
+      dispatch::resolve_expand_path(path, std::is_same_v<T, double>, params_.s_vvec, tier);
+  const dispatch::KernelSet<T> kernels =
+      dispatch::resolve_kernels<T>(variant_, params_.s_vvec, params_.s_vxg, use_hw, 1, tier);
   // Algorithm 3 verbatim: per block, reorder y into y~ with iota_k, run the
   // vectorized kernel, reorder back with the inverse mapping. Serial: blocks
   // of one view group overlap in y, so they must not run concurrently here.
@@ -109,7 +114,7 @@ void CscvMatrix<T>::apply_accumulate(std::span<const T> x, std::span<T> y,
     gather_block(b, y.data(), ytilde.data());
     const std::size_t slots = static_cast<std::size_t>(info.o_count) * params_.s_vvec;
     std::copy_n(ytilde.data(), slots, before.data());
-    run_block(b, x, ytilde.data(), use_hw);
+    run_block(b, x, ytilde.data(), kernels);
     // Scatter-add the delta: live slots were gathered, so adding
     // (after - before) is the inverse reorder without double counting.
     for (std::size_t i = 0; i < slots; ++i) ytilde[i] -= before[i];
@@ -142,8 +147,9 @@ template void CscvMatrix<float>::gather_block(int, const float*, float*) const;
 template void CscvMatrix<double>::gather_block(int, const double*, double*) const;
 template void CscvMatrix<float>::scatter_add_block(int, const float*, float*) const;
 template void CscvMatrix<double>::scatter_add_block(int, const double*, double*) const;
-template void CscvMatrix<float>::run_block(int, std::span<const float>, float*, bool) const;
+template void CscvMatrix<float>::run_block(int, std::span<const float>, float*,
+                                           const dispatch::KernelSet<float>&) const;
 template void CscvMatrix<double>::run_block(int, std::span<const double>, double*,
-                                            bool) const;
+                                            const dispatch::KernelSet<double>&) const;
 
 }  // namespace cscv::core

@@ -31,6 +31,8 @@ util::Json ReconResult::to_json() const {
     util::Json p = util::Json::object();
     p["nnz"] = util::Json(plan_stats.nnz);
     p["padding_fraction"] = util::Json(plan_stats.padding_fraction);
+    p["isa_tier"] = util::Json(simd::isa_tier_name(plan_stats.isa_tier));
+    if (plan_stats.isa_clamped) p["isa_clamped"] = util::Json(true);
     p["threads"] = util::Json(plan_stats.threads);
     p["scratch_bytes"] = util::Json(plan_stats.scratch_bytes);
     if (plan_stats.telemetry_enabled) {

@@ -11,11 +11,17 @@
 //
 // All functions return the number of packed values consumed (popcount of the
 // mask) so callers can advance their packed-value cursor.
+//
+// The implementation lives in expand_body.inc so the multiversioned kernel
+// tiers (core/kernels_isa.cpp, docs/DISPATCH.md) can compile their own
+// internal-linkage copy under per-tier arch flags; including this header
+// gives the ordinary ambient-flags build.
 #pragma once
 
 #include <bit>
 #include <cstdint>
 #include <cstring>
+#include <type_traits>
 
 #if defined(__AVX512F__)
 #include <immintrin.h>
@@ -30,214 +36,6 @@ enum class ExpandPath {
   kSoftware,  // force soft-vexpand (models the paper's Zen2 runs)
 };
 
-/// Portable expansion: out[l] = mask bit l ? packed[k++] : 0, l in [0, Width).
-/// The loop form is branchy on purpose — this is exactly the instruction
-/// overhead the paper attributes to soft-vexpand.
-template <typename T, int Width>
-inline int expand_soft(const T* packed, std::uint32_t mask, T* out) {
-  int k = 0;
-  for (int l = 0; l < Width; ++l) {
-    if (mask & (1u << l)) {
-      out[l] = packed[k++];
-    } else {
-      out[l] = T(0);
-    }
-  }
-  return k;
-}
-
-/// Branch-free software variant: unconditionally reads Width values from
-/// `packed` (caller guarantees readability — builders over-allocate by one
-/// vector) and selects via per-lane cursors. Often auto-vectorizes better
-/// than expand_soft for wide vectors; still far costlier than hardware.
-template <typename T, int Width>
-inline int expand_soft_unrolled(const T* packed, std::uint32_t mask, T* out) {
-  int cursor[Width];
-  int k = 0;
-  for (int l = 0; l < Width; ++l) {
-    cursor[l] = k;
-    k += (mask >> l) & 1;
-  }
-  for (int l = 0; l < Width; ++l) {
-    const T v = packed[cursor[l]];
-    out[l] = ((mask >> l) & 1) ? v : T(0);
-  }
-  return k;
-}
-
-#if defined(__AVX512F__)
-
-/// Hardware expand-load of 16 floats (512-bit).
-inline int expand_hw16(const float* packed, std::uint32_t mask, float* out) {
-  const __m512 v = _mm512_maskz_expandloadu_ps(static_cast<__mmask16>(mask), packed);
-  _mm512_storeu_ps(out, v);
-  return std::popcount(mask & 0xFFFFu);
-}
-
-/// Hardware expand-load of 8 doubles (512-bit).
-inline int expand_hw8(const double* packed, std::uint32_t mask, double* out) {
-  const __m512d v = _mm512_maskz_expandloadu_pd(static_cast<__mmask8>(mask), packed);
-  _mm512_storeu_pd(out, v);
-  return std::popcount(mask & 0xFFu);
-}
-
-#if defined(__AVX512VL__)
-/// Hardware expand-load of 8 floats (256-bit, needs AVX-512VL).
-inline int expand_hw8(const float* packed, std::uint32_t mask, float* out) {
-  const __m256 v = _mm256_maskz_expandloadu_ps(static_cast<__mmask8>(mask), packed);
-  _mm256_storeu_ps(out, v);
-  return std::popcount(mask & 0xFFu);
-}
-
-/// Hardware expand-load of 4 floats (128-bit).
-inline int expand_hw4(const float* packed, std::uint32_t mask, float* out) {
-  const __m128 v = _mm_maskz_expandloadu_ps(static_cast<__mmask8>(mask & 0xFu), packed);
-  _mm_storeu_ps(out, v);
-  return std::popcount(mask & 0xFu);
-}
-
-/// Hardware expand-load of 4 doubles (256-bit).
-inline int expand_hw4(const double* packed, std::uint32_t mask, double* out) {
-  const __m256d v = _mm256_maskz_expandloadu_pd(static_cast<__mmask8>(mask & 0xFu), packed);
-  _mm256_storeu_pd(out, v);
-  return std::popcount(mask & 0xFu);
-}
-#endif  // __AVX512VL__
-
-#endif  // __AVX512F__
-
-/// True when a hardware expansion exists, in this binary, for (T, Width).
-template <typename T, int Width>
-constexpr bool has_hardware_expand() {
-#if defined(__AVX512F__)
-  if constexpr (std::is_same_v<T, float> && Width == 16) return true;
-  if constexpr (std::is_same_v<T, double> && Width == 8) return true;
-#if defined(__AVX512VL__)
-  if constexpr (std::is_same_v<T, float> && (Width == 8 || Width == 4)) return true;
-  if constexpr (std::is_same_v<T, double> && Width == 4) return true;
-#endif
-#endif
-  return false;
-}
-
-/// Unified entry point: expands `packed` under `mask` into out[0..Width).
-/// `UseHardware` is a compile-time choice so the kernel instantiations for
-/// the hardware and software paths are separate, branch-free loops.
-template <typename T, int Width, bool UseHardware>
-inline int expand(const T* packed, std::uint32_t mask, T* out) {
-  if constexpr (UseHardware) {
-    static_assert(has_hardware_expand<T, Width>(),
-                  "hardware expand not available for this (type, width)");
-#if defined(__AVX512F__)
-    if constexpr (std::is_same_v<T, float> && Width == 16) return expand_hw16(packed, mask, out);
-    if constexpr (std::is_same_v<T, double> && Width == 8) return expand_hw8(packed, mask, out);
-#if defined(__AVX512VL__)
-    if constexpr (std::is_same_v<T, float> && Width == 8) return expand_hw8(packed, mask, out);
-    if constexpr (std::is_same_v<T, float> && Width == 4) return expand_hw4(packed, mask, out);
-    if constexpr (std::is_same_v<T, double> && Width == 4) return expand_hw4(packed, mask, out);
-#endif
-#endif
-    __builtin_unreachable();
-  } else {
-    return expand_soft<T, Width>(packed, mask, out);
-  }
-}
-
-/// True when expansion at `Width` can be assembled from hardware expands,
-/// possibly by splitting into halves (e.g. 16 doubles = two vexpandpd).
-template <typename T, int Width>
-constexpr bool has_chunked_hardware_expand() {
-  if constexpr (has_hardware_expand<T, Width>()) {
-    return true;
-  } else if constexpr (Width % 2 == 0 && Width > 1) {
-    return has_chunked_hardware_expand<T, Width / 2>();
-  } else {
-    return false;
-  }
-}
-
-/// Width-agnostic expansion: splits `Width` into hardware-supported chunks
-/// when the exact width has no single instruction (e.g. 16 doubles = two
-/// 8-wide vexpandpd). Falls back to soft expansion when UseHardware is false.
-template <typename T, int Width, bool UseHardware>
-inline int expand_any(const T* packed, std::uint32_t mask, T* out) {
-  if constexpr (!UseHardware) {
-    return expand_soft<T, Width>(packed, mask, out);
-  } else {
-    static_assert(has_chunked_hardware_expand<T, Width>(),
-                  "no hardware expand path for this (type, width)");
-    if constexpr (has_hardware_expand<T, Width>()) {
-      return expand<T, Width, true>(packed, mask, out);
-    } else {
-      constexpr int kHalf = Width / 2;
-      const int lo = expand_any<T, kHalf, true>(packed, mask & ((1u << kHalf) - 1u), out);
-      const int hi = expand_any<T, kHalf, true>(packed + lo, mask >> kHalf, out + kHalf);
-      return lo + hi;
-    }
-  }
-}
-
-/// Fused expand + multiply-accumulate: y[l] += xv * expand(packed, mask)[l]
-/// for l in [0, Width). This is the inner operation of padding-removing
-/// kernels (CSCV-M, SPC5); fusing keeps the hardware path entirely in
-/// registers (vexpandps -> vfmadd) instead of round-tripping through a
-/// temporary buffer. Returns the number of packed values consumed.
-template <typename T, int Width, bool UseHardware>
-inline int expand_fma(const T* packed, std::uint32_t mask, T xv, T* y) {
-  if constexpr (!UseHardware) {
-    // soft-vexpand: the cursor-advance loop is the instruction overhead the
-    // paper measures on its non-AVX-512 platform.
-    int k = 0;
-    for (int l = 0; l < Width; ++l) {
-      if (mask & (1u << l)) {
-        y[l] += xv * packed[k++];
-      }
-    }
-    return k;
-  } else {
-    static_assert(has_chunked_hardware_expand<T, Width>());
-#if defined(__AVX512F__)
-    if constexpr (std::is_same_v<T, float> && Width == 16) {
-      const __m512 v = _mm512_maskz_expandloadu_ps(static_cast<__mmask16>(mask), packed);
-      const __m512 acc = _mm512_loadu_ps(y);
-      _mm512_storeu_ps(y, _mm512_fmadd_ps(_mm512_set1_ps(xv), v, acc));
-      return std::popcount(mask & 0xFFFFu);
-    } else if constexpr (std::is_same_v<T, double> && Width == 8) {
-      const __m512d v = _mm512_maskz_expandloadu_pd(static_cast<__mmask8>(mask), packed);
-      const __m512d acc = _mm512_loadu_pd(y);
-      _mm512_storeu_pd(y, _mm512_fmadd_pd(_mm512_set1_pd(xv), v, acc));
-      return std::popcount(mask & 0xFFu);
-    } else
-#if defined(__AVX512VL__)
-        if constexpr (std::is_same_v<T, float> && Width == 8) {
-      const __m256 v = _mm256_maskz_expandloadu_ps(static_cast<__mmask8>(mask), packed);
-      const __m256 acc = _mm256_loadu_ps(y);
-      _mm256_storeu_ps(y, _mm256_fmadd_ps(_mm256_set1_ps(xv), v, acc));
-      return std::popcount(mask & 0xFFu);
-    } else if constexpr (std::is_same_v<T, float> && Width == 4) {
-      const __m128 v = _mm_maskz_expandloadu_ps(static_cast<__mmask8>(mask & 0xFu), packed);
-      const __m128 acc = _mm_loadu_ps(y);
-      _mm_storeu_ps(y, _mm_fmadd_ps(_mm_set1_ps(xv), v, acc));
-      return std::popcount(mask & 0xFu);
-    } else if constexpr (std::is_same_v<T, double> && Width == 4) {
-      const __m256d v =
-          _mm256_maskz_expandloadu_pd(static_cast<__mmask8>(mask & 0xFu), packed);
-      const __m256d acc = _mm256_loadu_pd(y);
-      _mm256_storeu_pd(y, _mm256_fmadd_pd(_mm256_set1_pd(xv), v, acc));
-      return std::popcount(mask & 0xFu);
-    } else
-#endif  // __AVX512VL__
-    {
-      // Chunked fallback (e.g. 16 doubles as two 8-wide halves).
-      constexpr int kHalf = Width / 2;
-      const int lo = expand_fma<T, kHalf, true>(packed, mask & ((1u << kHalf) - 1u), xv, y);
-      const int hi = expand_fma<T, kHalf, true>(packed + lo, mask >> kHalf, xv, y + kHalf);
-      return lo + hi;
-    }
-#else
-    __builtin_unreachable();
-#endif  // __AVX512F__
-  }
-}
+#include "simd/expand_body.inc"  // NOLINT(bugprone-suspicious-include)
 
 }  // namespace cscv::simd

@@ -5,17 +5,28 @@
 // rest of the library asks which path is available. Everything else in the
 // library is plain C++ left to compiler auto-vectorization (the paper's
 // performance-portability claim).
+//
+// IsaTier names the kernel tiers the multiversioned build compiles
+// (docs/DISPATCH.md): the same kernel sources built per tier with that
+// tier's arch flags. Tier *selection* — which compiled tier this process
+// runs — lives in core/dispatch.hpp; this header only defines the vocabulary
+// and the CPU-capability predicate.
 #pragma once
 
 #include <string>
+#include <string_view>
+
+#include "util/assertx.hpp"
 
 namespace cscv::simd {
 
 /// CPU SIMD capability snapshot.
 struct IsaInfo {
   bool avx2 = false;
+  bool fma = false;       // FMA3 (ships with every AVX2 CPU we target)
   bool avx512f = false;
   bool avx512vl = false;  // 128/256-bit forms of AVX-512 ops (vexpand at width 4/8)
+  bool avx512dq = false;
 
   /// True when hardware vexpand is usable at a given element width
   /// (AVX-512F provides the 512-bit form; VL the narrower forms).
@@ -32,8 +43,10 @@ inline const IsaInfo& cpu_isa() {
 #if defined(__x86_64__) || defined(__i386__)
     __builtin_cpu_init();
     i.avx2 = __builtin_cpu_supports("avx2");
+    i.fma = __builtin_cpu_supports("fma");
     i.avx512f = __builtin_cpu_supports("avx512f");
     i.avx512vl = __builtin_cpu_supports("avx512vl");
+    i.avx512dq = __builtin_cpu_supports("avx512dq");
 #endif
     return i;
   }();
@@ -42,6 +55,9 @@ inline const IsaInfo& cpu_isa() {
 
 /// Compile-time availability of the AVX-512 expand intrinsics (the binary
 /// must have been compiled with the feature enabled to even emit them).
+/// Note these describe the *including* translation unit — the multiversioned
+/// kernel tiers are compiled with their own flags and report through the
+/// dispatch registry instead.
 #if defined(__AVX512F__)
 inline constexpr bool kCompiledAvx512f = true;
 #else
@@ -53,13 +69,62 @@ inline constexpr bool kCompiledAvx512vl = true;
 inline constexpr bool kCompiledAvx512vl = false;
 #endif
 
+/// The kernel tiers a multiversioned binary may carry, ordered: a higher
+/// value strictly implies the lower tiers' features. Values are stable —
+/// they index the dispatch registry and appear in telemetry.
+enum class IsaTier : int {
+  kAuto = -1,    // "pick for me" (PlanOptions default; never a resolved tier)
+  kGeneric = 0,  // baseline x86-64, no AVX — portable everywhere
+  kAvx2 = 1,     // AVX2 + FMA
+  kAvx512 = 2,   // AVX-512 F+VL+DQ (hardware vexpand at every width)
+};
+
+inline constexpr int kNumIsaTiers = 3;
+
+/// Stable lower-case name, as accepted by CSCV_FORCE_ISA.
+constexpr const char* isa_tier_name(IsaTier tier) {
+  switch (tier) {
+    case IsaTier::kAuto: return "auto";
+    case IsaTier::kGeneric: return "generic";
+    case IsaTier::kAvx2: return "avx2";
+    case IsaTier::kAvx512: return "avx512";
+  }
+  return "?";
+}
+
+/// Parses a CSCV_FORCE_ISA-style tier name ("auto" included). Unknown names
+/// throw util::CheckError — a misspelled override should fail loudly, not
+/// silently run the wrong kernels.
+inline IsaTier parse_isa_tier(std::string_view name) {
+  if (name == "auto") return IsaTier::kAuto;
+  if (name == "generic") return IsaTier::kGeneric;
+  if (name == "avx2") return IsaTier::kAvx2;
+  if (name == "avx512") return IsaTier::kAvx512;
+  CSCV_CHECK_MSG(false, "unknown ISA tier \"" << std::string(name)
+                                              << "\" (expected auto|generic|avx2|avx512)");
+}
+
+/// True when the executing CPU can run code compiled for `tier`.
+inline bool cpu_supports_tier(IsaTier tier) {
+  const IsaInfo& i = cpu_isa();
+  switch (tier) {
+    case IsaTier::kAuto: return true;
+    case IsaTier::kGeneric: return true;
+    case IsaTier::kAvx2: return i.avx2 && i.fma;
+    case IsaTier::kAvx512: return i.avx512f && i.avx512vl && i.avx512dq;
+  }
+  return false;
+}
+
 /// Human-readable ISA summary for bench headers.
 inline std::string describe_isa() {
   const IsaInfo& i = cpu_isa();
   std::string s = "isa:";
   s += i.avx2 ? " avx2" : "";
+  s += i.fma ? " fma" : "";
   s += i.avx512f ? " avx512f" : "";
   s += i.avx512vl ? " avx512vl" : "";
+  s += i.avx512dq ? " avx512dq" : "";
   s += kCompiledAvx512f ? " (compiled avx512f)" : " (compiled generic)";
   return s;
 }

@@ -243,6 +243,43 @@ TEST(Compare, IsaMismatchSkipsTimingGatesButKeepsStructuralOnes) {
   EXPECT_EQ(compare_reports(base, cand, opts).regressions, 2);
 }
 
+TEST(Compare, SameRuntimeTierGatesTimingsAcrossDifferentBuilds) {
+  // Two builds with different compile flags carry different legacy `isa`
+  // strings, but if both *dispatched* the same kernel tier they timed the
+  // same kernels — the runtime `isa_tier` key must keep the timing gate
+  // armed (this is the cross-build regression gate the key restores).
+  BenchRecord slow = make_record();
+  slow.set("seconds_median", 0.020);
+  BenchReport base = report_with({make_record()});
+  BenchReport cand = report_with({slow});
+  base.set_machine("isa", "isa: avx2 avx512f (compiled avx512f)");
+  cand.set_machine("isa", "isa: avx2 avx512f (compiled generic)");
+  base.set_machine("isa_tier", "avx512");
+  cand.set_machine("isa_tier", "avx512");
+  const CompareResult result = compare_reports(base, cand);
+  EXPECT_TRUE(result.timing_skip_reason.empty());
+  EXPECT_EQ(result.regressions, 1);
+  EXPECT_EQ(result.skipped, 0);
+}
+
+TEST(Compare, DifferentRuntimeTierSkipsTimingsEvenWithMatchingIsaString) {
+  // The converse: identical compile-time flags but a CSCV_FORCE_ISA (or a
+  // different CPU) made the two runs dispatch different tiers — their
+  // timings are incomparable no matter what the `isa` string says.
+  BenchRecord slow = make_record();
+  slow.set("seconds_median", 0.020);
+  BenchReport base = report_with({make_record()});
+  BenchReport cand = report_with({slow});
+  base.set_machine("isa", "isa: avx2 avx512f (compiled avx512f)");
+  cand.set_machine("isa", "isa: avx2 avx512f (compiled avx512f)");
+  base.set_machine("isa_tier", "avx512");
+  cand.set_machine("isa_tier", "generic");
+  const CompareResult result = compare_reports(base, cand);
+  EXPECT_FALSE(result.timing_skip_reason.empty());
+  EXPECT_EQ(result.regressions, 0);
+  EXPECT_EQ(result.skipped, 1);
+}
+
 TEST(Compare, MatchingOrAbsentIsaKeepsTimingGatesArmed) {
   BenchRecord slow = make_record();
   slow.set("seconds_median", 0.020);

@@ -7,6 +7,7 @@
 //                     [--svvec=8 --simgb=16 --svxg=4 --variant=m|z]
 //   cscv_cli spmv     --cscv=matrix.cscv [--iters=20] [--threads=N]
 //   cscv_cli verify   <file.cscv> [--level=cheap|full] [--json]
+//   cscv_cli isa      [--json]
 //   cscv_cli serve-demo [--image=64 --views=48 --jobs=16 --workers=N]
 //                       [--queue=8 --policy=block|reject] [--algorithm=sirt]
 //                       [--iters=8] [--budget_mb=512] [--spill=DIR] [--json]
@@ -16,9 +17,11 @@
 #include <future>
 #include <iostream>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "core/autotune.hpp"
+#include "core/dispatch.hpp"
 #include "core/plan.hpp"
 #include "core/serialize.hpp"
 #include "core/verify.hpp"
@@ -279,6 +282,94 @@ int cmd_verify(util::CliFlags& cli) {
   return report.ok() ? 0 : 1;
 }
 
+// What would this process dispatch? Reports the CPU's SIMD features, the
+// kernel tiers compiled into this binary, the tier level-one dispatch
+// selects right now (honoring CSCV_FORCE_ISA), and whether the hardware
+// vexpand path is active per (precision, S_VVec) under that tier — the
+// ground truth behind PlanStats::isa_tier and bench reports' "isa_tier".
+int cmd_isa(util::CliFlags& cli) {
+  const bool as_json = cli.get_bool("json");
+  cli.finish();
+
+  namespace dispatch = core::dispatch;
+  const simd::IsaInfo& cpu = simd::cpu_isa();
+  const dispatch::TierChoice choice = dispatch::select_tier();
+
+  std::string registered;
+  for (int i = 0; i < simd::kNumIsaTiers; ++i) {
+    const auto tier = static_cast<simd::IsaTier>(i);
+    if (!dispatch::tier_registered(tier)) continue;
+    if (!registered.empty()) registered += ' ';
+    registered += simd::isa_tier_name(tier);
+  }
+
+  const std::pair<const char*, bool> features[] = {
+      {"avx2", cpu.avx2},         {"fma", cpu.fma},
+      {"avx512f", cpu.avx512f},   {"avx512vl", cpu.avx512vl},
+      {"avx512dq", cpu.avx512dq},
+  };
+  constexpr int kWidths[] = {4, 8, 16};
+
+  if (as_json) {
+    util::Json j = util::Json::object();
+    util::Json cpu_json = util::Json::object();
+    for (const auto& [name, present] : features) cpu_json[name] = util::Json(present);
+    j["cpu"] = std::move(cpu_json);
+    util::Json tiers = util::Json::array();
+    for (int i = 0; i < simd::kNumIsaTiers; ++i) {
+      const auto tier = static_cast<simd::IsaTier>(i);
+      if (dispatch::tier_registered(tier)) {
+        tiers.push_back(util::Json(simd::isa_tier_name(tier)));
+      }
+    }
+    j["registered_tiers"] = std::move(tiers);
+    j["selected_tier"] = util::Json(simd::isa_tier_name(choice.tier));
+    j["forced"] = util::Json(choice.forced);
+    j["clamped"] = util::Json(choice.clamped);
+    util::Json expand = util::Json::object();
+    for (const char* precision : {"f32", "f64"}) {
+      const bool is_double = precision[1] == '6';
+      util::Json row = util::Json::object();
+      for (int s : kWidths) {
+        row[std::to_string(s)] = util::Json(dispatch::resolve_expand_path(
+            simd::ExpandPath::kAuto, is_double, s, choice.tier));
+      }
+      expand[precision] = std::move(row);
+    }
+    j["hardware_expand"] = std::move(expand);
+    std::cout << j.dump(2) << "\n";
+    return 0;
+  }
+
+  util::Table t({"property", "value"});
+  std::string cpu_line;
+  for (const auto& [name, present] : features) {
+    if (!present) continue;
+    if (!cpu_line.empty()) cpu_line += ' ';
+    cpu_line += name;
+  }
+  t.add("cpu features", cpu_line.empty() ? "(none)" : cpu_line);
+  t.add("registered tiers", registered);
+  std::string selected = simd::isa_tier_name(choice.tier);
+  if (choice.forced) selected += choice.clamped ? " (forced, clamped)" : " (forced)";
+  t.add("selected tier", selected);
+  t.print(std::cout);
+
+  util::Table e({"precision", "S_VVec", "hardware expand"});
+  for (const char* precision : {"f32", "f64"}) {
+    const bool is_double = precision[1] == '6';
+    for (int s : kWidths) {
+      e.add(precision, s,
+            dispatch::resolve_expand_path(simd::ExpandPath::kAuto, is_double, s,
+                                          choice.tier)
+                ? "yes"
+                : "no");
+    }
+  }
+  e.print(std::cout);
+  return 0;
+}
+
 // Push a batch of phantom reconstructions through ReconService and report
 // per-job results plus service/cache counters — a runnable demonstration of
 // the concurrent serving path on synthetic data.
@@ -370,7 +461,7 @@ int cmd_serve_demo(util::CliFlags& cli) {
 int main(int argc, char** argv) {
   using namespace cscv;
   if (argc < 2) {
-    std::cerr << "usage: cscv_cli <generate|info|convert|spmv|tune|verify|serve-demo>"
+    std::cerr << "usage: cscv_cli <generate|info|convert|spmv|tune|verify|isa|serve-demo>"
                  " [--flags]\n";
     return 2;
   }
@@ -383,6 +474,7 @@ int main(int argc, char** argv) {
     if (cmd == "spmv") return cmd_spmv(cli);
     if (cmd == "tune") return cmd_tune(cli);
     if (cmd == "verify") return cmd_verify(cli);
+    if (cmd == "isa") return cmd_isa(cli);
     if (cmd == "serve-demo") return cmd_serve_demo(cli);
     std::cerr << "unknown command: " << cmd << "\n";
     return 2;
