@@ -45,12 +45,20 @@ using TransposeFn = void (*)(sparse::offset_t vxg_begin, sparse::offset_t vxg_en
                              const T* values, const std::uint16_t* masks, const T* yt,
                              T* x);
 
-/// The three directions of one (variant, S, V, expand path, num_rhs) choice.
+/// x += block^T * y~ for num_rhs interleaved right-hand sides.
+template <typename T>
+using TransposeMultiFn = void (*)(sparse::offset_t vxg_begin, sparse::offset_t vxg_end,
+                                  const sparse::index_t* vxg_col, const std::int32_t* vxg_q,
+                                  const T* values, const std::uint16_t* masks, const T* yt,
+                                  int num_rhs, T* x);
+
+/// The four directions of one (variant, S, V, expand path, num_rhs) choice.
 template <typename T>
 struct KernelSet {
   ForwardFn<T> forward = nullptr;
   MultiFn<T> multi = nullptr;
   TransposeFn<T> transpose = nullptr;
+  TransposeMultiFn<T> transpose_multi = nullptr;
 };
 
 /// Entry points of one compiled kernel tier (one kernels_isa.cpp object).

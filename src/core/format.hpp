@@ -150,13 +150,21 @@ class CscvMatrix {
   void spmv_transpose(std::span<const T> y, std::span<T> x,
                       simd::ExpandPath path = simd::ExpandPath::kAuto) const;
 
+  /// X = A^T Y for K right-hand sides stored interleaved (Y[row * K + k],
+  /// X[col * K + k]) — the backprojection counterpart of spmv_multi: one
+  /// matrix traversal contracts K sinogram columns. Column k of the result
+  /// is bitwise identical to spmv_transpose of that column alone (the
+  /// kernels visit each column's values in the single-RHS order).
+  void spmv_transpose_multi(std::span<const T> y, std::span<T> x, int num_rhs) const;
+
   /// Lazily-built cached execution plan for `opts` (see plan.hpp). All the
   /// apply entry points above route through this, so iterating callers pay
   /// for thread-scheme resolution, kernel dispatch, partitioning, and
-  /// scratch allocation exactly once per configuration. The cache holds one
-  /// single-RHS and one multi-RHS plan; a plan is rebuilt when the options,
-  /// the ambient util::max_threads(), or the matrix identity change (so
-  /// set_num_threads() between calls is always honored).
+  /// scratch allocation exactly once per configuration. The cache holds up
+  /// to kPlanCacheSlots plans keyed on (options, thread count) — distinct
+  /// num_rhs values coexist — evicted LRU; a plan is rebuilt when the
+  /// options, the ambient util::max_threads(), or the matrix identity
+  /// change (so set_num_threads() between calls is always honored).
   ///
   /// Plan *acquisition* is thread-safe: a small mutex guards the cache, so
   /// concurrent first calls single-flight the build (one thread constructs,
@@ -168,6 +176,11 @@ class CscvMatrix {
   /// SpmvPlan per caller thread (see pipeline::ReconService's per-worker
   /// plans for the intended pattern).
   const SpmvPlan<T>& plan(const PlanOptions& opts = {}) const;
+
+  /// Cached-plan slots kept per matrix (see plan()). Small on purpose: a
+  /// slot pins its plan's scratch, and callers needing many live
+  /// configurations (a worker pool) hold their own SpmvPlans instead.
+  static constexpr std::size_t kPlanCacheSlots = 4;
 
   // ---- introspection (tests, analysis benches) -------------------------
   [[nodiscard]] std::span<const BlockInfo> blocks() const { return blocks_; }
@@ -202,34 +215,31 @@ class CscvMatrix {
   util::AlignedVector<T> values_;                // kZ: VxG-major dense; kM: packed
   util::AlignedVector<std::uint16_t> masks_;     // kM: per-CSCVE lane masks
 
-  // Cached plans (single-RHS and multi-RHS slots), guarded by a mutex so
-  // concurrent first calls to plan()/spmv() on a shared matrix cannot race
-  // on the slots (the warm path pays one uncontended lock). Every copy,
-  // move, and assignment leaves BOTH matrices with a cold cache: a plan
-  // remembers the address of the matrix it was built for, so an assignment
-  // target's stale plan would still "match" its own address while indexing
-  // the replaced (or destroyed) arrays — the slots must go, on both sides.
+  // Cached plans — a small MRU-first list keyed on the full (matrix,
+  // options, thread count) configuration, guarded by a mutex so concurrent
+  // first calls to plan()/spmv() on a shared matrix cannot race on the
+  // slots (the warm path pays one uncontended lock). Distinct num_rhs
+  // values each get their own slot. Every copy, move, and assignment
+  // leaves BOTH matrices with a cold cache: a plan remembers the address
+  // of the matrix it was built for, so an assignment target's stale plan
+  // would still "match" its own address while indexing the replaced (or
+  // destroyed) arrays — the slots must go, on both sides.
   struct PlanCache {
     std::mutex mu;
-    std::shared_ptr<SpmvPlan<T>> single;
-    std::shared_ptr<SpmvPlan<T>> multi;
+    std::vector<std::shared_ptr<SpmvPlan<T>>> slots;  // MRU first
 
     PlanCache() = default;
     PlanCache(const PlanCache&) noexcept {}
     PlanCache& operator=(const PlanCache&) noexcept {
-      single.reset();
-      multi.reset();
+      slots.clear();
       return *this;
     }
     PlanCache(PlanCache&& other) noexcept {
-      other.single.reset();  // the moved-from matrix is gutted, so its
-      other.multi.reset();   // plans must go too
-    }
+      other.slots.clear();  // the moved-from matrix is gutted, so its
+    }                       // plans must go too
     PlanCache& operator=(PlanCache&& other) noexcept {
-      single.reset();
-      multi.reset();
-      other.single.reset();
-      other.multi.reset();
+      slots.clear();
+      other.slots.clear();
       return *this;
     }
   };

@@ -149,15 +149,24 @@ void SpmvPlan<T>::gather(int block, const T* src, T* ytilde) const {
   const int s = a_->params_.s_vvec;
   const int v0 = a_->grid_.first_view(info.view_group);
   const int s_eff = std::min(s, a_->layout_.num_views - v0);
-  std::fill_n(ytilde, static_cast<std::size_t>(info.o_count) * s, T(0));
+  const int k = num_rhs_;
+  std::fill_n(ytilde, static_cast<std::size_t>(info.o_count) * s * k, T(0));
   for (int vi = 0; vi < s_eff; ++vi) {
     const int ref = a_->refs_[static_cast<std::size_t>(block) * s + vi];
     const int lo = std::max(0, -(ref + info.o_min));
     const int hi = std::min(info.o_count, a_->layout_.num_bins - ref - info.o_min);
-    const T* yrow = src + static_cast<std::size_t>(a_->layout_.row_of(v0 + vi, 0));
+    const T* yrow = src + static_cast<std::size_t>(a_->layout_.row_of(v0 + vi, 0)) * k;
     const int bin0 = ref + info.o_min;
-    for (int o = lo; o < hi; ++o) {
-      ytilde[static_cast<std::size_t>(o) * s + vi] = yrow[bin0 + o];
+    if (k == 1) {
+      for (int o = lo; o < hi; ++o) {
+        ytilde[static_cast<std::size_t>(o) * s + vi] = yrow[bin0 + o];
+      }
+    } else {
+      for (int o = lo; o < hi; ++o) {
+        const T* srow = yrow + static_cast<std::size_t>(bin0 + o) * k;
+        T* drow = ytilde + (static_cast<std::size_t>(o) * s + vi) * k;
+        for (int r = 0; r < k; ++r) drow[r] = srow[r];
+      }
     }
   }
 }
@@ -237,8 +246,10 @@ void SpmvPlan<T>::execute(std::span<const T> x, std::span<T> y) const {
 
 template <typename T>
 void SpmvPlan<T>::execute_transpose(std::span<const T> y, std::span<T> x) const {
-  CSCV_CHECK(static_cast<index_t>(y.size()) == a_->rows());
-  CSCV_CHECK(static_cast<index_t>(x.size()) == a_->cols());
+  CSCV_CHECK(y.size() ==
+             static_cast<std::size_t>(a_->rows()) * static_cast<std::size_t>(num_rhs_));
+  CSCV_CHECK(x.size() ==
+             static_cast<std::size_t>(a_->cols()) * static_cast<std::size_t>(num_rhs_));
   const util::telemetry::Stopwatch apply_timer;
   const int tiles_per_group = a_->grid_.tiles_x * a_->grid_.tiles_y;
 
@@ -255,9 +266,15 @@ void SpmvPlan<T>::execute_transpose(std::span<const T> y, std::span<T> x) const 
           const auto& info = a_->blocks_[static_cast<std::size_t>(b)];
           if (info.vxg_begin == info.vxg_end) continue;
           gather(b, y.data(), ytilde);
-          kernels_.transpose(info.vxg_begin, info.vxg_end, a_->vxg_col_.data(),
-                             a_->vxg_q_.data(), a_->values_.data() + info.val_begin,
-                             a_->masks_.data(), ytilde, x.data());
+          if (num_rhs_ == 1) {
+            kernels_.transpose(info.vxg_begin, info.vxg_end, a_->vxg_col_.data(),
+                               a_->vxg_q_.data(), a_->values_.data() + info.val_begin,
+                               a_->masks_.data(), ytilde, x.data());
+          } else {
+            kernels_.transpose_multi(info.vxg_begin, info.vxg_end, a_->vxg_col_.data(),
+                                     a_->vxg_q_.data(), a_->values_.data() + info.val_begin,
+                                     a_->masks_.data(), ytilde, num_rhs_, x.data());
+          }
         }
       }
     }
@@ -339,13 +356,22 @@ const SpmvPlan<T>& CscvMatrix<T>::plan(const PlanOptions& opts) const {
   const int want_threads = opts.threads > 0 ? opts.threads : util::max_threads();
   // The build happens under the lock on purpose: concurrent cold callers
   // single-flight onto one construction instead of each building (and all
-  // but one discarding) a plan. The warm path is one uncontended lock.
+  // but one discarding) a plan. The warm path is one uncontended lock plus
+  // a scan of a handful of slots, keyed on the full (options, thread count)
+  // configuration — so distinct num_rhs values (a service batching jobs at
+  // several widths) coexist instead of thrashing one slot.
   std::lock_guard<std::mutex> lock(plan_cache_.mu);
-  auto& slot = opts.num_rhs > 1 ? plan_cache_.multi : plan_cache_.single;
-  if (!slot || !slot->matches(*this, opts, want_threads)) {
-    slot = std::make_shared<SpmvPlan<T>>(*this, opts);
+  auto& slots = plan_cache_.slots;
+  for (std::size_t i = 0; i < slots.size(); ++i) {
+    if (slots[i]->matches(*this, opts, want_threads)) {
+      if (i != 0) std::rotate(slots.begin(), slots.begin() + static_cast<std::ptrdiff_t>(i),
+                              slots.begin() + static_cast<std::ptrdiff_t>(i) + 1);
+      return *slots.front();
+    }
   }
-  return *slot;
+  slots.insert(slots.begin(), std::make_shared<SpmvPlan<T>>(*this, opts));
+  if (slots.size() > kPlanCacheSlots) slots.pop_back();
+  return *slots.front();
 }
 
 template class SpmvPlan<float>;

@@ -99,7 +99,9 @@ class SpmvPlan {
   /// x.size() == cols * num_rhs, y.size() == rows * num_rhs.
   void execute(std::span<const T> x, std::span<T> y) const;
 
-  /// x = A^T y (always single-RHS; usable from any plan).
+  /// x = A^T y (num_rhs == 1) or X = A^T Y for num_rhs interleaved RHS.
+  /// y.size() == rows * num_rhs, x.size() == cols * num_rhs. Column k is
+  /// bitwise identical to a single-RHS transpose of that column.
   void execute_transpose(std::span<const T> y, std::span<T> x) const;
 
   // ---- introspection ---------------------------------------------------
@@ -141,7 +143,7 @@ class SpmvPlan {
     return ytilde_pool_.data() + static_cast<std::size_t>(slot) * ytilde_stride_;
   }
   void scatter_add(int block, const T* ytilde, T* dst) const;  // K-aware
-  void gather(int block, const T* src, T* ytilde) const;       // K == 1
+  void gather(int block, const T* src, T* ytilde) const;       // K-aware
   void run_forward(int block, const T* x, T* ytilde) const;    // K-aware
 
   const CscvMatrix<T>* a_ = nullptr;

@@ -90,6 +90,17 @@ void CscvMatrix<T>::spmv_transpose(std::span<const T> y, std::span<T> x,
 }
 
 template <typename T>
+void CscvMatrix<T>::spmv_transpose_multi(std::span<const T> y, std::span<T> x,
+                                         int num_rhs) const {
+  CSCV_CHECK(num_rhs >= 1);
+  if (num_rhs == 1) {
+    spmv_transpose(y, x);
+    return;
+  }
+  plan({.num_rhs = num_rhs}).execute_transpose(y, x);
+}
+
+template <typename T>
 void CscvMatrix<T>::apply_accumulate(std::span<const T> x, std::span<T> y,
                                      simd::ExpandPath path) const {
   CSCV_CHECK(static_cast<index_t>(x.size()) == cols());
@@ -131,6 +142,10 @@ template void CscvMatrix<float>::spmv_transpose(std::span<const float>, std::spa
                                                 simd::ExpandPath) const;
 template void CscvMatrix<double>::spmv_transpose(std::span<const double>, std::span<double>,
                                                  simd::ExpandPath) const;
+template void CscvMatrix<float>::spmv_transpose_multi(std::span<const float>,
+                                                      std::span<float>, int) const;
+template void CscvMatrix<double>::spmv_transpose_multi(std::span<const double>,
+                                                       std::span<double>, int) const;
 
 // The class is explicitly instantiated member-by-member across builder.cpp,
 // spmv.cpp, and plan.cpp (the definitions are split between the TUs).

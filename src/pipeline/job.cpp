@@ -26,6 +26,10 @@ util::Json ReconResult::to_json() const {
   j["solve_seconds"] = util::Json(solve_seconds);
   j["iterations_run"] = util::Json(iterations_run);
   j["final_residual"] = util::Json(final_residual);
+  if (batch_size > 1) {
+    j["batch_size"] = util::Json(batch_size);
+    j["batch_index"] = util::Json(batch_index);
+  }
   j["volume_elements"] = util::Json(volume.size());
   if (plan_stats.nnz > 0) {
     util::Json p = util::Json::object();

@@ -74,6 +74,12 @@ struct ReconResult {
   int iterations_run = 0;
   double final_residual = 0.0;  // ||b - A x|| after the last iteration
 
+  /// Jobs fused into the batched solve that produced this result (1 = ran
+  /// alone), and this job's column index within that batch. The volume is
+  /// bitwise identical either way; these exist for telemetry.
+  int batch_size = 1;
+  int batch_index = 0;
+
   /// Reconstructed image, geometry.num_cols() elements (empty unless kOk).
   util::AlignedVector<float> volume;
   /// Snapshot of the worker plan that ran the job (zero for kOsSart, which

@@ -17,6 +17,7 @@
 // path, where the service fails the leftovers itself).
 #pragma once
 
+#include <chrono>
 #include <condition_variable>
 #include <cstddef>
 #include <deque>
@@ -68,6 +69,25 @@ class BoundedQueue {
   bool pop(T& out) {
     std::unique_lock<std::mutex> lock(mu_);
     ready_.wait(lock, [&] { return closed_ || !items_.empty(); });
+    if (items_.empty()) return false;
+    out = std::move(items_.front());
+    items_.pop_front();
+    lock.unlock();
+    space_.notify_one();
+    return true;
+  }
+
+  /// Bounded-wait pop: like pop(), but gives up after `timeout`. Returns
+  /// true with an item moved into `out`; false on timeout or when the
+  /// queue is closed and fully drained (check closed() to tell the two
+  /// apart). A zero or negative timeout is a non-blocking poll. The
+  /// predicate-form wait_for re-checks against a deadline fixed up front,
+  /// so spurious wakeups neither return early nor extend the wait — the
+  /// batching window of ReconService leans on both properties.
+  template <typename Rep, typename Period>
+  bool try_pop_for(T& out, std::chrono::duration<Rep, Period> timeout) {
+    std::unique_lock<std::mutex> lock(mu_);
+    ready_.wait_for(lock, timeout, [&] { return closed_ || !items_.empty(); });
     if (items_.empty()) return false;
     out = std::move(items_.front());
     items_.pop_front();

@@ -3,7 +3,9 @@
 #include <algorithm>
 #include <exception>
 #include <list>
+#include <optional>
 #include <utility>
+#include <vector>
 
 #include "recon/fbp.hpp"
 #include "recon/operators.hpp"
@@ -21,6 +23,9 @@ util::Json ServiceStats::to_json() const {
   j["expired"] = util::Json(expired);
   j["cancelled"] = util::Json(cancelled);
   j["failed"] = util::Json(failed);
+  j["batches"] = util::Json(batches);
+  j["batched_jobs"] = util::Json(batched_jobs);
+  j["debatched"] = util::Json(debatched);
   return j;
 }
 
@@ -78,12 +83,98 @@ ReconResult execute_job(const ReconJob& job, const SystemMatrixEntry& entry,
   return r;
 }
 
+std::vector<ReconResult> execute_job_batch(std::span<const ReconJob> jobs,
+                                           const SystemMatrixEntry& entry,
+                                           const core::SpmvPlan<float>* plan) {
+  CSCV_CHECK_MSG(!jobs.empty(), "execute_job_batch needs at least one job");
+  if (jobs.size() == 1) {
+    std::vector<ReconResult> out;
+    out.push_back(execute_job(jobs[0], entry, plan));
+    return out;
+  }
+  const Algorithm algo = jobs[0].algorithm;
+  CSCV_CHECK_MSG(algo != Algorithm::kFbp, "kFbp jobs are never batched");
+  const auto rows = static_cast<std::size_t>(jobs[0].geometry.num_rows());
+  const auto cols = static_cast<std::size_t>(jobs[0].geometry.num_cols());
+  for (const ReconJob& j : jobs) {
+    j.geometry.validate();
+    CSCV_CHECK_MSG(j.algorithm == algo, "batched jobs must share one algorithm");
+    CSCV_CHECK(static_cast<std::size_t>(j.geometry.num_rows()) == rows);
+    CSCV_CHECK(static_cast<std::size_t>(j.geometry.num_cols()) == cols);
+    CSCV_CHECK_MSG(j.sinogram.size() == rows, "sinogram has " << j.sinogram.size()
+                                                              << " elements, geometry wants "
+                                                              << rows);
+  }
+  const std::size_t k = jobs.size();
+  const int num_rhs = static_cast<int>(k);
+
+  // Interleave the sinograms into one multi-RHS B and solve all columns in
+  // lockstep over a single matrix traversal per iteration.
+  util::AlignedVector<float> b(rows * k);
+  for (std::size_t c = 0; c < k; ++c) {
+    for (std::size_t i = 0; i < rows; ++i) b[i * k + c] = jobs[c].sinogram[i];
+  }
+  util::AlignedVector<float> x(cols * k, 0.0F);
+
+  util::WallTimer timer;
+  std::vector<recon::RunStats> stats;
+  switch (algo) {
+    case Algorithm::kSirt:
+    case Algorithm::kCgls: {
+      CSCV_CHECK_MSG(plan != nullptr && plan->matrix() == entry.cscv.get() &&
+                         plan->num_rhs() == num_rhs,
+                     "batched iterative algorithms need a plan over the entry's CSCV "
+                     "matrix with num_rhs == batch size");
+      const recon::PlanOperator<float> op(*plan);
+      std::vector<recon::SolveOptions> solve(k);
+      for (std::size_t c = 0; c < k; ++c) solve[c] = jobs[c].solve;
+      stats = algo == Algorithm::kSirt
+                  ? recon::sirt_batch<float>(op, b, x, num_rhs, solve)
+                  : recon::cgls_batch<float>(op, b, x, num_rhs, solve);
+      break;
+    }
+    case Algorithm::kOsSart: {
+      CSCV_CHECK_MSG(entry.csr != nullptr, "kOsSart entry is missing its CSR operator");
+      std::vector<recon::OsSartOptions> opts(k);
+      for (std::size_t c = 0; c < k; ++c) {
+        opts[c].iterations = jobs[c].solve.iterations;
+        opts[c].num_subsets = jobs[c].os_sart_subsets;
+        opts[c].relaxation = jobs[c].solve.relaxation;
+        opts[c].enforce_nonneg = jobs[c].solve.enforce_nonneg;
+      }
+      stats = recon::os_sart_batch<float>(*entry.csr, entry.layout, b, x, num_rhs, opts);
+      break;
+    }
+    case Algorithm::kFbp: break;  // unreachable, checked above
+  }
+  const double solve_seconds = timer.seconds();
+
+  std::vector<ReconResult> out(k);
+  for (std::size_t c = 0; c < k; ++c) {
+    ReconResult& r = out[c];
+    r.tag = jobs[c].tag;
+    r.volume.resize(cols);
+    for (std::size_t i = 0; i < cols; ++i) r.volume[i] = x[i * k + c];
+    r.iterations_run = stats[c].iterations_run;
+    if (!stats[c].residual_norms.empty()) r.final_residual = stats[c].residual_norms.back();
+    r.solve_seconds = solve_seconds;  // shared: the fused solve ran once
+    if (plan != nullptr) r.plan_stats = plan->stats();
+    r.batch_size = num_rhs;
+    r.batch_index = static_cast<int>(c);
+    r.status = JobStatus::kOk;
+  }
+  return out;
+}
+
 ReconService::ReconService(ServiceOptions options)
     : options_(std::move(options)), cache_(options_.cache), queue_(options_.queue_capacity) {
   CSCV_CHECK_MSG(options_.num_workers >= 0, "num_workers must be >= 0");
   CSCV_CHECK_MSG(options_.omp_threads_per_worker >= 1,
                  "omp_threads_per_worker must be >= 1");
   CSCV_CHECK_MSG(options_.plans_per_worker >= 1, "plans_per_worker must be >= 1");
+  CSCV_CHECK_MSG(options_.max_batch >= 1, "max_batch must be >= 1");
+  CSCV_CHECK_MSG(options_.batch_window_seconds >= 0.0,
+                 "batch_window_seconds must be >= 0");
   workers_.reserve(static_cast<std::size_t>(options_.num_workers));
   for (int i = 0; i < options_.num_workers; ++i) {
     workers_.emplace_back(&ReconService::worker_main, this, i);
@@ -164,19 +255,66 @@ void ReconService::worker_main(int worker_index) {
   // regions, so the pool as a whole uses workers * omp_threads_per_worker.
   util::set_num_threads(options_.omp_threads_per_worker);
 
-  // Worker-local plan LRU. Plans carry mutable scratch, so they are never
-  // shared across workers; the entry shared_ptr keeps the matrix under a
-  // plan alive even after the shared cache evicts it.
+  // Worker-local plan LRU, keyed on (matrix, num_rhs). Plans carry mutable
+  // scratch, so they are never shared across workers; the entry shared_ptr
+  // keeps the matrix under a plan alive even after the shared cache evicts
+  // it. Eviction enforces the count cap and the byte budget together —
+  // plan scratch scales with num_rhs, so wide batched plans are charged
+  // what they actually hold — while the plan just used always survives.
   struct WorkerPlan {
     std::shared_ptr<const SystemMatrixEntry> entry;
+    int num_rhs = 1;
     std::unique_ptr<core::SpmvPlan<float>> plan;
   };
   std::list<WorkerPlan> plans;  // front = most recently used
+  std::size_t plan_bytes = 0;
   core::PlanOptions plan_opts;
   plan_opts.threads = options_.omp_threads_per_worker;
 
-  Pending p;
-  while (queue_.pop(p)) {
+  const auto acquire_plan = [&](const std::shared_ptr<const SystemMatrixEntry>& entry,
+                                int num_rhs) -> const core::SpmvPlan<float>* {
+    auto it = plans.begin();
+    while (it != plans.end() &&
+           !(it->entry->cscv.get() == entry->cscv.get() && it->num_rhs == num_rhs)) {
+      ++it;
+    }
+    if (it != plans.end()) {
+      plans.splice(plans.begin(), plans, it);
+    } else {
+      core::PlanOptions opts = plan_opts;
+      opts.num_rhs = num_rhs;
+      WorkerPlan warm;
+      warm.entry = entry;
+      warm.num_rhs = num_rhs;
+      warm.plan = std::make_unique<core::SpmvPlan<float>>(*entry->cscv, opts);
+      plan_bytes += warm.plan->scratch_bytes();
+      plans.push_front(std::move(warm));
+      while (plans.size() > 1 &&
+             (plans.size() > static_cast<std::size_t>(options_.plans_per_worker) ||
+              (options_.plan_bytes_per_worker > 0 &&
+               plan_bytes > options_.plan_bytes_per_worker))) {
+        plan_bytes -= plans.back().plan->scratch_bytes();
+        plans.pop_back();
+      }
+    }
+    return plans.front().plan.get();
+  };
+
+  // A popped job after its dequeue-time bookkeeping (id bookkeeping,
+  // cancellation, queue wait, first deadline check).
+  struct Member {
+    Pending p;
+    ReconResult meta;
+  };
+  const auto deadline_spent = [](const Pending& p,
+                                 std::chrono::steady_clock::time_point now) {
+    return p.job.deadline_seconds > 0.0 &&
+           std::chrono::duration<double>(now - p.submit_time).count() >
+               p.job.deadline_seconds;
+  };
+  // Counting before fulfilling a promise everywhere below: a caller woken
+  // by get() must see the status already reflected in stats().
+  const auto admit = [&](Pending&& p) -> std::optional<Member> {
     const auto dequeued = std::chrono::steady_clock::now();
     bool was_cancelled = false;
     {
@@ -185,79 +323,150 @@ void ReconService::worker_main(int worker_index) {
       was_cancelled = cancelled_.erase(p.id) > 0;
     }
     if (was_cancelled) {
-      // Count before fulfilling the promise: a caller woken by get() must
-      // see the status already reflected in stats().
       count_status(JobStatus::kCancelled);
       resolve_without_running(p, JobStatus::kCancelled);
-      continue;
+      return std::nullopt;
+    }
+    Member m;
+    m.meta.job_id = p.id;
+    m.meta.tag = p.job.tag;
+    m.meta.worker = worker_index;
+    m.meta.queue_wait_seconds =
+        std::chrono::duration<double>(dequeued - p.submit_time).count();
+    if (deadline_spent(p, dequeued)) {
+      m.meta.status = JobStatus::kExpired;
+      count_status(JobStatus::kExpired);
+      p.promise.set_value(std::move(m.meta));
+      return std::nullopt;
+    }
+    m.p = std::move(p);
+    return m;
+  };
+
+  std::optional<Member> carry;  // first non-fusable job met while gathering
+  for (;;) {
+    std::vector<Member> batch;
+    if (carry.has_value()) {
+      batch.push_back(std::move(*carry));
+      carry.reset();
+    } else {
+      Pending p;
+      if (!queue_.pop(p)) break;  // carry is always consumed before pop
+      auto m = admit(std::move(p));
+      if (!m.has_value()) continue;
+      batch.push_back(std::move(*m));
     }
 
-    ReconResult meta;
-    meta.job_id = p.id;
-    meta.tag = p.job.tag;
-    meta.worker = worker_index;
-    meta.queue_wait_seconds =
-        std::chrono::duration<double>(dequeued - p.submit_time).count();
-
-    const auto deadline_spent = [&p](std::chrono::steady_clock::time_point now) {
-      return p.job.deadline_seconds > 0.0 &&
-             std::chrono::duration<double>(now - p.submit_time).count() >
-                 p.job.deadline_seconds;
-    };
-    if (deadline_spent(dequeued)) {
-      meta.status = JobStatus::kExpired;
-      count_status(JobStatus::kExpired);
-      p.promise.set_value(std::move(meta));
-      continue;
+    const Algorithm lead_algo = batch.front().p.job.algorithm;
+    const int lead_subsets = batch.front().p.job.os_sart_subsets;
+    if (options_.max_batch > 1 && lead_algo != Algorithm::kFbp) {
+      const MatrixKey lead_key = batch.front().p.job.matrix_key();
+      bool has_deadline = batch.front().p.job.deadline_seconds > 0.0;
+      bool counted_debatch = false;
+      const auto window_end =
+          std::chrono::steady_clock::now() +
+          std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+              std::chrono::duration<double>(options_.batch_window_seconds));
+      while (static_cast<int>(batch.size()) < options_.max_batch) {
+        // Deadline-aware de-batching: once any gathered job carries a
+        // deadline, stop waiting for fill — only drain jobs already
+        // queued (zero-timeout polls), so an interactive job never idles
+        // behind the batching window.
+        if (has_deadline && !counted_debatch) {
+          std::lock_guard<std::mutex> lock(mu_);
+          ++stats_.debatched;
+          counted_debatch = true;
+        }
+        auto wait = std::chrono::steady_clock::duration::zero();
+        if (!has_deadline) {
+          const auto now = std::chrono::steady_clock::now();
+          if (now < window_end) wait = window_end - now;
+        }
+        Pending next;
+        if (!queue_.try_pop_for(next, wait)) break;  // window spent or closed
+        auto m = admit(std::move(next));
+        if (!m.has_value()) continue;
+        const ReconJob& j = m->p.job;
+        const bool fusable =
+            j.algorithm == lead_algo && j.matrix_key() == lead_key &&
+            (lead_algo != Algorithm::kOsSart || j.os_sart_subsets == lead_subsets);
+        if (!fusable) {
+          carry = std::move(*m);  // leads its own batch next iteration
+          break;
+        }
+        has_deadline = has_deadline || j.deadline_seconds > 0.0;
+        batch.push_back(std::move(*m));
+      }
     }
 
     try {
-      const SystemMatrixCache::Acquired acquired = cache_.get_or_build(p.job.matrix_key());
-      meta.cache_hit = acquired.hit;
-      meta.acquire_seconds = acquired.seconds;
-      // A cold build can be the slow part; re-check the budget before
-      // committing to the solve (which is never interrupted).
-      if (deadline_spent(std::chrono::steady_clock::now())) {
-        meta.status = JobStatus::kExpired;
-        count_status(JobStatus::kExpired);
-        p.promise.set_value(std::move(meta));
-        continue;
+      const SystemMatrixCache::Acquired acquired =
+          cache_.get_or_build(batch.front().p.job.matrix_key());
+      for (Member& m : batch) {
+        m.meta.cache_hit = acquired.hit;
+        m.meta.acquire_seconds = acquired.seconds;
       }
-
-      const core::SpmvPlan<float>* plan = nullptr;
-      if (p.job.algorithm != Algorithm::kOsSart) {
-        auto it = plans.begin();
-        while (it != plans.end() && it->entry->cscv.get() != acquired.entry->cscv.get()) {
+      // A cold build can be the slow part; re-check every member's budget
+      // before committing to the solve (which is never interrupted). An
+      // expired member drops out and the batch narrows around it.
+      const auto post_acquire = std::chrono::steady_clock::now();
+      for (auto it = batch.begin(); it != batch.end();) {
+        if (deadline_spent(it->p, post_acquire)) {
+          it->meta.status = JobStatus::kExpired;
+          count_status(JobStatus::kExpired);
+          it->p.promise.set_value(std::move(it->meta));
+          it = batch.erase(it);
+        } else {
           ++it;
         }
-        if (it != plans.end()) {
-          plans.splice(plans.begin(), plans, it);
-        } else {
-          WorkerPlan warm;
-          warm.entry = acquired.entry;
-          warm.plan = std::make_unique<core::SpmvPlan<float>>(*acquired.entry->cscv,
-                                                              plan_opts);
-          plans.push_front(std::move(warm));
-          while (plans.size() > static_cast<std::size_t>(options_.plans_per_worker)) {
-            plans.pop_back();
-          }
-        }
-        plan = plans.front().plan.get();
+      }
+      if (batch.empty()) continue;
+
+      const core::SpmvPlan<float>* plan = nullptr;
+      if (lead_algo != Algorithm::kOsSart) {
+        plan = acquire_plan(acquired.entry, static_cast<int>(batch.size()));
       }
 
-      ReconResult r = execute_job(p.job, *acquired.entry, plan);
-      r.job_id = meta.job_id;
-      r.worker = meta.worker;
-      r.cache_hit = meta.cache_hit;
-      r.queue_wait_seconds = meta.queue_wait_seconds;
-      r.acquire_seconds = meta.acquire_seconds;
-      count_status(r.status);
-      p.promise.set_value(std::move(r));
+      if (batch.size() == 1) {
+        Member& m = batch.front();
+        ReconResult r = execute_job(m.p.job, *acquired.entry, plan);
+        r.job_id = m.meta.job_id;
+        r.worker = m.meta.worker;
+        r.cache_hit = m.meta.cache_hit;
+        r.queue_wait_seconds = m.meta.queue_wait_seconds;
+        r.acquire_seconds = m.meta.acquire_seconds;
+        count_status(r.status);
+        m.p.promise.set_value(std::move(r));
+      } else {
+        std::vector<ReconJob> jobs;
+        jobs.reserve(batch.size());
+        for (Member& m : batch) jobs.push_back(std::move(m.p.job));
+        std::vector<ReconResult> results = execute_job_batch(jobs, *acquired.entry, plan);
+        {
+          std::lock_guard<std::mutex> lock(mu_);
+          ++stats_.batches;
+          stats_.batched_jobs += batch.size();
+        }
+        for (std::size_t i = 0; i < batch.size(); ++i) {
+          ReconResult& r = results[i];
+          r.job_id = batch[i].meta.job_id;
+          r.worker = batch[i].meta.worker;
+          r.cache_hit = batch[i].meta.cache_hit;
+          r.queue_wait_seconds = batch[i].meta.queue_wait_seconds;
+          r.acquire_seconds = batch[i].meta.acquire_seconds;
+          count_status(r.status);
+          batch[i].p.promise.set_value(std::move(r));
+        }
+      }
     } catch (const std::exception& e) {
-      meta.status = JobStatus::kFailed;
-      meta.error = e.what();
-      count_status(JobStatus::kFailed);
-      p.promise.set_value(std::move(meta));
+      // Nothing in the try block resolves a promise before the point that
+      // can throw, so every member still owed a result gets kFailed.
+      for (Member& m : batch) {
+        m.meta.status = JobStatus::kFailed;
+        m.meta.error = e.what();
+        count_status(JobStatus::kFailed);
+        m.p.promise.set_value(std::move(m.meta));
+      }
     }
   }
 }

@@ -34,6 +34,7 @@
 #include <cstdint>
 #include <future>
 #include <mutex>
+#include <span>
 #include <thread>
 #include <unordered_set>
 #include <vector>
@@ -64,8 +65,24 @@ struct ServiceOptions {
   /// pool is smaller than the machine; workers * omp_threads_per_worker
   /// should not exceed the core count.
   int omp_threads_per_worker = 1;
-  /// Plans each worker keeps warm (per distinct operator), LRU-evicted.
+  /// Plans each worker keeps warm (per distinct operator and batch
+  /// width), LRU-evicted.
   int plans_per_worker = 4;
+  /// Byte budget for a worker's plan-LRU scratch. Large-num_rhs plans
+  /// carry num_rhs times the y~ scratch, so a count cap alone would let a
+  /// few wide plans blow a worker's memory; the byte cap evicts past the
+  /// budget (the most recent plan is always kept). 0 = no byte cap.
+  std::size_t plan_bytes_per_worker = 0;
+  /// Jobs a worker may fuse into one batched multi-RHS solve. 1 disables
+  /// batching. Only queued jobs agreeing on system-matrix key (and subset
+  /// count for kOsSart) fuse; kFbp never fuses.
+  int max_batch = 1;
+  /// How long a worker holds its first job waiting for batch-mates before
+  /// running with what it has (ignored when max_batch == 1). The window
+  /// is deadline-aware: as soon as any gathered job carries a deadline,
+  /// the worker stops waiting and only drains jobs already queued — an
+  /// interactive job never idles for batch fill.
+  double batch_window_seconds = 0.05;
   SystemMatrixCache::Options cache{};
 };
 
@@ -76,6 +93,10 @@ struct ServiceStats {
   std::uint64_t expired = 0;
   std::uint64_t cancelled = 0;
   std::uint64_t failed = 0;
+  std::uint64_t batches = 0;       // fused executions of >= 2 jobs
+  std::uint64_t batched_jobs = 0;  // jobs that ran inside such executions
+  std::uint64_t debatched = 0;     // batch windows skipped because a
+                                   // gathered job carried a deadline
 
   [[nodiscard]] util::Json to_json() const;
 };
@@ -91,6 +112,17 @@ struct ServiceStats {
 /// the service's outputs are compared against — same code path, no queue.
 ReconResult execute_job(const ReconJob& job, const SystemMatrixEntry& entry,
                         const core::SpmvPlan<float>* plan);
+
+/// Runs `jobs` — all sharing `entry`'s matrix key and one iterative
+/// algorithm (kFbp never batches) — as one fused multi-RHS solve with
+/// num_rhs == jobs.size(). For kSirt/kCgls `plan` must be a plan over
+/// *entry.cscv built with num_rhs == jobs.size(); kOsSart ignores it and
+/// runs on entry.csr. Returns one result per job, in order. Each job's
+/// volume is bitwise identical to execute_job() on that job alone — the
+/// contract that lets ReconService fuse queued jobs transparently.
+std::vector<ReconResult> execute_job_batch(std::span<const ReconJob> jobs,
+                                           const SystemMatrixEntry& entry,
+                                           const core::SpmvPlan<float>* plan);
 
 class ReconService {
  public:

@@ -13,6 +13,7 @@
 #include "sparse/csc.hpp"
 #include "sparse/csr.hpp"
 #include "util/aligned_vector.hpp"
+#include "util/assertx.hpp"
 
 namespace cscv::recon {
 
@@ -26,6 +27,50 @@ class LinearOperator {
   virtual void forward(std::span<const T> x, std::span<T> y) const = 0;
   /// x = A^T y.
   virtual void adjoint(std::span<const T> y, std::span<T> x) const = 0;
+
+  /// Y = A X for num_rhs interleaved columns (X[col * K + k],
+  /// Y[row * K + k]) — the strided multi-column apply batched solvers
+  /// advance k reconstructions with. num_rhs == 1 is the plain forward.
+  /// The default de-interleaves into temporaries and applies column by
+  /// column, so column k always equals the single-RHS apply bitwise;
+  /// engines with native SpMM (CSCV, CSR) override with one fused
+  /// traversal that preserves the same per-column guarantee.
+  virtual void forward_batch(std::span<const T> x, std::span<T> y, int num_rhs) const {
+    if (num_rhs == 1) {
+      forward(x, y);
+      return;
+    }
+    apply_columns(x, y, num_rhs, /*transpose=*/false);
+  }
+  /// X = A^T Y, num_rhs interleaved columns; see forward_batch.
+  virtual void adjoint_batch(std::span<const T> y, std::span<T> x, int num_rhs) const {
+    if (num_rhs == 1) {
+      adjoint(y, x);
+      return;
+    }
+    apply_columns(y, x, num_rhs, /*transpose=*/true);
+  }
+
+ private:
+  void apply_columns(std::span<const T> in, std::span<T> out, int num_rhs,
+                     bool transpose) const {
+    const auto k = static_cast<std::size_t>(num_rhs);
+    const auto in_len = static_cast<std::size_t>(transpose ? rows() : cols());
+    const auto out_len = static_cast<std::size_t>(transpose ? cols() : rows());
+    util::AlignedVector<T> in_col(in_len);
+    util::AlignedVector<T> out_col(out_len);
+    for (std::size_t c = 0; c < k; ++c) {
+      for (std::size_t i = 0; i < in_len; ++i) in_col[i] = in[i * k + c];
+      if (transpose) {
+        adjoint(in_col, out_col);
+      } else {
+        forward(in_col, out_col);
+      }
+      for (std::size_t i = 0; i < out_len; ++i) out[i * k + c] = out_col[i];
+    }
+  }
+
+ public:
 
   /// Row sums A * 1 — the R normalizer of SIRT. Default: one forward apply.
   [[nodiscard]] virtual util::AlignedVector<T> row_sums() const {
@@ -55,6 +100,12 @@ class CsrOperator final : public LinearOperator<T> {
   void forward(std::span<const T> x, std::span<T> y) const override { a_->spmv(x, y); }
   void adjoint(std::span<const T> y, std::span<T> x) const override {
     a_->spmv_transpose(y, x, adjoint_scratch_);
+  }
+  void forward_batch(std::span<const T> x, std::span<T> y, int num_rhs) const override {
+    a_->spmv_multi(x, y, num_rhs);
+  }
+  void adjoint_batch(std::span<const T> y, std::span<T> x, int num_rhs) const override {
+    a_->spmv_transpose_multi(y, x, num_rhs, adjoint_scratch_);
   }
 
  private:
@@ -111,6 +162,22 @@ class CscvOperator final : public LinearOperator<T> {
       csc_->spmv_transpose(y, x);
     }
   }
+  void forward_batch(std::span<const T> x, std::span<T> y, int num_rhs) const override {
+    if (num_rhs == 1) {
+      forward(x, y);
+      return;
+    }
+    fwd_->plan({.num_rhs = num_rhs}).execute(x, y);
+  }
+  void adjoint_batch(std::span<const T> y, std::span<T> x, int num_rhs) const override {
+    if (num_rhs > 1 && use_cscv_adjoint_) {
+      fwd_->plan({.num_rhs = num_rhs}).execute_transpose(y, x);
+    } else {
+      // CSC has no fused transpose SpMM; the column-wise base fallback keeps
+      // the per-column bitwise guarantee.
+      LinearOperator<T>::adjoint_batch(y, x, num_rhs);
+    }
+  }
 
   /// Builds the cached plan up front so the first solver iteration is
   /// already warm (useful before timing loops).
@@ -140,8 +207,48 @@ class PlanOperator final : public LinearOperator<T> {
   void adjoint(std::span<const T> y, std::span<T> x) const override {
     plan_->execute_transpose(y, x);
   }
+  /// A PlanOperator is pinned to its plan's batch width: the caller picked
+  /// the plan, so a mismatched num_rhs is a programming error, not a cue to
+  /// silently rebuild.
+  void forward_batch(std::span<const T> x, std::span<T> y, int num_rhs) const override {
+    CSCV_CHECK(num_rhs == plan_->num_rhs());
+    plan_->execute(x, y);
+  }
+  void adjoint_batch(std::span<const T> y, std::span<T> x, int num_rhs) const override {
+    CSCV_CHECK(num_rhs == plan_->num_rhs());
+    plan_->execute_transpose(y, x);
+  }
+  /// Normalizer sums on a k-RHS plan: replicate ones across the batch and
+  /// keep column 0 — every column sees the same input, and each column of
+  /// the fused apply is bitwise the single-RHS apply of that column.
+  [[nodiscard]] util::AlignedVector<T> row_sums() const override {
+    const int k = plan_->num_rhs();
+    if (k == 1) return LinearOperator<T>::row_sums();
+    return batched_sums(/*transpose=*/false);
+  }
+  [[nodiscard]] util::AlignedVector<T> col_sums() const override {
+    const int k = plan_->num_rhs();
+    if (k == 1) return LinearOperator<T>::col_sums();
+    return batched_sums(/*transpose=*/true);
+  }
 
  private:
+  [[nodiscard]] util::AlignedVector<T> batched_sums(bool transpose) const {
+    const auto k = static_cast<std::size_t>(plan_->num_rhs());
+    const auto in_len = static_cast<std::size_t>(transpose ? rows() : cols());
+    const auto out_len = static_cast<std::size_t>(transpose ? cols() : rows());
+    util::AlignedVector<T> ones(in_len * k, T(1));
+    util::AlignedVector<T> out_multi(out_len * k);
+    if (transpose) {
+      plan_->execute_transpose(ones, out_multi);
+    } else {
+      plan_->execute(ones, out_multi);
+    }
+    util::AlignedVector<T> out(out_len);
+    for (std::size_t i = 0; i < out_len; ++i) out[i] = out_multi[i * k];
+    return out;
+  }
+
   const core::SpmvPlan<T>* plan_;
 };
 

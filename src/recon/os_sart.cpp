@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "recon/colmath.hpp"
 #include "util/assertx.hpp"
 
 namespace cscv::recon {
@@ -91,23 +92,118 @@ RunStats os_sart(const sparse::CsrMatrix<T>& a, const core::OperatorLayout& layo
       const auto& st = state[si];
       residual.resize(st.b.size());
       sub.matrix.spmv(x, residual);
-      for (std::size_t i = 0; i < residual.size(); ++i) {
-        residual[i] = (st.b[i] - residual[i]) * st.inv_row[i];
-      }
+      // Per-element updates go through colmath so os_sart_batch can run
+      // the identical instantiations per column (bitwise contract).
+      colmath::weighted_residual(st.b.data(), st.inv_row.data(), residual.data(),
+                                 residual.size());
       sub.matrix.spmv_transpose(residual, back);
-      for (std::size_t j = 0; j < back.size(); ++j) {
-        x[j] += lambda * st.inv_col[j] * back[j];
-        if (options.enforce_nonneg) x[j] = std::max(x[j], T(0));
-      }
+      colmath::sart_step(x.data(), st.inv_col.data(), back.data(), lambda,
+                         options.enforce_nonneg, back.size());
     }
     a.spmv(x, full_residual);
-    double norm = 0.0;
-    for (std::size_t i = 0; i < full_residual.size(); ++i) {
-      const double d = static_cast<double>(b[i]) - static_cast<double>(full_residual[i]);
-      norm += d * d;
-    }
-    stats.residual_norms.push_back(std::sqrt(norm));
+    stats.residual_norms.push_back(
+        colmath::diff_norm2(b.data(), full_residual.data(), full_residual.size()));
     ++stats.iterations_run;
+  }
+  return stats;
+}
+
+template <typename T>
+std::vector<RunStats> os_sart_batch(const sparse::CsrMatrix<T>& a,
+                                    const core::OperatorLayout& layout, std::span<const T> b,
+                                    std::span<T> x, int num_rhs,
+                                    std::span<const OsSartOptions> options) {
+  CSCV_CHECK(num_rhs >= 1);
+  CSCV_CHECK(options.size() == static_cast<std::size_t>(num_rhs));
+  if (num_rhs == 1) return {os_sart(a, layout, b, x, options[0])};
+  const std::size_t k = static_cast<std::size_t>(num_rhs);
+  const std::size_t m = static_cast<std::size_t>(a.rows());
+  const std::size_t n = static_cast<std::size_t>(a.cols());
+  CSCV_CHECK(b.size() == m * k);
+  CSCV_CHECK(x.size() == n * k);
+  // The subset split is structural; fusable jobs must agree on it.
+  for (const OsSartOptions& o : options) {
+    CSCV_CHECK(o.num_subsets == options[0].num_subsets);
+  }
+  auto subsets = split_view_subsets(a, layout, options[0].num_subsets);
+
+  // Normalizers are per-matrix (shared by every column); the b slices are
+  // per-column contiguous so the weighted-residual update can run through
+  // the exact colmath instantiation serial os_sart uses.
+  struct SubsetState {
+    std::vector<util::AlignedVector<T>> b;  // [k] columns, each sub_rows long
+    util::AlignedVector<T> inv_row;
+    util::AlignedVector<T> inv_col;
+  };
+  std::vector<SubsetState> state;
+  state.reserve(subsets.size());
+  for (const auto& s : subsets) {
+    SubsetState st;
+    st.b.resize(k);
+    for (std::size_t c = 0; c < k; ++c) {
+      st.b[c].resize(s.global_rows.size());
+      for (std::size_t r = 0; r < s.global_rows.size(); ++r) {
+        const auto gr = static_cast<std::size_t>(s.global_rows[r]);
+        st.b[c][r] = b[gr * k + c];
+      }
+    }
+    CsrOperator<T> op(s.matrix);
+    st.inv_row = op.row_sums();
+    st.inv_col = op.col_sums();
+    for (auto& v : st.inv_row) v = v > T(0) ? T(1) / v : T(0);
+    for (auto& v : st.inv_col) v = v > T(0) ? T(1) / v : T(0);
+    state.push_back(std::move(st));
+  }
+
+  util::AlignedVector<T> residual;
+  util::AlignedVector<T> back(n * k);
+  util::AlignedVector<T> full_residual(m * k);
+  util::AlignedVector<T> transpose_scratch;
+  // Contiguous per-column scratch for the gathered update steps.
+  util::AlignedVector<T> col_m(m);
+  util::AlignedVector<T> col_back(n);
+  util::AlignedVector<T> col_x(n);
+  std::vector<util::AlignedVector<T>> b_cols(k);
+  for (std::size_t c = 0; c < k; ++c) {
+    b_cols[c].resize(m);
+    colmath::gather_column(b.data(), m, k, c, b_cols[c].data());
+  }
+  std::vector<RunStats> stats(k);
+  int max_iters = 0;
+  for (const OsSartOptions& o : options) max_iters = std::max(max_iters, o.iterations);
+
+  for (int it = 0; it < max_iters; ++it) {
+    for (std::size_t si = 0; si < subsets.size(); ++si) {
+      const auto& sub = subsets[si];
+      const auto& st = state[si];
+      const std::size_t sub_rows = sub.global_rows.size();
+      residual.resize(sub_rows * k);
+      sub.matrix.spmv_multi(x, residual, num_rhs);
+      for (std::size_t c = 0; c < k; ++c) {
+        if (it >= options[c].iterations) continue;  // finished column: x frozen
+        colmath::gather_column(residual.data(), sub_rows, k, c, col_m.data());
+        colmath::weighted_residual(st.b[c].data(), st.inv_row.data(), col_m.data(),
+                                   sub_rows);
+        colmath::scatter_column(col_m.data(), sub_rows, k, c, residual.data());
+      }
+      sub.matrix.spmv_transpose_multi(residual, back, num_rhs, transpose_scratch);
+      for (std::size_t c = 0; c < k; ++c) {
+        if (it >= options[c].iterations) continue;
+        colmath::gather_column(back.data(), n, k, c, col_back.data());
+        colmath::gather_column(x.data(), n, k, c, col_x.data());
+        colmath::sart_step(col_x.data(), st.inv_col.data(), col_back.data(),
+                           static_cast<T>(options[c].relaxation),
+                           options[c].enforce_nonneg, n);
+        colmath::scatter_column(col_x.data(), n, k, c, x.data());
+      }
+    }
+    a.spmv_multi(x, full_residual, num_rhs);
+    for (std::size_t c = 0; c < k; ++c) {
+      if (it >= options[c].iterations) continue;
+      colmath::gather_column(full_residual.data(), m, k, c, col_m.data());
+      stats[c].residual_norms.push_back(colmath::diff_norm2(b_cols[c].data(), col_m.data(), m));
+      ++stats[c].iterations_run;
+    }
   }
   return stats;
 }
@@ -122,5 +218,14 @@ template RunStats os_sart<float>(const sparse::CsrMatrix<float>&, const core::Op
 template RunStats os_sart<double>(const sparse::CsrMatrix<double>&,
                                   const core::OperatorLayout&, std::span<const double>,
                                   std::span<double>, const OsSartOptions&);
+template std::vector<RunStats> os_sart_batch<float>(const sparse::CsrMatrix<float>&,
+                                                    const core::OperatorLayout&,
+                                                    std::span<const float>, std::span<float>,
+                                                    int, std::span<const OsSartOptions>);
+template std::vector<RunStats> os_sart_batch<double>(const sparse::CsrMatrix<double>&,
+                                                     const core::OperatorLayout&,
+                                                     std::span<const double>,
+                                                     std::span<double>, int,
+                                                     std::span<const OsSartOptions>);
 
 }  // namespace cscv::recon

@@ -42,6 +42,18 @@ template <typename T>
 RunStats os_sart(const sparse::CsrMatrix<T>& a, const core::OperatorLayout& layout,
                  std::span<const T> b, std::span<T> x, const OsSartOptions& options = {});
 
+/// Batched OS-SART: num_rhs reconstructions advance in lockstep, sharing
+/// one subset traversal per update (b and x interleaved as in sirt_batch).
+/// All options must agree on num_subsets (the subset split is structural);
+/// iterations/relaxation/nonneg may differ per column, and a finished
+/// column freezes without stalling the batch. Column k is bitwise identical
+/// to os_sart() run alone on that column.
+template <typename T>
+std::vector<RunStats> os_sart_batch(const sparse::CsrMatrix<T>& a,
+                                    const core::OperatorLayout& layout, std::span<const T> b,
+                                    std::span<T> x, int num_rhs,
+                                    std::span<const OsSartOptions> options);
+
 extern template std::vector<ViewSubset<float>> split_view_subsets<float>(
     const sparse::CsrMatrix<float>&, const core::OperatorLayout&, int);
 extern template std::vector<ViewSubset<double>> split_view_subsets<double>(
@@ -53,5 +65,13 @@ extern template RunStats os_sart<double>(const sparse::CsrMatrix<double>&,
                                          const core::OperatorLayout&,
                                          std::span<const double>, std::span<double>,
                                          const OsSartOptions&);
+extern template std::vector<RunStats> os_sart_batch<float>(const sparse::CsrMatrix<float>&,
+                                                           const core::OperatorLayout&,
+                                                           std::span<const float>,
+                                                           std::span<float>, int,
+                                                           std::span<const OsSartOptions>);
+extern template std::vector<RunStats> os_sart_batch<double>(
+    const sparse::CsrMatrix<double>&, const core::OperatorLayout&, std::span<const double>,
+    std::span<double>, int, std::span<const OsSartOptions>);
 
 }  // namespace cscv::recon

@@ -3,24 +3,25 @@
 #include <algorithm>
 #include <cmath>
 
+#include "recon/colmath.hpp"
 #include "util/assertx.hpp"
 
 namespace cscv::recon {
 
 namespace {
 
+// All per-element arithmetic routes through colmath so the serial and
+// batched solvers execute the same instantiations (see colmath.hpp for
+// why that is what makes the batch bitwise-equal to serial).
 template <typename T>
 double norm2(std::span<const T> v) {
-  double s = 0.0;
-  for (T e : v) s += static_cast<double>(e) * static_cast<double>(e);
-  return std::sqrt(s);
+  return colmath::norm2(v.data(), v.size());
 }
 
 template <typename T>
 void clamp_nonneg(std::span<T> x, const SolveOptions& options) {
   if (!options.enforce_nonneg) return;
-  const T floor_v = static_cast<T>(options.nonneg_floor);
-  for (T& e : x) e = std::max(e, floor_v);
+  colmath::clamp_floor(x.data(), static_cast<T>(options.nonneg_floor), x.size());
 }
 
 }  // namespace
@@ -45,13 +46,77 @@ RunStats sirt(const LinearOperator<T>& a, std::span<const T> b, std::span<T> x,
 
   for (int it = 0; it < options.iterations; ++it) {
     a.forward(x, residual);
-    for (std::size_t i = 0; i < m; ++i) residual[i] = b[i] - residual[i];
-    stats.residual_norms.push_back(norm2(std::span<const T>(residual)));
-    for (std::size_t i = 0; i < m; ++i) residual[i] *= inv_row[i];
+    colmath::residual_from(b.data(), residual.data(), m);
+    stats.residual_norms.push_back(colmath::norm2(residual.data(), m));
+    colmath::scale_by(residual.data(), inv_row.data(), m);
     a.adjoint(residual, back);
-    for (std::size_t j = 0; j < n; ++j) x[j] += lambda * inv_col[j] * back[j];
+    colmath::sirt_step(x.data(), inv_col.data(), back.data(), lambda, n);
     clamp_nonneg(x, options);
     ++stats.iterations_run;
+  }
+  return stats;
+}
+
+template <typename T>
+std::vector<RunStats> sirt_batch(const LinearOperator<T>& a, std::span<const T> b,
+                                 std::span<T> x, int num_rhs,
+                                 std::span<const SolveOptions> options) {
+  CSCV_CHECK(num_rhs >= 1);
+  CSCV_CHECK(options.size() == static_cast<std::size_t>(num_rhs));
+  if (num_rhs == 1) return {sirt(a, b, x, options[0])};
+  const std::size_t k = static_cast<std::size_t>(num_rhs);
+  const std::size_t m = static_cast<std::size_t>(a.rows());
+  const std::size_t n = static_cast<std::size_t>(a.cols());
+  CSCV_CHECK(b.size() == m * k);
+  CSCV_CHECK(x.size() == n * k);
+
+  // The normalizers depend only on the matrix, so one single-RHS pass
+  // serves every column — bitwise what each serial sirt() would compute.
+  util::AlignedVector<T> inv_row = a.row_sums();
+  util::AlignedVector<T> inv_col = a.col_sums();
+  for (auto& v : inv_row) v = v > T(0) ? T(1) / v : T(0);
+  for (auto& v : inv_col) v = v > T(0) ? T(1) / v : T(0);
+
+  util::AlignedVector<T> residual(m * k);
+  util::AlignedVector<T> back(n * k);
+  // Contiguous per-column scratch: every update runs on a gathered column
+  // through the same colmath instantiation the serial solver uses, then
+  // scatters back. The gathers are O(m+n) against the O(nnz) applies.
+  util::AlignedVector<T> col_m(m);
+  util::AlignedVector<T> col_n(n);
+  util::AlignedVector<T> col_x(n);
+  std::vector<util::AlignedVector<T>> b_cols(k);
+  for (std::size_t c = 0; c < k; ++c) {
+    b_cols[c].resize(m);
+    colmath::gather_column(b.data(), m, k, c, b_cols[c].data());
+  }
+  std::vector<RunStats> stats(k);
+  int max_iters = 0;
+  for (const SolveOptions& o : options) max_iters = std::max(max_iters, o.iterations);
+
+  for (int it = 0; it < max_iters; ++it) {
+    a.forward_batch(x, residual, num_rhs);
+    for (std::size_t c = 0; c < k; ++c) {
+      if (it >= options[c].iterations) continue;  // finished column: x frozen
+      colmath::gather_column(residual.data(), m, k, c, col_m.data());
+      colmath::residual_from(b_cols[c].data(), col_m.data(), m);
+      stats[c].residual_norms.push_back(colmath::norm2(col_m.data(), m));
+      colmath::scale_by(col_m.data(), inv_row.data(), m);
+      colmath::scatter_column(col_m.data(), m, k, c, residual.data());
+    }
+    a.adjoint_batch(residual, back, num_rhs);
+    for (std::size_t c = 0; c < k; ++c) {
+      if (it >= options[c].iterations) continue;
+      colmath::gather_column(back.data(), n, k, c, col_n.data());
+      colmath::gather_column(x.data(), n, k, c, col_x.data());
+      colmath::sirt_step(col_x.data(), inv_col.data(), col_n.data(),
+                         static_cast<T>(options[c].relaxation), n);
+      if (options[c].enforce_nonneg) {
+        colmath::clamp_floor(col_x.data(), static_cast<T>(options[c].nonneg_floor), n);
+      }
+      colmath::scatter_column(col_x.data(), n, k, c, x.data());
+      ++stats[c].iterations_run;
+    }
   }
   return stats;
 }
@@ -119,32 +184,127 @@ RunStats cgls(const LinearOperator<T>& a, std::span<const T> b, std::span<T> x,
   util::AlignedVector<T> q(m);   // A p
 
   a.forward(x, r);
-  for (std::size_t i = 0; i < m; ++i) r[i] = b[i] - r[i];
+  colmath::residual_from(b.data(), r.data(), m);
   a.adjoint(r, s);
   p.assign(s.begin(), s.end());
-  double gamma = 0.0;
-  for (T e : s) gamma += static_cast<double>(e) * static_cast<double>(e);
+  double gamma = colmath::dot_self(s.data(), n);
 
   RunStats stats;
   for (int it = 0; it < options.iterations; ++it) {
     if (gamma == 0.0) break;
     a.forward(p, q);
-    double qq = 0.0;
-    for (T e : q) qq += static_cast<double>(e) * static_cast<double>(e);
+    const double qq = colmath::dot_self(q.data(), m);
     if (qq == 0.0) break;
     const double alpha = gamma / qq;
-    for (std::size_t j = 0; j < n; ++j) x[j] += static_cast<T>(alpha) * p[j];
-    for (std::size_t i = 0; i < m; ++i) r[i] -= static_cast<T>(alpha) * q[i];
-    stats.residual_norms.push_back(norm2(std::span<const T>(r)));
+    colmath::axpy(x.data(), static_cast<T>(alpha), p.data(), n);
+    colmath::axmy(r.data(), static_cast<T>(alpha), q.data(), m);
+    stats.residual_norms.push_back(colmath::norm2(r.data(), m));
     a.adjoint(r, s);
-    double gamma_new = 0.0;
-    for (T e : s) gamma_new += static_cast<double>(e) * static_cast<double>(e);
+    const double gamma_new = colmath::dot_self(s.data(), n);
     const double beta = gamma_new / gamma;
     gamma = gamma_new;
-    for (std::size_t j = 0; j < n; ++j) p[j] = s[j] + static_cast<T>(beta) * p[j];
+    colmath::xpay(p.data(), s.data(), static_cast<T>(beta), n);
     ++stats.iterations_run;
   }
   clamp_nonneg(x, options);
+  return stats;
+}
+
+template <typename T>
+std::vector<RunStats> cgls_batch(const LinearOperator<T>& a, std::span<const T> b,
+                                 std::span<T> x, int num_rhs,
+                                 std::span<const SolveOptions> options) {
+  CSCV_CHECK(num_rhs >= 1);
+  CSCV_CHECK(options.size() == static_cast<std::size_t>(num_rhs));
+  if (num_rhs == 1) return {cgls(a, b, x, options[0])};
+  const std::size_t k = static_cast<std::size_t>(num_rhs);
+  const std::size_t m = static_cast<std::size_t>(a.rows());
+  const std::size_t n = static_cast<std::size_t>(a.cols());
+  CSCV_CHECK(b.size() == m * k);
+  CSCV_CHECK(x.size() == n * k);
+
+  // Interleaved staging used only at the fused applies; all solver state
+  // lives in contiguous per-column vectors so every vector update and
+  // reduction runs through the exact colmath instantiation serial cgls
+  // uses (the bitwise contract — see colmath.hpp).
+  util::AlignedVector<T> multi_m(m * k);
+  util::AlignedVector<T> multi_n(n * k);
+  std::vector<util::AlignedVector<T>> bc(k), xc(k), rc(k), sc(k), pc(k), qc(k);
+  for (std::size_t c = 0; c < k; ++c) {
+    bc[c].resize(m);
+    colmath::gather_column(b.data(), m, k, c, bc[c].data());
+    xc[c].resize(n);
+    colmath::gather_column(x.data(), n, k, c, xc[c].data());
+    rc[c].resize(m);
+    sc[c].resize(n);
+    qc[c].resize(m);
+  }
+
+  a.forward_batch(x, multi_m, num_rhs);
+  for (std::size_t c = 0; c < k; ++c) {
+    colmath::gather_column(multi_m.data(), m, k, c, rc[c].data());
+    colmath::residual_from(bc[c].data(), rc[c].data(), m);
+    colmath::scatter_column(rc[c].data(), m, k, c, multi_m.data());
+  }
+  a.adjoint_batch(multi_m, multi_n, num_rhs);
+  std::vector<double> gamma(k, 0.0);
+  for (std::size_t c = 0; c < k; ++c) {
+    colmath::gather_column(multi_n.data(), n, k, c, sc[c].data());
+    pc[c].assign(sc[c].begin(), sc[c].end());
+    gamma[c] = colmath::dot_self(sc[c].data(), n);
+  }
+
+  std::vector<RunStats> stats(k);
+  // A column is done once serial cgls would have broken out (gamma or qq
+  // hit zero); done columns freeze while the rest share the fused applies.
+  std::vector<char> done(k, 0);
+  int max_iters = 0;
+  for (const SolveOptions& o : options) max_iters = std::max(max_iters, o.iterations);
+
+  for (int it = 0; it < max_iters; ++it) {
+    bool any_active = false;
+    for (std::size_t c = 0; c < k; ++c) {
+      if (!done[c] && it < options[c].iterations && gamma[c] == 0.0) done[c] = 1;
+      if (!done[c] && it < options[c].iterations) any_active = true;
+    }
+    if (!any_active) break;
+    for (std::size_t c = 0; c < k; ++c) {
+      colmath::scatter_column(pc[c].data(), n, k, c, multi_n.data());
+    }
+    a.forward_batch(multi_n, multi_m, num_rhs);
+    for (std::size_t c = 0; c < k; ++c) {
+      if (done[c] || it >= options[c].iterations) continue;
+      colmath::gather_column(multi_m.data(), m, k, c, qc[c].data());
+      const double qq = colmath::dot_self(qc[c].data(), m);
+      if (qq == 0.0) {
+        done[c] = 1;
+        continue;
+      }
+      const double alpha = gamma[c] / qq;
+      colmath::axpy(xc[c].data(), static_cast<T>(alpha), pc[c].data(), n);
+      colmath::axmy(rc[c].data(), static_cast<T>(alpha), qc[c].data(), m);
+      stats[c].residual_norms.push_back(colmath::norm2(rc[c].data(), m));
+    }
+    for (std::size_t c = 0; c < k; ++c) {
+      colmath::scatter_column(rc[c].data(), m, k, c, multi_m.data());
+    }
+    a.adjoint_batch(multi_m, multi_n, num_rhs);
+    for (std::size_t c = 0; c < k; ++c) {
+      if (done[c] || it >= options[c].iterations) continue;
+      colmath::gather_column(multi_n.data(), n, k, c, sc[c].data());
+      const double gamma_new = colmath::dot_self(sc[c].data(), n);
+      const double beta = gamma_new / gamma[c];
+      gamma[c] = gamma_new;
+      colmath::xpay(pc[c].data(), sc[c].data(), static_cast<T>(beta), n);
+      ++stats[c].iterations_run;
+    }
+  }
+  for (std::size_t c = 0; c < k; ++c) {
+    if (options[c].enforce_nonneg) {
+      colmath::clamp_floor(xc[c].data(), static_cast<T>(options[c].nonneg_floor), n);
+    }
+    colmath::scatter_column(xc[c].data(), n, k, c, x.data());
+  }
   return stats;
 }
 
@@ -227,5 +387,17 @@ template RunStats cgls<float>(const LinearOperator<float>&, std::span<const floa
                               std::span<float>, const SolveOptions&);
 template RunStats cgls<double>(const LinearOperator<double>&, std::span<const double>,
                                std::span<double>, const SolveOptions&);
+template std::vector<RunStats> sirt_batch<float>(const LinearOperator<float>&,
+                                                 std::span<const float>, std::span<float>,
+                                                 int, std::span<const SolveOptions>);
+template std::vector<RunStats> sirt_batch<double>(const LinearOperator<double>&,
+                                                  std::span<const double>, std::span<double>,
+                                                  int, std::span<const SolveOptions>);
+template std::vector<RunStats> cgls_batch<float>(const LinearOperator<float>&,
+                                                 std::span<const float>, std::span<float>,
+                                                 int, std::span<const SolveOptions>);
+template std::vector<RunStats> cgls_batch<double>(const LinearOperator<double>&,
+                                                  std::span<const double>, std::span<double>,
+                                                  int, std::span<const SolveOptions>);
 
 }  // namespace cscv::recon

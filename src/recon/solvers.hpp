@@ -52,6 +52,29 @@ template <typename T>
 RunStats cgls(const LinearOperator<T>& a, std::span<const T> b, std::span<T> x,
               const SolveOptions& options = {});
 
+/// Batched SIRT: advances num_rhs reconstructions in lockstep over one
+/// matrix traversal per iteration. b and x hold interleaved columns
+/// (b[i * K + k], x[j * K + k]); options[k] steers column k independently.
+/// A column that reaches its iteration count drops out of the scalar
+/// updates (its x freezes) while the remaining columns keep riding the
+/// fused applies — a finished column never stalls the batch. Column k of
+/// the result is bitwise identical to sirt() run alone on that column,
+/// provided the operator's batch applies preserve per-column bitwise
+/// equality (CSCV/CSR SpMM and the de-interleaving fallback all do).
+template <typename T>
+std::vector<RunStats> sirt_batch(const LinearOperator<T>& a, std::span<const T> b,
+                                 std::span<T> x, int num_rhs,
+                                 std::span<const SolveOptions> options);
+
+/// Batched CGLS; same interleaved layout and per-column dropout contract as
+/// sirt_batch. A column that hits its CG breakdown condition (gamma == 0 or
+/// q == 0) finishes early exactly as serial cgls() would break, without
+/// stalling the other columns.
+template <typename T>
+std::vector<RunStats> cgls_batch(const LinearOperator<T>& a, std::span<const T> b,
+                                 std::span<T> x, int num_rhs,
+                                 std::span<const SolveOptions> options);
+
 /// ICD — Iterative Coordinate Descent (the MBIR update of Sauer & Bouman,
 /// cited by the paper as the algorithm CSC-style formats serve): maintains
 /// the residual e = b - Ax and sweeps pixels, each update needing one
@@ -76,6 +99,22 @@ extern template RunStats cgls<float>(const LinearOperator<float>&, std::span<con
                                      std::span<float>, const SolveOptions&);
 extern template RunStats cgls<double>(const LinearOperator<double>&, std::span<const double>,
                                       std::span<double>, const SolveOptions&);
+extern template std::vector<RunStats> sirt_batch<float>(const LinearOperator<float>&,
+                                                        std::span<const float>,
+                                                        std::span<float>, int,
+                                                        std::span<const SolveOptions>);
+extern template std::vector<RunStats> sirt_batch<double>(const LinearOperator<double>&,
+                                                         std::span<const double>,
+                                                         std::span<double>, int,
+                                                         std::span<const SolveOptions>);
+extern template std::vector<RunStats> cgls_batch<float>(const LinearOperator<float>&,
+                                                        std::span<const float>,
+                                                        std::span<float>, int,
+                                                        std::span<const SolveOptions>);
+extern template std::vector<RunStats> cgls_batch<double>(const LinearOperator<double>&,
+                                                         std::span<const double>,
+                                                         std::span<double>, int,
+                                                         std::span<const SolveOptions>);
 extern template RunStats icd<float>(const sparse::CscMatrix<float>&, std::span<const float>,
                                     std::span<float>, const SolveOptions&);
 extern template RunStats icd<double>(const sparse::CscMatrix<double>&,

@@ -41,6 +41,12 @@ class CsrMatrix {
   /// y = A x, OpenMP static row partitioning (the MKL-CSR stand-in).
   void spmv(std::span<const T> x, std::span<T> y) const;
 
+  /// Y = A X for num_rhs right-hand sides stored interleaved
+  /// (X[col * K + k], Y[row * K + k]); row-parallel like spmv. Column k of
+  /// the result is bitwise identical to spmv of that column alone: each
+  /// column's row dot product visits the nonzeros in the same order.
+  void spmv_multi(std::span<const T> x, std::span<T> y, int num_rhs) const;
+
   /// x = A^T y, serial (column-scatter form).
   void spmv_transpose_serial(std::span<const T> y, std::span<T> x) const;
 
@@ -52,6 +58,13 @@ class CsrMatrix {
   /// (reconstruction operators) that back-project every iteration.
   void spmv_transpose(std::span<const T> y, std::span<T> x,
                       util::AlignedVector<T>& scratch) const;
+
+  /// X = A^T Y for num_rhs interleaved right-hand sides. Mirrors the
+  /// single-RHS structure (serial column-scatter at one thread, per-slot
+  /// accumulators + flat reduction otherwise) so column k stays bitwise
+  /// identical to spmv_transpose of that column at the same thread count.
+  void spmv_transpose_multi(std::span<const T> y, std::span<T> x, int num_rhs,
+                            util::AlignedVector<T>& scratch) const;
 
   /// Bytes of matrix data read per SpMV iteration: values + col indices +
   /// row pointers (the M(A) term of the paper's memory-requirement model).

@@ -245,14 +245,27 @@ void check_tier_equivalence(typename CscvMatrix<T>::Variant variant,
     expect_vectors_close<T>(y, y_ref, spmv_tolerance<T>());
     expect_vectors_close<T>(y, y_generic, spmv_tolerance<T>());
 
-    const int k = 2;
-    const auto xk = sparse::random_vector<T>(cols * k, 22, 0.0, 1.0);
-    util::AlignedVector<T> yk(rows * k), yk_generic(rows * k);
-    const SpmvPlan<T> mplan(m, {.path = path, .num_rhs = k, .isa = tier});
-    mplan.execute(xk, yk);
-    const SpmvPlan<T> gplan(m, {.path = path, .num_rhs = k, .isa = simd::IsaTier::kGeneric});
-    gplan.execute(xk, yk_generic);
-    expect_vectors_close<T>(yk, yk_generic, spmv_tolerance<T>());
+    // Multi-RHS sweep: the batched kernels (forward SpMM and the fused
+    // transpose) must agree with the generic resolution at every batch
+    // width class — a compile-time-specialized width (2, 4) and the
+    // runtime-K fallback (7, above the specialization set).
+    for (const int k : {2, 4, 7}) {
+      const auto ks = static_cast<std::size_t>(k);
+      const auto xk = sparse::random_vector<T>(cols * ks, 22, 0.0, 1.0);
+      util::AlignedVector<T> yk(rows * ks), yk_generic(rows * ks);
+      const SpmvPlan<T> mplan(m, {.path = path, .num_rhs = k, .isa = tier});
+      mplan.execute(xk, yk);
+      const SpmvPlan<T> gplan(m,
+                              {.path = path, .num_rhs = k, .isa = simd::IsaTier::kGeneric});
+      gplan.execute(xk, yk_generic);
+      expect_vectors_close<T>(yk, yk_generic, spmv_tolerance<T>());
+
+      const auto ytk = sparse::random_vector<T>(rows * ks, 23 + k, 0.0, 1.0);
+      util::AlignedVector<T> xtk(cols * ks), xtk_generic(cols * ks);
+      mplan.execute_transpose(ytk, xtk);
+      gplan.execute_transpose(ytk, xtk_generic);
+      expect_vectors_close<T>(xtk, xtk_generic, spmv_tolerance<T>());
+    }
 
     const auto yt = sparse::random_vector<T>(rows, 23, 0.0, 1.0);
     util::AlignedVector<T> xt(cols), xt_generic(cols);

@@ -1,6 +1,8 @@
 // Multi-RHS SpMM (Y = A X): must equal K independent SpMVs.
 #include <gtest/gtest.h>
 
+#include <cstring>
+
 #include "core/format.hpp"
 #include "sparse/random.hpp"
 #include "test_helpers.hpp"
@@ -48,6 +50,102 @@ TEST(CscvSpmm, MThreeRhsOdd) { check_spmm<double>(3, CscvMatrix<double>::Variant
 
 TEST(CscvSpmm, PrivateYScheme) {
   check_spmm<float>(4, CscvMatrix<float>::Variant::kZ, ThreadScheme::kPrivateY);
+}
+
+// The batching tentpole's contract: column k of a fused multi-RHS apply is
+// bitwise identical to a single-RHS apply of that column — both directions,
+// both variants, same plan thread count. The batched solvers and the
+// service's job fusion lean on exactly this (their per-job volumes must
+// memcmp-equal serial execution), so the comparison here is memcmp, not
+// tolerance.
+template <typename T>
+void check_bitwise_columns(int num_rhs, typename CscvMatrix<T>::Variant variant) {
+  const int image = 32, views = 24;
+  const auto& csc = cached_ct_csc<T>(image, views);
+  const OperatorLayout layout{image, ct::standard_num_bins(image), views};
+  const auto m = CscvMatrix<T>::build(csc, layout, {.s_vvec = 8, .s_imgb = 8, .s_vxg = 2},
+                                      variant);
+  const auto cols = static_cast<std::size_t>(m.cols());
+  const auto rows = static_cast<std::size_t>(m.rows());
+  const auto k = static_cast<std::size_t>(num_rhs);
+
+  const auto x_multi = sparse::random_vector<T>(cols * k, 23, 0.0, 1.0);
+  util::AlignedVector<T> y_multi(rows * k);
+  m.spmv_multi(x_multi, y_multi, num_rhs);
+
+  const auto y_rand = sparse::random_vector<T>(rows * k, 29, 0.0, 1.0);
+  util::AlignedVector<T> xt_multi(cols * k);
+  m.spmv_transpose_multi(y_rand, xt_multi, num_rhs);
+
+  util::AlignedVector<T> in_one(cols), out_one(rows), col(rows);
+  for (std::size_t c = 0; c < k; ++c) {
+    for (std::size_t j = 0; j < cols; ++j) in_one[j] = x_multi[j * k + c];
+    m.spmv(in_one, out_one);
+    for (std::size_t i = 0; i < rows; ++i) col[i] = y_multi[i * k + c];
+    EXPECT_EQ(std::memcmp(col.data(), out_one.data(), rows * sizeof(T)), 0)
+        << "forward column " << c << " of " << num_rhs << " not bitwise";
+  }
+  util::AlignedVector<T> yt_one(rows), xt_one(cols), colx(cols);
+  for (std::size_t c = 0; c < k; ++c) {
+    for (std::size_t i = 0; i < rows; ++i) yt_one[i] = y_rand[i * k + c];
+    m.spmv_transpose(yt_one, xt_one);
+    for (std::size_t j = 0; j < cols; ++j) colx[j] = xt_multi[j * k + c];
+    EXPECT_EQ(std::memcmp(colx.data(), xt_one.data(), cols * sizeof(T)), 0)
+        << "transpose column " << c << " of " << num_rhs << " not bitwise";
+  }
+}
+
+TEST(CscvSpmmBitwise, ZFourRhs) {
+  check_bitwise_columns<float>(4, CscvMatrix<float>::Variant::kZ);
+}
+TEST(CscvSpmmBitwise, ZSevenRhsDouble) {
+  check_bitwise_columns<double>(7, CscvMatrix<double>::Variant::kZ);
+}
+TEST(CscvSpmmBitwise, MTwoRhs) {
+  check_bitwise_columns<float>(2, CscvMatrix<float>::Variant::kM);
+}
+TEST(CscvSpmmBitwise, MFourRhs) {
+  check_bitwise_columns<float>(4, CscvMatrix<float>::Variant::kM);
+}
+TEST(CscvSpmmBitwise, MSevenRhsDouble) {
+  check_bitwise_columns<double>(7, CscvMatrix<double>::Variant::kM);
+}
+
+// Multi-RHS transpose against the CSR serial reference (tolerance): the
+// fused kernels must be *correct*, not just self-consistent.
+template <typename T>
+void check_transpose_multi(int num_rhs, typename CscvMatrix<T>::Variant variant) {
+  const int image = 32, views = 24;
+  const auto& csc = cached_ct_csc<T>(image, views);
+  const auto& csr = cached_ct_csr<T>(image, views);
+  const OperatorLayout layout{image, ct::standard_num_bins(image), views};
+  const auto m = CscvMatrix<T>::build(csc, layout, {.s_vvec = 8, .s_imgb = 8, .s_vxg = 2},
+                                      variant);
+  const auto cols = static_cast<std::size_t>(m.cols());
+  const auto rows = static_cast<std::size_t>(m.rows());
+  const auto k = static_cast<std::size_t>(num_rhs);
+
+  const auto y_multi = sparse::random_vector<T>(rows * k, 31, 0.0, 1.0);
+  util::AlignedVector<T> x_multi(cols * k);
+  m.spmv_transpose_multi(y_multi, x_multi, num_rhs);
+
+  util::AlignedVector<T> y_one(rows), x_ref(cols), x_col(cols);
+  for (std::size_t c = 0; c < k; ++c) {
+    for (std::size_t i = 0; i < rows; ++i) y_one[i] = y_multi[i * k + c];
+    csr.spmv_transpose_serial(y_one, x_ref);
+    for (std::size_t j = 0; j < cols; ++j) x_col[j] = x_multi[j * k + c];
+    expect_vectors_close<T>(x_col, x_ref, testing::spmv_tolerance<T>());
+  }
+}
+
+TEST(CscvSpmmTranspose, ZFourRhs) {
+  check_transpose_multi<float>(4, CscvMatrix<float>::Variant::kZ);
+}
+TEST(CscvSpmmTranspose, MFourRhs) {
+  check_transpose_multi<float>(4, CscvMatrix<float>::Variant::kM);
+}
+TEST(CscvSpmmTranspose, MThreeRhsDouble) {
+  check_transpose_multi<double>(3, CscvMatrix<double>::Variant::kM);
 }
 
 TEST(CscvSpmm, RejectsBadSizes) {

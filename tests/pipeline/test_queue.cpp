@@ -7,6 +7,7 @@
 // after a refusal.
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <memory>
 #include <thread>
 #include <vector>
@@ -99,6 +100,72 @@ TEST(BoundedQueue, BlockingPushWakesWhenSpaceFrees) {
   EXPECT_EQ(second_result, PushResult::kOk);
   ASSERT_TRUE(q.pop(out));
   EXPECT_EQ(out, 2);
+}
+
+// try_pop_for is the batching window's primitive: a worker holding its
+// first job polls for batch-mates with a deadline-bounded wait instead of
+// parking forever on pop().
+
+TEST(BoundedQueue, TryPopForTimesOutOnEmptyQueue) {
+  BoundedQueue<int> q(4);
+  int out = -1;
+  const auto t0 = std::chrono::steady_clock::now();
+  EXPECT_FALSE(q.try_pop_for(out, std::chrono::milliseconds(30)));
+  const auto waited = std::chrono::steady_clock::now() - t0;
+  EXPECT_GE(waited, std::chrono::milliseconds(30)) << "returned before the timeout";
+  EXPECT_FALSE(q.closed()) << "timeout and closure must stay distinguishable";
+  EXPECT_EQ(out, -1);
+}
+
+TEST(BoundedQueue, TryPopForZeroTimeoutIsANonBlockingPoll) {
+  BoundedQueue<int> q(4);
+  int out = -1;
+  EXPECT_FALSE(q.try_pop_for(out, std::chrono::seconds(0)));
+  int item = 7;
+  ASSERT_EQ(q.push(item), PushResult::kOk);
+  EXPECT_TRUE(q.try_pop_for(out, std::chrono::seconds(0)));
+  EXPECT_EQ(out, 7);
+}
+
+TEST(BoundedQueue, TryPopForReturnsItemPushedMidWait) {
+  BoundedQueue<int> q(4);
+  std::thread producer([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    int item = 42;
+    (void)q.push(item);
+  });
+  int out = -1;
+  // Long timeout: success must come from the push waking the waiter, well
+  // before the deadline.
+  EXPECT_TRUE(q.try_pop_for(out, std::chrono::seconds(10)));
+  EXPECT_EQ(out, 42);
+  producer.join();
+}
+
+TEST(BoundedQueue, CloseWakesTryPopForWaiter) {
+  BoundedQueue<int> q(4);
+  std::thread closer([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    q.close();
+  });
+  int out = -1;
+  const auto t0 = std::chrono::steady_clock::now();
+  EXPECT_FALSE(q.try_pop_for(out, std::chrono::seconds(10)));
+  const auto waited = std::chrono::steady_clock::now() - t0;
+  closer.join();
+  EXPECT_TRUE(q.closed());
+  EXPECT_LT(waited, std::chrono::seconds(5)) << "close() must wake the waiter";
+}
+
+TEST(BoundedQueue, TryPopForDrainsClosedQueueBeforeReportingExhaustion) {
+  BoundedQueue<std::unique_ptr<int>> q(4);
+  auto a = std::make_unique<int>(1);
+  ASSERT_EQ(q.push(a), PushResult::kOk);
+  q.close();
+  std::unique_ptr<int> out;
+  ASSERT_TRUE(q.try_pop_for(out, std::chrono::milliseconds(1)));
+  EXPECT_EQ(*out, 1);
+  EXPECT_FALSE(q.try_pop_for(out, std::chrono::milliseconds(1)));
 }
 
 TEST(BoundedQueue, CloseWakesBlockedProducer) {

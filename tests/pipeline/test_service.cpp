@@ -225,6 +225,114 @@ TEST(ReconService, DrainShutdownFinishesAdmittedJobs) {
   EXPECT_EQ(service.stats().cancelled, 0U);
 }
 
+// --- Job batching ---------------------------------------------------------
+
+// Jobs sharing matrix key + algorithm fuse into one multi-RHS solve; each
+// job's volume must stay bitwise identical to the unbatched serial path.
+TEST(ReconServiceBatch, FusedJobsBitwiseMatchSerialReference) {
+  for (Algorithm a : {Algorithm::kSirt, Algorithm::kCgls, Algorithm::kOsSart}) {
+    ServiceOptions opts;
+    opts.num_workers = 1;
+    opts.queue_capacity = 8;
+    opts.max_batch = 4;
+    opts.batch_window_seconds = 2.0;  // never elapses: the batch fills first
+    ReconService service(opts);
+
+    std::vector<std::future<ReconResult>> results;
+    for (int i = 0; i < 4; ++i) {
+      results.push_back(service.submit(make_job(24, 12, a)).result);
+    }
+    const ReconResult want = reference_run(make_job(24, 12, a));
+    for (auto& f : results) {
+      const ReconResult got = f.get();
+      expect_bitwise_volumes(got, want);
+    }
+    service.shutdown();
+    const ServiceStats s = service.stats();
+    EXPECT_EQ(s.completed, 4U);
+    // The lone worker pops job 1 and holds the window open until its three
+    // mates arrive, so at least one fused execution must have happened (all
+    // four in one batch in the common case; never zero).
+    EXPECT_GE(s.batches, 1U) << "algorithm " << static_cast<int>(a);
+    EXPECT_GE(s.batched_jobs, 2U);
+  }
+}
+
+// A non-fusable job (different algorithm) ends the gather and is carried as
+// the lead of the next batch — never dropped, never reordered into a wrong
+// batch, still bitwise correct.
+TEST(ReconServiceBatch, NonFusableJobIsCarriedNotLost) {
+  ServiceOptions opts;
+  opts.num_workers = 1;
+  opts.queue_capacity = 8;
+  opts.max_batch = 4;
+  opts.batch_window_seconds = 0.3;  // short: the carried job's window idles out
+  ReconService service(opts);
+
+  std::vector<std::pair<Algorithm, std::future<ReconResult>>> results;
+  const std::vector<Algorithm> sequence = {Algorithm::kSirt, Algorithm::kSirt,
+                                           Algorithm::kCgls, Algorithm::kSirt,
+                                           Algorithm::kCgls};
+  for (Algorithm a : sequence) {
+    results.emplace_back(a, service.submit(make_job(24, 12, a)).result);
+  }
+  for (auto& [a, f] : results) {
+    expect_bitwise_volumes(f.get(), reference_run(make_job(24, 12, a)));
+  }
+  service.shutdown();
+  EXPECT_EQ(service.stats().completed, 5U);
+}
+
+// OS-SART jobs disagreeing on subset count must not fuse (the subset split
+// is structural) — they still all complete bitwise-correct.
+TEST(ReconServiceBatch, MismatchedSubsetCountsDoNotFuse) {
+  ServiceOptions opts;
+  opts.num_workers = 1;
+  opts.queue_capacity = 8;
+  opts.max_batch = 4;
+  opts.batch_window_seconds = 0.2;
+  ReconService service(opts);
+
+  ReconJob a = make_job(24, 12, Algorithm::kOsSart);
+  ReconJob b = make_job(24, 12, Algorithm::kOsSart);
+  b.os_sart_subsets = a.os_sart_subsets / 2;
+  ReconJob a_ref = a, b_ref = b;
+  auto fa = service.submit(std::move(a)).result;
+  auto fb = service.submit(std::move(b)).result;
+  expect_bitwise_volumes(fa.get(), reference_run(a_ref));
+  expect_bitwise_volumes(fb.get(), reference_run(b_ref));
+  service.shutdown();
+  const ServiceStats s = service.stats();
+  EXPECT_EQ(s.completed, 2U);
+  EXPECT_EQ(s.batched_jobs, 0U) << "structurally incompatible jobs must not fuse";
+}
+
+// Deadline-aware de-batching: a job carrying a deadline must not idle out
+// the batch window waiting for mates that may never come. With a window
+// far longer than the deadline, the job only completes in time if the
+// worker skips the wait.
+TEST(ReconServiceBatch, DeadlineJobSkipsTheBatchWindow) {
+  ServiceOptions opts;
+  opts.num_workers = 1;
+  opts.queue_capacity = 8;
+  opts.max_batch = 8;
+  opts.batch_window_seconds = 5.0;  // >> deadline: waiting it out would expire the job
+  ReconService service(opts);
+
+  ReconJob job = make_job(16, 12, Algorithm::kSirt);
+  job.deadline_seconds = 2.0;
+  const auto t0 = std::chrono::steady_clock::now();
+  auto submitted = service.submit(std::move(job));
+  const ReconResult got = submitted.result.get();
+  const std::chrono::duration<double> elapsed = std::chrono::steady_clock::now() - t0;
+
+  EXPECT_EQ(got.status, JobStatus::kOk) << got.error;
+  EXPECT_LT(elapsed.count(), 2.0) << "worker sat out the batch window past the deadline";
+  service.shutdown();
+  EXPECT_EQ(service.stats().debatched, 1U);
+  EXPECT_EQ(service.stats().expired, 0U);
+}
+
 // The acceptance stress: 8 workers, 72 jobs, 3 geometries, 4 algorithms.
 // Every volume must be bitwise identical to the serial reference, and the
 // shared cache must have built each distinct operator exactly once despite
