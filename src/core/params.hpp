@@ -66,4 +66,26 @@ inline std::string vxg_order_name(VxgOrder o) {
   return "?";
 }
 
+/// Inverse of reference_name; CheckError on unknown names (the service wire
+/// format parses these from client JSON).
+inline ReferenceStrategy reference_from_name(const std::string& name) {
+  if (name == "center") return ReferenceStrategy::kBlockCenter;
+  if (name == "corner") return ReferenceStrategy::kBlockCorner;
+  if (name == "envelope") return ReferenceStrategy::kMinEnvelope;
+  if (name == "btb_view_major") return ReferenceStrategy::kConstantBtb;
+  CSCV_CHECK_MSG(false, "unknown reference strategy \"" << name
+                        << "\" (want center|corner|envelope|btb_view_major)");
+  return ReferenceStrategy::kBlockCenter;  // unreachable
+}
+
+/// Inverse of vxg_order_name; CheckError on unknown names.
+inline VxgOrder vxg_order_from_name(const std::string& name) {
+  if (name == "natural") return VxgOrder::kNatural;
+  if (name == "by_offset") return VxgOrder::kByOffset;
+  if (name == "by_count") return VxgOrder::kByCount;
+  CSCV_CHECK_MSG(false, "unknown VxG order \"" << name
+                        << "\" (want natural|by_offset|by_count)");
+  return VxgOrder::kNatural;  // unreachable
+}
+
 }  // namespace cscv::core

@@ -1,0 +1,151 @@
+#include "net/client.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cctype>
+#include <charconv>
+#include <utility>
+
+#include "util/assertx.hpp"
+
+namespace cscv::net {
+
+namespace {
+
+/// Minimal response parser: status line, headers, Content-Length body.
+HttpResponse parse_response(Socket& conn, const HttpLimits& limits, bool& peer_closed) {
+  std::string buffer;
+  std::array<char, 16384> chunk{};
+  std::size_t head_end = std::string::npos;
+  peer_closed = false;
+  for (;;) {
+    head_end = buffer.find("\r\n\r\n");
+    if (head_end != std::string::npos) break;
+    CSCV_CHECK_MSG(buffer.size() <= limits.max_header_bytes,
+                   "http: response header block exceeds limit");
+    const std::ptrdiff_t n = conn.read_some(chunk.data(), chunk.size());
+    CSCV_CHECK_MSG(n >= 0, "http: response timed out");
+    if (n == 0) {
+      peer_closed = true;
+      CSCV_CHECK_MSG(!buffer.empty(), "http: connection closed before response");
+      CSCV_CHECK_MSG(false, "http: connection closed mid-response");
+    }
+    buffer.append(chunk.data(), static_cast<std::size_t>(n));
+  }
+
+  HttpResponse r;
+  std::string_view head = std::string_view(buffer).substr(0, head_end);
+  const std::size_t line_end = head.find("\r\n");
+  std::string_view line = line_end == std::string_view::npos ? head : head.substr(0, line_end);
+  CSCV_CHECK_MSG(line.substr(0, 5) == "HTTP/", "http: malformed status line");
+  const std::size_t sp = line.find(' ');
+  CSCV_CHECK_MSG(sp != std::string_view::npos && line.size() >= sp + 4,
+                 "http: malformed status line");
+  int status = 0;
+  const auto [ptr, ec] =
+      std::from_chars(line.data() + sp + 1, line.data() + sp + 4, status);
+  CSCV_CHECK_MSG(ec == std::errc{} && ptr == line.data() + sp + 4,
+                 "http: malformed status code");
+  r.status = status;
+
+  std::size_t content_length = 0;
+  std::string_view rest =
+      line_end == std::string_view::npos ? std::string_view{} : head.substr(line_end + 2);
+  while (!rest.empty()) {
+    const std::size_t he = rest.find("\r\n");
+    const std::string_view field = he == std::string_view::npos ? rest : rest.substr(0, he);
+    rest = he == std::string_view::npos ? std::string_view{} : rest.substr(he + 2);
+    const std::size_t colon = field.find(':');
+    CSCV_CHECK_MSG(colon != std::string_view::npos, "http: malformed response header");
+    std::string name(field.substr(0, colon));
+    for (char& c : name) c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+    std::string_view value = field.substr(colon + 1);
+    while (!value.empty() && value.front() == ' ') value.remove_prefix(1);
+    if (name == "content-length") {
+      const auto [p2, e2] =
+          std::from_chars(value.data(), value.data() + value.size(), content_length);
+      CSCV_CHECK_MSG(e2 == std::errc{} && p2 == value.data() + value.size(),
+                     "http: malformed Content-Length");
+    }
+    r.headers.emplace_back(std::move(name), std::string(value));
+  }
+  CSCV_CHECK_MSG(content_length <= limits.max_body_bytes,
+                 "http: response body exceeds limit");
+
+  r.body = buffer.substr(head_end + 4);
+  while (r.body.size() < content_length) {
+    const std::ptrdiff_t n = conn.read_some(chunk.data(), chunk.size());
+    CSCV_CHECK_MSG(n >= 0, "http: response body timed out");
+    CSCV_CHECK_MSG(n != 0, "http: connection closed mid-body");
+    r.body.append(chunk.data(), static_cast<std::size_t>(n));
+  }
+  CSCV_CHECK_MSG(r.body.size() == content_length,
+                 "http: body overruns Content-Length");
+  return r;
+}
+
+}  // namespace
+
+HttpClient::HttpClient(std::string host, std::uint16_t port, ClientOptions options)
+    : host_(std::move(host)), port_(port), options_(options) {}
+
+HttpResponse HttpClient::round_trip(const std::string& wire, bool& peer_closed) {
+  if (!conn_.has_value() || !conn_->valid()) {
+    conn_ = connect_tcp(host_, port_, options_.timeout_seconds);
+  }
+  if (!conn_->write_all(wire)) {
+    peer_closed = true;
+    conn_.reset();
+    CSCV_CHECK_MSG(false, "http: send failed (connection closed)");
+  }
+  return parse_response(*conn_, options_.limits, peer_closed);
+}
+
+HttpResponse HttpClient::request(
+    const std::string& method, const std::string& target, std::string body,
+    std::vector<std::pair<std::string, std::string>> headers) {
+  std::string wire = method + " " + target + " HTTP/1.1\r\n";
+  wire += "Host: " + host_ + ":" + std::to_string(port_) + "\r\n";
+  for (const auto& [k, v] : headers) wire += k + ": " + v + "\r\n";
+  wire += "Content-Length: " + std::to_string(body.size()) + "\r\n\r\n";
+  wire += body;
+
+  const bool had_conn = conn_.has_value() && conn_->valid();
+  bool peer_closed = false;
+  try {
+    HttpResponse r = round_trip(wire, peer_closed);
+    if (const auto c = std::find_if(r.headers.begin(), r.headers.end(),
+                                    [](const auto& h) { return h.first == "connection"; });
+        c != r.headers.end() && c->second == "close") {
+      conn_.reset();
+    }
+    return r;
+  } catch (const util::CheckError&) {
+    conn_.reset();
+    // A server may close a kept-alive connection between our requests;
+    // retry exactly once on a fresh connection, only when reuse raced.
+    if (!(had_conn && peer_closed)) throw;
+  }
+  HttpResponse r = round_trip(wire, peer_closed);
+  if (const auto c = std::find_if(r.headers.begin(), r.headers.end(),
+                                  [](const auto& h) { return h.first == "connection"; });
+      c != r.headers.end() && c->second == "close") {
+    conn_.reset();
+  }
+  return r;
+}
+
+HttpResponse HttpClient::post_json(const std::string& target, const util::Json& payload) {
+  return request("POST", target, payload.dump(),
+                 {{"Content-Type", "application/json"}});
+}
+
+util::Json HttpClient::get_json(const std::string& target, int expect_status) {
+  const HttpResponse r = get(target);
+  CSCV_CHECK_MSG(r.status == expect_status, "GET " << target << " returned "
+                                                   << r.status << " (want "
+                                                   << expect_status << "): " << r.body);
+  return util::Json::parse(r.body);
+}
+
+}  // namespace cscv::net

@@ -1,0 +1,56 @@
+// Blocking HTTP/1.1 client — the test/CI counterpart of HttpServer and the
+// engine of `cscv_cli submit`. Keeps one connection alive across requests
+// and transparently reconnects once when the server closed it between
+// requests (keep-alive races are expected, not errors). Not thread-safe;
+// one client per thread.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "net/http.hpp"
+#include "net/socket.hpp"
+#include "util/json.hpp"
+
+namespace cscv::net {
+
+struct ClientOptions {
+  double timeout_seconds = 60.0;  // connect/send/recv bound per request
+  HttpLimits limits{};            // response size bounds
+};
+
+class HttpClient {
+ public:
+  HttpClient(std::string host, std::uint16_t port, ClientOptions options = {});
+
+  /// Sends one request and reads the full response. Throws CheckError on
+  /// connection failure, timeout, or a malformed response — HTTP error
+  /// statuses are returned, not thrown.
+  HttpResponse request(const std::string& method, const std::string& target,
+                       std::string body = {},
+                       std::vector<std::pair<std::string, std::string>> headers = {});
+
+  HttpResponse get(const std::string& target) { return request("GET", target); }
+  HttpResponse del(const std::string& target) { return request("DELETE", target); }
+  HttpResponse post_json(const std::string& target, const util::Json& payload);
+
+  /// get() + parse; CheckError unless the response is `expect_status` with
+  /// a JSON body. The convenience used by tests and the stats subcommand.
+  util::Json get_json(const std::string& target, int expect_status = 200);
+
+  [[nodiscard]] const std::string& host() const { return host_; }
+  [[nodiscard]] std::uint16_t port() const { return port_; }
+
+ private:
+  HttpResponse round_trip(const std::string& wire, bool& peer_closed);
+
+  std::string host_;
+  std::uint16_t port_;
+  ClientOptions options_;
+  std::optional<Socket> conn_;
+};
+
+}  // namespace cscv::net

@@ -1,0 +1,267 @@
+#include "net/http.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <charconv>
+
+#include "util/assertx.hpp"
+
+namespace cscv::net {
+
+namespace {
+
+std::string to_lower(std::string_view s) {
+  std::string out(s);
+  std::transform(out.begin(), out.end(), out.begin(),
+                 [](unsigned char c) { return static_cast<char>(std::tolower(c)); });
+  return out;
+}
+
+std::string_view trim(std::string_view s) {
+  while (!s.empty() && (s.front() == ' ' || s.front() == '\t')) s.remove_prefix(1);
+  while (!s.empty() && (s.back() == ' ' || s.back() == '\t')) s.remove_suffix(1);
+  return s;
+}
+
+int hex_digit(char c) {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+  return -1;
+}
+
+/// Splits the request target into path + decoded query map.
+bool split_target(const std::string& target, HttpRequest& out, std::string& error) {
+  const std::size_t q = target.find('?');
+  try {
+    out.path = url_decode(q == std::string::npos ? std::string_view(target)
+                                                 : std::string_view(target).substr(0, q));
+    if (q != std::string::npos) {
+      std::string_view rest = std::string_view(target).substr(q + 1);
+      while (!rest.empty()) {
+        const std::size_t amp = rest.find('&');
+        const std::string_view pair =
+            amp == std::string_view::npos ? rest : rest.substr(0, amp);
+        rest = amp == std::string_view::npos ? std::string_view{} : rest.substr(amp + 1);
+        if (pair.empty()) continue;
+        const std::size_t eq = pair.find('=');
+        if (eq == std::string_view::npos) {
+          out.query[url_decode(pair)] = "";
+        } else {
+          out.query[url_decode(pair.substr(0, eq))] = url_decode(pair.substr(eq + 1));
+        }
+      }
+    }
+  } catch (const util::CheckError& e) {
+    error = e.what();
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+std::string url_decode(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  for (std::size_t i = 0; i < text.size(); ++i) {
+    const char c = text[i];
+    if (c == '+') {
+      out.push_back(' ');
+    } else if (c == '%') {
+      CSCV_CHECK_MSG(i + 2 < text.size(), "url: truncated %-escape at position " << i);
+      const int hi = hex_digit(text[i + 1]);
+      const int lo = hex_digit(text[i + 2]);
+      CSCV_CHECK_MSG(hi >= 0 && lo >= 0, "url: bad %-escape at position " << i);
+      out.push_back(static_cast<char>((hi << 4) | lo));
+      i += 2;
+    } else {
+      out.push_back(c);
+    }
+  }
+  return out;
+}
+
+const std::string* HttpRequest::header(std::string_view name) const {
+  for (const auto& [k, v] : headers) {
+    if (k == name) return &v;
+  }
+  return nullptr;
+}
+
+HttpResponse HttpResponse::json(int status, const util::Json& payload) {
+  HttpResponse r;
+  r.status = status;
+  r.headers.emplace_back("Content-Type", "application/json");
+  r.body = payload.dump();
+  r.body.push_back('\n');
+  return r;
+}
+
+HttpResponse HttpResponse::error(int status, std::string_view code,
+                                 std::string_view message) {
+  util::Json err = util::Json::object();
+  err["code"] = util::Json(std::string(code));
+  err["message"] = util::Json(std::string(message));
+  util::Json j = util::Json::object();
+  j["error"] = std::move(err);
+  return json(status, j);
+}
+
+HttpResponse HttpResponse::octets(std::string bytes) {
+  HttpResponse r;
+  r.headers.emplace_back("Content-Type", "application/octet-stream");
+  r.body = std::move(bytes);
+  return r;
+}
+
+const char* status_reason(int status) {
+  switch (status) {
+    case 200: return "OK";
+    case 201: return "Created";
+    case 202: return "Accepted";
+    case 204: return "No Content";
+    case 400: return "Bad Request";
+    case 404: return "Not Found";
+    case 405: return "Method Not Allowed";
+    case 409: return "Conflict";
+    case 410: return "Gone";
+    case 413: return "Payload Too Large";
+    case 422: return "Unprocessable Content";
+    case 429: return "Too Many Requests";
+    case 431: return "Request Header Fields Too Large";
+    case 500: return "Internal Server Error";
+    case 501: return "Not Implemented";
+    case 503: return "Service Unavailable";
+    default: return "Unknown";
+  }
+}
+
+std::string serialize(const HttpResponse& response) {
+  std::string out = "HTTP/1.1 " + std::to_string(response.status) + " " +
+                    status_reason(response.status) + "\r\n";
+  for (const auto& [k, v] : response.headers) {
+    out += k;
+    out += ": ";
+    out += v;
+    out += "\r\n";
+  }
+  out += "Content-Length: " + std::to_string(response.body.size()) + "\r\n\r\n";
+  out += response.body;
+  return out;
+}
+
+ParseStatus RequestParser::fail(std::string detail) {
+  error_ = std::move(detail);
+  state_ = State::kError;
+  return ParseStatus::kBadRequest;
+}
+
+ParseStatus RequestParser::feed(std::string_view data) {
+  if (state_ == State::kError) return ParseStatus::kBadRequest;
+  if (state_ == State::kDone) return ParseStatus::kOk;
+  buffer_.append(data);
+
+  if (state_ == State::kHeaders) {
+    const std::size_t end = buffer_.find("\r\n\r\n");
+    if (end == std::string::npos) {
+      if (buffer_.size() > limits_.max_header_bytes) {
+        error_ = "header block exceeds " + std::to_string(limits_.max_header_bytes) +
+                 " bytes";
+        state_ = State::kError;
+        return ParseStatus::kTooLarge;
+      }
+      return ParseStatus::kNeedMore;
+    }
+    if (end > limits_.max_header_bytes) {
+      error_ = "header block exceeds " + std::to_string(limits_.max_header_bytes) +
+               " bytes";
+      state_ = State::kError;
+      return ParseStatus::kTooLarge;
+    }
+
+    std::string_view head = std::string_view(buffer_).substr(0, end);
+    // Request line: METHOD SP target SP HTTP/1.x
+    const std::size_t line_end = head.find("\r\n");
+    const std::string_view line =
+        line_end == std::string_view::npos ? head : head.substr(0, line_end);
+    const std::size_t sp1 = line.find(' ');
+    const std::size_t sp2 = line.rfind(' ');
+    if (sp1 == std::string_view::npos || sp2 == sp1) {
+      return fail("malformed request line");
+    }
+    request_ = HttpRequest{};
+    request_.method = std::string(line.substr(0, sp1));
+    request_.target = std::string(line.substr(sp1 + 1, sp2 - sp1 - 1));
+    const std::string_view version = line.substr(sp2 + 1);
+    if (request_.method.empty() || request_.target.empty() ||
+        request_.target[0] != '/') {
+      return fail("malformed request line");
+    }
+    if (version != "HTTP/1.1" && version != "HTTP/1.0") {
+      return fail("unsupported HTTP version");
+    }
+    std::string target_error;
+    if (!split_target(request_.target, request_, target_error)) {
+      return fail(target_error);
+    }
+
+    // Header fields.
+    std::string_view rest =
+        line_end == std::string_view::npos ? std::string_view{} : head.substr(line_end + 2);
+    while (!rest.empty()) {
+      const std::size_t he = rest.find("\r\n");
+      const std::string_view field =
+          he == std::string_view::npos ? rest : rest.substr(0, he);
+      rest = he == std::string_view::npos ? std::string_view{} : rest.substr(he + 2);
+      if (field.empty()) continue;
+      const std::size_t colon = field.find(':');
+      if (colon == std::string_view::npos || colon == 0) {
+        return fail("malformed header field");
+      }
+      request_.headers.emplace_back(to_lower(trim(field.substr(0, colon))),
+                                    std::string(trim(field.substr(colon + 1))));
+    }
+
+    if (request_.header("transfer-encoding") != nullptr) {
+      return fail("Transfer-Encoding is not supported; use Content-Length");
+    }
+    body_needed_ = 0;
+    if (const std::string* cl = request_.header("content-length")) {
+      std::size_t value = 0;
+      const auto [ptr, ec] =
+          std::from_chars(cl->data(), cl->data() + cl->size(), value);
+      if (ec != std::errc{} || ptr != cl->data() + cl->size()) {
+        return fail("malformed Content-Length");
+      }
+      if (value > limits_.max_body_bytes) {
+        error_ = "body of " + std::to_string(value) + " bytes exceeds limit of " +
+                 std::to_string(limits_.max_body_bytes);
+        state_ = State::kError;
+        return ParseStatus::kTooLarge;
+      }
+      body_needed_ = value;
+    }
+    buffer_.erase(0, end + 4);
+    state_ = State::kBody;
+  }
+
+  if (state_ == State::kBody) {
+    if (buffer_.size() < body_needed_) return ParseStatus::kNeedMore;
+    request_.body = buffer_.substr(0, body_needed_);
+    buffer_.erase(0, body_needed_);
+    state_ = State::kDone;
+  }
+  return ParseStatus::kOk;
+}
+
+HttpRequest RequestParser::take_request() {
+  CSCV_CHECK_MSG(state_ == State::kDone, "take_request before a complete request");
+  HttpRequest out = std::move(request_);
+  request_ = HttpRequest{};
+  state_ = State::kHeaders;
+  body_needed_ = 0;
+  return out;
+}
+
+}  // namespace cscv::net

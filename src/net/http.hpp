@@ -1,0 +1,102 @@
+// HTTP/1.1 message types, incremental request parser, response serializer.
+//
+// Deliberately small: the service speaks plain HTTP/1.1 with Content-Length
+// framing (no chunked transfer, no TLS, no compression) because its clients
+// are reconstruction pipelines and CI scripts, not browsers. The parser is
+// incremental — the server feeds it recv() chunks and it reports when a full
+// request is buffered — and enforces hard header/body byte limits so a
+// misbehaving client costs bounded memory (oversized payloads surface as
+// kTooLarge and become a structured 413, docs/SERVICE.md).
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "util/json.hpp"
+
+namespace cscv::net {
+
+struct HttpRequest {
+  std::string method;   // uppercase, e.g. "GET"
+  std::string target;   // raw request target, e.g. "/v1/jobs/7?wait=1"
+  std::string path;     // target without the query string
+  std::map<std::string, std::string> query;  // decoded query parameters
+  // Header names lowercased at parse time; values trimmed of outer spaces.
+  std::vector<std::pair<std::string, std::string>> headers;
+  std::string body;
+
+  /// First header with `name` (must be lowercase), nullptr when absent.
+  [[nodiscard]] const std::string* header(std::string_view name) const;
+};
+
+struct HttpResponse {
+  int status = 200;
+  std::vector<std::pair<std::string, std::string>> headers;
+  std::string body;
+
+  /// JSON response with Content-Type set.
+  static HttpResponse json(int status, const util::Json& payload);
+  /// The service's structured error body:
+  ///   {"error": {"code": "...", "message": "..."}}
+  static HttpResponse error(int status, std::string_view code, std::string_view message);
+  /// Binary response (application/octet-stream).
+  static HttpResponse octets(std::string bytes);
+};
+
+/// Canonical reason phrase for a status code ("Unknown" for oddballs).
+[[nodiscard]] const char* status_reason(int status);
+
+/// Serializes status line + headers + body; adds Content-Length. The caller
+/// (server/client) appends its own Connection header before calling.
+[[nodiscard]] std::string serialize(const HttpResponse& response);
+
+struct HttpLimits {
+  std::size_t max_header_bytes = std::size_t{64} << 10;
+  std::size_t max_body_bytes = std::size_t{256} << 20;
+};
+
+enum class ParseStatus {
+  kNeedMore,    // feed() wants more bytes
+  kOk,          // request() holds a complete request
+  kBadRequest,  // malformed; error_detail() says why -> 400
+  kTooLarge,    // header or body limit exceeded -> 413/431
+};
+
+/// Incremental HTTP/1.1 request parser. Feed it raw bytes; once it reports
+/// kOk, take_request() yields the message and the parser resets, keeping any
+/// excess bytes for the next request on the connection (pipelining-safe).
+class RequestParser {
+ public:
+  explicit RequestParser(HttpLimits limits = {}) : limits_(limits) {}
+
+  /// Appends bytes and advances. States are sticky: after kBadRequest or
+  /// kTooLarge the connection is poisoned and must be closed.
+  ParseStatus feed(std::string_view data);
+  /// Re-examines the buffer without new bytes (drains pipelined requests).
+  ParseStatus poll() { return feed({}); }
+
+  /// Valid after kOk; resets the parser for the next request.
+  HttpRequest take_request();
+
+  [[nodiscard]] const std::string& error_detail() const { return error_; }
+
+ private:
+  ParseStatus fail(std::string detail);
+
+  HttpLimits limits_;
+  std::string buffer_;
+  HttpRequest request_;
+  std::string error_;
+  std::size_t body_needed_ = 0;
+  enum class State { kHeaders, kBody, kDone, kError } state_ = State::kHeaders;
+};
+
+/// Decodes %XX escapes and '+' (as space) in a URL component; CheckError on
+/// truncated or non-hex escapes.
+[[nodiscard]] std::string url_decode(std::string_view text);
+
+}  // namespace cscv::net

@@ -1,0 +1,71 @@
+#include "net/router.hpp"
+
+#include <utility>
+
+#include "util/assertx.hpp"
+
+namespace cscv::net {
+
+std::vector<std::string> Router::split_path(std::string_view path) {
+  std::vector<std::string> out;
+  std::size_t i = 0;
+  while (i < path.size()) {
+    if (path[i] == '/') {
+      ++i;
+      continue;
+    }
+    const std::size_t end = path.find('/', i);
+    out.emplace_back(path.substr(i, end == std::string_view::npos ? end : end - i));
+    if (end == std::string_view::npos) break;
+    i = end + 1;
+  }
+  return out;
+}
+
+void Router::add(std::string method, std::string pattern, Handler handler) {
+  CSCV_CHECK_MSG(!pattern.empty() && pattern[0] == '/',
+                 "route pattern must start with '/': " << pattern);
+  Route r;
+  r.method = std::move(method);
+  r.segments = split_path(pattern);
+  r.handler = std::move(handler);
+  routes_.push_back(std::move(r));
+}
+
+bool Router::match(const Route& route, const std::vector<std::string>& segments,
+                   PathParams& params) {
+  if (route.segments.size() != segments.size()) return false;
+  PathParams bound;
+  for (std::size_t i = 0; i < segments.size(); ++i) {
+    const std::string& pat = route.segments[i];
+    if (!pat.empty() && pat[0] == ':') {
+      if (segments[i].empty()) return false;
+      bound[pat.substr(1)] = segments[i];
+    } else if (pat != segments[i]) {
+      return false;
+    }
+  }
+  params = std::move(bound);
+  return true;
+}
+
+HttpResponse Router::dispatch(const HttpRequest& request) const {
+  const std::vector<std::string> segments = split_path(request.path);
+  std::string allowed;  // methods that matched the path but not the verb
+  for (const Route& route : routes_) {
+    PathParams params;
+    if (!match(route, segments, params)) continue;
+    if (route.method == request.method) return route.handler(request, params);
+    if (!allowed.empty()) allowed += ", ";
+    allowed += route.method;
+  }
+  if (!allowed.empty()) {
+    HttpResponse r = HttpResponse::error(405, "method_not_allowed",
+                                         request.method + " is not supported here");
+    r.headers.emplace_back("Allow", allowed);
+    return r;
+  }
+  return HttpResponse::error(404, "not_found", "no route for " + request.path);
+}
+
+}  // namespace cscv::net

@@ -1,0 +1,49 @@
+// Method + path-pattern dispatch for the HTTP server.
+//
+// Patterns are literal segment paths with ":name" placeholders, e.g.
+// "/v1/jobs/:id" — a placeholder matches exactly one non-empty segment and
+// binds its decoded text into PathParams. Dispatch picks the first route
+// whose method and pattern both match; a path that matches some route under
+// a different method yields 405 (with an Allow header), anything else 404 —
+// both as the service's structured JSON error body.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "net/http.hpp"
+
+namespace cscv::net {
+
+using PathParams = std::map<std::string, std::string>;
+using Handler = std::function<HttpResponse(const HttpRequest&, const PathParams&)>;
+
+class Router {
+ public:
+  /// Registers `handler` for `method` (uppercase) on `pattern`.
+  void add(std::string method, std::string pattern, Handler handler);
+
+  /// Routes the request. Handler exceptions are the caller's concern (the
+  /// server maps them to structured 400/500 responses).
+  [[nodiscard]] HttpResponse dispatch(const HttpRequest& request) const;
+
+  [[nodiscard]] std::size_t size() const { return routes_.size(); }
+
+ private:
+  struct Route {
+    std::string method;
+    std::vector<std::string> segments;  // ":name" marks a placeholder
+    Handler handler;
+  };
+
+  static std::vector<std::string> split_path(std::string_view path);
+  static bool match(const Route& route, const std::vector<std::string>& segments,
+                    PathParams& params);
+
+  std::vector<Route> routes_;
+};
+
+}  // namespace cscv::net

@@ -1,0 +1,93 @@
+// HttpServer — the accept loop and connection pool behind cscv_serve.
+//
+//   acceptor thread ──► BoundedQueue<Socket> ──► N connection threads
+//                                                   │  RequestParser
+//                                                   │  Router::dispatch
+//                                                   └► serialize + send
+//
+// The connection pool reuses pipeline::BoundedQueue — the same bounded
+// MPMC admission primitive the reconstruction workers drain, applied one
+// layer up. Each connection thread owns one connection at a time and serves
+// keep-alive requests off it until the client closes, errors, idles past
+// the receive timeout, or the server stops. Handler exceptions never kill a
+// connection thread: util::CheckError maps to a structured 400 (the
+// validation-failure path of the job spec parser), anything else to a 500.
+//
+// stop() closes the listener (unblocking accept), closes the queue, and
+// shuts down every active connection socket so threads parked in recv()
+// wake immediately — shutdown latency is bounded by the in-flight handler,
+// not by timeouts.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "net/http.hpp"
+#include "net/router.hpp"
+#include "net/socket.hpp"
+#include "pipeline/queue.hpp"
+
+namespace cscv::net {
+
+struct ServerOptions {
+  std::string host = "127.0.0.1";
+  std::uint16_t port = 0;  // 0 = ephemeral; HttpServer::port() reports it
+  /// Connection-handler threads. Each can block inside a handler (a kBlock
+  /// service submit applies backpressure through HTTP), so provision more
+  /// than the expected number of concurrently blocking clients.
+  int num_threads = 4;
+  /// Queued-but-unhandled connections beyond the kernel backlog.
+  std::size_t pending_connections = 64;
+  /// Idle keep-alive connections are dropped after this long without bytes.
+  double recv_timeout_seconds = 30.0;
+  HttpLimits limits{};
+};
+
+class HttpServer {
+ public:
+  /// Binds and starts serving immediately; CheckError when the bind fails.
+  HttpServer(Router router, ServerOptions options);
+  ~HttpServer();  // stop()
+
+  HttpServer(const HttpServer&) = delete;
+  HttpServer& operator=(const HttpServer&) = delete;
+
+  /// The bound port (the ephemeral pick when options.port == 0).
+  [[nodiscard]] std::uint16_t port() const { return listener_.port(); }
+  [[nodiscard]] const std::string& host() const { return options_.host; }
+
+  /// Idempotent; joins every thread before returning.
+  void stop();
+
+  /// Requests served so far (all connections, all statuses).
+  [[nodiscard]] std::uint64_t requests_served() const {
+    return requests_served_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  void accept_main();
+  void connection_main();
+  void serve_connection(Socket conn);
+
+  Router router_;
+  ServerOptions options_;
+  ListenSocket listener_;
+  pipeline::BoundedQueue<Socket> pending_;
+  std::atomic<bool> stopping_{false};
+  std::atomic<std::uint64_t> requests_served_{0};
+
+  std::mutex active_mu_;  // guards active_ (fds of live connections)
+  std::unordered_map<std::thread::id, int> active_;
+
+  std::thread acceptor_;
+  std::vector<std::thread> threads_;
+  std::mutex stop_mu_;
+  bool stopped_ = false;
+};
+
+}  // namespace cscv::net

@@ -1,0 +1,329 @@
+#include "net/service_api.hpp"
+
+#include <algorithm>
+#include <charconv>
+#include <chrono>
+#include <cmath>
+#include <optional>
+#include <utility>
+
+#include "util/assertx.hpp"
+#include "util/base64.hpp"
+
+namespace cscv::net {
+
+namespace {
+
+constexpr const char* kDefaultTenant = "default";
+
+/// Parses a decimal job id; nullopt on junk (caller answers 404 — an id
+/// that never existed and one that can't exist read the same to a client).
+std::optional<std::uint64_t> parse_id(const std::string& text) {
+  std::uint64_t id = 0;
+  const auto [ptr, ec] = std::from_chars(text.data(), text.data() + text.size(), id);
+  if (ec != std::errc{} || ptr != text.data() + text.size()) return std::nullopt;
+  return id;
+}
+
+}  // namespace
+
+ServiceFrontEnd::ServiceFrontEnd(FrontEndOptions options)
+    : options_(std::move(options)), service_(options_.service) {}
+
+ServiceFrontEnd::~ServiceFrontEnd() { service_.shutdown(); }
+
+Router ServiceFrontEnd::make_router() {
+  Router router;
+  router.add("POST", "/v1/jobs", [this](const HttpRequest& rq, const PathParams& pp) {
+    return handle_submit(rq, pp);
+  });
+  router.add("GET", "/v1/jobs/:id", [this](const HttpRequest& rq, const PathParams& pp) {
+    return handle_job_status(rq, pp);
+  });
+  router.add("GET", "/v1/jobs/:id/volume",
+             [this](const HttpRequest& rq, const PathParams& pp) {
+               return handle_job_volume(rq, pp);
+             });
+  router.add("DELETE", "/v1/jobs/:id",
+             [this](const HttpRequest& rq, const PathParams& pp) {
+               return handle_cancel(rq, pp);
+             });
+  router.add("GET", "/stats", [this](const HttpRequest& rq, const PathParams& pp) {
+    return handle_stats(rq, pp);
+  });
+  router.add("GET", "/healthz", [this](const HttpRequest& rq, const PathParams& pp) {
+    return handle_healthz(rq, pp);
+  });
+  return router;
+}
+
+bool ServiceFrontEnd::try_take_token(const std::string& tenant,
+                                     double& retry_after_seconds) {
+  retry_after_seconds = 0.0;
+  const auto now = std::chrono::steady_clock::now();
+  TenantState& state = tenants_[tenant];
+  if (options_.quota.tokens <= 0.0) {  // quotas disabled: track acceptance only
+    ++state.accepted;
+    return true;
+  }
+  if (state.last_refill.time_since_epoch().count() == 0) {
+    state.tokens = options_.quota.tokens;  // new tenant starts full
+  } else if (options_.quota.refill_per_second > 0.0) {
+    const double dt = std::chrono::duration<double>(now - state.last_refill).count();
+    state.tokens = std::min(options_.quota.tokens,
+                            state.tokens + dt * options_.quota.refill_per_second);
+  }
+  state.last_refill = now;
+  if (state.tokens >= 1.0) {
+    state.tokens -= 1.0;
+    ++state.accepted;
+    return true;
+  }
+  ++state.quota_rejected;
+  retry_after_seconds =
+      options_.quota.refill_per_second > 0.0
+          ? (1.0 - state.tokens) / options_.quota.refill_per_second
+          : 0.0;
+  return false;
+}
+
+HttpResponse ServiceFrontEnd::handle_submit(const HttpRequest& request,
+                                            const PathParams& /*params*/) {
+  util::Json spec;
+  pipeline::ReconJob job;
+  try {
+    spec = util::Json::parse(request.body);
+    // Payload bound before the full decode: reject on the encoded size so
+    // an oversized sinogram never materializes in memory. Base64 inflates
+    // 3 bytes to 4 characters.
+    if (const util::Json* b64 = spec.find("sinogram_b64");
+        b64 != nullptr && b64->is_string() &&
+        b64->as_string().size() / 4 * 3 > options_.max_sinogram_bytes) {
+      std::lock_guard<std::mutex> lock(mu_);
+      ++payload_rejections_;
+      return HttpResponse::error(413, "payload_too_large",
+                                 "sinogram exceeds max_sinogram_bytes = " +
+                                     std::to_string(options_.max_sinogram_bytes));
+    }
+    job = pipeline::ReconJob::from_json(spec);
+  } catch (const util::CheckError& e) {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++bad_requests_;
+    return HttpResponse::error(400, "bad_request", e.what());
+  }
+  if (job.sinogram.size() * sizeof(float) > options_.max_sinogram_bytes) {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++payload_rejections_;
+    return HttpResponse::error(413, "payload_too_large",
+                               "sinogram exceeds max_sinogram_bytes = " +
+                                   std::to_string(options_.max_sinogram_bytes));
+  }
+  if (job.tenant.empty()) job.tenant = kDefaultTenant;
+
+  const std::string tenant = job.tenant;
+  const pipeline::QosClass qos = job.qos;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    double retry_after = 0.0;
+    if (!try_take_token(tenant, retry_after)) {
+      ++quota_rejections_;
+      HttpResponse r = HttpResponse::error(
+          429, "quota_exhausted",
+          "tenant \"" + tenant + "\" is out of quota tokens");
+      r.headers.emplace_back(
+          "Retry-After", std::to_string(static_cast<long>(std::ceil(retry_after))));
+      return r;
+    }
+  }
+
+  // A kBlock batch submit may park here on a full queue — intentional
+  // backpressure through the HTTP connection (and one reason the server
+  // runs several connection threads).
+  pipeline::ReconService::Submitted submitted = service_.submit(std::move(job));
+
+  // A refused admission (interactive/kReject on a full queue, or shutdown)
+  // resolves the future immediately; surface it as 503 instead of an id
+  // the client would poll forever.
+  if (submitted.result.wait_for(std::chrono::seconds(0)) ==
+      std::future_status::ready) {
+    pipeline::ReconResult result = submitted.result.get();
+    if (result.status != pipeline::JobStatus::kOk) {
+      HttpResponse r = HttpResponse::error(
+          503, "queue_full",
+          std::string("job refused at admission: ") +
+              pipeline::job_status_name(result.status));
+      r.headers.emplace_back("Retry-After", "1");
+      return r;
+    }
+    // A completed-already job (never happens today, but harmless): fall
+    // through and register the ready future's result below.
+    JobRecord record;
+    record.done = true;
+    record.result = std::move(result);
+    record.tenant = tenant;
+    record.qos = qos;
+    std::lock_guard<std::mutex> lock(mu_);
+    jobs_.emplace(submitted.id, std::move(record));
+    completed_order_.push_back(submitted.id);
+  } else {
+    JobRecord record;
+    record.future = std::move(submitted.result);
+    record.tenant = tenant;
+    record.qos = qos;
+    std::lock_guard<std::mutex> lock(mu_);
+    jobs_.emplace(submitted.id, std::move(record));
+  }
+
+  util::Json j = util::Json::object();
+  j["id"] = util::Json(submitted.id);
+  j["status_url"] = util::Json("/v1/jobs/" + std::to_string(submitted.id));
+  j["qos"] = util::Json(pipeline::qos_class_name(qos));
+  j["tenant"] = util::Json(tenant);
+  return HttpResponse::json(202, j);
+}
+
+ServiceFrontEnd::JobRecord* ServiceFrontEnd::find_and_poll_locked(std::uint64_t id) {
+  const auto it = jobs_.find(id);
+  if (it == jobs_.end()) return nullptr;
+  JobRecord& record = it->second;
+  if (!record.done &&
+      record.future.wait_for(std::chrono::seconds(0)) == std::future_status::ready) {
+    record.result = record.future.get();
+    record.done = true;
+    completed_order_.push_back(id);
+    while (completed_order_.size() > options_.max_completed_results) {
+      const std::uint64_t victim = completed_order_.front();
+      completed_order_.pop_front();
+      if (victim != id) {
+        jobs_.erase(victim);
+        ++evicted_results_;
+      } else {
+        completed_order_.push_back(victim);  // never evict the record in hand
+        break;
+      }
+    }
+  }
+  return &it->second;
+}
+
+HttpResponse ServiceFrontEnd::handle_job_status(const HttpRequest& /*request*/,
+                                                const PathParams& params) {
+  const auto id = parse_id(params.at("id"));
+  if (!id.has_value()) {
+    return HttpResponse::error(404, "not_found", "no such job id");
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  JobRecord* record = find_and_poll_locked(*id);
+  if (record == nullptr) {
+    return HttpResponse::error(404, "not_found",
+                               "unknown job id " + std::to_string(*id) +
+                                   " (completed results are evicted after " +
+                                   std::to_string(options_.max_completed_results) +
+                                   " newer completions)");
+  }
+  util::Json j = util::Json::object();
+  j["id"] = util::Json(*id);
+  j["tenant"] = util::Json(record->tenant);
+  j["qos"] = util::Json(pipeline::qos_class_name(record->qos));
+  if (!record->done) {
+    j["state"] = util::Json("pending");
+  } else {
+    j["state"] = util::Json("done");
+    j["result"] = record->result.to_json();
+    if (record->result.status == pipeline::JobStatus::kOk) {
+      j["volume_url"] = util::Json("/v1/jobs/" + std::to_string(*id) + "/volume");
+    }
+  }
+  return HttpResponse::json(200, j);
+}
+
+HttpResponse ServiceFrontEnd::handle_job_volume(const HttpRequest& /*request*/,
+                                                const PathParams& params) {
+  const auto id = parse_id(params.at("id"));
+  if (!id.has_value()) {
+    return HttpResponse::error(404, "not_found", "no such job id");
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  JobRecord* record = find_and_poll_locked(*id);
+  if (record == nullptr) {
+    return HttpResponse::error(404, "not_found", "unknown job id " + std::to_string(*id));
+  }
+  if (!record->done) {
+    return HttpResponse::error(409, "job_pending", "job is still running; poll " +
+                                                       std::string("/v1/jobs/") +
+                                                       std::to_string(*id));
+  }
+  if (record->result.status != pipeline::JobStatus::kOk) {
+    return HttpResponse::error(
+        409, "job_not_ok",
+        std::string("job finished as ") +
+            pipeline::job_status_name(record->result.status) +
+            (record->result.error.empty() ? "" : ": " + record->result.error));
+  }
+  const auto& volume = record->result.volume;
+  HttpResponse r = HttpResponse::octets(
+      std::string(reinterpret_cast<const char*>(volume.data()),
+                  volume.size() * sizeof(float)));
+  r.headers.emplace_back("X-Cscv-Volume-Elements", std::to_string(volume.size()));
+  return r;
+}
+
+HttpResponse ServiceFrontEnd::handle_cancel(const HttpRequest& /*request*/,
+                                            const PathParams& params) {
+  const auto id = parse_id(params.at("id"));
+  if (!id.has_value()) {
+    return HttpResponse::error(404, "not_found", "no such job id");
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (jobs_.find(*id) == jobs_.end()) {
+      return HttpResponse::error(404, "not_found",
+                                 "unknown job id " + std::to_string(*id));
+    }
+  }
+  const bool cancelled = service_.cancel(*id);
+  util::Json j = util::Json::object();
+  j["id"] = util::Json(*id);
+  j["cancelled"] = util::Json(cancelled);
+  return HttpResponse::json(200, j);
+}
+
+util::Json ServiceFrontEnd::stats_json() const {
+  const pipeline::ServiceStats service_stats = service_.stats();
+  util::Json j = util::Json::object();
+  j["jobs_ok"] = util::Json(service_stats.completed);
+  j["service"] = service_stats.to_json();
+  j["cache"] = service_.cache_stats().to_json();
+  std::lock_guard<std::mutex> lock(mu_);
+  util::Json tenants = util::Json::object();
+  for (const auto& [name, state] : tenants_) {
+    util::Json t = util::Json::object();
+    t["accepted"] = util::Json(state.accepted);
+    t["quota_rejected"] = util::Json(state.quota_rejected);
+    t["tokens"] = util::Json(state.tokens);
+    tenants[name] = std::move(t);
+  }
+  j["tenants"] = std::move(tenants);
+  util::Json fe = util::Json::object();
+  fe["tracked_jobs"] = util::Json(jobs_.size());
+  fe["evicted_results"] = util::Json(evicted_results_);
+  fe["quota_rejections"] = util::Json(quota_rejections_);
+  fe["payload_rejections"] = util::Json(payload_rejections_);
+  fe["bad_requests"] = util::Json(bad_requests_);
+  j["frontend"] = std::move(fe);
+  return j;
+}
+
+HttpResponse ServiceFrontEnd::handle_stats(const HttpRequest& /*request*/,
+                                           const PathParams& /*params*/) {
+  return HttpResponse::json(200, stats_json());
+}
+
+HttpResponse ServiceFrontEnd::handle_healthz(const HttpRequest& /*request*/,
+                                             const PathParams& /*params*/) {
+  util::Json j = util::Json::object();
+  j["status"] = util::Json("ok");
+  return HttpResponse::json(200, j);
+}
+
+}  // namespace cscv::net

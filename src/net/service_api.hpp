@@ -1,0 +1,120 @@
+// ServiceFrontEnd — the REST API over pipeline::ReconService.
+//
+// Endpoints (docs/SERVICE.md):
+//   POST   /v1/jobs            submit a job spec (ReconJob wire format)
+//   GET    /v1/jobs/:id        poll status; result summary once done
+//   GET    /v1/jobs/:id/volume the reconstructed volume, raw float32 LE
+//   DELETE /v1/jobs/:id        cancel-by-id (client disconnect/abort path)
+//   GET    /stats              ServiceStats + CacheStats + tenants + server
+//   GET    /healthz            liveness
+//
+// QoS mapping: the job spec's "qos" class selects admission (interactive →
+// kReject semantics + implicit deadline; batch → service policy, typically
+// kBlock backpressure through the HTTP connection). Per-tenant token-bucket
+// quotas run in front of admission: an over-quota spec is refused with a
+// structured 429 (+ Retry-After) before it can touch the queue, so one
+// noisy tenant cannot starve the rest or perturb in-flight jobs.
+//
+// Results are held in a bounded registry until fetched: completed records
+// past `max_completed_results` are evicted oldest-first (a later GET sees
+// 410 Gone). The volume is byte-stable: the float32 array a direct
+// ReconService run produces, unmodified — the e2e CI gate asserts bitwise
+// identity over the HTTP path.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <map>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "net/router.hpp"
+#include "pipeline/service.hpp"
+#include "util/json.hpp"
+
+namespace cscv::net {
+
+struct QuotaOptions {
+  /// Token-bucket capacity per tenant; 0 disables quotas entirely.
+  double tokens = 0.0;
+  /// Tokens regained per second (each accepted job costs one token).
+  double refill_per_second = 0.0;
+};
+
+struct FrontEndOptions {
+  pipeline::ServiceOptions service{};
+  QuotaOptions quota{};
+  /// Specs whose decoded sinogram exceeds this are refused with 413.
+  std::size_t max_sinogram_bytes = std::size_t{64} << 20;
+  /// Completed results retained for polling; oldest evicted beyond this.
+  std::size_t max_completed_results = 256;
+};
+
+class ServiceFrontEnd {
+ public:
+  explicit ServiceFrontEnd(FrontEndOptions options);
+  ~ServiceFrontEnd();
+
+  ServiceFrontEnd(const ServiceFrontEnd&) = delete;
+  ServiceFrontEnd& operator=(const ServiceFrontEnd&) = delete;
+
+  /// The route table for HttpServer (handlers capture `this`; the front end
+  /// must outlive the server).
+  [[nodiscard]] Router make_router();
+
+  /// The /stats payload: {"jobs_ok", "service", "cache", "tenants",
+  /// "frontend"} — jobs_ok mirrors ServiceStats::completed at top level so
+  /// shell-grade CI checks need no nested lookup.
+  [[nodiscard]] util::Json stats_json() const;
+
+  [[nodiscard]] pipeline::ReconService& service() { return service_; }
+  [[nodiscard]] const FrontEndOptions& options() const { return options_; }
+
+  // ---- handlers (public for direct-call tests; normally via the router) --
+  HttpResponse handle_submit(const HttpRequest& request, const PathParams& params);
+  HttpResponse handle_job_status(const HttpRequest& request, const PathParams& params);
+  HttpResponse handle_job_volume(const HttpRequest& request, const PathParams& params);
+  HttpResponse handle_cancel(const HttpRequest& request, const PathParams& params);
+  HttpResponse handle_stats(const HttpRequest& request, const PathParams& params);
+  HttpResponse handle_healthz(const HttpRequest& request, const PathParams& params);
+
+ private:
+  struct JobRecord {
+    std::future<pipeline::ReconResult> future;
+    bool done = false;
+    pipeline::ReconResult result;  // valid once done
+    std::string tenant;
+    pipeline::QosClass qos = pipeline::QosClass::kBatch;
+  };
+
+  struct TenantState {
+    double tokens = 0.0;
+    std::chrono::steady_clock::time_point last_refill{};
+    std::uint64_t accepted = 0;
+    std::uint64_t quota_rejected = 0;
+  };
+
+  /// Takes one token for `tenant`; on failure returns false and reports the
+  /// seconds until a token is available (the Retry-After hint).
+  bool try_take_token(const std::string& tenant, double& retry_after_seconds);
+
+  /// Looks up `id`, resolving the future into `result` if it finished.
+  /// nullptr when unknown/evicted (the caller turns that into 404/410).
+  JobRecord* find_and_poll_locked(std::uint64_t id);
+
+  FrontEndOptions options_;
+  pipeline::ReconService service_;
+
+  mutable std::mutex mu_;  // guards jobs_, completed_order_, tenants_, counters
+  std::unordered_map<std::uint64_t, JobRecord> jobs_;
+  std::deque<std::uint64_t> completed_order_;  // eviction order (oldest first)
+  std::map<std::string, TenantState> tenants_;
+  std::uint64_t evicted_results_ = 0;
+  std::uint64_t quota_rejections_ = 0;
+  std::uint64_t payload_rejections_ = 0;
+  std::uint64_t bad_requests_ = 0;
+};
+
+}  // namespace cscv::net

@@ -1,6 +1,67 @@
 #include "pipeline/job.hpp"
 
+#include <cstring>
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+#include "util/base64.hpp"
+
 namespace cscv::pipeline {
+
+namespace {
+
+/// Strict-key guard: a spec with a key outside `allowed` is rejected, so a
+/// typo ("iteratons") fails loudly instead of silently running defaults.
+void check_keys(const util::Json& obj, std::initializer_list<const char*> allowed,
+                const char* where) {
+  for (const auto& [key, value] : obj.items()) {
+    (void)value;
+    bool known = false;
+    for (const char* name : allowed) {
+      if (key == name) {
+        known = true;
+        break;
+      }
+    }
+    CSCV_CHECK_MSG(known, "job spec: unknown key \"" << key << "\" in " << where);
+  }
+}
+
+int get_int_field(const util::Json& obj, const char* key, int def) {
+  const util::Json* v = obj.find(key);
+  return v == nullptr ? def : static_cast<int>(v->as_int());
+}
+
+double get_double_field(const util::Json& obj, const char* key, double def) {
+  const util::Json* v = obj.find(key);
+  return v == nullptr ? def : v->as_double();
+}
+
+bool get_bool_field(const util::Json& obj, const char* key, bool def) {
+  const util::Json* v = obj.find(key);
+  return v == nullptr ? def : v->as_bool();
+}
+
+std::string get_string_field(const util::Json& obj, const char* key,
+                             const std::string& def) {
+  const util::Json* v = obj.find(key);
+  return v == nullptr ? def : v->as_string();
+}
+
+}  // namespace
+
+const char* qos_class_name(QosClass q) {
+  return q == QosClass::kInteractive ? "interactive" : "batch";
+}
+
+QosClass qos_class_from_name(std::string_view name) {
+  if (name == "batch") return QosClass::kBatch;
+  if (name == "interactive") return QosClass::kInteractive;
+  CSCV_CHECK_MSG(false, "unknown QoS class \"" << std::string(name)
+                                               << "\" (want interactive|batch)");
+  return QosClass::kBatch;  // unreachable
+}
 
 const char* job_status_name(JobStatus s) {
   switch (s) {
@@ -11,6 +72,127 @@ const char* job_status_name(JobStatus s) {
     case JobStatus::kFailed: return "failed";
   }
   return "?";
+}
+
+util::Json ReconJob::to_json() const {
+  util::Json j = util::Json::object();
+  util::Json g = util::Json::object();
+  g["image_size"] = util::Json(geometry.image_size);
+  g["num_bins"] = util::Json(geometry.num_bins);
+  g["num_views"] = util::Json(geometry.num_views);
+  g["start_angle_deg"] = util::Json(geometry.start_angle_deg);
+  g["delta_angle_deg"] = util::Json(geometry.delta_angle_deg);
+  j["geometry"] = std::move(g);
+  util::Json c = util::Json::object();
+  c["s_vvec"] = util::Json(cscv.s_vvec);
+  c["s_imgb"] = util::Json(cscv.s_imgb);
+  c["s_vxg"] = util::Json(cscv.s_vxg);
+  c["reference"] = util::Json(core::reference_name(cscv.reference));
+  c["order"] = util::Json(core::vxg_order_name(cscv.order));
+  j["cscv"] = std::move(c);
+  j["variant"] = util::Json(variant_name(variant));
+  j["algorithm"] = util::Json(algorithm_name(algorithm));
+  util::Json s = util::Json::object();
+  s["iterations"] = util::Json(solve.iterations);
+  s["relaxation"] = util::Json(solve.relaxation);
+  s["nonneg_floor"] = util::Json(solve.nonneg_floor);
+  s["enforce_nonneg"] = util::Json(solve.enforce_nonneg);
+  j["solve"] = std::move(s);
+  if (algorithm == Algorithm::kOsSart) j["os_sart_subsets"] = util::Json(os_sart_subsets);
+  if (deadline_seconds > 0.0) j["deadline_seconds"] = util::Json(deadline_seconds);
+  if (!tag.empty()) j["tag"] = util::Json(tag);
+  if (!tenant.empty()) j["tenant"] = util::Json(tenant);
+  j["qos"] = util::Json(qos_class_name(qos));
+  j["sinogram_b64"] =
+      util::Json(util::base64_encode(sinogram.data(), sinogram.size() * sizeof(float)));
+  return j;
+}
+
+ReconJob ReconJob::from_json(const util::Json& spec) {
+  CSCV_CHECK_MSG(spec.is_object(), "job spec must be a JSON object");
+  check_keys(spec,
+             {"geometry", "cscv", "variant", "algorithm", "solve", "os_sart_subsets",
+              "deadline_seconds", "tag", "tenant", "qos", "sinogram_b64", "sinogram"},
+             "job spec");
+  ReconJob job;
+
+  const util::Json* g = spec.find("geometry");
+  CSCV_CHECK_MSG(g != nullptr && g->is_object(),
+                 "job spec: \"geometry\" object is required");
+  check_keys(*g, {"image_size", "num_bins", "num_views", "start_angle_deg",
+                  "delta_angle_deg"},
+             "geometry");
+  job.geometry.image_size = get_int_field(*g, "image_size", 0);
+  job.geometry.num_bins = get_int_field(*g, "num_bins",
+                                        ct::standard_num_bins(job.geometry.image_size));
+  job.geometry.num_views = get_int_field(*g, "num_views", 0);
+  job.geometry.start_angle_deg = get_double_field(*g, "start_angle_deg", 0.0);
+  job.geometry.delta_angle_deg = get_double_field(
+      *g, "delta_angle_deg",
+      job.geometry.num_views > 0 ? 180.0 / job.geometry.num_views : 0.0);
+  job.geometry.validate();  // CheckError on bad geometry -> 400
+
+  if (const util::Json* c = spec.find("cscv")) {
+    CSCV_CHECK_MSG(c->is_object(), "job spec: \"cscv\" must be an object");
+    check_keys(*c, {"s_vvec", "s_imgb", "s_vxg", "reference", "order"}, "cscv");
+    job.cscv.s_vvec = get_int_field(*c, "s_vvec", job.cscv.s_vvec);
+    job.cscv.s_imgb = get_int_field(*c, "s_imgb", job.cscv.s_imgb);
+    job.cscv.s_vxg = get_int_field(*c, "s_vxg", job.cscv.s_vxg);
+    job.cscv.reference = core::reference_from_name(
+        get_string_field(*c, "reference", core::reference_name(job.cscv.reference)));
+    job.cscv.order = core::vxg_order_from_name(
+        get_string_field(*c, "order", core::vxg_order_name(job.cscv.order)));
+    job.cscv.validate();
+  }
+
+  job.variant = variant_from_name(get_string_field(spec, "variant", "m"));
+  job.algorithm = algorithm_from_name(get_string_field(spec, "algorithm", "sirt"));
+
+  if (const util::Json* s = spec.find("solve")) {
+    CSCV_CHECK_MSG(s->is_object(), "job spec: \"solve\" must be an object");
+    check_keys(*s, {"iterations", "relaxation", "nonneg_floor", "enforce_nonneg"},
+               "solve");
+    job.solve.iterations = get_int_field(*s, "iterations", job.solve.iterations);
+    job.solve.relaxation = get_double_field(*s, "relaxation", job.solve.relaxation);
+    job.solve.nonneg_floor = get_double_field(*s, "nonneg_floor", job.solve.nonneg_floor);
+    job.solve.enforce_nonneg =
+        get_bool_field(*s, "enforce_nonneg", job.solve.enforce_nonneg);
+    CSCV_CHECK_MSG(job.solve.iterations >= 1, "job spec: iterations must be >= 1");
+  }
+
+  job.os_sart_subsets = get_int_field(spec, "os_sart_subsets", job.os_sart_subsets);
+  CSCV_CHECK_MSG(job.os_sart_subsets >= 1, "job spec: os_sart_subsets must be >= 1");
+  job.deadline_seconds = get_double_field(spec, "deadline_seconds", 0.0);
+  CSCV_CHECK_MSG(job.deadline_seconds >= 0.0,
+                 "job spec: deadline_seconds must be >= 0");
+  job.tag = get_string_field(spec, "tag", "");
+  job.tenant = get_string_field(spec, "tenant", "");
+  job.qos = qos_class_from_name(get_string_field(spec, "qos", "batch"));
+
+  const util::Json* b64 = spec.find("sinogram_b64");
+  const util::Json* arr = spec.find("sinogram");
+  CSCV_CHECK_MSG((b64 != nullptr) != (arr != nullptr),
+                 "job spec: exactly one of \"sinogram_b64\" / \"sinogram\" is required");
+  const auto rows = static_cast<std::size_t>(job.geometry.num_rows());
+  if (b64 != nullptr) {
+    const std::vector<unsigned char> bytes = util::base64_decode(b64->as_string());
+    CSCV_CHECK_MSG(bytes.size() == rows * sizeof(float),
+                   "job spec: sinogram_b64 decodes to "
+                       << bytes.size() << " bytes, geometry wants "
+                       << rows * sizeof(float) << " (" << rows << " float32)");
+    job.sinogram.resize(rows);
+    if (!bytes.empty()) std::memcpy(job.sinogram.data(), bytes.data(), bytes.size());
+  } else {
+    CSCV_CHECK_MSG(arr->is_array(), "job spec: \"sinogram\" must be an array");
+    CSCV_CHECK_MSG(arr->size() == rows, "job spec: sinogram has "
+                                            << arr->size() << " elements, geometry wants "
+                                            << rows);
+    job.sinogram.resize(rows);
+    for (std::size_t i = 0; i < rows; ++i) {
+      job.sinogram[i] = static_cast<float>(arr->at(i).as_double());
+    }
+  }
+  return job;
 }
 
 util::Json ReconResult::to_json() const {

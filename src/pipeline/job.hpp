@@ -21,6 +21,18 @@
 
 namespace cscv::pipeline {
 
+/// Service class of a job (docs/SERVICE.md). The class selects admission
+/// and deadline behavior, not priority: interactive jobs are admitted with
+/// kReject semantics (a full queue answers immediately instead of applying
+/// backpressure) and inherit ServiceOptions::interactive_deadline_seconds
+/// when they carry no deadline of their own; batch jobs follow the
+/// service-wide admission policy and never gain an implicit deadline.
+enum class QosClass { kBatch, kInteractive };
+
+[[nodiscard]] const char* qos_class_name(QosClass q);
+/// Inverse of qos_class_name; CheckError on unknown names.
+[[nodiscard]] QosClass qos_class_from_name(std::string_view name);
+
 struct ReconJob {
   ct::ParallelGeometry geometry;
   core::CscvParams cscv{};
@@ -41,12 +53,31 @@ struct ReconJob {
   /// Free-form label echoed into the result (dataset name, client id, ...).
   std::string tag;
 
+  /// Originating tenant (quota accounting in the network front end; empty
+  /// means the default tenant). Deliberately NOT part of matrix_key():
+  /// tenants sharing a scanner geometry share the cached system matrix.
+  std::string tenant;
+  QosClass qos = QosClass::kBatch;
+
   /// Bin-major sinogram, geometry.num_rows() elements.
   util::AlignedVector<float> sinogram;
 
   [[nodiscard]] MatrixKey matrix_key() const {
     return MatrixKey{geometry, cscv, variant, algorithm};
   }
+
+  /// The service wire format (docs/SERVICE.md): every field of the job as
+  /// one JSON object, the sinogram as base64 of its little-endian float32
+  /// bytes — the encoding that survives the HTTP round trip bit-for-bit.
+  [[nodiscard]] util::Json to_json() const;
+
+  /// Parses the wire format. Required fields: "geometry" and a sinogram
+  /// ("sinogram_b64", or "sinogram" as a JSON number array for hand-written
+  /// requests); everything else defaults like a default-constructed job.
+  /// Throws CheckError naming the offending field on malformed or
+  /// inconsistent specs (unknown algorithm, bad geometry, sinogram length
+  /// mismatch, unknown keys) — the 4xx path of the HTTP front end.
+  static ReconJob from_json(const util::Json& spec);
 };
 
 enum class JobStatus {

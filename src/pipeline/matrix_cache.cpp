@@ -33,6 +33,17 @@ Algorithm algorithm_from_name(std::string_view name) {
   return Algorithm::kSirt;  // unreachable
 }
 
+const char* variant_name(core::CscvMatrix<float>::Variant v) {
+  return v == core::CscvMatrix<float>::Variant::kZ ? "z" : "m";
+}
+
+core::CscvMatrix<float>::Variant variant_from_name(std::string_view name) {
+  if (name == "m") return core::CscvMatrix<float>::Variant::kM;
+  if (name == "z") return core::CscvMatrix<float>::Variant::kZ;
+  CSCV_CHECK_MSG(false, "unknown CSCV variant \"" << std::string(name) << "\" (want m|z)");
+  return core::CscvMatrix<float>::Variant::kM;  // unreachable
+}
+
 std::string MatrixKey::fingerprint() const {
   std::ostringstream os;
   // max_digits10 round-trips the angle doubles exactly, so two keys collide
@@ -68,6 +79,21 @@ util::Json CacheStats::to_json() const {
   j["resident_bytes"] = util::Json(resident_bytes);
   j["resident_entries"] = util::Json(resident_entries);
   return j;
+}
+
+CacheStats CacheStats::from_json(const util::Json& j) {
+  CacheStats s;
+  s.hits = static_cast<std::uint64_t>(j.at("hits").as_int());
+  s.misses = static_cast<std::uint64_t>(j.at("misses").as_int());
+  s.single_flight_waits =
+      static_cast<std::uint64_t>(j.at("single_flight_waits").as_int());
+  s.builds = static_cast<std::uint64_t>(j.at("builds").as_int());
+  s.restores = static_cast<std::uint64_t>(j.at("restores").as_int());
+  s.evictions = static_cast<std::uint64_t>(j.at("evictions").as_int());
+  s.spills = static_cast<std::uint64_t>(j.at("spills").as_int());
+  s.resident_bytes = static_cast<std::size_t>(j.at("resident_bytes").as_int());
+  s.resident_entries = static_cast<std::size_t>(j.at("resident_entries").as_int());
+  return s;
 }
 
 SystemMatrixCache::SystemMatrixCache(Options options) : options_(std::move(options)) {

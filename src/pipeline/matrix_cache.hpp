@@ -54,6 +54,11 @@ enum class Algorithm { kFbp, kSirt, kCgls, kOsSart };
 /// Inverse of algorithm_name; throws util::CheckError on unknown names.
 [[nodiscard]] Algorithm algorithm_from_name(std::string_view name);
 
+/// Wire names of the CSCV variant ("m" / "z", matching cscv_cli flags).
+[[nodiscard]] const char* variant_name(core::CscvMatrix<float>::Variant v);
+/// Inverse of variant_name; throws util::CheckError on unknown names.
+[[nodiscard]] core::CscvMatrix<float>::Variant variant_from_name(std::string_view name);
+
 /// Cache identity: two keys compare equal exactly when the built operator
 /// sets would be byte-identical.
 struct MatrixKey {
@@ -106,6 +111,9 @@ struct CacheStats {
     return total == 0 ? 0.0 : static_cast<double>(hits) / static_cast<double>(total);
   }
   [[nodiscard]] util::Json to_json() const;
+  /// Inverse of to_json (ignores the derived "hit_rate" field); CheckError
+  /// on missing counters. Used by clients consuming /stats.
+  static CacheStats from_json(const util::Json& j);
 };
 
 class SystemMatrixCache {

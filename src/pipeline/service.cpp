@@ -26,7 +26,25 @@ util::Json ServiceStats::to_json() const {
   j["batches"] = util::Json(batches);
   j["batched_jobs"] = util::Json(batched_jobs);
   j["debatched"] = util::Json(debatched);
+  j["qos_interactive"] = util::Json(qos_interactive);
+  j["qos_batch"] = util::Json(qos_batch);
   return j;
+}
+
+ServiceStats ServiceStats::from_json(const util::Json& j) {
+  ServiceStats s;
+  s.submitted = static_cast<std::uint64_t>(j.at("submitted").as_int());
+  s.completed = static_cast<std::uint64_t>(j.at("completed").as_int());
+  s.rejected = static_cast<std::uint64_t>(j.at("rejected").as_int());
+  s.expired = static_cast<std::uint64_t>(j.at("expired").as_int());
+  s.cancelled = static_cast<std::uint64_t>(j.at("cancelled").as_int());
+  s.failed = static_cast<std::uint64_t>(j.at("failed").as_int());
+  s.batches = static_cast<std::uint64_t>(j.at("batches").as_int());
+  s.batched_jobs = static_cast<std::uint64_t>(j.at("batched_jobs").as_int());
+  s.debatched = static_cast<std::uint64_t>(j.at("debatched").as_int());
+  s.qos_interactive = static_cast<std::uint64_t>(j.at("qos_interactive").as_int());
+  s.qos_batch = static_cast<std::uint64_t>(j.at("qos_batch").as_int());
+  return s;
 }
 
 ReconResult execute_job(const ReconJob& job, const SystemMatrixEntry& entry,
@@ -205,19 +223,30 @@ void ReconService::count_status(JobStatus status) {
 ReconService::Submitted ReconService::submit(ReconJob job) {
   Pending p;
   p.job = std::move(job);
+  // QoS: an interactive job without its own deadline inherits the
+  // service-wide interactive budget (0 = none configured).
+  if (p.job.qos == QosClass::kInteractive && p.job.deadline_seconds <= 0.0 &&
+      options_.interactive_deadline_seconds > 0.0) {
+    p.job.deadline_seconds = options_.interactive_deadline_seconds;
+  }
   p.id = next_id_.fetch_add(1, std::memory_order_relaxed);
   p.submit_time = std::chrono::steady_clock::now();
   Submitted handle{p.id, p.promise.get_future()};
   {
     std::lock_guard<std::mutex> lock(mu_);
     ++stats_.submitted;
+    ++(p.job.qos == QosClass::kInteractive ? stats_.qos_interactive
+                                           : stats_.qos_batch);
     // Registered before the push so cancel() can never observe a job that
     // is in the queue but unknown to it.
     queued_ids_.insert(p.id);
   }
-  const PushResult admitted = options_.admission == AdmissionPolicy::kReject
-                                  ? queue_.try_push(p)
-                                  : queue_.push(p);
+  // Interactive jobs are admitted with kReject semantics no matter the
+  // service-wide policy: a full queue answers immediately (bounded client
+  // latency) instead of applying backpressure to the submitter.
+  const bool reject_on_full = options_.admission == AdmissionPolicy::kReject ||
+                              p.job.qos == QosClass::kInteractive;
+  const PushResult admitted = reject_on_full ? queue_.try_push(p) : queue_.push(p);
   if (admitted != PushResult::kOk) {
     bool was_cancelled = false;
     {

@@ -83,6 +83,10 @@ struct ServiceOptions {
   /// the worker stops waiting and only drains jobs already queued — an
   /// interactive job never idles for batch fill.
   double batch_window_seconds = 0.05;
+  /// Deadline granted to interactive-class jobs that carry none of their
+  /// own (QosClass::kInteractive, docs/SERVICE.md). 0 grants nothing.
+  /// Batch jobs are never given an implicit deadline.
+  double interactive_deadline_seconds = 0.0;
   SystemMatrixCache::Options cache{};
 };
 
@@ -97,8 +101,13 @@ struct ServiceStats {
   std::uint64_t batched_jobs = 0;  // jobs that ran inside such executions
   std::uint64_t debatched = 0;     // batch windows skipped because a
                                    // gathered job carried a deadline
+  std::uint64_t qos_interactive = 0;  // submits per QoS class
+  std::uint64_t qos_batch = 0;
 
   [[nodiscard]] util::Json to_json() const;
+  /// Inverse of to_json; CheckError on missing counters. Used by clients
+  /// consuming /stats.
+  static ServiceStats from_json(const util::Json& j);
 };
 
 /// Runs one job against an acquired operator entry, synchronously on the

@@ -1,0 +1,107 @@
+#include "util/base64.hpp"
+
+#include <array>
+#include <cstdint>
+
+#include "util/assertx.hpp"
+
+namespace cscv::util {
+
+namespace {
+
+constexpr char kAlphabet[] =
+    "ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789+/";
+
+constexpr std::array<std::int8_t, 256> make_decode_table() {
+  std::array<std::int8_t, 256> t{};
+  for (auto& v : t) v = -1;
+  for (int i = 0; i < 64; ++i) t[static_cast<unsigned char>(kAlphabet[i])] = static_cast<std::int8_t>(i);
+  return t;
+}
+
+constexpr std::array<std::int8_t, 256> kDecode = make_decode_table();
+
+}  // namespace
+
+std::string base64_encode(const void* data, std::size_t size) {
+  const auto* bytes = static_cast<const unsigned char*>(data);
+  std::string out;
+  out.reserve(((size + 2) / 3) * 4);
+  std::size_t i = 0;
+  for (; i + 3 <= size; i += 3) {
+    const std::uint32_t v = (static_cast<std::uint32_t>(bytes[i]) << 16) |
+                            (static_cast<std::uint32_t>(bytes[i + 1]) << 8) |
+                            static_cast<std::uint32_t>(bytes[i + 2]);
+    out.push_back(kAlphabet[(v >> 18) & 0x3F]);
+    out.push_back(kAlphabet[(v >> 12) & 0x3F]);
+    out.push_back(kAlphabet[(v >> 6) & 0x3F]);
+    out.push_back(kAlphabet[v & 0x3F]);
+  }
+  const std::size_t rest = size - i;
+  if (rest == 1) {
+    const std::uint32_t v = static_cast<std::uint32_t>(bytes[i]) << 16;
+    out.push_back(kAlphabet[(v >> 18) & 0x3F]);
+    out.push_back(kAlphabet[(v >> 12) & 0x3F]);
+    out.push_back('=');
+    out.push_back('=');
+  } else if (rest == 2) {
+    const std::uint32_t v = (static_cast<std::uint32_t>(bytes[i]) << 16) |
+                            (static_cast<std::uint32_t>(bytes[i + 1]) << 8);
+    out.push_back(kAlphabet[(v >> 18) & 0x3F]);
+    out.push_back(kAlphabet[(v >> 12) & 0x3F]);
+    out.push_back(kAlphabet[(v >> 6) & 0x3F]);
+    out.push_back('=');
+  }
+  return out;
+}
+
+std::string base64_encode(std::string_view bytes) {
+  return base64_encode(bytes.data(), bytes.size());
+}
+
+std::size_t base64_decoded_size(std::string_view text) {
+  CSCV_CHECK_MSG(text.size() % 4 == 0,
+                 "base64: length " << text.size() << " is not a multiple of 4");
+  if (text.empty()) return 0;
+  std::size_t pad = 0;
+  if (text.back() == '=') ++pad;
+  if (text.size() >= 2 && text[text.size() - 2] == '=') ++pad;
+  return (text.size() / 4) * 3 - pad;
+}
+
+std::vector<unsigned char> base64_decode(std::string_view text) {
+  const std::size_t out_size = base64_decoded_size(text);
+  std::vector<unsigned char> out;
+  out.reserve(out_size);
+  for (std::size_t i = 0; i < text.size(); i += 4) {
+    std::uint32_t v = 0;
+    int chars = 0;
+    for (int k = 0; k < 4; ++k) {
+      const char c = text[i + k];
+      if (c == '=') {
+        // Padding is only legal in the last group, in the final positions.
+        CSCV_CHECK_MSG(i + 4 == text.size() && k >= 2,
+                       "base64: misplaced '=' at position " << i + k);
+        for (int rest = k + 1; rest < 4; ++rest) {
+          CSCV_CHECK_MSG(text[i + rest] == '=',
+                         "base64: misplaced '=' at position " << i + k);
+        }
+        chars = k;
+        break;
+      }
+      const std::int8_t d = kDecode[static_cast<unsigned char>(c)];
+      CSCV_CHECK_MSG(d >= 0, "base64: invalid character at position " << i + k);
+      v = (v << 6) | static_cast<std::uint32_t>(d);
+      chars = k + 1;
+    }
+    CSCV_CHECK_MSG(chars >= 2, "base64: group at position " << i << " has < 2 data chars");
+    v <<= 6 * (4 - chars);
+    if (chars >= 2) out.push_back(static_cast<unsigned char>((v >> 16) & 0xFF));
+    if (chars >= 3) out.push_back(static_cast<unsigned char>((v >> 8) & 0xFF));
+    if (chars == 4) out.push_back(static_cast<unsigned char>(v & 0xFF));
+  }
+  CSCV_CHECK(out.size() == out_size);
+  return out;
+}
+
+}  // namespace cscv::util

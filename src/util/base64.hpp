@@ -1,0 +1,27 @@
+// Base64 (RFC 4648, standard alphabet, '=' padding) — the binary-payload
+// encoding of the service wire format (docs/SERVICE.md). Sinograms and
+// volumes are float32 arrays whose bytes must survive the JSON round trip
+// bit-for-bit; base64 of the raw little-endian bytes is the one encoding
+// that guarantees it without growing a dependency.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace cscv::util {
+
+/// Encodes `data` as standard base64 with padding.
+[[nodiscard]] std::string base64_encode(const void* data, std::size_t size);
+[[nodiscard]] std::string base64_encode(std::string_view bytes);
+
+/// Decodes standard base64 (padding required, no whitespace). Throws
+/// CheckError naming the offending position on any malformed input —
+/// wrong length, characters outside the alphabet, or misplaced '='.
+[[nodiscard]] std::vector<unsigned char> base64_decode(std::string_view text);
+
+/// Bytes a decode of `text` would produce; CheckError on bad length.
+[[nodiscard]] std::size_t base64_decoded_size(std::string_view text);
+
+}  // namespace cscv::util

@@ -84,6 +84,17 @@ const std::vector<std::pair<std::string, Json>>& Json::items() const {
   return object_;
 }
 
+bool Json::erase(std::string_view key) {
+  CSCV_CHECK_MSG(type_ == Type::kObject, "json: erase() on non-object");
+  for (auto it = object_.begin(); it != object_.end(); ++it) {
+    if (it->first == key) {
+      object_.erase(it);
+      return true;
+    }
+  }
+  return false;
+}
+
 // ---- serializer ----------------------------------------------------------
 
 namespace {

@@ -66,6 +66,9 @@ class Json {
   /// find() that CSCV_CHECKs presence.
   [[nodiscard]] const Json& at(std::string_view key) const;
   [[nodiscard]] const std::vector<std::pair<std::string, Json>>& items() const;
+  /// Removes `key` if present; true when something was removed. CSCV_CHECK
+  /// on non-objects.
+  bool erase(std::string_view key);
 
   // ---- serialization ---------------------------------------------------
   /// Compact when indent < 0, otherwise pretty-printed with `indent`

@@ -1,0 +1,153 @@
+// RequestParser and response serialization — the HTTP/1.1 subset the
+// service speaks: Content-Length framing, incremental feeding, pipelining,
+// byte limits, structured error bodies.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "net/http.hpp"
+#include "util/assertx.hpp"
+
+namespace cscv::net {
+namespace {
+
+HttpRequest parse_one(const std::string& wire, HttpLimits limits = {}) {
+  RequestParser parser(limits);
+  EXPECT_EQ(parser.feed(wire), ParseStatus::kOk);
+  return parser.take_request();
+}
+
+TEST(HttpParser, SimpleGet) {
+  const HttpRequest r = parse_one("GET /healthz HTTP/1.1\r\nHost: x\r\n\r\n");
+  EXPECT_EQ(r.method, "GET");
+  EXPECT_EQ(r.target, "/healthz");
+  EXPECT_EQ(r.path, "/healthz");
+  EXPECT_TRUE(r.body.empty());
+  ASSERT_NE(r.header("host"), nullptr);
+  EXPECT_EQ(*r.header("host"), "x");
+}
+
+TEST(HttpParser, PostWithBody) {
+  const HttpRequest r = parse_one(
+      "POST /v1/jobs HTTP/1.1\r\nContent-Type: application/json\r\n"
+      "Content-Length: 7\r\n\r\n{\"a\":1}");
+  EXPECT_EQ(r.method, "POST");
+  EXPECT_EQ(r.body, "{\"a\":1}");
+}
+
+TEST(HttpParser, HeaderNamesLowercasedValuesTrimmed) {
+  const HttpRequest r = parse_one(
+      "GET / HTTP/1.1\r\nX-CusTom-HEADER:   spaced value  \r\n\r\n");
+  ASSERT_NE(r.header("x-custom-header"), nullptr);
+  EXPECT_EQ(*r.header("x-custom-header"), "spaced value");
+  EXPECT_EQ(r.header("X-CusTom-HEADER"), nullptr);  // lookups are lowercase
+}
+
+TEST(HttpParser, QueryStringIsSplitAndDecoded) {
+  const HttpRequest r = parse_one("GET /v1/jobs?wait=1&tag=a%20b+c HTTP/1.1\r\n\r\n");
+  EXPECT_EQ(r.path, "/v1/jobs");
+  ASSERT_EQ(r.query.size(), 2u);
+  EXPECT_EQ(r.query.at("wait"), "1");
+  EXPECT_EQ(r.query.at("tag"), "a b c");
+}
+
+TEST(HttpParser, IncrementalFeedByteAtATime) {
+  const std::string wire =
+      "POST /x HTTP/1.1\r\nContent-Length: 3\r\n\r\nabc";
+  RequestParser parser;
+  for (std::size_t i = 0; i + 1 < wire.size(); ++i) {
+    ASSERT_EQ(parser.feed(wire.substr(i, 1)), ParseStatus::kNeedMore) << "byte " << i;
+  }
+  ASSERT_EQ(parser.feed(wire.substr(wire.size() - 1)), ParseStatus::kOk);
+  EXPECT_EQ(parser.take_request().body, "abc");
+}
+
+TEST(HttpParser, PipelinedRequestsDrainInOrder) {
+  RequestParser parser;
+  ASSERT_EQ(parser.feed("GET /a HTTP/1.1\r\n\r\nGET /b HTTP/1.1\r\n\r\n"),
+            ParseStatus::kOk);
+  EXPECT_EQ(parser.take_request().path, "/a");
+  ASSERT_EQ(parser.poll(), ParseStatus::kOk);
+  EXPECT_EQ(parser.take_request().path, "/b");
+  EXPECT_EQ(parser.poll(), ParseStatus::kNeedMore);
+}
+
+TEST(HttpParser, MalformedRequestLineIsBad) {
+  RequestParser parser;
+  EXPECT_EQ(parser.feed("NOT-HTTP\r\n\r\n"), ParseStatus::kBadRequest);
+  EXPECT_FALSE(parser.error_detail().empty());
+  // Sticky: more bytes don't resurrect the connection.
+  EXPECT_EQ(parser.feed("GET / HTTP/1.1\r\n\r\n"), ParseStatus::kBadRequest);
+}
+
+TEST(HttpParser, RejectsTransferEncoding) {
+  RequestParser parser;
+  EXPECT_EQ(parser.feed("POST / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n"),
+            ParseStatus::kBadRequest);
+}
+
+TEST(HttpParser, BadContentLengthIsBad) {
+  RequestParser parser;
+  EXPECT_EQ(parser.feed("POST / HTTP/1.1\r\nContent-Length: banana\r\n\r\n"),
+            ParseStatus::kBadRequest);
+}
+
+TEST(HttpParser, OversizedHeaderIsTooLarge) {
+  HttpLimits limits;
+  limits.max_header_bytes = 64;
+  RequestParser parser(limits);
+  const std::string wire =
+      "GET / HTTP/1.1\r\nX-Pad: " + std::string(128, 'a') + "\r\n\r\n";
+  EXPECT_EQ(parser.feed(wire), ParseStatus::kTooLarge);
+}
+
+TEST(HttpParser, OversizedBodyIsTooLargeBeforeBuffering) {
+  HttpLimits limits;
+  limits.max_body_bytes = 8;
+  RequestParser parser(limits);
+  // The declared length alone must trip the limit — no body bytes needed.
+  EXPECT_EQ(parser.feed("POST / HTTP/1.1\r\nContent-Length: 9\r\n\r\n"),
+            ParseStatus::kTooLarge);
+}
+
+TEST(HttpResponseTest, SerializeAddsContentLengthAndReason) {
+  HttpResponse r;
+  r.status = 404;
+  r.body = "nope";
+  const std::string wire = serialize(r);
+  EXPECT_NE(wire.find("HTTP/1.1 404 Not Found\r\n"), std::string::npos);
+  EXPECT_NE(wire.find("Content-Length: 4\r\n"), std::string::npos);
+  EXPECT_EQ(wire.substr(wire.size() - 4), "nope");
+}
+
+TEST(HttpResponseTest, StructuredErrorBody) {
+  const HttpResponse r = HttpResponse::error(429, "quota_exhausted", "no tokens");
+  EXPECT_EQ(r.status, 429);
+  const util::Json body = util::Json::parse(r.body);
+  EXPECT_EQ(body.at("error").at("code").as_string(), "quota_exhausted");
+  EXPECT_EQ(body.at("error").at("message").as_string(), "no tokens");
+}
+
+TEST(HttpResponseTest, JsonHelperSetsContentType) {
+  util::Json payload = util::Json::object();
+  payload["x"] = util::Json(1);
+  const HttpResponse r = HttpResponse::json(200, payload);
+  bool found = false;
+  for (const auto& [name, value] : r.headers) {
+    if (name == "Content-Type") {
+      EXPECT_EQ(value, "application/json");
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(UrlDecode, EscapesAndPlus) {
+  EXPECT_EQ(url_decode("a%20b+c"), "a b c");
+  EXPECT_EQ(url_decode("%2Fv1%2fjobs"), "/v1/jobs");
+  EXPECT_THROW((void)url_decode("bad%2"), util::CheckError);
+  EXPECT_THROW((void)url_decode("bad%zz"), util::CheckError);
+}
+
+}  // namespace
+}  // namespace cscv::net

@@ -1,0 +1,90 @@
+// Router — pattern matching, :id placeholders, 404 vs 405 discrimination.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "net/router.hpp"
+
+namespace cscv::net {
+namespace {
+
+HttpRequest make_request(std::string method, std::string path) {
+  HttpRequest r;
+  r.method = std::move(method);
+  r.target = path;
+  r.path = std::move(path);
+  return r;
+}
+
+Router jobs_router() {
+  Router router;
+  router.add("POST", "/v1/jobs", [](const HttpRequest&, const PathParams&) {
+    HttpResponse r;
+    r.body = "submitted";
+    return r;
+  });
+  router.add("GET", "/v1/jobs/:id", [](const HttpRequest&, const PathParams& p) {
+    HttpResponse r;
+    r.body = "job " + p.at("id");
+    return r;
+  });
+  router.add("GET", "/v1/jobs/:id/volume",
+             [](const HttpRequest&, const PathParams& p) {
+               HttpResponse r;
+               r.body = "volume " + p.at("id");
+               return r;
+             });
+  return router;
+}
+
+TEST(Router, ExactMatchDispatches) {
+  Router router = jobs_router();
+  EXPECT_EQ(router.dispatch(make_request("POST", "/v1/jobs")).body, "submitted");
+}
+
+TEST(Router, PlaceholderBindsSegment) {
+  Router router = jobs_router();
+  EXPECT_EQ(router.dispatch(make_request("GET", "/v1/jobs/42")).body, "job 42");
+  EXPECT_EQ(router.dispatch(make_request("GET", "/v1/jobs/42/volume")).body,
+            "volume 42");
+}
+
+TEST(Router, UnknownPathIs404WithStructuredBody) {
+  Router router = jobs_router();
+  const HttpResponse r = router.dispatch(make_request("GET", "/nope"));
+  EXPECT_EQ(r.status, 404);
+  EXPECT_EQ(util::Json::parse(r.body).at("error").at("code").as_string(),
+            "not_found");
+}
+
+TEST(Router, WrongMethodIs405WithAllow) {
+  Router router = jobs_router();
+  const HttpResponse r = router.dispatch(make_request("PUT", "/v1/jobs"));
+  EXPECT_EQ(r.status, 405);
+  bool has_allow = false;
+  for (const auto& [name, value] : r.headers) {
+    if (name == "Allow") {
+      EXPECT_NE(value.find("POST"), std::string::npos);
+      has_allow = true;
+    }
+  }
+  EXPECT_TRUE(has_allow);
+}
+
+TEST(Router, PlaceholderDoesNotMatchExtraSegments) {
+  Router router = jobs_router();
+  EXPECT_EQ(router.dispatch(make_request("GET", "/v1/jobs/42/volume/extra")).status,
+            404);
+  EXPECT_EQ(router.dispatch(make_request("GET", "/v1/jobs")).status, 405);
+}
+
+TEST(Router, SlashRunsNormalize) {
+  Router router = jobs_router();
+  // Empty segments collapse: trailing and doubled slashes don't create
+  // distinct resources.
+  EXPECT_EQ(router.dispatch(make_request("POST", "/v1/jobs/")).body, "submitted");
+  EXPECT_EQ(router.dispatch(make_request("GET", "//v1//jobs//42")).body, "job 42");
+}
+
+}  // namespace
+}  // namespace cscv::net

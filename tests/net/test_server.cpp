@@ -1,0 +1,148 @@
+// HttpServer + HttpClient over real loopback sockets: round trips,
+// keep-alive reuse, concurrent clients, error mapping, limits, shutdown.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "net/client.hpp"
+#include "net/server.hpp"
+#include "util/assertx.hpp"
+
+namespace cscv::net {
+namespace {
+
+Router echo_router() {
+  Router router;
+  router.add("GET", "/ping", [](const HttpRequest&, const PathParams&) {
+    HttpResponse r;
+    r.body = "pong";
+    return r;
+  });
+  router.add("POST", "/echo", [](const HttpRequest& rq, const PathParams&) {
+    HttpResponse r;
+    r.body = rq.body;
+    return r;
+  });
+  router.add("GET", "/check-fail", [](const HttpRequest&, const PathParams&) -> HttpResponse {
+    throw util::CheckError("handler validation failed");
+  });
+  router.add("GET", "/boom", [](const HttpRequest&, const PathParams&) -> HttpResponse {
+    throw std::runtime_error("handler blew up");
+  });
+  return router;
+}
+
+ServerOptions test_options() {
+  ServerOptions o;
+  o.port = 0;  // ephemeral
+  o.num_threads = 3;
+  o.recv_timeout_seconds = 5.0;
+  return o;
+}
+
+TEST(HttpServerTest, RoundTripAndKeepAlive) {
+  HttpServer server(echo_router(), test_options());
+  HttpClient client(server.host(), server.port());
+  for (int i = 0; i < 5; ++i) {
+    const HttpResponse r = client.get("/ping");
+    EXPECT_EQ(r.status, 200);
+    EXPECT_EQ(r.body, "pong");
+  }
+  // One connection served all five requests.
+  EXPECT_EQ(server.requests_served(), 5u);
+}
+
+TEST(HttpServerTest, PostBodyRoundTripsBitwise) {
+  HttpServer server(echo_router(), test_options());
+  HttpClient client(server.host(), server.port());
+  std::string binary;
+  for (int i = 0; i < 512; ++i) binary.push_back(static_cast<char>(i % 256));
+  const HttpResponse r = client.request("POST", "/echo", binary);
+  EXPECT_EQ(r.status, 200);
+  EXPECT_EQ(r.body, binary);
+}
+
+TEST(HttpServerTest, CheckErrorMapsTo400) {
+  HttpServer server(echo_router(), test_options());
+  HttpClient client(server.host(), server.port());
+  const HttpResponse r = client.get("/check-fail");
+  EXPECT_EQ(r.status, 400);
+  EXPECT_EQ(util::Json::parse(r.body).at("error").at("code").as_string(),
+            "bad_request");
+}
+
+TEST(HttpServerTest, OtherExceptionsMapTo500) {
+  HttpServer server(echo_router(), test_options());
+  HttpClient client(server.host(), server.port());
+  const HttpResponse r = client.get("/boom");
+  EXPECT_EQ(r.status, 500);
+  EXPECT_EQ(util::Json::parse(r.body).at("error").at("code").as_string(),
+            "internal_error");
+}
+
+TEST(HttpServerTest, UnknownRouteIs404OverTheWire) {
+  HttpServer server(echo_router(), test_options());
+  HttpClient client(server.host(), server.port());
+  EXPECT_EQ(client.get("/missing").status, 404);
+}
+
+TEST(HttpServerTest, ConcurrentClients) {
+  HttpServer server(echo_router(), test_options());
+  constexpr int kThreads = 4;
+  constexpr int kRequests = 25;
+  std::atomic<int> ok{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&server, &ok] {
+      HttpClient client(server.host(), server.port());
+      for (int i = 0; i < kRequests; ++i) {
+        if (client.get("/ping").body == "pong") ok.fetch_add(1);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(ok.load(), kThreads * kRequests);
+  EXPECT_EQ(server.requests_served(), static_cast<std::uint64_t>(kThreads * kRequests));
+}
+
+TEST(HttpServerTest, OversizedBodyGets413) {
+  ServerOptions o = test_options();
+  o.limits.max_body_bytes = 1024;
+  HttpServer server(echo_router(), o);
+  HttpClient client(server.host(), server.port());
+  const HttpResponse r = client.request("POST", "/echo", std::string(4096, 'x'));
+  EXPECT_EQ(r.status, 413);
+}
+
+TEST(HttpServerTest, ClientReconnectsAfterServerSideClose) {
+  ServerOptions o = test_options();
+  o.limits.max_body_bytes = 64;
+  HttpServer server(echo_router(), o);
+  HttpClient client(server.host(), server.port());
+  // A 413 poisons the connection (server closes it)...
+  EXPECT_EQ(client.request("POST", "/echo", std::string(256, 'x')).status, 413);
+  // ...but the client transparently reconnects for the next request.
+  EXPECT_EQ(client.get("/ping").body, "pong");
+}
+
+TEST(HttpServerTest, StopIsIdempotentAndUnblocksFastRestart) {
+  auto server = std::make_unique<HttpServer>(echo_router(), test_options());
+  const std::uint16_t port = server->port();
+  server->stop();
+  server->stop();  // idempotent
+  server.reset();
+  // The port is released: a new server can bind an ephemeral port and serve.
+  HttpServer next(echo_router(), test_options());
+  EXPECT_NE(next.port(), 0);
+  (void)port;
+  HttpClient client(next.host(), next.port());
+  EXPECT_EQ(client.get("/ping").body, "pong");
+}
+
+}  // namespace
+}  // namespace cscv::net

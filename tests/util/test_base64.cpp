@@ -1,0 +1,77 @@
+// util::base64 — the sinogram/volume wire encoding. Bitwise round-trips are
+// what the service's bitwise-identity guarantee rests on, so the tests hammer
+// exactness, not just "decodes to something".
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "util/assertx.hpp"
+#include "util/base64.hpp"
+
+namespace cscv::util {
+namespace {
+
+std::string decode_to_string(const std::string& b64) {
+  const std::vector<unsigned char> bytes = base64_decode(b64);
+  return std::string(reinterpret_cast<const char*>(bytes.data()), bytes.size());
+}
+
+TEST(Base64, Rfc4648TestVectors) {
+  EXPECT_EQ(base64_encode(""), "");
+  EXPECT_EQ(base64_encode("f"), "Zg==");
+  EXPECT_EQ(base64_encode("fo"), "Zm8=");
+  EXPECT_EQ(base64_encode("foo"), "Zm9v");
+  EXPECT_EQ(base64_encode("foob"), "Zm9vYg==");
+  EXPECT_EQ(base64_encode("fooba"), "Zm9vYmE=");
+  EXPECT_EQ(base64_encode("foobar"), "Zm9vYmFy");
+}
+
+TEST(Base64, DecodeInvertsEncodeAtEveryPaddingLength) {
+  for (std::size_t n = 0; n <= 17; ++n) {
+    std::string data(n, '\0');
+    for (std::size_t i = 0; i < n; ++i) data[i] = static_cast<char>(i * 37 + 5);
+    EXPECT_EQ(decode_to_string(base64_encode(data)), data) << "length " << n;
+  }
+}
+
+TEST(Base64, AllByteValuesRoundTrip) {
+  std::vector<unsigned char> bytes(256);
+  for (int i = 0; i < 256; ++i) bytes[i] = static_cast<unsigned char>(i);
+  const std::string b64 = base64_encode(bytes.data(), bytes.size());
+  EXPECT_EQ(base64_decode(b64), bytes);
+}
+
+TEST(Base64, Float32PayloadIsBitwiseExact) {
+  // The service encodes sinograms as raw float32 bytes; NaN payloads and
+  // negative zero must survive untouched.
+  std::vector<float> values = {0.0f, -0.0f, 1.5f, -3.25e-38f, 3.0e38f};
+  values.push_back(std::nanf("0x7ff"));
+  const std::string b64 =
+      base64_encode(values.data(), values.size() * sizeof(float));
+  const std::vector<unsigned char> bytes = base64_decode(b64);
+  ASSERT_EQ(bytes.size(), values.size() * sizeof(float));
+  EXPECT_EQ(std::memcmp(bytes.data(), values.data(), bytes.size()), 0);
+}
+
+TEST(Base64, DecodedSizeMatchesDecode) {
+  EXPECT_EQ(base64_decoded_size(""), 0u);
+  EXPECT_EQ(base64_decoded_size("Zg=="), 1u);
+  EXPECT_EQ(base64_decoded_size("Zm8="), 2u);
+  EXPECT_EQ(base64_decoded_size("Zm9v"), 3u);
+}
+
+TEST(Base64, RejectsMalformedInput) {
+  EXPECT_THROW(base64_decode("Zg"), CheckError);      // not a multiple of 4
+  EXPECT_THROW(base64_decode("Zg="), CheckError);     // short padding
+  EXPECT_THROW(base64_decode("Z!=="), CheckError);    // bad alphabet
+  EXPECT_THROW(base64_decode("Zg=a"), CheckError);    // data after '='
+  EXPECT_THROW(base64_decode("====" ), CheckError);   // all padding
+  EXPECT_THROW(base64_decode("Zm9v\n"), CheckError);  // whitespace is not ours
+}
+
+}  // namespace
+}  // namespace cscv::util

@@ -36,6 +36,13 @@ while IFS= read -r hdr; do
   checked=$((checked + 1))
 done < <(find src tests -name '*.hpp' | sort)
 
+# A glob that matches nothing would "pass" while checking nothing — fail
+# loudly instead (a wrong cwd or a renamed source root, not a clean tree).
+if [[ "${checked}" -eq 0 ]]; then
+  echo "check_headers.sh: found no headers under src/ or tests/ — refusing to pass an empty check" >&2
+  exit 1
+fi
+
 if [[ "${status}" -eq 0 ]]; then
   echo "check_headers.sh: ${checked} headers are self-contained"
 fi

@@ -11,12 +11,27 @@
 //   cscv_cli serve-demo [--image=64 --views=48 --jobs=16 --workers=N]
 //                       [--queue=8 --policy=block|reject] [--algorithm=sirt]
 //                       [--iters=8] [--budget_mb=512] [--spill=DIR] [--json]
+//   cscv_cli submit   --port=P [--host=127.0.0.1] [--image=64 --views=48]
+//                     [--algorithm=sirt --iters=8] [--class=batch|interactive]
+//                     [--tenant=default] [--tag=...] [--deadline=0]
+//                     [--save-volume=out.raw] [--no-wait] [--local] [--json]
+//   cscv_cli fetch    --port=P --id=N [--save-volume=out.raw] [--json]
+//   cscv_cli stats    --port=P [--expect-ok=N] [--json]
+//
+// submit/fetch/stats speak the HTTP API of cscv_serve (docs/SERVICE.md).
+// `submit --local` runs the identical job through an in-process ReconService
+// instead — the reference path the service-e2e CI gate compares against
+// bitwise. Exit codes: 0 ok, 1 error, 3 structured HTTP rejection (4xx/503).
 //
 // Everything the bench harness measures is reachable from here on user data.
+#include <chrono>
+#include <cstdint>
+#include <cstring>
 #include <fstream>
 #include <future>
 #include <iostream>
 #include <string>
+#include <thread>
 #include <utility>
 #include <vector>
 
@@ -28,6 +43,7 @@
 #include "ct/fan_beam.hpp"
 #include "ct/phantom.hpp"
 #include "ct/system_matrix.hpp"
+#include "net/client.hpp"
 #include "pipeline/service.hpp"
 #include "sparse/convert.hpp"
 #include "sparse/mmio.hpp"
@@ -456,13 +472,192 @@ int cmd_serve_demo(util::CliFlags& cli) {
   return 0;
 }
 
+// ---- service client subcommands (submit / fetch / stats) -------------------
+
+/// Raw float32 LE dump — the byte-stable format the e2e gate `cmp`s.
+void save_volume_raw(const std::string& path, const float* data, std::size_t count) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  CSCV_CHECK_MSG(out.good(), "cannot open --save-volume path " << path);
+  out.write(reinterpret_cast<const char*>(data),
+            static_cast<std::streamsize>(count * sizeof(float)));
+  CSCV_CHECK_MSG(out.good(), "short write to " << path);
+}
+
+/// Polls /v1/jobs/<id> until done (or `timeout` passes), then downloads the
+/// volume. Returns the process exit code.
+int poll_and_fetch(net::HttpClient& client, std::uint64_t id,
+                   const std::string& save_volume, double timeout_seconds,
+                   double poll_interval_seconds, bool as_json) {
+  const std::string status_url = "/v1/jobs/" + std::to_string(id);
+  const auto give_up = std::chrono::steady_clock::now() +
+                       std::chrono::duration<double>(timeout_seconds);
+  util::Json status;
+  for (;;) {
+    status = client.get_json(status_url);
+    if (status.at("state").as_string() == "done") break;
+    CSCV_CHECK_MSG(std::chrono::steady_clock::now() < give_up,
+                   "job " << id << " still pending after " << timeout_seconds << " s");
+    std::this_thread::sleep_for(
+        std::chrono::duration<double>(poll_interval_seconds));
+  }
+  const util::Json& result = status.at("result");
+  const std::string job_status = result.at("status").as_string();
+  if (job_status != "ok") {
+    std::cerr << "job " << id << " finished as " << job_status << "\n"
+              << status.dump(2) << "\n";
+    return 1;
+  }
+  if (!save_volume.empty()) {
+    const net::HttpResponse volume = client.get(status_url + "/volume");
+    CSCV_CHECK_MSG(volume.status == 200,
+                   "volume fetch returned " << volume.status << ": " << volume.body);
+    CSCV_CHECK_MSG(volume.body.size() % sizeof(float) == 0,
+                   "volume body is " << volume.body.size()
+                                     << " bytes — not a float32 array");
+    save_volume_raw(save_volume,
+                    reinterpret_cast<const float*>(volume.body.data()),
+                    volume.body.size() / sizeof(float));
+  }
+  if (as_json) {
+    std::cout << status.dump(2) << "\n";
+  } else {
+    std::cout << "job " << id << ": ok, " << result.at("iterations_run").as_int()
+              << " iterations, residual "
+              << util::fmt_fixed(result.at("final_residual").as_double(), 4)
+              << ", solve " << util::fmt_fixed(result.at("solve_seconds").as_double(), 3)
+              << " s, " << result.at("volume_elements").as_int() << " voxels"
+              << (save_volume.empty() ? "" : " -> " + save_volume) << "\n";
+  }
+  return 0;
+}
+
+int cmd_submit(util::CliFlags& cli) {
+  const std::string host = cli.get_string("host", "127.0.0.1");
+  const int port = cli.get_int("port", 0);
+  const int image = cli.get_int("image", 64);
+  const int views = cli.get_int("views", 48);
+  const std::string algorithm_name = cli.get_string("algorithm", "sirt");
+  const int iters = cli.get_int("iters", 8);
+  const std::string qos = cli.get_string("class", "batch");
+  const std::string tenant = cli.get_string("tenant", "");
+  const std::string tag = cli.get_string("tag", "");
+  const double deadline = cli.get_double("deadline", 0.0);
+  const std::string save_volume = cli.get_string("save-volume", "");
+  const bool local = cli.get_bool("local");
+  const bool no_wait = cli.get_bool("no-wait");
+  const bool as_json = cli.get_bool("json");
+  const double timeout = cli.get_double("timeout", 120.0);
+  const double poll_interval = cli.get_double("poll-interval", 0.05);
+  cli.finish();
+
+  // The canonical phantom job: both the --local reference and the served
+  // path build it from the same flags, so their volumes must match bitwise.
+  pipeline::ReconJob job;
+  job.geometry = ct::standard_geometry(image, views);
+  job.sinogram = ct::analytic_sinogram<float>(ct::shepp_logan_modified(), job.geometry);
+  job.algorithm = pipeline::algorithm_from_name(algorithm_name);
+  job.solve.iterations = iters;
+  job.qos = pipeline::qos_class_from_name(qos);
+  job.tenant = tenant;
+  job.tag = tag;
+  job.deadline_seconds = deadline;
+
+  if (local) {
+    pipeline::ReconService service;  // defaults: threads=1 plans per worker
+    pipeline::ReconResult result = service.submit(std::move(job)).result.get();
+    service.shutdown();
+    CSCV_CHECK_MSG(result.status == pipeline::JobStatus::kOk,
+                   "local job finished as " << pipeline::job_status_name(result.status)
+                                            << (result.error.empty() ? "" : ": ")
+                                            << result.error);
+    if (!save_volume.empty()) {
+      save_volume_raw(save_volume, result.volume.data(), result.volume.size());
+    }
+    if (as_json) {
+      std::cout << result.to_json().dump(2) << "\n";
+    } else {
+      std::cout << "local job: ok, " << result.iterations_run
+                << " iterations, residual " << util::fmt_fixed(result.final_residual, 4)
+                << ", " << result.volume.size() << " voxels"
+                << (save_volume.empty() ? "" : " -> " + save_volume) << "\n";
+    }
+    return 0;
+  }
+
+  CSCV_CHECK_MSG(port > 0 && port <= 65535, "--port is required (1..65535)");
+  net::HttpClient client(host, static_cast<std::uint16_t>(port));
+  const net::HttpResponse posted = client.post_json("/v1/jobs", job.to_json());
+  if (posted.status != 202) {
+    // Structured rejection (429 quota, 413 payload, 400 spec, 503 queue):
+    // print the error body verbatim and exit 3 so scripts can distinguish
+    // "service said no" from "client broke".
+    std::cerr << "submit rejected with HTTP " << posted.status << ": " << posted.body
+              << "\n";
+    return 3;
+  }
+  const util::Json accepted = util::Json::parse(posted.body);
+  const auto id = static_cast<std::uint64_t>(accepted.at("id").as_int());
+  if (no_wait) {
+    std::cout << (as_json ? accepted.dump(2) : std::to_string(id)) << "\n";
+    return 0;
+  }
+  return poll_and_fetch(client, id, save_volume, timeout, poll_interval, as_json);
+}
+
+int cmd_fetch(util::CliFlags& cli) {
+  const std::string host = cli.get_string("host", "127.0.0.1");
+  const int port = cli.get_int("port", 0);
+  const int id = cli.get_int("id", -1);
+  const std::string save_volume = cli.get_string("save-volume", "");
+  const bool as_json = cli.get_bool("json");
+  const double timeout = cli.get_double("timeout", 120.0);
+  const double poll_interval = cli.get_double("poll-interval", 0.05);
+  cli.finish();
+  CSCV_CHECK_MSG(port > 0 && port <= 65535, "--port is required (1..65535)");
+  CSCV_CHECK_MSG(id >= 0, "--id is required");
+  net::HttpClient client(host, static_cast<std::uint16_t>(port));
+  return poll_and_fetch(client, static_cast<std::uint64_t>(id), save_volume, timeout,
+                        poll_interval, as_json);
+}
+
+int cmd_stats(util::CliFlags& cli) {
+  const std::string host = cli.get_string("host", "127.0.0.1");
+  const int port = cli.get_int("port", 0);
+  const int expect_ok = cli.get_int("expect-ok", -1);
+  const bool as_json = cli.get_bool("json");
+  cli.finish();
+  CSCV_CHECK_MSG(port > 0 && port <= 65535, "--port is required (1..65535)");
+  net::HttpClient client(host, static_cast<std::uint16_t>(port));
+  const util::Json stats = client.get_json("/stats");
+  // Round-trip the typed halves — a /stats payload the client library can't
+  // parse is a wire-format regression even if the raw JSON "looks fine".
+  const pipeline::ServiceStats service_stats =
+      pipeline::ServiceStats::from_json(stats.at("service"));
+  (void)pipeline::CacheStats::from_json(stats.at("cache"));
+  const auto jobs_ok = static_cast<long>(stats.at("jobs_ok").as_int());
+  if (expect_ok >= 0 && jobs_ok != expect_ok) {
+    std::cerr << "stats: jobs_ok == " << jobs_ok << ", expected " << expect_ok << "\n"
+              << stats.dump(2) << "\n";
+    return 1;
+  }
+  if (as_json) {
+    std::cout << stats.dump(2) << "\n";
+  } else {
+    std::cout << "jobs_ok " << jobs_ok << ", submitted " << service_stats.submitted
+              << ", rejected " << service_stats.rejected << ", interactive "
+              << service_stats.qos_interactive << ", batch " << service_stats.qos_batch
+              << "\n";
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   using namespace cscv;
   if (argc < 2) {
-    std::cerr << "usage: cscv_cli <generate|info|convert|spmv|tune|verify|isa|serve-demo>"
-                 " [--flags]\n";
+    std::cerr << "usage: cscv_cli <generate|info|convert|spmv|tune|verify|isa|serve-demo"
+                 "|submit|fetch|stats> [--flags]\n";
     return 2;
   }
   const std::string cmd = argv[1];
@@ -476,6 +671,9 @@ int main(int argc, char** argv) {
     if (cmd == "verify") return cmd_verify(cli);
     if (cmd == "isa") return cmd_isa(cli);
     if (cmd == "serve-demo") return cmd_serve_demo(cli);
+    if (cmd == "submit") return cmd_submit(cli);
+    if (cmd == "fetch") return cmd_fetch(cli);
+    if (cmd == "stats") return cmd_stats(cli);
     std::cerr << "unknown command: " << cmd << "\n";
     return 2;
   } catch (const std::exception& e) {

@@ -1,0 +1,99 @@
+// cscv_serve — reconstruction-as-a-service front end.
+//
+//   cscv_serve [--host=127.0.0.1] [--port=0] [--port-file=PATH]
+//              [--workers=N] [--queue=32] [--policy=block|reject]
+//              [--max-batch=1] [--budget_mb=512] [--spill=DIR]
+//              [--quota-tokens=0] [--quota-refill=0]
+//              [--http-threads=4] [--interactive-deadline=0]
+//              [--max-sinogram-mb=64]
+//
+// Binds the HTTP server (port 0 picks an ephemeral port, reported on stdout
+// and in --port-file so scripts can race-free discover it), serves until
+// SIGINT/SIGTERM, then drains: HTTP stops accepting first, the
+// reconstruction service finishes queued jobs second. Endpoints and wire
+// formats are documented in docs/SERVICE.md.
+#include <csignal>
+#include <atomic>
+#include <chrono>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <thread>
+#include <utility>
+
+#include "net/server.hpp"
+#include "net/service_api.hpp"
+#include "util/cli.hpp"
+#include "util/parallel.hpp"
+
+namespace {
+
+std::atomic<int> g_signal{0};
+
+void on_signal(int sig) { g_signal.store(sig, std::memory_order_relaxed); }
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace cscv;
+  util::CliFlags cli(argc, argv);
+  try {
+    net::FrontEndOptions fe;
+    net::ServerOptions srv;
+    srv.host = cli.get_string("host", "127.0.0.1");
+    srv.port = static_cast<std::uint16_t>(cli.get_int("port", 0));
+    srv.num_threads = cli.get_int("http-threads", 4);
+    const std::string port_file = cli.get_string("port-file", "");
+
+    fe.service.num_workers = cli.get_int("workers", util::max_threads());
+    fe.service.queue_capacity = static_cast<std::size_t>(cli.get_int("queue", 32));
+    const std::string policy = cli.get_string("policy", "block");
+    CSCV_CHECK_MSG(policy == "block" || policy == "reject",
+                   "--policy must be block or reject (got " << policy << ")");
+    fe.service.admission = policy == "reject" ? pipeline::AdmissionPolicy::kReject
+                                              : pipeline::AdmissionPolicy::kBlock;
+    fe.service.max_batch = cli.get_int("max-batch", 1);
+    fe.service.cache.budget_bytes =
+        static_cast<std::size_t>(cli.get_int("budget_mb", 512)) << 20;
+    fe.service.cache.spill_dir = cli.get_string("spill", "");
+    fe.service.interactive_deadline_seconds =
+        cli.get_double("interactive-deadline", 0.0);
+    fe.quota.tokens = cli.get_double("quota-tokens", 0.0);
+    fe.quota.refill_per_second = cli.get_double("quota-refill", 0.0);
+    fe.max_sinogram_bytes =
+        static_cast<std::size_t>(cli.get_int("max-sinogram-mb", 64)) << 20;
+    cli.finish();
+
+    net::ServiceFrontEnd frontend(fe);
+    net::HttpServer server(frontend.make_router(), srv);
+
+    struct sigaction sa = {};
+    sa.sa_handler = on_signal;
+    sigaction(SIGINT, &sa, nullptr);
+    sigaction(SIGTERM, &sa, nullptr);
+
+    // The line scripts wait for; flushed before any request is handled.
+    std::cout << "cscv_serve listening on " << server.host() << ":" << server.port()
+              << " (workers=" << fe.service.num_workers
+              << ", http-threads=" << srv.num_threads << ", quota-tokens="
+              << fe.quota.tokens << ")" << std::endl;
+    if (!port_file.empty()) {
+      std::ofstream out(port_file, std::ios::trunc);
+      CSCV_CHECK_MSG(out.good(), "cannot write --port-file " << port_file);
+      out << server.port() << "\n";
+    }
+
+    while (g_signal.load(std::memory_order_relaxed) == 0) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(100));
+    }
+    const int sig = g_signal.load(std::memory_order_relaxed);
+    std::cout << "cscv_serve: caught signal " << sig << ", draining ("
+              << server.requests_served() << " requests served)" << std::endl;
+    server.stop();                  // stop taking HTTP traffic first,
+    frontend.service().shutdown();  // then drain queued reconstructions
+    return 0;
+  } catch (const std::exception& e) {
+    std::cerr << "cscv_serve: error: " << e.what() << "\n";
+    return 1;
+  }
+}

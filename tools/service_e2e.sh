@@ -1,0 +1,109 @@
+#!/usr/bin/env bash
+# service_e2e.sh — the end-to-end gate behind CI's service-e2e job.
+#
+# Boots cscv_serve on an ephemeral loopback port and proves the acceptance
+# criteria of the HTTP front end (docs/SERVICE.md):
+#
+#   1. A batch job and an interactive job served over HTTP produce volumes
+#      BITWISE IDENTICAL to the same jobs run through an in-process
+#      ReconService (`cscv_cli submit --local`).
+#   2. An over-quota submit is refused with a structured 429 while the batch
+#      job is still in flight — and that job still completes correctly.
+#   3. /stats parses as the typed wire format and reports jobs_ok == 2.
+#
+# Usage: tools/service_e2e.sh [BUILD_DIR]   (default: build)
+# SERVICE_E2E_WORKDIR overrides the scratch dir (CI points it at a path it
+# uploads as an artifact on failure; default: a fresh mktemp -d).
+set -euo pipefail
+
+BUILD_DIR="${1:-build}"
+SERVE="$BUILD_DIR/tools/cscv_serve"
+CLI="$BUILD_DIR/tools/cscv_cli"
+[ -x "$SERVE" ] || { echo "service_e2e: $SERVE not built" >&2; exit 2; }
+[ -x "$CLI" ] || { echo "service_e2e: $CLI not built" >&2; exit 2; }
+
+WORK="${SERVICE_E2E_WORKDIR:-$(mktemp -d)}"
+mkdir -p "$WORK"
+SERVER_PID=""
+
+cleanup() {
+  if [ -n "$SERVER_PID" ] && kill -0 "$SERVER_PID" 2>/dev/null; then
+    kill -TERM "$SERVER_PID" 2>/dev/null || true
+    wait "$SERVER_PID" 2>/dev/null || true
+  fi
+}
+trap cleanup EXIT
+
+fail() {
+  echo "service_e2e: FAIL: $*" >&2
+  if [ -f "$WORK/server.log" ]; then
+    echo "--- server log ($WORK/server.log) ---" >&2
+    sed 's/^/  server| /' "$WORK/server.log" >&2
+  fi
+  exit 1
+}
+
+# Quota of exactly 2 tokens (negligible refill): the heavy batch job and the
+# interactive job drain it, so the third submit must bounce with 429.
+"$SERVE" --port=0 --port-file="$WORK/port.txt" --workers=2 \
+  --quota-tokens=2 --quota-refill=0.001 --interactive-deadline=60 \
+  > "$WORK/server.log" 2>&1 &
+SERVER_PID=$!
+
+for _ in $(seq 1 100); do
+  [ -s "$WORK/port.txt" ] && break
+  kill -0 "$SERVER_PID" 2>/dev/null || fail "server died during startup"
+  sleep 0.1
+done
+[ -s "$WORK/port.txt" ] || fail "server never wrote its port file"
+PORT="$(cat "$WORK/port.txt")"
+echo "service_e2e: server up on port $PORT (log: $WORK/server.log)"
+
+# Two distinct job shapes so the served path exercises cache keying, not one
+# hot entry. BATCH is deliberately heavy enough to still be in flight when
+# the over-quota submit arrives.
+INTERACTIVE_FLAGS="--image=64 --views=48 --algorithm=sirt --iters=8"
+BATCH_FLAGS="--image=96 --views=60 --algorithm=sirt --iters=40"
+
+echo "service_e2e: building in-process reference volumes"
+"$CLI" submit --local $INTERACTIVE_FLAGS --save-volume="$WORK/ref_interactive.raw" \
+  > /dev/null || fail "local interactive reference failed"
+"$CLI" submit --local $BATCH_FLAGS --save-volume="$WORK/ref_batch.raw" \
+  > /dev/null || fail "local batch reference failed"
+
+echo "service_e2e: submitting batch job (no-wait) + interactive job over HTTP"
+BATCH_ID="$("$CLI" submit --port="$PORT" --class=batch --tag=e2e-batch \
+  $BATCH_FLAGS --no-wait)" || fail "batch submit failed"
+"$CLI" submit --port="$PORT" --class=interactive --tag=e2e-interactive \
+  $INTERACTIVE_FLAGS --save-volume="$WORK/srv_interactive.raw" \
+  || fail "interactive submit failed"
+
+echo "service_e2e: over-quota submit must return structured 429"
+set +e
+OVERQUOTA_OUT="$("$CLI" submit --port="$PORT" $INTERACTIVE_FLAGS 2>&1)"
+OVERQUOTA_EXIT=$?
+set -e
+[ "$OVERQUOTA_EXIT" -eq 3 ] \
+  || fail "over-quota submit exited $OVERQUOTA_EXIT (want 3): $OVERQUOTA_OUT"
+echo "$OVERQUOTA_OUT" | grep -q "HTTP 429" || fail "no 429 status: $OVERQUOTA_OUT"
+echo "$OVERQUOTA_OUT" | grep -q '"code":"quota_exhausted"' \
+  || fail "429 body lacks structured error code: $OVERQUOTA_OUT"
+
+echo "service_e2e: fetching the in-flight batch job (id $BATCH_ID)"
+"$CLI" fetch --port="$PORT" --id="$BATCH_ID" \
+  --save-volume="$WORK/srv_batch.raw" || fail "batch fetch failed"
+
+echo "service_e2e: comparing served volumes against local references (bitwise)"
+cmp "$WORK/ref_interactive.raw" "$WORK/srv_interactive.raw" \
+  || fail "interactive volume differs from in-process reference"
+cmp "$WORK/ref_batch.raw" "$WORK/srv_batch.raw" \
+  || fail "batch volume differs from in-process reference"
+
+echo "service_e2e: checking /stats (typed parse + jobs_ok == 2)"
+"$CLI" stats --port="$PORT" --expect-ok=2 || fail "/stats check failed"
+
+kill -TERM "$SERVER_PID"
+wait "$SERVER_PID" || fail "server exited non-zero on SIGTERM"
+SERVER_PID=""
+
+echo "service_e2e: PASS"
