@@ -19,7 +19,6 @@
 
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <span>
 
 #include "core/layout.hpp"
@@ -29,6 +28,7 @@
 #include "sparse/csc.hpp"
 #include "sparse/types.hpp"
 #include "util/aligned_vector.hpp"
+#include "util/sync.hpp"
 
 namespace cscv::core {
 
@@ -224,13 +224,18 @@ class CscvMatrix {
   // of the matrix it was built for, so an assignment target's stale plan
   // would still "match" its own address while indexing the replaced (or
   // destroyed) arrays — the slots must go, on both sides.
+  // The assignment operators take the (uncontended — assignment implies
+  // exclusive access) locks sequentially, never nested, purely so the
+  // capability analysis can check them like any other member; constructors
+  // are outside the analysis by design.
   struct PlanCache {
-    std::mutex mu;
-    std::vector<std::shared_ptr<SpmvPlan<T>>> slots;  // MRU first
+    util::Mutex mu;
+    std::vector<std::shared_ptr<SpmvPlan<T>>> slots CSCV_GUARDED_BY(mu);  // MRU first
 
     PlanCache() = default;
     PlanCache(const PlanCache&) noexcept {}
     PlanCache& operator=(const PlanCache&) noexcept {
+      util::MutexLock lock(mu);
       slots.clear();
       return *this;
     }
@@ -238,7 +243,11 @@ class CscvMatrix {
       other.slots.clear();  // the moved-from matrix is gutted, so its
     }                       // plans must go too
     PlanCache& operator=(PlanCache&& other) noexcept {
-      slots.clear();
+      {
+        util::MutexLock lock(mu);
+        slots.clear();
+      }
+      util::MutexLock lock_other(other.mu);
       other.slots.clear();
       return *this;
     }

@@ -360,7 +360,7 @@ const SpmvPlan<T>& CscvMatrix<T>::plan(const PlanOptions& opts) const {
   // a scan of a handful of slots, keyed on the full (options, thread count)
   // configuration — so distinct num_rhs values (a service batching jobs at
   // several widths) coexist instead of thrashing one slot.
-  std::lock_guard<std::mutex> lock(plan_cache_.mu);
+  util::MutexLock lock(plan_cache_.mu);
   auto& slots = plan_cache_.slots;
   for (std::size_t i = 0; i < slots.size(); ++i) {
     if (slots[i]->matches(*this, opts, want_threads)) {

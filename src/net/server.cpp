@@ -44,7 +44,7 @@ void HttpServer::connection_main() {
 
 void HttpServer::serve_connection(Socket conn) {
   {
-    std::lock_guard<std::mutex> lock(active_mu_);
+    util::MutexLock lock(active_mu_);
     active_[std::this_thread::get_id()] = conn.fd();
   }
   RequestParser parser(options_.limits);
@@ -92,13 +92,13 @@ void HttpServer::serve_connection(Socket conn) {
     if (close_after) break;
   }
   {
-    std::lock_guard<std::mutex> lock(active_mu_);
+    util::MutexLock lock(active_mu_);
     active_.erase(std::this_thread::get_id());
   }
 }
 
 void HttpServer::stop() {
-  std::lock_guard<std::mutex> guard(stop_mu_);
+  util::MutexLock guard(stop_mu_);
   if (stopped_) return;
   stopped_ = true;
   stopping_.store(true, std::memory_order_relaxed);
@@ -107,7 +107,7 @@ void HttpServer::stop() {
   // Wake threads parked in recv() on a live connection. Queued-but-unserved
   // sockets are dropped when the queue drains below.
   {
-    std::lock_guard<std::mutex> lock(active_mu_);
+    util::MutexLock lock(active_mu_);
     for (const auto& [tid, fd] : active_) {
       if (fd >= 0) ::shutdown(fd, SHUT_RDWR);
     }

@@ -21,7 +21,6 @@
 
 #include <atomic>
 #include <cstdint>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <unordered_map>
@@ -31,6 +30,7 @@
 #include "net/router.hpp"
 #include "net/socket.hpp"
 #include "pipeline/queue.hpp"
+#include "util/sync.hpp"
 
 namespace cscv::net {
 
@@ -81,13 +81,16 @@ class HttpServer {
   std::atomic<bool> stopping_{false};
   std::atomic<std::uint64_t> requests_served_{0};
 
-  std::mutex active_mu_;  // guards active_ (fds of live connections)
-  std::unordered_map<std::thread::id, int> active_;
+  util::Mutex active_mu_;
+  // fds of live connections, shut down on stop() to unblock recv().
+  std::unordered_map<std::thread::id, int> active_ CSCV_GUARDED_BY(active_mu_);
 
   std::thread acceptor_;
   std::vector<std::thread> threads_;
-  std::mutex stop_mu_;
-  bool stopped_ = false;
+  // Serializes stop() callers; held across the joins (which contend
+  // active_mu_ from connection threads), so stop_mu_ orders before it.
+  util::Mutex stop_mu_ CSCV_ACQUIRED_BEFORE(active_mu_);
+  bool stopped_ CSCV_GUARDED_BY(stop_mu_) = false;
 };
 
 }  // namespace cscv::net

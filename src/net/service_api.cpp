@@ -99,7 +99,7 @@ HttpResponse ServiceFrontEnd::handle_submit(const HttpRequest& request,
     if (const util::Json* b64 = spec.find("sinogram_b64");
         b64 != nullptr && b64->is_string() &&
         b64->as_string().size() / 4 * 3 > options_.max_sinogram_bytes) {
-      std::lock_guard<std::mutex> lock(mu_);
+      util::MutexLock lock(mu_);
       ++payload_rejections_;
       return HttpResponse::error(413, "payload_too_large",
                                  "sinogram exceeds max_sinogram_bytes = " +
@@ -107,12 +107,12 @@ HttpResponse ServiceFrontEnd::handle_submit(const HttpRequest& request,
     }
     job = pipeline::ReconJob::from_json(spec);
   } catch (const util::CheckError& e) {
-    std::lock_guard<std::mutex> lock(mu_);
+    util::MutexLock lock(mu_);
     ++bad_requests_;
     return HttpResponse::error(400, "bad_request", e.what());
   }
   if (job.sinogram.size() * sizeof(float) > options_.max_sinogram_bytes) {
-    std::lock_guard<std::mutex> lock(mu_);
+    util::MutexLock lock(mu_);
     ++payload_rejections_;
     return HttpResponse::error(413, "payload_too_large",
                                "sinogram exceeds max_sinogram_bytes = " +
@@ -123,7 +123,7 @@ HttpResponse ServiceFrontEnd::handle_submit(const HttpRequest& request,
   const std::string tenant = job.tenant;
   const pipeline::QosClass qos = job.qos;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    util::MutexLock lock(mu_);
     double retry_after = 0.0;
     if (!try_take_token(tenant, retry_after)) {
       ++quota_rejections_;
@@ -162,7 +162,7 @@ HttpResponse ServiceFrontEnd::handle_submit(const HttpRequest& request,
     record.result = std::move(result);
     record.tenant = tenant;
     record.qos = qos;
-    std::lock_guard<std::mutex> lock(mu_);
+    util::MutexLock lock(mu_);
     jobs_.emplace(submitted.id, std::move(record));
     completed_order_.push_back(submitted.id);
   } else {
@@ -170,7 +170,7 @@ HttpResponse ServiceFrontEnd::handle_submit(const HttpRequest& request,
     record.future = std::move(submitted.result);
     record.tenant = tenant;
     record.qos = qos;
-    std::lock_guard<std::mutex> lock(mu_);
+    util::MutexLock lock(mu_);
     jobs_.emplace(submitted.id, std::move(record));
   }
 
@@ -212,7 +212,7 @@ HttpResponse ServiceFrontEnd::handle_job_status(const HttpRequest& /*request*/,
   if (!id.has_value()) {
     return HttpResponse::error(404, "not_found", "no such job id");
   }
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   JobRecord* record = find_and_poll_locked(*id);
   if (record == nullptr) {
     return HttpResponse::error(404, "not_found",
@@ -243,7 +243,7 @@ HttpResponse ServiceFrontEnd::handle_job_volume(const HttpRequest& /*request*/,
   if (!id.has_value()) {
     return HttpResponse::error(404, "not_found", "no such job id");
   }
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   JobRecord* record = find_and_poll_locked(*id);
   if (record == nullptr) {
     return HttpResponse::error(404, "not_found", "unknown job id " + std::to_string(*id));
@@ -275,7 +275,7 @@ HttpResponse ServiceFrontEnd::handle_cancel(const HttpRequest& /*request*/,
     return HttpResponse::error(404, "not_found", "no such job id");
   }
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    util::MutexLock lock(mu_);
     if (jobs_.find(*id) == jobs_.end()) {
       return HttpResponse::error(404, "not_found",
                                  "unknown job id " + std::to_string(*id));
@@ -294,7 +294,7 @@ util::Json ServiceFrontEnd::stats_json() const {
   j["jobs_ok"] = util::Json(service_stats.completed);
   j["service"] = service_stats.to_json();
   j["cache"] = service_.cache_stats().to_json();
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   util::Json tenants = util::Json::object();
   for (const auto& [name, state] : tenants_) {
     util::Json t = util::Json::object();

@@ -26,13 +26,13 @@
 #include <deque>
 #include <future>
 #include <map>
-#include <mutex>
 #include <string>
 #include <unordered_map>
 
 #include "net/router.hpp"
 #include "pipeline/service.hpp"
 #include "util/json.hpp"
+#include "util/sync.hpp"
 
 namespace cscv::net {
 
@@ -98,23 +98,25 @@ class ServiceFrontEnd {
 
   /// Takes one token for `tenant`; on failure returns false and reports the
   /// seconds until a token is available (the Retry-After hint).
-  bool try_take_token(const std::string& tenant, double& retry_after_seconds);
+  bool try_take_token(const std::string& tenant, double& retry_after_seconds)
+      CSCV_REQUIRES(mu_);
 
   /// Looks up `id`, resolving the future into `result` if it finished.
   /// nullptr when unknown/evicted (the caller turns that into 404/410).
-  JobRecord* find_and_poll_locked(std::uint64_t id);
+  JobRecord* find_and_poll_locked(std::uint64_t id) CSCV_REQUIRES(mu_);
 
   FrontEndOptions options_;
   pipeline::ReconService service_;
 
-  mutable std::mutex mu_;  // guards jobs_, completed_order_, tenants_, counters
-  std::unordered_map<std::uint64_t, JobRecord> jobs_;
-  std::deque<std::uint64_t> completed_order_;  // eviction order (oldest first)
-  std::map<std::string, TenantState> tenants_;
-  std::uint64_t evicted_results_ = 0;
-  std::uint64_t quota_rejections_ = 0;
-  std::uint64_t payload_rejections_ = 0;
-  std::uint64_t bad_requests_ = 0;
+  mutable util::Mutex mu_;
+  std::unordered_map<std::uint64_t, JobRecord> jobs_ CSCV_GUARDED_BY(mu_);
+  // Eviction order (oldest first).
+  std::deque<std::uint64_t> completed_order_ CSCV_GUARDED_BY(mu_);
+  std::map<std::string, TenantState> tenants_ CSCV_GUARDED_BY(mu_);
+  std::uint64_t evicted_results_ CSCV_GUARDED_BY(mu_) = 0;
+  std::uint64_t quota_rejections_ CSCV_GUARDED_BY(mu_) = 0;
+  std::uint64_t payload_rejections_ CSCV_GUARDED_BY(mu_) = 0;
+  std::uint64_t bad_requests_ CSCV_GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace cscv::net

@@ -196,7 +196,7 @@ void SystemMatrixCache::spill_entries(
       MatrixKey key{entry->geometry, entry->cscv->params(), entry->cscv->variant(),
                     entry->algorithm};
       core::save_cscv_file(spill_path(key), *entry->cscv);
-      std::lock_guard<std::mutex> lock(mu_);
+      util::MutexLock lock(mu_);
       ++stats_.spills;
     } catch (const std::exception&) {
       // Spill is an optimization; a full-disk or unwritable directory
@@ -210,7 +210,7 @@ SystemMatrixCache::Acquired SystemMatrixCache::get_or_build(const MatrixKey& key
   const std::string fp = key.fingerprint();
   std::shared_ptr<Slot> slot;
   {
-    std::unique_lock<std::mutex> lock(mu_);
+    util::MutexLock lock(mu_);
     auto it = slots_.find(fp);
     if (it != slots_.end()) {
       slot = it->second;
@@ -222,7 +222,7 @@ SystemMatrixCache::Acquired SystemMatrixCache::get_or_build(const MatrixKey& key
       // Single-flight: someone else is building this key right now — wait
       // for that one build instead of starting a duplicate.
       ++stats_.single_flight_waits;
-      ready_.wait(lock, [&] { return !slot->building; });
+      while (slot->building) ready_.wait(mu_);
       if (slot->error) std::rethrow_exception(slot->error);
       touch_locked(fp);
       return {slot->entry, false, false, timer.seconds()};
@@ -241,7 +241,7 @@ SystemMatrixCache::Acquired SystemMatrixCache::get_or_build(const MatrixKey& key
     restored = entry != nullptr;
     if (!entry) entry = build_entry(key);
   } catch (...) {
-    std::lock_guard<std::mutex> lock(mu_);
+    util::MutexLock lock(mu_);
     slot->building = false;
     slot->error = std::current_exception();
     slots_.erase(fp);  // waiters rethrow via their slot ref; new calls retry
@@ -251,7 +251,7 @@ SystemMatrixCache::Acquired SystemMatrixCache::get_or_build(const MatrixKey& key
 
   std::vector<std::shared_ptr<const SystemMatrixEntry>> victims;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    util::MutexLock lock(mu_);
     slot->building = false;
     slot->entry = entry;
     if (restored) {
@@ -269,7 +269,7 @@ SystemMatrixCache::Acquired SystemMatrixCache::get_or_build(const MatrixKey& key
 }
 
 CacheStats SystemMatrixCache::stats() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   CacheStats s = stats_;
   s.resident_bytes = resident_bytes_;
   s.resident_entries = lru_.size();
@@ -277,7 +277,7 @@ CacheStats SystemMatrixCache::stats() const {
 }
 
 std::vector<std::string> SystemMatrixCache::resident_fingerprints() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   return {lru_.begin(), lru_.end()};
 }
 
@@ -288,7 +288,7 @@ void SystemMatrixCache::clear() {
   // budget here (even briefly) would be a data race against readers.
   std::vector<std::shared_ptr<const SystemMatrixEntry>> victims;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    util::MutexLock lock(mu_);
     victims = evict_to_locked(0, "");
   }
   spill_entries(victims);

@@ -25,12 +25,10 @@
 // with — the entry dies when its last user lets go.
 #pragma once
 
-#include <condition_variable>
 #include <cstddef>
 #include <cstdint>
 #include <list>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <unordered_map>
@@ -42,6 +40,7 @@
 #include "ct/geometry.hpp"
 #include "sparse/csr.hpp"
 #include "util/json.hpp"
+#include "util/sync.hpp"
 
 namespace cscv::pipeline {
 
@@ -156,6 +155,11 @@ class SystemMatrixCache {
   [[nodiscard]] std::string spill_path(const MatrixKey& key) const;
 
  private:
+  // Slot fields are written by the builder and read by waiters, all under
+  // the cache's mu_ — but a nested struct cannot name the enclosing
+  // object's mutex in a CSCV_GUARDED_BY, so the invariant is enforced by
+  // TSan and review here rather than the capability analysis. Keep every
+  // Slot access inside a MutexLock(mu_) scope.
   struct Slot {
     bool building = true;
     std::shared_ptr<const SystemMatrixEntry> entry;  // set once ready
@@ -167,25 +171,29 @@ class SystemMatrixCache {
   /// Attempts a spill restore; nullptr when unavailable/unusable.
   [[nodiscard]] std::shared_ptr<SystemMatrixEntry> try_restore(const MatrixKey& key) const;
   /// Evicts LRU entries (never `keep`) until resident bytes fit `budget`.
-  /// Lock held. Returns the evicted entries that want a spill file; the
-  /// caller writes them via spill_entries() AFTER releasing mu_ — spilling
-  /// a multi-hundred-MB matrix under the lock would stall every concurrent
+  /// Returns the evicted entries that want a spill file; the caller writes
+  /// them via spill_entries() AFTER releasing mu_ — spilling a
+  /// multi-hundred-MB matrix under the lock would stall every concurrent
   /// lookup (including pure hits) for the full duration of the disk write.
   [[nodiscard]] std::vector<std::shared_ptr<const SystemMatrixEntry>> evict_to_locked(
-      std::size_t budget, const std::string& keep);
-  /// Writes spill files for evicted entries. No lock held: entries are
-  /// immutable shared_ptrs and options_ never changes after construction.
+      std::size_t budget, const std::string& keep) CSCV_REQUIRES(mu_);
+  /// Writes spill files for evicted entries. Must NOT hold mu_ (the
+  /// off-lock I/O rule, docs/CONCURRENCY.md): entries are immutable
+  /// shared_ptrs and options_ never changes after construction, so the
+  /// writes need no lock — only the stats_.spills increment re-locks.
   void spill_entries(
-      const std::vector<std::shared_ptr<const SystemMatrixEntry>>& victims);
-  void touch_locked(const std::string& fingerprint);
+      const std::vector<std::shared_ptr<const SystemMatrixEntry>>& victims)
+      CSCV_EXCLUDES(mu_);
+  void touch_locked(const std::string& fingerprint) CSCV_REQUIRES(mu_);
 
   Options options_;
-  mutable std::mutex mu_;
-  std::condition_variable ready_;  // signaled when a slot leaves kBuilding
-  std::unordered_map<std::string, std::shared_ptr<Slot>> slots_;
-  std::list<std::string> lru_;  // ready entries only; front = most recent
-  std::size_t resident_bytes_ = 0;
-  CacheStats stats_;
+  mutable util::Mutex mu_;
+  util::CondVar ready_;  // signaled when a slot leaves kBuilding
+  std::unordered_map<std::string, std::shared_ptr<Slot>> slots_ CSCV_GUARDED_BY(mu_);
+  // Ready entries only; front = most recent.
+  std::list<std::string> lru_ CSCV_GUARDED_BY(mu_);
+  std::size_t resident_bytes_ CSCV_GUARDED_BY(mu_) = 0;
+  CacheStats stats_ CSCV_GUARDED_BY(mu_);
 };
 
 }  // namespace cscv::pipeline

@@ -15,17 +15,21 @@
 // false only once the queue is closed *and* empty — the graceful-drain
 // contract. drain() grabs everything still queued in one swoop (the abort
 // path, where the service fails the leftovers itself).
+//
+// The lock discipline is compile-time checked: every guarded member carries
+// CSCV_GUARDED_BY(mu_) and the condvar waits are explicit while-loops, so a
+// Clang build with -Wthread-safety proves no unlocked access exists
+// (docs/CONCURRENCY.md).
 #pragma once
 
 #include <chrono>
-#include <condition_variable>
 #include <cstddef>
 #include <deque>
-#include <mutex>
 #include <utility>
 #include <vector>
 
 #include "util/assertx.hpp"
+#include "util/sync.hpp"
 
 namespace cscv::pipeline {
 
@@ -44,8 +48,8 @@ class BoundedQueue {
   /// Blocking admission: waits for space, moves from `item` on kOk.
   /// Returns kClosed (item untouched) if the queue closes while waiting.
   PushResult push(T& item) {
-    std::unique_lock<std::mutex> lock(mu_);
-    space_.wait(lock, [&] { return closed_ || items_.size() < capacity_; });
+    util::MutexLock lock(mu_);
+    while (!closed_ && items_.size() >= capacity_) space_.wait(mu_);
     if (closed_) return PushResult::kClosed;
     items_.push_back(std::move(item));
     lock.unlock();
@@ -55,7 +59,7 @@ class BoundedQueue {
 
   /// Non-blocking admission: moves from `item` only on kOk.
   PushResult try_push(T& item) {
-    std::unique_lock<std::mutex> lock(mu_);
+    util::MutexLock lock(mu_);
     if (closed_) return PushResult::kClosed;
     if (items_.size() >= capacity_) return PushResult::kFull;
     items_.push_back(std::move(item));
@@ -67,8 +71,8 @@ class BoundedQueue {
   /// Blocks until an item is available (true) or the queue is closed and
   /// fully drained (false) — consumers use the false return to exit.
   bool pop(T& out) {
-    std::unique_lock<std::mutex> lock(mu_);
-    ready_.wait(lock, [&] { return closed_ || !items_.empty(); });
+    util::MutexLock lock(mu_);
+    while (!closed_ && items_.empty()) ready_.wait(mu_);
     if (items_.empty()) return false;
     out = std::move(items_.front());
     items_.pop_front();
@@ -80,14 +84,17 @@ class BoundedQueue {
   /// Bounded-wait pop: like pop(), but gives up after `timeout`. Returns
   /// true with an item moved into `out`; false on timeout or when the
   /// queue is closed and fully drained (check closed() to tell the two
-  /// apart). A zero or negative timeout is a non-blocking poll. The
-  /// predicate-form wait_for re-checks against a deadline fixed up front,
-  /// so spurious wakeups neither return early nor extend the wait — the
-  /// batching window of ReconService leans on both properties.
+  /// apart). A zero or negative timeout is a non-blocking poll. The wait
+  /// loops on a deadline fixed up front, so spurious wakeups neither
+  /// return early nor extend the wait — the batching window of
+  /// ReconService leans on both properties.
   template <typename Rep, typename Period>
   bool try_pop_for(T& out, std::chrono::duration<Rep, Period> timeout) {
-    std::unique_lock<std::mutex> lock(mu_);
-    ready_.wait_for(lock, timeout, [&] { return closed_ || !items_.empty(); });
+    const auto deadline = std::chrono::steady_clock::now() + timeout;
+    util::MutexLock lock(mu_);
+    while (!closed_ && items_.empty()) {
+      if (ready_.wait_until(mu_, deadline) == std::cv_status::timeout) break;
+    }
     if (items_.empty()) return false;
     out = std::move(items_.front());
     items_.pop_front();
@@ -99,7 +106,7 @@ class BoundedQueue {
   /// Refuses producers from now on; consumers drain the remaining items.
   void close() {
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      util::MutexLock lock(mu_);
       closed_ = true;
     }
     ready_.notify_all();
@@ -109,7 +116,7 @@ class BoundedQueue {
   /// Removes and returns everything still queued (the abort-shutdown path;
   /// the caller owns resolving the drained items).
   std::vector<T> drain() {
-    std::lock_guard<std::mutex> lock(mu_);
+    util::MutexLock lock(mu_);
     std::vector<T> out;
     out.reserve(items_.size());
     for (T& item : items_) out.push_back(std::move(item));
@@ -118,22 +125,22 @@ class BoundedQueue {
   }
 
   [[nodiscard]] std::size_t size() const {
-    std::lock_guard<std::mutex> lock(mu_);
+    util::MutexLock lock(mu_);
     return items_.size();
   }
   [[nodiscard]] std::size_t capacity() const { return capacity_; }
   [[nodiscard]] bool closed() const {
-    std::lock_guard<std::mutex> lock(mu_);
+    util::MutexLock lock(mu_);
     return closed_;
   }
 
  private:
   const std::size_t capacity_;
-  mutable std::mutex mu_;
-  std::condition_variable ready_;  // signaled on push / close
-  std::condition_variable space_;  // signaled on pop / close
-  std::deque<T> items_;
-  bool closed_ = false;
+  mutable util::Mutex mu_;
+  util::CondVar ready_;  // signaled on push / close
+  util::CondVar space_;  // signaled on pop / close
+  std::deque<T> items_ CSCV_GUARDED_BY(mu_);
+  bool closed_ CSCV_GUARDED_BY(mu_) = false;
 };
 
 }  // namespace cscv::pipeline

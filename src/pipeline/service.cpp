@@ -210,7 +210,7 @@ void ReconService::resolve_without_running(Pending& p, JobStatus status) {
 }
 
 void ReconService::count_status(JobStatus status) {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   switch (status) {
     case JobStatus::kOk: ++stats_.completed; break;
     case JobStatus::kRejected: ++stats_.rejected; break;
@@ -233,7 +233,7 @@ ReconService::Submitted ReconService::submit(ReconJob job) {
   p.submit_time = std::chrono::steady_clock::now();
   Submitted handle{p.id, p.promise.get_future()};
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    util::MutexLock lock(mu_);
     ++stats_.submitted;
     ++(p.job.qos == QosClass::kInteractive ? stats_.qos_interactive
                                            : stats_.qos_batch);
@@ -250,7 +250,7 @@ ReconService::Submitted ReconService::submit(ReconJob job) {
   if (admitted != PushResult::kOk) {
     bool was_cancelled = false;
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      util::MutexLock lock(mu_);
       queued_ids_.erase(p.id);
       // A concurrent cancel() may have seen the id (registered above) and
       // returned true; that promises a kCancelled resolution, which wins
@@ -268,14 +268,14 @@ ReconService::Submitted ReconService::submit(ReconJob job) {
 }
 
 bool ReconService::cancel(std::uint64_t job_id) {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   if (queued_ids_.count(job_id) == 0) return false;
   cancelled_.insert(job_id);
   return true;
 }
 
 ServiceStats ReconService::stats() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   return stats_;
 }
 
@@ -347,7 +347,7 @@ void ReconService::worker_main(int worker_index) {
     const auto dequeued = std::chrono::steady_clock::now();
     bool was_cancelled = false;
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      util::MutexLock lock(mu_);
       queued_ids_.erase(p.id);
       was_cancelled = cancelled_.erase(p.id) > 0;
     }
@@ -402,7 +402,7 @@ void ReconService::worker_main(int worker_index) {
         // queued (zero-timeout polls), so an interactive job never idles
         // behind the batching window.
         if (has_deadline && !counted_debatch) {
-          std::lock_guard<std::mutex> lock(mu_);
+          util::MutexLock lock(mu_);
           ++stats_.debatched;
           counted_debatch = true;
         }
@@ -472,7 +472,7 @@ void ReconService::worker_main(int worker_index) {
         for (Member& m : batch) jobs.push_back(std::move(m.p.job));
         std::vector<ReconResult> results = execute_job_batch(jobs, *acquired.entry, plan);
         {
-          std::lock_guard<std::mutex> lock(mu_);
+          util::MutexLock lock(mu_);
           ++stats_.batches;
           stats_.batched_jobs += batch.size();
         }
@@ -501,7 +501,7 @@ void ReconService::worker_main(int worker_index) {
 }
 
 void ReconService::shutdown(DrainMode mode) {
-  std::lock_guard<std::mutex> guard(shutdown_mu_);
+  util::MutexLock guard(shutdown_mu_);
   if (shut_down_) return;
   shut_down_ = true;
 
@@ -509,7 +509,7 @@ void ReconService::shutdown(DrainMode mode) {
   if (mode == DrainMode::kAbort) {
     for (Pending& p : queue_.drain()) {
       {
-        std::lock_guard<std::mutex> lock(mu_);
+        util::MutexLock lock(mu_);
         queued_ids_.erase(p.id);
         cancelled_.erase(p.id);
       }
@@ -523,7 +523,7 @@ void ReconService::shutdown(DrainMode mode) {
   // queued here; every admitted future must resolve before we return.
   for (Pending& p : queue_.drain()) {
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      util::MutexLock lock(mu_);
       queued_ids_.erase(p.id);
       cancelled_.erase(p.id);
     }

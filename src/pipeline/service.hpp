@@ -33,7 +33,6 @@
 #include <cstddef>
 #include <cstdint>
 #include <future>
-#include <mutex>
 #include <span>
 #include <thread>
 #include <unordered_set>
@@ -44,6 +43,7 @@
 #include "pipeline/matrix_cache.hpp"
 #include "pipeline/queue.hpp"
 #include "util/json.hpp"
+#include "util/sync.hpp"
 
 namespace cscv::pipeline {
 
@@ -179,21 +179,24 @@ class ReconService {
   void worker_main(int worker_index);
   /// Resolves a pending job with a no-run status (rejected/expired/...).
   static void resolve_without_running(Pending& p, JobStatus status);
-  void count_status(JobStatus status);
+  /// Takes mu_ itself — never call with mu_ already held.
+  void count_status(JobStatus status) CSCV_EXCLUDES(mu_);
 
   ServiceOptions options_;
   SystemMatrixCache cache_;
   BoundedQueue<Pending> queue_;
   std::atomic<std::uint64_t> next_id_{1};
 
-  mutable std::mutex mu_;  // guards stats_, queued_ids_, cancelled_
-  ServiceStats stats_;
-  std::unordered_set<std::uint64_t> queued_ids_;
-  std::unordered_set<std::uint64_t> cancelled_;
+  mutable util::Mutex mu_;
+  ServiceStats stats_ CSCV_GUARDED_BY(mu_);
+  std::unordered_set<std::uint64_t> queued_ids_ CSCV_GUARDED_BY(mu_);
+  std::unordered_set<std::uint64_t> cancelled_ CSCV_GUARDED_BY(mu_);
 
   std::vector<std::thread> workers_;
-  std::mutex shutdown_mu_;  // serializes shutdown() callers
-  bool shut_down_ = false;  // guarded by shutdown_mu_
+  // Serializes shutdown() callers; held across the worker joins, which take
+  // mu_ — the one nested lock order in the service (docs/CONCURRENCY.md).
+  util::Mutex shutdown_mu_ CSCV_ACQUIRED_BEFORE(mu_);
+  bool shut_down_ CSCV_GUARDED_BY(shutdown_mu_) = false;
 };
 
 }  // namespace cscv::pipeline

@@ -1,0 +1,83 @@
+// Clang Thread Safety Analysis attribute macros (docs/CONCURRENCY.md).
+//
+// The capability analysis (-Wthread-safety) proves at compile time that
+// every access to a guarded member happens with its mutex held — turning
+// "TSan didn't fire on the paths the tests exercised" into "every path is
+// locked by construction". The attributes only mean something to Clang;
+// under any other compiler every macro expands to nothing, so GCC builds
+// are byte-identical with or without them.
+//
+// Conventions (enforced across src/pipeline, src/net, src/core):
+//   * every member mutated under a mutex carries CSCV_GUARDED_BY(mu_);
+//   * every helper that must be called with the lock already held is named
+//     *_locked and carries CSCV_REQUIRES(mu_);
+//   * locks are taken through util::Mutex / util::MutexLock (util/sync.hpp),
+//     never raw std::mutex — the wrappers carry the capability attributes;
+//   * condvar waits are written as explicit while-loops in the annotated
+//     function body, not predicate lambdas: the analysis treats a lambda as
+//     a separate function, so guarded reads inside one would need their own
+//     annotations the lambda cannot express.
+//
+// The macro set mirrors the reference header in the LLVM documentation
+// (https://clang.llvm.org/docs/ThreadSafetyAnalysis.html), CSCV_-prefixed.
+#pragma once
+
+#if defined(__clang__)
+#define CSCV_THREAD_ANNOTATION_(x) __attribute__((x))
+#else
+#define CSCV_THREAD_ANNOTATION_(x)  // no-op off Clang
+#endif
+
+/// Marks a class as a capability (a lockable resource). The string names
+/// the capability kind in diagnostics ("mutex").
+#define CSCV_CAPABILITY(x) CSCV_THREAD_ANNOTATION_(capability(x))
+
+/// Marks an RAII class whose lifetime acquires/releases a capability.
+#define CSCV_SCOPED_CAPABILITY CSCV_THREAD_ANNOTATION_(scoped_lockable)
+
+/// Data member readable/writable only with capability `x` held.
+#define CSCV_GUARDED_BY(x) CSCV_THREAD_ANNOTATION_(guarded_by(x))
+
+/// Pointer member whose *pointee* is guarded by capability `x`.
+#define CSCV_PT_GUARDED_BY(x) CSCV_THREAD_ANNOTATION_(pt_guarded_by(x))
+
+/// Lock-ordering edges: this capability must be acquired after/before the
+/// listed ones (the static lock-hierarchy check).
+#define CSCV_ACQUIRED_AFTER(...) CSCV_THREAD_ANNOTATION_(acquired_after(__VA_ARGS__))
+#define CSCV_ACQUIRED_BEFORE(...) CSCV_THREAD_ANNOTATION_(acquired_before(__VA_ARGS__))
+
+/// Function requires the listed capabilities held on entry (and does not
+/// release them): the `_locked` helper contract.
+#define CSCV_REQUIRES(...) CSCV_THREAD_ANNOTATION_(requires_capability(__VA_ARGS__))
+#define CSCV_REQUIRES_SHARED(...) \
+  CSCV_THREAD_ANNOTATION_(requires_shared_capability(__VA_ARGS__))
+
+/// Function acquires/releases the listed capabilities (empty list on a
+/// member function of a capability class means `this`).
+#define CSCV_ACQUIRE(...) CSCV_THREAD_ANNOTATION_(acquire_capability(__VA_ARGS__))
+#define CSCV_ACQUIRE_SHARED(...) \
+  CSCV_THREAD_ANNOTATION_(acquire_shared_capability(__VA_ARGS__))
+#define CSCV_RELEASE(...) CSCV_THREAD_ANNOTATION_(release_capability(__VA_ARGS__))
+#define CSCV_RELEASE_SHARED(...) \
+  CSCV_THREAD_ANNOTATION_(release_shared_capability(__VA_ARGS__))
+
+/// Function acquires the capability only when returning `b` (try_lock).
+#define CSCV_TRY_ACQUIRE(...) CSCV_THREAD_ANNOTATION_(try_acquire_capability(__VA_ARGS__))
+
+/// Function must NOT be called with the listed capabilities held (deadlock
+/// guard for public entry points that take the lock themselves).
+#define CSCV_EXCLUDES(...) CSCV_THREAD_ANNOTATION_(locks_excluded(__VA_ARGS__))
+
+/// Runtime assertion that the capability is held (fatal if not); teaches
+/// the analysis the fact without acquiring.
+#define CSCV_ASSERT_CAPABILITY(x) CSCV_THREAD_ANNOTATION_(assert_capability(x))
+
+/// Function returns a reference to the named capability (accessor pattern).
+#define CSCV_RETURN_CAPABILITY(x) CSCV_THREAD_ANNOTATION_(lock_returned(x))
+
+/// Escape hatch: disables the analysis for one function. Every use must
+/// carry a comment saying why the analysis cannot see the invariant
+/// (docs/CONCURRENCY.md lists the accepted reasons). Zero uses are allowed
+/// in src/pipeline and src/net — the negative compile tests in tests/static
+/// keep the analysis itself honest.
+#define CSCV_NO_THREAD_SAFETY_ANALYSIS CSCV_THREAD_ANNOTATION_(no_thread_safety_analysis)

@@ -1,0 +1,26 @@
+// Fuzz surface: util::base64_decode — sinogram payloads arrive as
+// "sinogram_b64" strings (src/util/base64.hpp). Contract: malformed text
+// throws util::CheckError; accepted text decodes to bytes whose re-encoding
+// decodes back to the same bytes (decode∘encode is the identity on byte
+// arrays, even when the original text had non-canonical padding bits).
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/assertx.hpp"
+#include "util/base64.hpp"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data, std::size_t size) {
+  const std::string_view text(reinterpret_cast<const char*>(data), size);
+  try {
+    const std::vector<unsigned char> bytes = cscv::util::base64_decode(text);
+    const std::string encoded = cscv::util::base64_encode(bytes.data(), bytes.size());
+    const std::vector<unsigned char> again = cscv::util::base64_decode(encoded);
+    if (again != bytes) __builtin_trap();  // decode/encode disagree
+  } catch (const cscv::util::CheckError&) {
+    // Malformed input rejected — the expected path.
+  }
+  return 0;
+}

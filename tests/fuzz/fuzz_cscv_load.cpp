@@ -1,0 +1,28 @@
+// Fuzz surface: core::load_cscv — .cscv matrix files are loaded from disk
+// paths callers control (src/core/serialize.hpp). Contract: any byte stream
+// either throws util::CheckError (bad magic/version/truncation/inconsistent
+// counts, all before large allocations) or yields a matrix that passes the
+// cheap verify load_cscv runs internally; the harness additionally walks the
+// full structural verify so index bounds inside the payload get exercised.
+#include <cstddef>
+#include <cstdint>
+#include <sstream>
+#include <string>
+
+#include "core/serialize.hpp"
+#include "core/verify.hpp"
+#include "util/assertx.hpp"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data, std::size_t size) {
+  std::istringstream in(std::string(reinterpret_cast<const char*>(data), size),
+                        std::ios::in | std::ios::binary);
+  try {
+    const auto matrix = cscv::core::load_cscv<float>(in);
+    // Full verify may legitimately report issues (load guarantees the cheap
+    // level only); the point is that walking the structure never crashes.
+    (void)cscv::core::verify(matrix, cscv::core::VerifyLevel::kFull);
+  } catch (const cscv::util::CheckError&) {
+    // Malformed input rejected — the expected path.
+  }
+  return 0;
+}

@@ -1,0 +1,25 @@
+// Fuzz surface: util::Json::parse — every byte of every request body goes
+// through it (src/util/json.hpp). Contract: malformed input throws
+// util::CheckError (bounded by the parser's kMaxDepth recursion cap);
+// accepted input must round-trip stably: dump() reaches a fixed point after
+// one hop, i.e. parse(dump(x)) dumps to the same string.
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "util/assertx.hpp"
+#include "util/json.hpp"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data, std::size_t size) {
+  const std::string_view text(reinterpret_cast<const char*>(data), size);
+  try {
+    const cscv::util::Json parsed = cscv::util::Json::parse(text);
+    const std::string once = parsed.dump();
+    const cscv::util::Json reparsed = cscv::util::Json::parse(once);
+    if (reparsed.dump() != once) __builtin_trap();  // serializer not stable
+  } catch (const cscv::util::CheckError&) {
+    // Malformed input rejected — the expected path.
+  }
+  return 0;
+}

@@ -1,0 +1,29 @@
+// Fuzz surface: pipeline::ReconJob::from_json — the composed POST /v1/jobs
+// path (src/pipeline/job.hpp): JSON text -> strict-key spec validation ->
+// base64 sinogram decode -> geometry checks. Contract: any text either
+// throws util::CheckError (the 400 path) or yields a job whose wire round
+// trip (to_json -> from_json) reproduces the same shape.
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+#include "pipeline/job.hpp"
+#include "util/assertx.hpp"
+#include "util/json.hpp"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data, std::size_t size) {
+  using cscv::pipeline::ReconJob;
+  const std::string_view text(reinterpret_cast<const char*>(data), size);
+  try {
+    const cscv::util::Json spec = cscv::util::Json::parse(text);
+    const ReconJob job = ReconJob::from_json(spec);
+    const ReconJob back = ReconJob::from_json(job.to_json());
+    if (back.sinogram.size() != job.sinogram.size() ||
+        back.geometry.image_size != job.geometry.image_size) {
+      __builtin_trap();  // accepted spec did not survive its own wire format
+    }
+  } catch (const cscv::util::CheckError&) {
+    // Malformed spec rejected — the expected path (HTTP 400).
+  }
+  return 0;
+}

@@ -1,0 +1,37 @@
+// Fuzz surface: net::RequestParser — the first code that touches raw socket
+// bytes (src/net/http.hpp). Any input is fair game; the contract is that the
+// parser never crashes, never reads out of bounds, and answers every byte
+// stream with kNeedMore/kOk/kBadRequest/kTooLarge.
+//
+// The harness feeds the input in two chunks (split point derived from the
+// data) to exercise the incremental resume paths, then drains pipelined
+// requests the way net::HttpServer does.
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+#include "net/http.hpp"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data, std::size_t size) {
+  using namespace cscv::net;
+  HttpLimits limits;
+  limits.max_header_bytes = 4096;  // small limits reach kTooLarge quickly
+  limits.max_body_bytes = std::size_t{1} << 16;
+  RequestParser parser(limits);
+
+  const std::string_view input(reinterpret_cast<const char*>(data), size);
+  const std::size_t split = size == 0 ? 0 : (data[0] * 131u) % (size + 1);
+  ParseStatus status = parser.feed(input.substr(0, split));
+  if (status == ParseStatus::kNeedMore) status = parser.feed(input.substr(split));
+
+  // Drain pipelined requests; bounded because each kOk consumes at least the
+  // request line, and sticky error states break out immediately.
+  for (int i = 0; i < 64 && status == ParseStatus::kOk; ++i) {
+    HttpRequest request = parser.take_request();
+    (void)request.header("content-length");
+    (void)request.query.size();
+    status = parser.poll();
+  }
+  (void)parser.error_detail();
+  return 0;
+}

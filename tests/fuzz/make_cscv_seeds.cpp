@@ -1,0 +1,78 @@
+// Generates the seed corpus for fuzz_cscv_load into the directory given as
+// argv[1]. The .cscv format is binary with payload arrays sized by header
+// counts, so meaningful seeds cannot be checked in as text: this tool saves
+// small real matrices (both variants) and then derives broken ones — a
+// truncated file and single-byte corruptions at spots chosen to land in the
+// header, the counts, and the payload. Build-time generation keeps the
+// seeds in lockstep with the current format version.
+#include <cstddef>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "core/format.hpp"
+#include "core/serialize.hpp"
+#include "ct/geometry.hpp"
+#include "ct/system_matrix.hpp"
+
+namespace {
+
+void write_file(const std::filesystem::path& path, const std::string& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  if (!out) {
+    std::cerr << "make_cscv_seeds: cannot write " << path << "\n";
+    std::exit(1);
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc != 2) {
+    std::cerr << "usage: fuzz_make_cscv_seeds <output-dir>\n";
+    return 1;
+  }
+  const std::filesystem::path dir(argv[1]);
+  std::filesystem::create_directories(dir);
+
+  using Matrix = cscv::core::CscvMatrix<float>;
+  const int image_size = 16;
+  const int num_views = 12;
+  const auto geometry = cscv::ct::standard_geometry(image_size, num_views);
+  const auto csc = cscv::ct::build_system_matrix_csc<float>(geometry);
+  const cscv::core::OperatorLayout layout{image_size, geometry.num_bins, num_views};
+  const cscv::core::CscvParams params{.s_vvec = 8, .s_imgb = 8, .s_vxg = 2};
+
+  std::string valid;
+  for (const auto variant : {Matrix::Variant::kZ, Matrix::Variant::kM}) {
+    const Matrix matrix = Matrix::build(csc, layout, params, variant);
+    std::ostringstream out(std::ios::out | std::ios::binary);
+    cscv::core::save_cscv(out, matrix);
+    const std::string bytes = out.str();
+    const char* name = variant == Matrix::Variant::kZ ? "valid_z.cscv" : "valid_m.cscv";
+    write_file(dir / name, bytes);
+    valid = bytes;
+  }
+
+  write_file(dir / "empty.cscv", "");
+  write_file(dir / "truncated_header.cscv", valid.substr(0, 8));
+  write_file(dir / "truncated_payload.cscv", valid.substr(0, valid.size() / 2));
+
+  // Single-byte corruptions: magic, the version/param region, a count field,
+  // and mid-payload. Offsets are clamped so this stays valid even if the
+  // header layout shifts in a future format version.
+  const std::size_t spots[] = {0, 9, 32, valid.size() / 2, valid.size() - 1};
+  int index = 0;
+  for (const std::size_t spot : spots) {
+    std::string corrupt = valid;
+    const std::size_t at = spot < corrupt.size() ? spot : corrupt.size() - 1;
+    corrupt[at] = static_cast<char>(corrupt[at] ^ 0x5A);
+    write_file(dir / ("corrupt_" + std::to_string(index++) + ".cscv"), corrupt);
+  }
+
+  std::cout << "make_cscv_seeds: wrote corpus into " << dir << "\n";
+  return 0;
+}

@@ -1,0 +1,67 @@
+// Standalone corpus-replay driver for the fuzz harnesses.
+//
+// Every harness TU defines LLVMFuzzerTestOneInput; linking it against this
+// file instead of -fsanitize=fuzzer yields a plain binary that replays each
+// corpus file once and exits. That is what PR CI runs (as a ctest, on any
+// compiler): the checked-in seeds cover the parse paths — including the
+// reject paths — without needing a fuzzing engine. The engine binaries
+// (Clang + -DCSCV_FUZZ=ON) share the harness TU byte for byte, so a crash
+// the nightly fuzzer minimizes replays here verbatim.
+//
+// Usage: fuzz_<surface>_replay <file-or-directory>...
+// Directories are walked recursively; entries run in sorted order so a
+// failure reproduces deterministically. Unknown -flags are ignored so a
+// libFuzzer-style command line also works. Exits nonzero when no input ran
+// (a misconfigured corpus path must fail the ctest, not silently pass).
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data, std::size_t size);
+
+namespace {
+
+std::vector<std::uint8_t> read_file(const std::filesystem::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    std::cerr << "fuzz replay: cannot open " << path << "\n";
+    std::exit(2);
+  }
+  return {std::istreambuf_iterator<char>(in), std::istreambuf_iterator<char>()};
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::filesystem::path> inputs;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.empty() || arg[0] == '-') continue;  // engine-style flag: ignore
+    const std::filesystem::path path(arg);
+    if (std::filesystem::is_directory(path)) {
+      for (const auto& entry : std::filesystem::recursive_directory_iterator(path)) {
+        if (entry.is_regular_file()) inputs.push_back(entry.path());
+      }
+    } else {
+      inputs.push_back(path);
+    }
+  }
+  std::sort(inputs.begin(), inputs.end());
+
+  for (const auto& path : inputs) {
+    const std::vector<std::uint8_t> bytes = read_file(path);
+    std::cout << "run " << path << " (" << bytes.size() << " bytes)\n";
+    LLVMFuzzerTestOneInput(bytes.data(), bytes.size());
+  }
+  if (inputs.empty()) {
+    std::cerr << "fuzz replay: no corpus inputs found\n";
+    return 1;
+  }
+  std::cout << "replayed " << inputs.size() << " inputs\n";
+  return 0;
+}

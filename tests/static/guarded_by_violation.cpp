@@ -1,0 +1,27 @@
+// Negative compile test: reading a GUARDED_BY member without holding its
+// mutex MUST fail under -Wthread-safety -Werror=thread-safety. The configure
+// step try_compiles this file and aborts if it unexpectedly succeeds — that
+// would mean the analysis is silently off and every annotation in src/ is
+// decoration (see tests/static/CMakeLists.txt).
+#include "util/sync.hpp"
+#include "util/thread_annotations.hpp"
+
+namespace {
+
+class Counter {
+ public:
+  // BAD: touches value_ with mu_ not held. Clang: "reading variable 'value_'
+  // requires holding mutex 'mu_'".
+  [[nodiscard]] int read_unlocked() const { return value_; }
+
+ private:
+  mutable cscv::util::Mutex mu_;
+  int value_ CSCV_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Counter counter;
+  return counter.read_unlocked();
+}

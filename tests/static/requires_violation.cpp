@@ -1,0 +1,29 @@
+// Negative compile test: calling a REQUIRES(mu_) helper without holding the
+// mutex MUST fail under -Wthread-safety -Werror=thread-safety. This is the
+// discipline every *_locked helper in src/pipeline and src/net leans on
+// (see tests/static/CMakeLists.txt for how the check is enforced).
+#include "util/sync.hpp"
+#include "util/thread_annotations.hpp"
+
+namespace {
+
+class Counter {
+ public:
+  // BAD: bump_locked demands mu_ but the caller never acquires it. Clang:
+  // "calling function 'bump_locked' requires holding mutex 'mu_'".
+  void bump() { bump_locked(); }
+
+ private:
+  void bump_locked() CSCV_REQUIRES(mu_) { ++value_; }
+
+  cscv::util::Mutex mu_;
+  int value_ CSCV_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Counter counter;
+  counter.bump();
+  return 0;
+}

@@ -1,0 +1,57 @@
+// Positive control for the negative compile tests in this directory: a class
+// with correct lock discipline must compile cleanly under
+// -Wthread-safety -Werror=thread-safety. If this file ever fails, the
+// sibling *_violation.cpp checks prove nothing (a broken header would make
+// every file "fail to compile").
+//
+// The class exercises each annotation the production code relies on:
+// GUARDED_BY members, a REQUIRES helper, EXCLUDES entry points, an early
+// unlock/relock through MutexLock, and an explicit while-loop condvar wait.
+#include "util/sync.hpp"
+#include "util/thread_annotations.hpp"
+
+namespace {
+
+class Counter {
+ public:
+  void increment() CSCV_EXCLUDES(mu_) {
+    cscv::util::MutexLock lock(mu_);
+    increment_locked();
+    cv_.notify_all();
+  }
+
+  void add_twice_with_gap() CSCV_EXCLUDES(mu_) {
+    cscv::util::MutexLock lock(mu_);
+    increment_locked();
+    lock.unlock();  // off-lock section (the spill-I/O pattern, docs/CONCURRENCY.md)
+    lock.lock();
+    increment_locked();
+  }
+
+  int wait_nonzero() CSCV_EXCLUDES(mu_) {
+    cscv::util::MutexLock lock(mu_);
+    while (value_ == 0) cv_.wait(mu_);  // explicit loop, not a predicate lambda
+    return value_;
+  }
+
+  [[nodiscard]] int read() const CSCV_EXCLUDES(mu_) {
+    cscv::util::MutexLock lock(mu_);
+    return value_;
+  }
+
+ private:
+  void increment_locked() CSCV_REQUIRES(mu_) { ++value_; }
+
+  mutable cscv::util::Mutex mu_;
+  cscv::util::CondVar cv_;
+  int value_ CSCV_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Counter counter;
+  counter.increment();
+  counter.add_twice_with_gap();
+  return counter.read() == 3 ? counter.wait_nonzero() - 3 : 1;
+}

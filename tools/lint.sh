@@ -1,17 +1,36 @@
 #!/usr/bin/env bash
 # clang-tidy driver for the CSCV_LINT CMake target and the `lint` CI job.
 #
-# Usage: tools/lint.sh [build-dir]
+# Usage: tools/lint.sh [--changed[=BASE]] [build-dir]
 #
 # Runs clang-tidy (config: .clang-tidy at the repo root) over every
 # translation unit of src/, tools/ and tests/ listed in the build
 # directory's compile_commands.json. WarningsAsErrors is '*' in the config,
 # so any finding exits nonzero. Prefers run-clang-tidy for parallelism,
 # falls back to invoking clang-tidy per file.
+#
+# --changed restricts the run to TUs touched since the merge base with BASE
+# (default origin/main, falling back to main, then HEAD~1): the fast local
+# loop documented in BENCHMARKING.md. A full sweep still runs nightly
+# (.github/workflows/nightly.yml), so diff mode cannot let findings in
+# untouched files rot unseen. Header edits are mapped to every TU in the
+# same top-level tree (src/tools/tests) since the compile database only
+# lists .cpp files.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
-BUILD_DIR="${1:-build}"
+
+CHANGED=0
+CHANGED_BASE=""
+ARGS=()
+for arg in "$@"; do
+  case "${arg}" in
+    --changed) CHANGED=1 ;;
+    --changed=*) CHANGED=1; CHANGED_BASE="${arg#--changed=}" ;;
+    *) ARGS+=("${arg}") ;;
+  esac
+done
+BUILD_DIR="${ARGS[0]:-build}"
 DB="${BUILD_DIR}/compile_commands.json"
 
 if [[ ! -f "${DB}" ]]; then
@@ -38,6 +57,44 @@ fi
 # TUs under src/ tools/ tests/ only — bench/ and examples/ are not part of
 # the lint gate (they follow looser, benchmark-idiomatic style).
 FILTER='/(src|tools|tests)/.*\.cpp$'
+
+if [[ "${CHANGED}" -eq 1 ]]; then
+  base="${CHANGED_BASE}"
+  if [[ -z "${base}" ]]; then
+    for candidate in origin/main main; do
+      if git rev-parse --verify --quiet "${candidate}" >/dev/null; then
+        base="${candidate}"
+        break
+      fi
+    done
+    base="${base:-HEAD~1}"
+  fi
+  merge_base="$(git merge-base "${base}" HEAD 2>/dev/null || echo "${base}")"
+  mapfile -t changed_files < <(
+    { git diff --name-only "${merge_base}" -- src tools tests
+      git ls-files --others --exclude-standard -- src tools tests; } | sort -u)
+
+  patterns=()
+  header_trees=()
+  for f in "${changed_files[@]}"; do
+    case "${f}" in
+      *.cpp) patterns+=("/$(sed 's/\./\\./g' <<<"${f}")\$") ;;
+      # The compile database lists .cpp TUs only, so a header (or .inc) edit
+      # fans out to every TU of its top-level tree — over-approximate but
+      # safe, and still far cheaper than the full sweep.
+      *.hpp|*.h|*.inc) header_trees+=("${f%%/*}") ;;
+    esac
+  done
+  for tree in $(printf '%s\n' "${header_trees[@]+"${header_trees[@]}"}" | sort -u); do
+    [[ -n "${tree}" ]] && patterns+=("/${tree}/.*\\.cpp\$")
+  done
+  if [[ ${#patterns[@]} -eq 0 ]]; then
+    echo "lint.sh: --changed: no TUs under src/ tools/ tests/ differ from ${merge_base}"
+    exit 0
+  fi
+  FILTER="($(IFS='|'; echo "${patterns[*]}"))"
+  echo "lint.sh: --changed vs ${merge_base} (${#changed_files[@]} changed files)"
+fi
 
 RUNNER=""
 for candidate in run-clang-tidy run-clang-tidy-19 run-clang-tidy-18 run-clang-tidy-17 run-clang-tidy-16 run-clang-tidy-15; do
