@@ -31,15 +31,16 @@ struct ViewTables {
   }
 };
 
-/// Enumerates the nonzero entries of one column (pixel) in ascending row
-/// order, invoking emit(row, value) for each.
+/// Enumerates the nonzero entries of one column (pixel) restricted to views
+/// [view_begin, view_end), in ascending row order, invoking
+/// emit(row, value) with GLOBAL row ids for each.
 template <typename Emit>
 void enumerate_column(const ParallelGeometry& g, const ViewTables& tables, int ix, int iy,
-                      double drop_tolerance, Emit&& emit) {
+                      double drop_tolerance, int view_begin, int view_end, Emit&& emit) {
   const double cx = g.pixel_center_x(ix);
   const double cy = g.pixel_center_y(iy);
   const double half_detector = 0.5 * g.num_bins;
-  for (int v = 0; v < g.num_views; ++v) {
+  for (int v = view_begin; v < view_end; ++v) {
     const double t = cx * tables.cos_theta[v] + cy * tables.sin_theta[v];
     const Footprint& fp = tables.footprint[v];
     const double hw = fp.half_width();
@@ -61,12 +62,23 @@ void enumerate_column(const ParallelGeometry& g, const ViewTables& tables, int i
 }  // namespace
 
 template <typename T>
-sparse::CscMatrix<T> build_system_matrix_csc(const ParallelGeometry& geometry,
-                                             FootprintModel model, double drop_tolerance) {
+sparse::CscMatrix<T> build_system_matrix_csc_range(const ParallelGeometry& geometry,
+                                                   int view_begin, int view_end,
+                                                   FootprintModel model,
+                                                   double drop_tolerance) {
   geometry.validate();
+  CSCV_CHECK_MSG(0 <= view_begin && view_begin < view_end && view_end <= geometry.num_views,
+                 "view range [" << view_begin << ", " << view_end
+                                << ") out of [0, " << geometry.num_views << ")");
   const ViewTables tables(geometry, model);
   const auto cols = static_cast<std::size_t>(geometry.num_cols());
   const int n = geometry.image_size;
+  // Rows are bin-major per view, so the view range is the contiguous row
+  // range [row_off, row_off + local_rows).
+  const sparse::index_t row_off =
+      static_cast<sparse::index_t>(view_begin) * geometry.num_bins;
+  const std::int64_t local_rows =
+      static_cast<std::int64_t>(view_end - view_begin) * geometry.num_bins;
 
   // Pass 1: nnz per column (parallel), then prefix-sum into col_ptr.
   util::AlignedVector<sparse::offset_t> col_ptr(cols + 1, 0);
@@ -74,7 +86,7 @@ sparse::CscMatrix<T> build_system_matrix_csc(const ParallelGeometry& geometry,
     const int ix = static_cast<int>(c) % n;
     const int iy = static_cast<int>(c) / n;
     sparse::offset_t count = 0;
-    enumerate_column(geometry, tables, ix, iy, drop_tolerance,
+    enumerate_column(geometry, tables, ix, iy, drop_tolerance, view_begin, view_end,
                      [&](sparse::index_t, double) { ++count; });
     col_ptr[c + 1] = count;
   });
@@ -88,16 +100,46 @@ sparse::CscMatrix<T> build_system_matrix_csc(const ParallelGeometry& geometry,
     const int ix = static_cast<int>(c) % n;
     const int iy = static_cast<int>(c) / n;
     std::size_t at = static_cast<std::size_t>(col_ptr[c]);
-    enumerate_column(geometry, tables, ix, iy, drop_tolerance,
+    enumerate_column(geometry, tables, ix, iy, drop_tolerance, view_begin, view_end,
                      [&](sparse::index_t row, double value) {
-                       row_idx[at] = row;
+                       row_idx[at] = row - row_off;
                        values[at] = static_cast<T>(value);
                        ++at;
                      });
   });
 
-  return sparse::CscMatrix<T>(geometry.num_rows(), geometry.num_cols(), std::move(col_ptr),
+  return sparse::CscMatrix<T>(local_rows, geometry.num_cols(), std::move(col_ptr),
                               std::move(row_idx), std::move(values));
+}
+
+template <typename T>
+sparse::CscMatrix<T> build_system_matrix_csc(const ParallelGeometry& geometry,
+                                             FootprintModel model, double drop_tolerance) {
+  geometry.validate();
+  return build_system_matrix_csc_range<T>(geometry, 0, geometry.num_views, model,
+                                          drop_tolerance);
+}
+
+std::vector<std::uint64_t> count_view_nnz(const ParallelGeometry& geometry,
+                                          FootprintModel model, double drop_tolerance) {
+  geometry.validate();
+  const ViewTables tables(geometry, model);
+  const auto views = static_cast<std::size_t>(geometry.num_views);
+  const auto cols = static_cast<std::size_t>(geometry.num_cols());
+  const int n = geometry.image_size;
+  std::vector<std::uint64_t> per_view(views, 0);
+  util::parallel_for(0, views, [&](std::size_t v) {
+    std::uint64_t count = 0;
+    for (std::size_t c = 0; c < cols; ++c) {
+      const int ix = static_cast<int>(c) % n;
+      const int iy = static_cast<int>(c) / n;
+      enumerate_column(geometry, tables, ix, iy, drop_tolerance, static_cast<int>(v),
+                       static_cast<int>(v) + 1,
+                       [&](sparse::index_t, double) { ++count; });
+    }
+    per_view[v] = count;
+  });
+  return per_view;
 }
 
 namespace {
@@ -224,6 +266,10 @@ template sparse::CscMatrix<float> build_system_matrix_csc<float>(const ParallelG
                                                                  FootprintModel, double);
 template sparse::CscMatrix<double> build_system_matrix_csc<double>(const ParallelGeometry&,
                                                                    FootprintModel, double);
+template sparse::CscMatrix<float> build_system_matrix_csc_range<float>(
+    const ParallelGeometry&, int, int, FootprintModel, double);
+template sparse::CscMatrix<double> build_system_matrix_csc_range<double>(
+    const ParallelGeometry&, int, int, FootprintModel, double);
 template sparse::CsrMatrix<float> build_system_matrix_siddon<float>(const ParallelGeometry&);
 template sparse::CsrMatrix<double> build_system_matrix_siddon<double>(const ParallelGeometry&);
 

@@ -1,0 +1,155 @@
+// Coordinator-side shard backends.
+//
+// ShardBackend is the one seam the solver layer sees: "apply this op on
+// every shard, give me the per-shard outputs in shard order". Two
+// implementations:
+//
+//   LocalBackend   all shards in-process — the determinism reference. The
+//                  distributed result for a given shard layout is defined
+//                  as bitwise-equal to LocalBackend with the same specs.
+//   RemoteBackend  one TCP connection per worker endpoint, shards
+//                  round-robined across endpoints, apply requests
+//                  pipelined (all writes, then reads in shard order).
+//
+// RemoteBackend failover (docs/SHARDING.md "Failure modes"): ANY transport
+// failure — send failure, peer close, read timeout, desynced framing —
+// marks that endpoint dead, closes every connection, reconnects the
+// survivors, re-sends kBuildShard for every shard (idempotent on
+// survivors, a real rebuild for orphans), and retries the whole apply.
+// Fresh connections make stale queued responses impossible, so no sequence
+// numbers are needed. Every retry removes at least one endpoint, so the
+// loop terminates: zero live endpoints throws ShardError — a structured
+// failure, never a hang (every read is timeout-bounded).
+//
+// Worker kError replies are NOT failover events: the worker is alive and
+// refusing (bad spec, unknown shard). Those surface immediately as
+// ShardError.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "dist/protocol.hpp"
+#include "dist/shard.hpp"
+#include "net/socket.hpp"
+#include "util/aligned_vector.hpp"
+
+namespace cscv::dist {
+
+/// Structured distributed-job failure: all workers for a shard are gone, a
+/// worker rejected a request, or a reply was inconsistent. Subclasses
+/// CheckError so non-dist-aware callers still fail cleanly.
+class ShardError : public util::CheckError {
+ public:
+  explicit ShardError(const std::string& what) : CheckError(what) {}
+};
+
+class ShardBackend {
+ public:
+  virtual ~ShardBackend() = default;
+
+  [[nodiscard]] virtual const std::vector<ShardSpec>& specs() const = 0;
+  [[nodiscard]] int num_shards() const { return static_cast<int>(specs().size()); }
+
+  /// Applies `op` (with OS-SART subset index or -1) on every shard:
+  /// in[i] is shard i's input (spans may alias — forward scatters the same
+  /// image to all shards), out[i] is resized to shard i's output. Shard
+  /// order is FIXED: out[i] always belongs to specs()[i], whatever process
+  /// computed it — the property the deterministic reduce builds on.
+  virtual void apply_all(ApplyOp op, int subset,
+                         const std::vector<std::span<const float>>& in,
+                         std::vector<util::AlignedVector<float>>& out) = 0;
+};
+
+/// All shards in one process. Doubles as the serial anchor: one shard
+/// spanning [0, num_views) IS the serial operator bit for bit.
+class LocalBackend final : public ShardBackend {
+ public:
+  /// Builds every shard eagerly; CheckError on a bad spec.
+  explicit LocalBackend(std::vector<ShardSpec> specs, const std::string& spill_dir = "");
+
+  [[nodiscard]] const std::vector<ShardSpec>& specs() const override { return specs_; }
+  void apply_all(ApplyOp op, int subset, const std::vector<std::span<const float>>& in,
+                 std::vector<util::AlignedVector<float>>& out) override;
+
+  [[nodiscard]] const Shard& shard(int i) const {
+    return shards_[static_cast<std::size_t>(i)];
+  }
+
+ private:
+  std::vector<ShardSpec> specs_;
+  std::vector<Shard> shards_;
+};
+
+struct Endpoint {
+  std::string host;
+  std::uint16_t port = 0;
+};
+
+/// Parses "host:port" (CheckError on malformed input).
+[[nodiscard]] Endpoint parse_endpoint(const std::string& text);
+
+struct RemoteOptions {
+  double connect_timeout_seconds = 10.0;
+  /// Read bound while awaiting a kShardReady (builds are expensive).
+  double build_timeout_seconds = 600.0;
+  /// Read bound while awaiting a kApplyResult.
+  double apply_timeout_seconds = 60.0;
+  FrameLimits limits{};
+};
+
+class RemoteBackend final : public ShardBackend {
+ public:
+  /// Connects to every endpoint and builds every shard (round-robin
+  /// assignment), with failover already active during the initial build.
+  /// ShardError when no endpoint set can host the shards.
+  RemoteBackend(std::vector<ShardSpec> specs, std::vector<Endpoint> endpoints,
+                RemoteOptions options = {});
+
+  [[nodiscard]] const std::vector<ShardSpec>& specs() const override { return specs_; }
+  void apply_all(ApplyOp op, int subset, const std::vector<std::span<const float>>& in,
+                 std::vector<util::AlignedVector<float>>& out) override;
+
+  /// Best-effort kShutdown to every live worker (the CLI's clean exit).
+  void shutdown_workers();
+
+  [[nodiscard]] int live_endpoints() const;
+  /// Endpoint index currently hosting shard i (tests observe failover).
+  [[nodiscard]] int endpoint_of_shard(int shard) const {
+    return shard_endpoint_[static_cast<std::size_t>(shard)];
+  }
+
+ private:
+  struct Conn {
+    net::Socket sock;
+    FrameParser parser;
+  };
+  /// Transport-level loss of one endpoint — internal trigger for failover.
+  struct TransportFailure {
+    std::size_t endpoint;
+    std::string detail;
+  };
+
+  void connect_and_build();  // throws TransportFailure / ShardError
+  /// Marks `failed` dead and re-establishes the world; ShardError when
+  /// nothing is left.
+  void failover(const TransportFailure& failed);
+  void apply_once(ApplyOp op, int subset, const std::vector<std::span<const float>>& in,
+                  std::vector<util::AlignedVector<float>>& out);
+  /// Reads one frame from conns_[e] within `timeout`; TransportFailure on
+  /// close/timeout/desync, ShardError on a kError reply.
+  Frame read_frame(std::size_t e, double timeout_seconds);
+  void send_frame(std::size_t e, const std::string& wire);
+
+  std::vector<ShardSpec> specs_;
+  std::vector<Endpoint> endpoints_;
+  RemoteOptions options_;
+  std::vector<bool> endpoint_alive_;
+  std::vector<int> shard_endpoint_;        // shard -> endpoint index
+  std::vector<std::optional<Conn>> conns_;  // per endpoint
+};
+
+}  // namespace cscv::dist

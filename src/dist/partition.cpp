@@ -1,0 +1,23 @@
+#include "dist/partition.hpp"
+
+#include "util/assertx.hpp"
+#include "util/parallel.hpp"
+
+namespace cscv::dist {
+
+std::vector<ViewRange> partition_views(std::span<const std::uint64_t> per_view_nnz,
+                                       int parts) {
+  CSCV_CHECK_MSG(!per_view_nnz.empty(), "partition_views: no views");
+  CSCV_CHECK_MSG(parts >= 1, "partition_views: parts must be >= 1, got " << parts);
+  const auto bounds = util::weighted_boundaries(per_view_nnz, parts);
+  std::vector<ViewRange> ranges;
+  ranges.reserve(static_cast<std::size_t>(parts));
+  for (int p = 0; p < parts; ++p) {
+    const auto begin = static_cast<int>(bounds[static_cast<std::size_t>(p)]);
+    const auto end = static_cast<int>(bounds[static_cast<std::size_t>(p) + 1]);
+    if (begin < end) ranges.push_back({begin, end});
+  }
+  return ranges;
+}
+
+}  // namespace cscv::dist

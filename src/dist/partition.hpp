@@ -1,0 +1,34 @@
+// View-range partitioner — decides which contiguous view ranges (= row
+// blocks, rows being bin-major per view) each shard owns. Weighted by
+// per-view nnz so a shard's work tracks its share of the matrix, not just
+// its share of the views (edge views of a fan/short-scan geometry can be
+// much lighter than central ones).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace cscv::dist {
+
+/// Half-open view range [begin, end).
+struct ViewRange {
+  int begin = 0;
+  int end = 0;
+
+  [[nodiscard]] int count() const { return end - begin; }
+  friend bool operator==(const ViewRange&, const ViewRange&) = default;
+};
+
+/// Splits views [0, per_view_nnz.size()) into at most `parts` contiguous,
+/// non-empty ranges with near-equal total nnz (util::weighted_boundaries).
+/// Properties the shard layer relies on:
+///   * ranges are sorted, disjoint, and cover every view exactly once;
+///   * parts == 1 returns the identity range [0, num_views);
+///   * parts > num_views returns num_views singleton ranges (empty ranges
+///     are dropped — a shard with zero rows would be pure overhead).
+/// Throws util::CheckError when per_view_nnz is empty or parts < 1.
+[[nodiscard]] std::vector<ViewRange> partition_views(
+    std::span<const std::uint64_t> per_view_nnz, int parts);
+
+}  // namespace cscv::dist

@@ -1,0 +1,62 @@
+// ShardWorker — the serving loop of one shard process (cscv_shardd wraps
+// it; tests and bench_suite run it on in-process threads). Accepts one
+// coordinator connection at a time and answers protocol frames
+// sequentially; shard state PERSISTS across connections, so a coordinator
+// that reconnects after a transport failure finds its surviving shards
+// already built (kBuildShard is idempotent on an identical spec).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "dist/protocol.hpp"
+#include "dist/shard.hpp"
+#include "net/socket.hpp"
+
+namespace cscv::dist {
+
+struct WorkerOptions {
+  std::string host = "127.0.0.1";
+  std::uint16_t port = 0;  // 0 = ephemeral (report via port())
+  /// Warm-start directory for shard .cscv spills; empty disables.
+  std::string spill_dir;
+  FrameLimits limits{};
+  /// Poll interval for the stop() flag while a connection is idle; every
+  /// read blocks at most this long. 0 blocks forever (only safe when
+  /// something else closes the sockets, as the tests do).
+  double poll_seconds = 0.5;
+};
+
+class ShardWorker {
+ public:
+  /// Binds immediately (CheckError on failure) so port() is valid before
+  /// run() is called — callers publish the port, then serve.
+  explicit ShardWorker(WorkerOptions options);
+
+  [[nodiscard]] std::uint16_t port() const { return listener_.port(); }
+
+  /// Serves until stop() or a kShutdown frame. Build/apply errors are
+  /// answered with kError frames; they never take the worker down.
+  void run();
+
+  /// Signals run() to return (callable from any thread / signal context
+  /// follow-up). Idempotent.
+  void stop();
+
+  /// Shards currently hosted (for tests and the daemon's exit log).
+  [[nodiscard]] std::size_t num_shards() const { return shards_.size(); }
+
+ private:
+  /// False when the connection should close (peer gone or shutdown).
+  bool serve_connection(net::Socket conn);
+  bool handle_frame(net::Socket& conn, const Frame& frame);
+
+  WorkerOptions options_;
+  net::ListenSocket listener_;
+  std::map<std::uint32_t, Shard> shards_;
+  std::atomic<bool> stopping_{false};
+};
+
+}  // namespace cscv::dist

@@ -24,7 +24,7 @@ HttpResponse parse_response(Socket& conn, const HttpLimits& limits, bool& peer_c
     CSCV_CHECK_MSG(buffer.size() <= limits.max_header_bytes,
                    "http: response header block exceeds limit");
     const std::ptrdiff_t n = conn.read_some(chunk.data(), chunk.size());
-    CSCV_CHECK_MSG(n >= 0, "http: response timed out");
+    if (n < 0) throw TimeoutError("http: response timed out");
     if (n == 0) {
       peer_closed = true;
       CSCV_CHECK_MSG(!buffer.empty(), "http: connection closed before response");
@@ -75,7 +75,7 @@ HttpResponse parse_response(Socket& conn, const HttpLimits& limits, bool& peer_c
   r.body = buffer.substr(head_end + 4);
   while (r.body.size() < content_length) {
     const std::ptrdiff_t n = conn.read_some(chunk.data(), chunk.size());
-    CSCV_CHECK_MSG(n >= 0, "http: response body timed out");
+    if (n < 0) throw TimeoutError("http: response body timed out");
     CSCV_CHECK_MSG(n != 0, "http: connection closed mid-body");
     r.body.append(chunk.data(), static_cast<std::size_t>(n));
   }

@@ -27,8 +27,9 @@ class HttpClient {
   HttpClient(std::string host, std::uint16_t port, ClientOptions options = {});
 
   /// Sends one request and reads the full response. Throws CheckError on
-  /// connection failure, timeout, or a malformed response — HTTP error
-  /// statuses are returned, not thrown.
+  /// connection failure or a malformed response and net::TimeoutError when
+  /// the server accepts but never answers within ClientOptions timeout —
+  /// HTTP error statuses are returned, not thrown.
   HttpResponse request(const std::string& method, const std::string& target,
                        std::string body = {},
                        std::vector<std::pair<std::string, std::string>> headers = {});

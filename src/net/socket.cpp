@@ -1,8 +1,10 @@
 #include "net/socket.hpp"
 
 #include <arpa/inet.h>
+#include <fcntl.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
+#include <poll.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
@@ -102,6 +104,7 @@ void Socket::close() noexcept {
 Socket connect_tcp(const std::string& host, std::uint16_t port,
                    double timeout_seconds) {
   const sockaddr_in addr = make_addr(host, port);
+  const std::string where = host + ":" + std::to_string(port);
   const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
   if (fd < 0) throw_errno("socket");
   Socket s(fd);
@@ -111,8 +114,41 @@ Socket connect_tcp(const std::string& host, std::uint16_t port,
   // Request/response framing benefits from immediate sends.
   const int one = 1;
   ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
-  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) != 0) {
-    throw_errno("connect to " + host + ":" + std::to_string(port));
+  // SO_SNDTIMEO does not bound connect() on Linux — a SYN into a black
+  // hole blocks for the kernel's minutes-long retry schedule. Connect
+  // non-blocking and poll with our own deadline instead.
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0) throw_errno("fcntl(F_GETFL)");
+  if (timeout_seconds > 0.0 && ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) != 0) {
+    throw_errno("fcntl(F_SETFL)");
+  }
+  int rc = ::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr));
+  if (rc != 0 && errno == EINPROGRESS) {
+    pollfd pfd{fd, POLLOUT, 0};
+    int waited;
+    do {
+      waited = ::poll(&pfd, 1, static_cast<int>(timeout_seconds * 1e3));
+    } while (waited < 0 && errno == EINTR);
+    if (waited < 0) throw_errno("poll(connect)");
+    if (waited == 0) {
+      throw TimeoutError("connect to " + where + " timed out after " +
+                         std::to_string(timeout_seconds) + " s");
+    }
+    int err = 0;
+    socklen_t len = sizeof(err);
+    if (::getsockopt(fd, SOL_SOCKET, SO_ERROR, &err, &len) != 0) {
+      throw_errno("getsockopt(SO_ERROR)");
+    }
+    if (err != 0) {
+      errno = err;
+      rc = -1;
+    } else {
+      rc = 0;
+    }
+  }
+  if (rc != 0) throw_errno("connect to " + where);
+  if (timeout_seconds > 0.0 && ::fcntl(fd, F_SETFL, flags) != 0) {
+    throw_errno("fcntl(F_SETFL restore)");
   }
   return s;
 }

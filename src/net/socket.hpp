@@ -1,7 +1,9 @@
 // Thin RAII wrappers over POSIX TCP sockets — the only OS surface of
 // src/net. Loopback-oriented: the service binds 127.0.0.1 by default and
 // nothing here speaks TLS; production deployments put a real terminator in
-// front (docs/SERVICE.md). Errors throw util::CheckError with errno text.
+// front (docs/SERVICE.md). Errors throw util::CheckError with errno text;
+// timeouts throw the TimeoutError subclass so callers can tell "peer is
+// slow/dead" apart from "peer sent garbage".
 #pragma once
 
 #include <cstddef>
@@ -9,7 +11,19 @@
 #include <string>
 #include <string_view>
 
+#include "util/assertx.hpp"
+
 namespace cscv::net {
+
+/// The peer exists but did not answer in time: connect() that never
+/// completes, or a response that stops arriving mid-read. Subclasses
+/// CheckError so generic error paths still work, while timeout-aware
+/// callers (shard coordinator failover, CLI exit codes) can catch it
+/// specifically.
+class TimeoutError : public util::CheckError {
+ public:
+  explicit TimeoutError(const std::string& what) : CheckError(what) {}
+};
 
 /// A connected stream socket (one side of a TCP connection). Move-only;
 /// closes on destruction.
@@ -46,8 +60,11 @@ class Socket {
   int fd_ = -1;
 };
 
-/// Blocking TCP connect to host:port; CheckError on failure. `host` is a
-/// numeric IPv4 address ("127.0.0.1") or "localhost".
+/// TCP connect to host:port bounded by `timeout_seconds` (0 = block
+/// forever): TimeoutError when the peer does not complete the handshake in
+/// time, CheckError on refusal or other failure. The returned socket has
+/// send/recv timeouts set to the same bound. `host` is a numeric IPv4
+/// address ("127.0.0.1") or "localhost".
 [[nodiscard]] Socket connect_tcp(const std::string& host, std::uint16_t port,
                                  double timeout_seconds = 30.0);
 

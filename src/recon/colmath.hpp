@@ -42,6 +42,15 @@ template <typename T>
   for (std::size_t i = 0; i < len; ++i) v[i] *= w[i];
 }
 
+/// acc += p (elementwise) — the shard-reduce primitive. The distributed
+/// coordinator and its in-process reference both fold partial
+/// backprojections through this one instantiation, in shard-id order, so
+/// the reduce is bitwise-identical by construction on both paths.
+template <typename T>
+[[gnu::noinline]] void accumulate(T* acc, const T* p, std::size_t len) {
+  for (std::size_t i = 0; i < len; ++i) acc[i] += p[i];
+}
+
 /// x += lambda * inv_col * back — the SIRT update step.
 template <typename T>
 [[gnu::noinline]] void sirt_step(T* x, const T* inv_col, const T* back, T lambda,

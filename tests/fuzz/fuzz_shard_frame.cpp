@@ -1,0 +1,74 @@
+// Fuzz surface: dist::FrameParser + the per-message decoders — the first
+// code that touches bytes a shard worker receives from the network
+// (src/dist/protocol.hpp). The contract: arbitrary byte streams either
+// parse into frames or throw ProtocolError from bounded state; decoders
+// (apply payloads, shard-spec JSON, error bodies) never crash and never
+// read out of bounds, exactly as ShardWorker::serve_connection drives them.
+//
+// The input is fed in two chunks (split point derived from the data) to
+// exercise the incremental header/body resume paths.
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+#include "dist/protocol.hpp"
+#include "util/json.hpp"
+
+namespace {
+
+// Route a parsed frame's payload the way ShardWorker::handle_frame would.
+void decode_payload(const cscv::dist::Frame& frame) {
+  using namespace cscv::dist;
+  switch (frame.type) {
+    case MsgType::kApply:
+    case MsgType::kApplyResult: {
+      cscv::util::AlignedVector<float> values;
+      try {
+        (void)decode_apply(frame.payload, values);
+      } catch (const ProtocolError&) {
+      }
+      break;
+    }
+    case MsgType::kBuildShard:
+      try {
+        (void)ShardSpec::from_json(cscv::util::Json::parse(frame.payload));
+      } catch (const cscv::util::CheckError&) {
+      }
+      break;
+    case MsgType::kShardReady:
+      try {
+        (void)ShardReady::from_json(cscv::util::Json::parse(frame.payload));
+      } catch (const cscv::util::CheckError&) {
+      }
+      break;
+    case MsgType::kError:
+      (void)decode_error(frame.payload);
+      break;
+    default:
+      break;  // kPing/kPong/kShutdown carry opaque or empty payloads
+  }
+}
+
+}  // namespace
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data, std::size_t size) {
+  using namespace cscv::dist;
+  FrameLimits limits;
+  limits.max_payload = std::size_t{1} << 16;  // small cap reaches the limit path
+  FrameParser parser(limits);
+
+  const std::string_view input(reinterpret_cast<const char*>(data), size);
+  const std::size_t split = size == 0 ? 0 : (data[0] * 131u) % (size + 1);
+
+  try {
+    Frame frame;
+    parser.append(input.data(), split);
+    while (parser.next(frame)) decode_payload(frame);
+    parser.append(input.data() + split, input.size() - split);
+    while (parser.next(frame)) decode_payload(frame);
+    (void)parser.buffered_bytes();
+  } catch (const ProtocolError&) {
+    // Desynced stream: the worker answers kError and drops the connection.
+  }
+  return 0;
+}

@@ -12,9 +12,11 @@
 // Determinism: datasets are generated from geometry formulas, inputs are
 // seeded, and the engine set is fixed — two runs on one machine differ
 // only by timing noise, which the JSON captures as p10/p90.
+#include <cstring>
 #include <future>
 #include <iostream>
 #include <memory>
+#include <thread>
 
 #include "benchlib/compare.hpp"
 #include "benchlib/runner.hpp"
@@ -23,6 +25,9 @@
 #include "core/plan.hpp"
 #include "ct/phantom.hpp"
 #include "ct/system_matrix.hpp"
+#include "dist/coordinator.hpp"
+#include "dist/sharded_operator.hpp"
+#include "dist/worker.hpp"
 #include "pipeline/service.hpp"
 #include "sparse/convert.hpp"
 #include "util/cli.hpp"
@@ -303,6 +308,103 @@ void run_pipeline_batched(const SuiteFlags& flags, benchlib::BenchReport& report
             << ")\n";
 }
 
+// Workload: the sharded reconstruction path (docs/SHARDING.md) over real
+// loopback sockets — in-process ShardWorkers standing in for the cscv_shardd
+// processes. Structural gate metrics: jobs_ok, shards, and determinism_ok
+// (1.0 iff every worker count is bitwise run-to-run repeatable AND matches
+// the LocalBackend reference). reduce_hash32 is informational only — the
+// volume's low bits ride libm ULP differences across machines, so CI prints
+// it for cross-run comparison on one machine but does not gate it.
+void run_sharded(const SuiteFlags& flags, benchlib::BenchReport& report) {
+  const auto datasets = benchlib::standard_datasets(flags.scale);
+  const benchlib::Dataset& d = datasets.front();
+
+  pipeline::ReconJob job;
+  job.geometry = d.geometry;
+  job.algorithm = pipeline::Algorithm::kSirt;
+  job.solve.iterations = flags.iters;
+  job.tag = d.name;
+  job.sinogram = ct::analytic_sinogram<float>(ct::shepp_logan_modified(), d.geometry);
+
+  std::uint64_t jobs_ok = 0;
+  bool determinism_ok = true;
+  double best_jobs_per_sec = 0.0;
+  std::uint32_t reduce_hash32 = 0;
+  int max_shards = 0;
+  for (const int n : {1, 2, 4}) {
+    struct Worker {
+      dist::ShardWorker worker;
+      std::thread thread;
+      explicit Worker()
+          : worker({.host = "127.0.0.1", .port = 0, .poll_seconds = 0.1}),
+            thread([this] { worker.run(); }) {}
+      ~Worker() {
+        worker.stop();
+        thread.join();
+      }
+    };
+    std::vector<std::unique_ptr<Worker>> workers;
+    std::vector<dist::Endpoint> endpoints;
+    for (int w = 0; w < n; ++w) {
+      workers.push_back(std::make_unique<Worker>());
+      endpoints.push_back({"127.0.0.1", workers.back()->worker.port()});
+    }
+    const auto specs = dist::make_shard_specs(job, n);
+    max_shards = std::max(max_shards, static_cast<int>(specs.size()));
+    try {
+      dist::RemoteBackend remote(specs, endpoints);
+      const dist::ShardedRunResult first = dist::run_sharded_job(remote, job);
+      ++jobs_ok;
+      util::WallTimer timer;
+      const dist::ShardedRunResult second = dist::run_sharded_job(remote, job);
+      const double seconds = timer.seconds();
+      ++jobs_ok;
+      remote.shutdown_workers();
+
+      dist::LocalBackend local(specs);
+      const dist::ShardedRunResult reference = dist::run_sharded_job(local, job);
+      ++jobs_ok;
+      const auto bitwise = [](const util::AlignedVector<float>& a,
+                              const util::AlignedVector<float>& b) {
+        return a.size() == b.size() &&
+               std::memcmp(a.data(), b.data(), a.size() * sizeof(float)) == 0;
+      };
+      determinism_ok = determinism_ok && bitwise(first.volume, second.volume) &&
+                       bitwise(first.volume, reference.volume);
+      best_jobs_per_sec = std::max(best_jobs_per_sec, 1.0 / seconds);
+      if (n == 2) {  // FNV-1a over the volume bytes, informational
+        std::uint32_t h = 2166136261u;
+        const auto* bytes = reinterpret_cast<const unsigned char*>(first.volume.data());
+        for (std::size_t i = 0; i < first.volume.size() * sizeof(float); ++i) {
+          h = (h ^ bytes[i]) * 16777619u;
+        }
+        reduce_hash32 = h;
+      }
+    } catch (const dist::ShardError& e) {
+      std::cerr << "sharded: " << n << " worker(s): " << e.what() << "\n";
+      determinism_ok = false;
+    }
+  }
+
+  benchlib::BenchRecord record;
+  record.workload = "sharded";
+  record.engine = "RemoteBackend";
+  record.precision = "f32";
+  record.threads = 1;
+  record.iterations = flags.iters;
+  record.set("jobs_ok", static_cast<double>(jobs_ok));
+  record.set("shards", static_cast<double>(max_shards));
+  record.set("determinism_ok", determinism_ok ? 1.0 : 0.0);
+  record.set("reduce_hash32", static_cast<double>(reduce_hash32));
+  record.set("slices_per_sec", best_jobs_per_sec);
+  report.records.push_back(std::move(record));
+
+  std::cout << "sharded: " << jobs_ok << " runs ok over {1,2,4} workers, "
+            << max_shards << " shards max, determinism "
+            << (determinism_ok ? "ok" : "BROKEN") << ", reduce hash "
+            << reduce_hash32 << "\n";
+}
+
 }  // namespace
 
 int main(int argc, char** argv) try {
@@ -339,6 +441,7 @@ int main(int argc, char** argv) try {
   table.print(std::cout);
   run_pipeline_throughput(flags, report);
   run_pipeline_batched(flags, report);
+  run_sharded(flags, report);
 
   benchlib::write_report_file(flags.out, report);
   std::cout << "\nwrote " << report.records.size() << " records to " << flags.out << "\n";

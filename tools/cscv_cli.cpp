@@ -17,11 +17,19 @@
 //                     [--save-volume=out.raw] [--no-wait] [--local] [--json]
 //   cscv_cli fetch    --port=P --id=N [--save-volume=out.raw] [--json]
 //   cscv_cli stats    --port=P [--expect-ok=N] [--json]
+//   cscv_cli shard-run --endpoints=host:port,... [--image=64 --views=48]
+//                     [--algorithm=sirt|cgls|os_sart --iters=8 --subsets=8]
+//                     [--shards=N] [--check] [--save-volume=out.raw]
+//                     [--shutdown-workers]
 //
 // submit/fetch/stats speak the HTTP API of cscv_serve (docs/SERVICE.md).
 // `submit --local` runs the identical job through an in-process ReconService
 // instead — the reference path the service-e2e CI gate compares against
-// bitwise. Exit codes: 0 ok, 1 error, 3 structured HTTP rejection (4xx/503).
+// bitwise. shard-run drives cscv_shardd workers over the shard protocol
+// (docs/SHARDING.md); --check reruns the job on an in-process LocalBackend
+// with the same shard boundaries and memcmps the volumes. Exit codes: 0 ok,
+// 1 error, 3 structured HTTP rejection (4xx/503), 4 structured shard
+// failure (all workers lost / worker rejected the job).
 //
 // Everything the bench harness measures is reachable from here on user data.
 #include <chrono>
@@ -43,6 +51,8 @@
 #include "ct/fan_beam.hpp"
 #include "ct/phantom.hpp"
 #include "ct/system_matrix.hpp"
+#include "dist/coordinator.hpp"
+#include "dist/sharded_operator.hpp"
 #include "net/client.hpp"
 #include "pipeline/service.hpp"
 #include "sparse/convert.hpp"
@@ -651,13 +661,104 @@ int cmd_stats(util::CliFlags& cli) {
   return 0;
 }
 
+// ---- distributed shard driver (docs/SHARDING.md) ---------------------------
+
+int cmd_shard_run(util::CliFlags& cli) {
+  const std::string endpoints_flag = cli.get_string("endpoints", "");
+  const int image = cli.get_int("image", 64);
+  const int views = cli.get_int("views", 48);
+  const std::string algorithm_name = cli.get_string("algorithm", "sirt");
+  const int iters = cli.get_int("iters", 8);
+  const int subsets = cli.get_int("subsets", 8);
+  const int shards_flag = cli.get_int("shards", 0);
+  const bool check = cli.get_bool("check");
+  const bool shutdown_workers = cli.get_bool("shutdown-workers");
+  const std::string save_volume = cli.get_string("save-volume", "");
+  const double connect_timeout = cli.get_double("connect-timeout", 10.0);
+  const double apply_timeout = cli.get_double("apply-timeout", 60.0);
+  cli.finish();
+  CSCV_CHECK_MSG(!endpoints_flag.empty(),
+                 "shard-run needs --endpoints=host:port[,host:port...]");
+
+  std::vector<dist::Endpoint> endpoints;
+  std::size_t start = 0;
+  while (start <= endpoints_flag.size()) {
+    std::size_t comma = endpoints_flag.find(',', start);
+    if (comma == std::string::npos) comma = endpoints_flag.size();
+    if (comma > start) {
+      endpoints.push_back(dist::parse_endpoint(endpoints_flag.substr(start, comma - start)));
+    }
+    start = comma + 1;
+  }
+  CSCV_CHECK_MSG(!endpoints.empty(), "--endpoints has no host:port entries");
+
+  // The same canonical phantom job `submit` builds, so a sharded volume is
+  // directly comparable with the serial service path.
+  pipeline::ReconJob job;
+  job.geometry = ct::standard_geometry(image, views);
+  job.sinogram = ct::analytic_sinogram<float>(ct::shepp_logan_modified(), job.geometry);
+  job.algorithm = pipeline::algorithm_from_name(algorithm_name);
+  job.solve.iterations = iters;
+  job.os_sart_subsets = subsets;
+
+  // Coordinator-side math is part of the determinism contract too.
+  util::set_num_threads(1);
+  const int num_shards = shards_flag > 0 ? shards_flag : static_cast<int>(endpoints.size());
+  const std::vector<dist::ShardSpec> specs = dist::make_shard_specs(job, num_shards);
+
+  try {
+    dist::RemoteOptions opts;
+    opts.connect_timeout_seconds = connect_timeout;
+    opts.apply_timeout_seconds = apply_timeout;
+    dist::RemoteBackend backend(specs, endpoints, opts);
+    util::WallTimer timer;
+    const dist::ShardedRunResult run = dist::run_sharded_job(backend, job);
+    const double wall = timer.seconds();
+
+    if (!save_volume.empty()) {
+      save_volume_raw(save_volume, run.volume.data(), run.volume.size());
+    }
+    std::cout << "shard-run: ok, " << specs.size() << " shard(s) on "
+              << backend.live_endpoints() << "/" << endpoints.size()
+              << " worker(s), " << run.stats.iterations_run << " iterations in "
+              << util::fmt_fixed(wall, 3) << " s, residual "
+              << util::fmt_fixed(run.stats.residual_norms.empty()
+                                     ? 0.0
+                                     : run.stats.residual_norms.back(),
+                                 4)
+              << (save_volume.empty() ? "" : " -> " + save_volume) << "\n";
+
+    if (check) {
+      // In-process reference with the identical shard boundaries: the remote
+      // volume must match bitwise whatever workers served it.
+      dist::LocalBackend local(specs);
+      const dist::ShardedRunResult ref = dist::run_sharded_job(local, job);
+      CSCV_CHECK_MSG(ref.volume.size() == run.volume.size(),
+                     "check: reference volume size mismatch");
+      if (std::memcmp(ref.volume.data(), run.volume.data(),
+                      run.volume.size() * sizeof(float)) != 0) {
+        std::cerr << "shard-run: --check FAILED: remote volume differs from the "
+                     "local reference with identical shard boundaries\n";
+        return 1;
+      }
+      std::cout << "shard-run: --check ok (remote volume bitwise-equal to local "
+                   "reference)\n";
+    }
+    if (shutdown_workers) backend.shutdown_workers();
+    return 0;
+  } catch (const dist::ShardError& e) {
+    std::cerr << "shard-run: shard failure: " << e.what() << "\n";
+    return 4;
+  }
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   using namespace cscv;
   if (argc < 2) {
     std::cerr << "usage: cscv_cli <generate|info|convert|spmv|tune|verify|isa|serve-demo"
-                 "|submit|fetch|stats> [--flags]\n";
+                 "|submit|fetch|stats|shard-run> [--flags]\n";
     return 2;
   }
   const std::string cmd = argv[1];
@@ -674,6 +775,7 @@ int main(int argc, char** argv) {
     if (cmd == "submit") return cmd_submit(cli);
     if (cmd == "fetch") return cmd_fetch(cli);
     if (cmd == "stats") return cmd_stats(cli);
+    if (cmd == "shard-run") return cmd_shard_run(cli);
     std::cerr << "unknown command: " << cmd << "\n";
     return 2;
   } catch (const std::exception& e) {
