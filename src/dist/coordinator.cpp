@@ -30,6 +30,31 @@ void LocalBackend::apply_all(ApplyOp op, int subset,
 
 // ---- RemoteBackend ---------------------------------------------------------
 
+namespace {
+
+/// Floats a well-behaved worker returns for one apply (the output lengths of
+/// apply_shard's contract, shard.hpp). A reply that disagrees is a confused
+/// or hostile peer — an inconsistent-reply transport failure, not a solver
+/// shape error.
+std::uint64_t expected_reply_count(const ShardSpec& spec, ApplyOp op, int subset) {
+  switch (op) {
+    case ApplyOp::kAdjoint:
+    case ApplyOp::kColSums:
+      return static_cast<std::uint64_t>(spec.geometry.num_cols());
+    case ApplyOp::kForward:
+    case ApplyOp::kRowSums:
+      break;
+  }
+  if (subset < 0) return static_cast<std::uint64_t>(spec.local_rows());
+  std::uint64_t stratum_views = 0;
+  for (int v = spec.view_begin; v < spec.view_end; ++v) {
+    if (v % spec.os_sart_subsets == subset) ++stratum_views;
+  }
+  return stratum_views * static_cast<std::uint64_t>(spec.geometry.num_bins);
+}
+
+}  // namespace
+
 Endpoint parse_endpoint(const std::string& text) {
   const auto colon = text.rfind(':');
   CSCV_CHECK_MSG(colon != std::string::npos && colon > 0 && colon + 1 < text.size(),
@@ -249,6 +274,12 @@ void RemoteBackend::apply_once(ApplyOp op, int subset,
                                     std::to_string(reply.shard_id) +
                                     " does not match the request for shard " +
                                     std::to_string(s)};
+    }
+    const std::uint64_t want = expected_reply_count(specs_[s], op, subset);
+    if (reply.count != want) {
+      throw TransportFailure{e, "kApplyResult for shard " + std::to_string(s) +
+                                    " carries " + std::to_string(reply.count) +
+                                    " floats, expected " + std::to_string(want)};
     }
     send_next(e);
   }

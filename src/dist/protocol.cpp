@@ -3,6 +3,7 @@
 #include <cstdio>
 #include <cstring>
 #include <initializer_list>
+#include <limits>
 
 namespace cscv::dist {
 
@@ -150,7 +151,11 @@ ApplyHeader decode_apply(std::string_view payload, util::AlignedVector<float>& d
   h.op = static_cast<ApplyOp>(op);
   h.subset = static_cast<std::int32_t>(get_u32(p + 8));
   h.count = get_u64(p + 12);
-  if (payload.size() != kApplyHeaderBytes + h.count * sizeof(float)) {
+  // Compare against the body length instead of computing
+  // kApplyHeaderBytes + count * sizeof(float), which wraps mod 2^64 for a
+  // hostile count near 2^62 and would let a tiny payload pass validation.
+  const std::size_t body_bytes = payload.size() - kApplyHeaderBytes;
+  if (body_bytes % sizeof(float) != 0 || h.count != body_bytes / sizeof(float)) {
     throw ProtocolError("apply payload: count " + std::to_string(h.count) +
                         " disagrees with payload of " +
                         std::to_string(payload.size()) + " bytes");
@@ -213,6 +218,21 @@ ShardSpec ShardSpec::from_json(const util::Json& spec) {
   s.geometry.start_angle_deg = get_double_field(*g, "start_angle_deg", 0.0);
   s.geometry.delta_angle_deg = get_double_field(*g, "delta_angle_deg", 0.0);
   s.geometry.validate();
+  // The wire is untrusted and validate() only checks positivity: also bound
+  // the dimensions so the int32 row/col ids cannot overflow (UB) and a
+  // hostile spec gets a structured rejection instead of driving build_shard
+  // into multi-terabyte allocations.
+  constexpr auto kMaxIndex =
+      static_cast<std::int64_t>(std::numeric_limits<sparse::index_t>::max());
+  CSCV_CHECK_MSG(static_cast<std::int64_t>(s.geometry.image_size) *
+                         s.geometry.image_size <= kMaxIndex,
+                 "shard spec: image_size " << s.geometry.image_size
+                                           << " overflows the column index space");
+  CSCV_CHECK_MSG(static_cast<std::int64_t>(s.geometry.num_views) *
+                         s.geometry.num_bins <= kMaxIndex,
+                 "shard spec: num_views " << s.geometry.num_views << " x num_bins "
+                                          << s.geometry.num_bins
+                                          << " overflows the row index space");
 
   if (const util::Json* c = spec.find("cscv")) {
     CSCV_CHECK_MSG(c->is_object(), "shard spec: \"cscv\" must be an object");

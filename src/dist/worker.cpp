@@ -1,6 +1,7 @@
 #include "dist/worker.hpp"
 
 #include <array>
+#include <exception>
 #include <utility>
 
 namespace cscv::dist {
@@ -41,6 +42,18 @@ bool ShardWorker::serve_connection(net::Socket conn) {
       // Desynced stream: answer once, drop the connection. Shard state is
       // untouched — the coordinator reconnects and resumes.
       conn.write_all(encode_frame(MsgType::kError, encode_error(e.what())));
+      return true;
+    } catch (const std::exception& e) {
+      // Backstop for non-CheckError escapes from a handler — e.g.
+      // bad_alloc/length_error when a well-formed but hostile spec drives
+      // build_shard or decode_apply into an oversized allocation. Answer if
+      // we still can, drop the connection, keep the daemon serving (the
+      // oversized allocation was already unwound, so the small reply is
+      // safe; swallow a second failure rather than die).
+      try {
+        conn.write_all(encode_frame(MsgType::kError, encode_error(e.what())));
+      } catch (...) {
+      }
       return true;
     }
   }

@@ -144,6 +144,66 @@ TEST(RemoteBackend, WorkerRejectionIsStructuredError) {
   EXPECT_THROW(RemoteBackend(specs, {w.endpoint()}), ShardError);
 }
 
+TEST(RemoteBackend, HostileGeometryIsRejectedNotFatal) {
+  // A well-formed spec whose dimensions imply a multi-terabyte build must
+  // come back as a structured rejection — and the worker must survive it
+  // and still serve a real job on the same port.
+  const auto job = make_job(pipeline::Algorithm::kSirt);
+  auto hostile = make_shard_specs(job, 1);
+  hostile[0].geometry.image_size = 1'000'000;
+  WorkerHarness w;
+  EXPECT_THROW(RemoteBackend(hostile, {w.endpoint()}), ShardError);
+
+  const auto specs = make_shard_specs(job, 1);
+  RemoteBackend remote(specs, {w.endpoint()});
+  const ShardedRunResult over_wire = run_sharded_job(remote, job);
+  LocalBackend local(specs);
+  const ShardedRunResult reference = run_sharded_job(local, job);
+  EXPECT_TRUE(bitwise_equal(over_wire.volume, reference.volume));
+}
+
+/// Drains frames from `conn` until one is complete; CheckError if the peer
+/// goes away first.
+Frame read_frame_from(net::Socket& conn, FrameParser& parser) {
+  Frame frame;
+  char buf[65536];
+  while (!parser.next(frame)) {
+    const std::ptrdiff_t n = conn.read_some(buf, sizeof(buf));
+    CSCV_CHECK_MSG(n > 0, "impostor: coordinator went away");
+    parser.append(buf, static_cast<std::size_t>(n));
+  }
+  return frame;
+}
+
+TEST(RemoteBackend, WrongReplyCountIsTransportFailure) {
+  const auto job = make_job(pipeline::Algorithm::kSirt);
+  const auto specs = make_shard_specs(job, 1);
+  // An impostor worker that builds honestly but answers the first apply
+  // with one float too many: the coordinator must catch the shape lie at
+  // the transport layer and (with no survivors) fail structured.
+  auto listener = net::ListenSocket::bind_tcp("127.0.0.1", 0);
+  const Endpoint ep{"127.0.0.1", listener.port()};
+  std::thread impostor([&] {
+    net::Socket conn = listener.accept();
+    FrameParser parser;
+    const Frame build = read_frame_from(conn, parser);
+    EXPECT_EQ(build.type, MsgType::kBuildShard);
+    const ShardReady ready{specs[0].shard_id, specs[0].local_rows(),
+                           specs[0].geometry.num_cols(), 1, false, 0.0};
+    conn.write_all(encode_frame(MsgType::kShardReady, ready.to_json().dump()));
+    const Frame apply = read_frame_from(conn, parser);
+    EXPECT_EQ(apply.type, MsgType::kApply);
+    util::AlignedVector<float> in;
+    ApplyHeader reply = decode_apply(apply.payload, in);
+    util::AlignedVector<float> out(static_cast<std::size_t>(reply.count) + 1, 0.0f);
+    reply.count = out.size();
+    conn.write_all(encode_frame(MsgType::kApplyResult, encode_apply(reply, out)));
+  });
+  RemoteBackend remote(specs, {ep});
+  EXPECT_THROW((void)run_sharded_job(remote, job), ShardError);
+  impostor.join();
+}
+
 TEST(ParseEndpoint, AcceptsHostPortRejectsGarbage) {
   const Endpoint e = parse_endpoint("10.0.0.1:8125");
   EXPECT_EQ(e.host, "10.0.0.1");

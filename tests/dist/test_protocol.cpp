@@ -5,6 +5,7 @@
 #include <gtest/gtest.h>
 
 #include <cstring>
+#include <span>
 #include <string>
 
 #include "ct/geometry.hpp"
@@ -139,6 +140,24 @@ TEST(ApplyPayload, BadOpThrows) {
   EXPECT_THROW((void)decode_apply(payload, out), ProtocolError);
 }
 
+TEST(ApplyPayload, HugeCountCannotWrapTheLengthCheck) {
+  util::AlignedVector<float> out;
+  // count = 2^62 makes header + count * sizeof(float) wrap to exactly the
+  // 20 header bytes mod 2^64 — a naive total-length check would pass and
+  // then attempt a 2^62-element resize. Must throw instead.
+  std::string empty = encode_apply(ApplyHeader{1, ApplyOp::kForward, -1, 0}, {});
+  ASSERT_EQ(empty.size(), kApplyHeaderBytes);
+  empty[19] = static_cast<char>(0x40);  // count bytes 12..19 LE -> 2^62
+  EXPECT_THROW((void)decode_apply(empty, out), ProtocolError);
+
+  // count = 2^62 + 1 wraps the naive sum to 24 — one stray float "matches".
+  const float one = 1.0f;
+  std::string stray = encode_apply(ApplyHeader{1, ApplyOp::kForward, -1, 1},
+                                   std::span<const float>(&one, 1));
+  stray[19] = static_cast<char>(0x40);  // count -> 2^62 + 1
+  EXPECT_THROW((void)decode_apply(stray, out), ProtocolError);
+}
+
 ShardSpec sample_spec() {
   ShardSpec spec;
   spec.shard_id = 1;
@@ -171,6 +190,20 @@ TEST(ShardSpecJson, RejectsUnknownKeysAndBadRanges) {
   inverted["view_begin"] = util::Json(16);
   inverted["view_end"] = util::Json(8);
   EXPECT_THROW((void)ShardSpec::from_json(inverted), util::CheckError);
+}
+
+TEST(ShardSpecJson, RejectsGeometryThatOverflowsIndexSpace) {
+  // Positive but hostile dimensions: image_size^2 / num_views*num_bins must
+  // fit sparse::index_t (int32) or the spec is rejected up front — before
+  // build_shard can overflow column ids or attempt terabyte allocations.
+  const ShardSpec spec = sample_spec();
+  util::Json big_image = spec.to_json();
+  big_image["geometry"]["image_size"] = util::Json(1'000'000);
+  EXPECT_THROW((void)ShardSpec::from_json(big_image), util::CheckError);
+
+  util::Json big_rows = spec.to_json();
+  big_rows["geometry"]["num_views"] = util::Json(100'000'000);
+  EXPECT_THROW((void)ShardSpec::from_json(big_rows), util::CheckError);
 }
 
 TEST(ShardReadyJson, RoundTrip) {

@@ -71,6 +71,16 @@ int main(int argc, char** argv) {
   write_file(dir / "truncated_header.bin", apply.substr(0, kFrameHeaderBytes / 2));
   write_file(dir / "truncated_payload.bin", apply.substr(0, apply.size() - 3));
 
+  // Apply whose count field is 2^62: header + count * sizeof(float) wraps
+  // mod 2^64 to exactly the header size, so only an overflow-free length
+  // check rejects it (regression seed for the decode_apply validator).
+  {
+    std::string wrapped =
+        encode_frame(MsgType::kApply, encode_apply(ApplyHeader{1, ApplyOp::kForward, -1, 0}, {}));
+    wrapped[kFrameHeaderBytes + 19] = static_cast<char>(0x40);  // count -> 2^62
+    write_file(dir / "apply_count_wrap.bin", wrapped);
+  }
+
   // Single-byte corruptions: magic, version, type, payload length, and the
   // apply header's op byte.
   const std::size_t spots[] = {0, 4, 6, 8, kFrameHeaderBytes + 4};
