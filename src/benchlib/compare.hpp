@@ -45,6 +45,7 @@ inline bool lower_is_better(const std::string& metric) {
   return metric.find("seconds") != std::string::npos ||
          metric.find("bytes") != std::string::npos ||
          metric.find("padding") != std::string::npos ||
+         metric.find("error") != std::string::npos ||
          metric.find("r_nnze") != std::string::npos;
 }
 

@@ -1,10 +1,13 @@
 // CSCV construction: IOBLR reordering + CSCVE/VxG packing (Section IV).
 #include <algorithm>
+#include <cmath>
 #include <limits>
+#include <utility>
 #include <vector>
 
 #include "core/format.hpp"
 #include "core/verify.hpp"
+#include "simd/expand.hpp"
 #include "util/assertx.hpp"
 #include "util/parallel.hpp"
 #include "util/prefix_sum.hpp"
@@ -353,9 +356,9 @@ template <typename T>
 std::size_t CscvMatrix<T>::matrix_bytes() const {
   std::size_t bytes = 0;
   if (variant_ == Variant::kZ) {
-    bytes += static_cast<std::size_t>(padded_values()) * sizeof(T);
+    bytes += static_cast<std::size_t>(padded_values()) * value_bytes();
   } else {
-    bytes += static_cast<std::size_t>(nnz_) * sizeof(T);
+    bytes += static_cast<std::size_t>(nnz_) * value_bytes();
     bytes += masks_.size() * sizeof(std::uint16_t);
   }
   bytes += vxg_col_.size() * sizeof(sparse::index_t);
@@ -378,6 +381,181 @@ sparse::index_t CscvMatrix<T>::row_of_slot(int block, int o_idx, int vi) const {
   return layout_.row_of(v, bin);
 }
 
+
+// ---- value-storage passes (docs/PRECISION.md) ----------------------------
+
+namespace {
+
+/// Walks every *stored* value slot of `m` in storage order, calling
+/// fn(value_index, row) — for kZ that includes the padding and dead slots
+/// (their stored value is zero), for kM exactly the packed nonzeros. `row`
+/// is -1 for slots outside the operator (kZ padding rows).
+template <typename T, typename Fn>
+void for_each_stored_slot(const CscvMatrix<T>& m, Fn&& fn) {
+  const int s = m.params().s_vvec;
+  const int vxg = m.params().s_vxg;
+  const auto vxg_q = m.vxg_q();
+  const auto masks = m.masks();
+  const bool is_m = m.variant() == CscvMatrix<T>::Variant::kM;
+  for (int b = 0; b < m.num_blocks(); ++b) {
+    const auto& info = m.blocks()[static_cast<std::size_t>(b)];
+    auto val = info.val_begin;
+    for (auto g = info.vxg_begin; g < info.vxg_end; ++g) {
+      const int o0 = vxg_q[static_cast<std::size_t>(g)] / s;
+      for (int e = 0; e < vxg; ++e) {
+        if (!is_m) {
+          for (int l = 0; l < s; ++l) {
+            fn(val++, m.row_of_slot(b, o0 + e, l));
+          }
+        } else {
+          const std::uint16_t mask = masks[static_cast<std::size_t>(g) *
+                                               static_cast<std::size_t>(vxg) +
+                                           static_cast<std::size_t>(e)];
+          for (int l = 0; l < s; ++l) {
+            if ((mask & (1u << l)) != 0) fn(val++, m.row_of_slot(b, o0 + e, l));
+          }
+        }
+      }
+    }
+  }
+}
+
+inline std::uint16_t narrow_to(core::ValueType vt, float v) {
+  return vt == core::ValueType::kBf16 ? simd::WidenBf16::narrow(v)
+                                      : simd::WidenF16::narrow(v);
+}
+
+inline float widen_from(core::ValueType vt, std::uint16_t bits) {
+  return vt == core::ValueType::kBf16 ? simd::WidenBf16::widen(bits)
+                                      : simd::WidenF16::widen(bits);
+}
+
+}  // namespace
+
+template <typename T>
+double CscvMatrix<T>::convert_values(ValueType vt) {
+  CSCV_CHECK_MSG(vt != ValueType::kAuto, "convert_values needs a concrete dtype");
+  if (vt == value_type_) return 0.0;
+  if constexpr (!std::is_same_v<T, float>) {
+    CSCV_CHECK_MSG(false, "reduced value storage requires a float matrix, not "
+                              << (sizeof(T) * 8) << "-bit elements");
+    return 0.0;  // unreachable
+  } else {
+    double max_row_mass = 0.0;
+    if (vt == ValueType::kF32) {
+      // Widening back is exact (both reduced dtypes embed into binary32).
+      values_.resize(values16_.size());
+      for (std::size_t i = 0; i < values16_.size(); ++i) {
+        values_[i] = widen_from(value_type_, values16_[i]);
+      }
+      values16_ = {};
+    } else {
+      const ValueType from = value_type_;
+      const auto load = [&](std::size_t i) {
+        return from == ValueType::kF32 ? values_[i] : widen_from(from, values16_[i]);
+      };
+      const std::size_t n = from == ValueType::kF32 ? values_.size() : values16_.size();
+      util::AlignedVector<std::uint16_t> out(n);
+      for (std::size_t i = 0; i < n; ++i) out[i] = narrow_to(vt, load(i));
+      // Certify the storage rounding: per-row l1 mass of |v - rtne(v)|,
+      // folded into the same bound the sparsifier maintains (the two error
+      // sources add row-wise, so max-row masses add conservatively).
+      std::vector<double> row_mass(static_cast<std::size_t>(rows()), 0.0);
+      for_each_stored_slot(*this, [&](sparse::offset_t i, sparse::index_t row) {
+        if (row < 0) return;
+        const auto idx = static_cast<std::size_t>(i);
+        const double err = std::abs(static_cast<double>(load(idx)) -
+                                    static_cast<double>(widen_from(vt, out[idx])));
+        row_mass[static_cast<std::size_t>(row)] += err;
+      });
+      for (double rm : row_mass) max_row_mass = std::max(max_row_mass, rm);
+      values16_ = std::move(out);
+      values_ = {};
+      sparsify_bound_ += max_row_mass;
+    }
+    value_type_ = vt;
+    {
+      util::MutexLock lock(plan_cache_.mu);
+      plan_cache_.slots.clear();  // cached plans decode the old storage
+    }
+    return max_row_mass;
+  }
+}
+
+template <typename T>
+SparsifyReport CscvMatrix<T>::sparsify(double eps) {
+  CSCV_CHECK_MSG(value_type_ == ValueType::kF32,
+                 "sparsify requires kF32 storage (sparsify before convert_values)");
+  CSCV_CHECK_MSG(std::isfinite(eps) && eps >= 0.0, "sparsify eps must be finite and >= 0");
+  SparsifyReport rep;
+  rep.eps = eps;
+  std::vector<double> row_mass(static_cast<std::size_t>(rows()), 0.0);
+  if (variant_ == Variant::kZ) {
+    // Drop in place: the slot stays (padding layout is immutable), its
+    // stored value becomes an ordinary padding zero.
+    for_each_stored_slot(*this, [&](offset_t i, index_t row) {
+      T& v = values_[static_cast<std::size_t>(i)];
+      if (v == T(0)) return;
+      if (std::abs(static_cast<double>(v)) < eps) {
+        rep.dropped_mass += std::abs(static_cast<double>(v));
+        if (row >= 0) row_mass[static_cast<std::size_t>(row)] +=
+            std::abs(static_cast<double>(v));
+        v = T(0);
+        ++rep.dropped;
+      } else {
+        ++rep.kept;
+      }
+    });
+  } else {
+    // Repack values and masks in place (the write cursor never passes the
+    // read cursor), then rewrite each block's val_begin with its new start.
+    const int s = params_.s_vvec;
+    const int vxg = params_.s_vxg;
+    offset_t w = 0;
+    for (auto& info : blocks_) {
+      offset_t r = info.val_begin;
+      info.val_begin = w;
+      for (offset_t g = info.vxg_begin; g < info.vxg_end; ++g) {
+        const int o0 = vxg_q_[static_cast<std::size_t>(g)] / s;
+        for (int e = 0; e < vxg; ++e) {
+          auto& mask = masks_[static_cast<std::size_t>(g) * static_cast<std::size_t>(vxg) +
+                              static_cast<std::size_t>(e)];
+          std::uint16_t new_mask = 0;
+          for (int l = 0; l < s; ++l) {
+            if ((mask & (1u << l)) == 0) continue;
+            const T v = values_[static_cast<std::size_t>(r++)];
+            if (std::abs(static_cast<double>(v)) < eps) {
+              rep.dropped_mass += std::abs(static_cast<double>(v));
+              const index_t row = row_of_slot(static_cast<int>(&info - blocks_.data()),
+                                              o0 + e, l);
+              if (row >= 0) row_mass[static_cast<std::size_t>(row)] +=
+                  std::abs(static_cast<double>(v));
+              ++rep.dropped;
+            } else {
+              new_mask |= static_cast<std::uint16_t>(1u << l);
+              values_[static_cast<std::size_t>(w++)] = v;
+              ++rep.kept;
+            }
+          }
+          mask = new_mask;
+        }
+      }
+    }
+    // One vector of tail slack, zeroed, mirroring the builder's layout.
+    values_.resize(static_cast<std::size_t>(w) + static_cast<std::size_t>(s));
+    std::fill(values_.begin() + static_cast<std::ptrdiff_t>(w), values_.end(), T(0));
+  }
+  for (double rm : row_mass) rep.max_row_l1 = std::max(rep.max_row_l1, rm);
+  nnz_ = static_cast<offset_t>(rep.kept);
+  sparsify_eps_ = std::max(sparsify_eps_, eps);
+  sparsify_bound_ += rep.max_row_l1;  // row-wise error masses add
+  {
+    util::MutexLock lock(plan_cache_.mu);
+    plan_cache_.slots.clear();  // stats/val_begin/kernels all changed
+  }
+  return rep;
+}
+
 template CscvMatrix<float> CscvMatrix<float>::build(const sparse::CscMatrix<float>&,
                                                     const OperatorLayout&, const CscvParams&,
                                                     CscvMatrix<float>::Variant);
@@ -389,5 +567,9 @@ template std::size_t CscvMatrix<float>::matrix_bytes() const;
 template std::size_t CscvMatrix<double>::matrix_bytes() const;
 template sparse::index_t CscvMatrix<float>::row_of_slot(int, int, int) const;
 template sparse::index_t CscvMatrix<double>::row_of_slot(int, int, int) const;
+template double CscvMatrix<float>::convert_values(ValueType);
+template double CscvMatrix<double>::convert_values(ValueType);
+template SparsifyReport CscvMatrix<float>::sparsify(double);
+template SparsifyReport CscvMatrix<double>::sparsify(double);
 
 }  // namespace cscv::core

@@ -90,6 +90,21 @@ simd::IsaTier forced_tier_from_env() {
   return simd::parse_isa_tier(value);
 }
 
+TierChoice select_tier_for_dtype(simd::IsaTier requested, ValueType value_type) {
+  TierChoice choice = select_tier(requested);
+  // The avx2/avx512 tier objects are compiled with -mf16c and widen fp16
+  // values with vcvtph2ps; a CPU without the f16c bit must run the generic
+  // tier's soft-float widening instead. (Every avx512 CPU has f16c, so this
+  // clamp only ever bites hand-forced or exotic configurations.) bf16
+  // widening is an integer shift and never clamps.
+  if (value_type == ValueType::kF16 && choice.tier != simd::IsaTier::kGeneric &&
+      !simd::cpu_isa().f16c && tier_ops(simd::IsaTier::kGeneric) != nullptr) {
+    choice.tier = simd::IsaTier::kGeneric;
+    choice.clamped = true;
+  }
+  return choice;
+}
+
 TierChoice select_tier(simd::IsaTier requested) {
   if (requested == simd::IsaTier::kAuto) requested = forced_tier_from_env();
   TierChoice choice;
@@ -137,21 +152,22 @@ bool resolve_expand_path(simd::ExpandPath path, bool is_double, int s_vvec,
 
 template <typename T>
 KernelSet<T> resolve_kernels(typename CscvMatrix<T>::Variant variant, int s_vvec, int s_vxg,
-                             bool use_hw, int num_rhs, simd::IsaTier tier) {
+                             bool use_hw, int num_rhs, simd::IsaTier tier,
+                             ValueType value_type) {
   const TierOps* ops = tier_ops(tier);
   CSCV_CHECK_MSG(ops != nullptr,
                  "kernel tier '" << simd::isa_tier_name(tier) << "' not in this binary");
   const bool is_m = variant == CscvMatrix<T>::Variant::kM;
   if constexpr (std::is_same_v<T, float>) {
-    return ops->resolve_f(is_m, s_vvec, s_vxg, use_hw, num_rhs);
+    return ops->resolve_f(is_m, s_vvec, s_vxg, use_hw, num_rhs, value_type);
   } else {
-    return ops->resolve_d(is_m, s_vvec, s_vxg, use_hw, num_rhs);
+    return ops->resolve_d(is_m, s_vvec, s_vxg, use_hw, num_rhs, value_type);
   }
 }
 
 template KernelSet<float> resolve_kernels<float>(CscvMatrix<float>::Variant, int, int, bool,
-                                                 int, simd::IsaTier);
+                                                 int, simd::IsaTier, ValueType);
 template KernelSet<double> resolve_kernels<double>(CscvMatrix<double>::Variant, int, int,
-                                                   bool, int, simd::IsaTier);
+                                                   bool, int, simd::IsaTier, ValueType);
 
 }  // namespace cscv::core::dispatch

@@ -25,32 +25,38 @@
 
 namespace cscv::core::dispatch {
 
+// The value stream is byte-typed (const void*): a kernel set is resolved
+// for one concrete ValueType and its wrappers cast to the dtype they were
+// instantiated for — fp32 sets read T, reduced sets read std::uint16_t bits
+// and widen on load (docs/PRECISION.md).
+
 /// y~ += block * x — one matrix block against its local output (single RHS).
 template <typename T>
 using ForwardFn = void (*)(sparse::offset_t vxg_begin, sparse::offset_t vxg_end,
                            const sparse::index_t* vxg_col, const std::int32_t* vxg_q,
-                           const T* values, const std::uint16_t* masks, const T* x, T* yt);
+                           const void* values, const std::uint16_t* masks, const T* x,
+                           T* yt);
 
 /// Y~ += block * X for num_rhs interleaved right-hand sides.
 template <typename T>
 using MultiFn = void (*)(sparse::offset_t vxg_begin, sparse::offset_t vxg_end,
                          const sparse::index_t* vxg_col, const std::int32_t* vxg_q,
-                         const T* values, const std::uint16_t* masks, const T* x,
+                         const void* values, const std::uint16_t* masks, const T* x,
                          int num_rhs, T* yt);
 
 /// x += block^T * y~ — the transpose contraction.
 template <typename T>
 using TransposeFn = void (*)(sparse::offset_t vxg_begin, sparse::offset_t vxg_end,
                              const sparse::index_t* vxg_col, const std::int32_t* vxg_q,
-                             const T* values, const std::uint16_t* masks, const T* yt,
+                             const void* values, const std::uint16_t* masks, const T* yt,
                              T* x);
 
 /// x += block^T * y~ for num_rhs interleaved right-hand sides.
 template <typename T>
 using TransposeMultiFn = void (*)(sparse::offset_t vxg_begin, sparse::offset_t vxg_end,
                                   const sparse::index_t* vxg_col, const std::int32_t* vxg_q,
-                                  const T* values, const std::uint16_t* masks, const T* yt,
-                                  int num_rhs, T* x);
+                                  const void* values, const std::uint16_t* masks,
+                                  const T* yt, int num_rhs, T* x);
 
 /// The four directions of one (variant, S, V, expand path, num_rhs) choice.
 template <typename T>
@@ -68,9 +74,9 @@ struct KernelSet {
 /// compiles one object whose flags follow the host, so it self-reports).
 struct TierOps {
   KernelSet<float> (*resolve_f)(bool is_m, int s_vvec, int s_vxg, bool use_hw,
-                                int num_rhs) = nullptr;
+                                int num_rhs, ValueType value_type) = nullptr;
   KernelSet<double> (*resolve_d)(bool is_m, int s_vvec, int s_vxg, bool use_hw,
-                                 int num_rhs) = nullptr;
+                                 int num_rhs, ValueType value_type) = nullptr;
   bool (*hw_expand)(bool is_double, int s_vvec) = nullptr;
   int compiled_tier = 0;
 };
@@ -104,6 +110,13 @@ simd::IsaTier forced_tier_from_env();
 /// set whenever the result differs from the request.
 TierChoice select_tier(simd::IsaTier requested = simd::IsaTier::kAuto);
 
+/// Level-one dispatch with the per-dtype CPU clamp on top: the avx2/avx512
+/// tier objects widen fp16 values with F16C instructions (vcvtph2ps), so an
+/// fp16 matrix on a CPU without the f16c bit falls back to the generic
+/// tier's soft-float widening — clamp-and-flag, like any other
+/// unsatisfiable request. bf16 widening is integer-only and never clamps.
+TierChoice select_tier_for_dtype(simd::IsaTier requested, ValueType value_type);
+
 /// Resolves an ExpandPath against the CPU *and* the selected tier's compiled
 /// capabilities: CSCV-M only uses hardware expansion when `tier`'s codegen
 /// has it for (element type, S_VVec) and the CPU agrees.
@@ -114,8 +127,12 @@ bool resolve_expand_path(simd::ExpandPath path, bool is_double, int s_vvec,
 /// .tier of a TierChoice): resolves (variant, S_VVec, S_VxG, expand path,
 /// num_rhs) to concrete kernels. `use_hw` must already be resolved via
 /// resolve_expand_path. Defined in dispatch.cpp for T = float, double.
+/// `value_type` selects the storage decode: kF32 sets read T directly,
+/// reduced dtypes (float only; kAuto is not a valid resolution input) get
+/// the widen-on-load wrappers.
 template <typename T>
 KernelSet<T> resolve_kernels(typename CscvMatrix<T>::Variant variant, int s_vvec, int s_vxg,
-                             bool use_hw, int num_rhs, simd::IsaTier tier);
+                             bool use_hw, int num_rhs, simd::IsaTier tier,
+                             ValueType value_type = ValueType::kF32);
 
 }  // namespace cscv::core::dispatch

@@ -20,9 +20,11 @@
 #include <cstdint>
 #include <memory>
 #include <span>
+#include <type_traits>
 
 #include "core/layout.hpp"
 #include "core/params.hpp"
+#include "core/value_type.hpp"
 #include "simd/expand.hpp"
 #include "simd/isa.hpp"
 #include "sparse/csc.hpp"
@@ -59,8 +61,25 @@ struct PlanOptions {
   // picks the best registered tier for this CPU; a concrete tier pins the
   // plan to it (clamped to what the binary carries — see PlanStats).
   simd::IsaTier isa = simd::IsaTier::kAuto;
+  // Value storage dtype the plan expects (docs/PRECISION.md). kAuto follows
+  // whatever the matrix stores; a concrete dtype asserts it — a mismatch is
+  // a CheckError, because a plan cannot convert storage (use
+  // CscvMatrix::convert_values() for that).
+  ValueType value_type = ValueType::kAuto;
 
   friend bool operator==(const PlanOptions&, const PlanOptions&) = default;
+};
+
+/// What sparsify() dropped and the certificate it computed. The bound is
+/// per-row: for every output row i, |(A_sparse x)_i - (A x)_i| <=
+/// row_l1_dropped(i) * max_j|x_j|; max_row_l1 is the max over rows and is
+/// stored in the matrix header (docs/PRECISION.md).
+struct SparsifyReport {
+  double eps = 0.0;
+  std::uint64_t dropped = 0;     // entries removed (kM) or zeroed (kZ)
+  std::uint64_t kept = 0;        // nonzeros remaining
+  double dropped_mass = 0.0;     // total |v| over dropped entries
+  double max_row_l1 = 0.0;       // the certified per-row l1 bound
 };
 
 template <typename T>
@@ -107,6 +126,19 @@ class CscvMatrix {
   [[nodiscard]] sparse::offset_t stored_values() const {
     return variant_ == Variant::kZ ? padded_values() : nnz_;
   }
+  /// Storage dtype of the value array (docs/PRECISION.md). Always kF32 for
+  /// double matrices; float matrices may hold bf16/fp16 after
+  /// convert_values() — the kernels widen on load and accumulate in T.
+  [[nodiscard]] ValueType value_type() const { return value_type_; }
+  /// Bytes per stored value under the current dtype.
+  [[nodiscard]] std::size_t value_bytes() const {
+    return bytes_per_value(value_type_, sizeof(T));
+  }
+  /// Epsilon the matrix was sparsified with (0 = never sparsified) and the
+  /// certified max per-row l1 mass removed by sparsification plus dtype
+  /// rounding: |(A~ x)_i - (A x)_i| <= sparsify_error_bound() * max_j|x_j|.
+  [[nodiscard]] double sparsify_eps() const { return sparsify_eps_; }
+  [[nodiscard]] double sparsify_error_bound() const { return sparsify_bound_; }
   /// The paper's R_nnzE = nnz(A~)/nnz(A) - 1.
   [[nodiscard]] double r_nnze() const {
     return nnz_ == 0 ? 0.0
@@ -157,6 +189,21 @@ class CscvMatrix {
   /// kernels visit each column's values in the single-RHS order).
   void spmv_transpose_multi(std::span<const T> y, std::span<T> x, int num_rhs) const;
 
+  // ---- storage transforms (docs/PRECISION.md) --------------------------
+  /// Re-encodes the value array to `vt` in place (float matrices only for
+  /// reduced dtypes; round-to-nearest-even per value) and invalidates every
+  /// cached plan. Returns the certified max per-row l1 rounding mass, which
+  /// is also added into sparsify_error_bound(). Converting back to kF32
+  /// widens exactly but does not recover precision already rounded away.
+  double convert_values(ValueType vt);
+
+  /// Drops every stored entry with |v| < eps: kZ zeroes in place (structure
+  /// unchanged), kM repacks values and masks so the dropped entries stop
+  /// being streamed. Requires kF32 storage (sparsify before convert_values).
+  /// The certificate (report.max_row_l1) accumulates into
+  /// sparsify_error_bound(); cached plans are invalidated.
+  SparsifyReport sparsify(double eps);
+
   /// Lazily-built cached execution plan for `opts` (see plan.hpp). All the
   /// apply entry points above route through this, so iterating callers pay
   /// for thread-scheme resolution, kernel dispatch, partitioning, and
@@ -188,8 +235,37 @@ class CscvMatrix {
   [[nodiscard]] std::span<const sparse::index_t> reference_bins() const { return refs_; }
   [[nodiscard]] std::span<const sparse::index_t> vxg_col() const { return vxg_col_; }
   [[nodiscard]] std::span<const std::int32_t> vxg_q() const { return vxg_q_; }
+  /// Value array in arithmetic precision — valid only while value_type() is
+  /// kF32 (empty after conversion to a reduced dtype; see values_u16()).
   [[nodiscard]] std::span<const T> values() const { return values_; }
+  /// 16-bit value array — populated exactly when value_type() is reduced.
+  [[nodiscard]] std::span<const std::uint16_t> values_u16() const { return values16_; }
   [[nodiscard]] std::span<const std::uint16_t> masks() const { return masks_; }
+
+  /// Stored value at flat index i, widened to T whatever the dtype (exact:
+  /// both 16-bit encodings widen losslessly). Verify/test convenience, not a
+  /// kernel path.
+  [[nodiscard]] T stored_value(sparse::offset_t i) const {
+    if (value_type_ == ValueType::kF32) return values_[static_cast<std::size_t>(i)];
+    if constexpr (std::is_same_v<T, float>) {
+      const std::uint16_t bits = values16_[static_cast<std::size_t>(i)];
+      return value_type_ == ValueType::kBf16 ? simd::bf16_bits_to_float(bits)
+                                             : simd::fp16_bits_to_float(bits);
+    } else {
+      CSCV_CHECK_MSG(false, "reduced value dtype on a non-float matrix");
+      return T(0);  // unreachable
+    }
+  }
+
+  /// Byte-typed pointer to the value stream starting at element `val_begin`
+  /// — what the dispatched kernels consume (they know the dtype they were
+  /// resolved for).
+  [[nodiscard]] const void* value_ptr(sparse::offset_t val_begin) const {
+    if (value_type_ == ValueType::kF32) {
+      return values_.data() + static_cast<std::size_t>(val_begin);
+    }
+    return values16_.data() + static_cast<std::size_t>(val_begin);
+  }
 
   /// Matrix row addressed by y~ slot (o_idx, vi) of `block`, or -1 when the
   /// slot is dead (bin off the detector / view past the last one).
@@ -213,7 +289,12 @@ class CscvMatrix {
   util::AlignedVector<sparse::index_t> vxg_col_; // global column per VxG
   util::AlignedVector<std::int32_t> vxg_q_;      // start slot in block y~
   util::AlignedVector<T> values_;                // kZ: VxG-major dense; kM: packed
+                                                 //   (kF32 dtype only)
+  util::AlignedVector<std::uint16_t> values16_;  // same layout, bf16/fp16 bits
   util::AlignedVector<std::uint16_t> masks_;     // kM: per-CSCVE lane masks
+  ValueType value_type_ = ValueType::kF32;
+  double sparsify_eps_ = 0.0;    // 0 = never sparsified
+  double sparsify_bound_ = 0.0;  // certified max per-row l1 error mass
 
   // Cached plans — a small MRU-first list keyed on the full (matrix,
   // options, thread count) configuration, guarded by a mutex so concurrent

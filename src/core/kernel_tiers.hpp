@@ -13,9 +13,9 @@ namespace cscv::core::dispatch {
 #define CSCV_DECLARE_KERNEL_TIER(ns)                                              \
   namespace ns { /* NOLINT(bugprone-macro-parentheses) — ns is a namespace id */  \
   KernelSet<float> resolve_f(bool is_m, int s_vvec, int s_vxg, bool use_hw,       \
-                             int num_rhs);                                        \
+                             int num_rhs, ValueType value_type);                  \
   KernelSet<double> resolve_d(bool is_m, int s_vvec, int s_vxg, bool use_hw,      \
-                              int num_rhs);                                       \
+                              int num_rhs, ValueType value_type);                 \
   bool hw_expand(bool is_double, int s_vvec);                                     \
   int compiled_tier();                                                            \
   }

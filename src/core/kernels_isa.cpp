@@ -50,12 +50,14 @@ namespace kernels {
 
 namespace CSCV_TIER_NS {
 
-KernelSet<float> resolve_f(bool is_m, int s_vvec, int s_vxg, bool use_hw, int num_rhs) {
-  return resolve_impl<float>(is_m, s_vvec, s_vxg, use_hw, num_rhs);
+KernelSet<float> resolve_f(bool is_m, int s_vvec, int s_vxg, bool use_hw, int num_rhs,
+                           ValueType value_type) {
+  return resolve_impl<float>(is_m, s_vvec, s_vxg, use_hw, num_rhs, value_type);
 }
 
-KernelSet<double> resolve_d(bool is_m, int s_vvec, int s_vxg, bool use_hw, int num_rhs) {
-  return resolve_impl<double>(is_m, s_vvec, s_vxg, use_hw, num_rhs);
+KernelSet<double> resolve_d(bool is_m, int s_vvec, int s_vxg, bool use_hw, int num_rhs,
+                            ValueType value_type) {
+  return resolve_impl<double>(is_m, s_vvec, s_vxg, use_hw, num_rhs, value_type);
 }
 
 bool hw_expand(bool is_double, int s_vvec) {

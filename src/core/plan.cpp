@@ -28,12 +28,18 @@ SpmvPlan<T>::SpmvPlan(const CscvMatrix<T>& a, const PlanOptions& opts)
                                               : ThreadScheme::kPrivateY;
   }
   if (threads_ == 1) scheme_ = ThreadScheme::kRowPartition;  // trivially race-free
-  tier_ = dispatch::select_tier(opts.isa);
+  value_type_ = opts.value_type == ValueType::kAuto ? a.value_type() : opts.value_type;
+  CSCV_CHECK_MSG(value_type_ == a.value_type(),
+                 "PlanOptions::value_type " << value_type_name(value_type_)
+                                            << " does not match the matrix's stored "
+                                            << value_type_name(a.value_type())
+                                            << " (convert_values first)");
+  tier_ = dispatch::select_tier_for_dtype(opts.isa, value_type_);
   use_hw_ = a.variant_ == CscvMatrix<T>::Variant::kM &&
             dispatch::resolve_expand_path(opts.path, std::is_same_v<T, double>,
                                           a.params_.s_vvec, tier_.tier);
   kernels_ = dispatch::resolve_kernels<T>(a.variant_, a.params_.s_vvec, a.params_.s_vxg,
-                                          use_hw_, num_rhs_, tier_.tier);
+                                          use_hw_, num_rhs_, tier_.tier, value_type_);
 
   // Weighted partitions: a block's work is its VxG count, so prefix-sum
   // splits balance actual FMA work, not block counts (corner tiles of a CT
@@ -105,7 +111,7 @@ SpmvPlan<T>::SpmvPlan(const CscvMatrix<T>& a, const PlanOptions& opts)
 template <typename T>
 void SpmvPlan<T>::run_forward(int block, const T* x, T* ytilde) const {
   const auto& info = a_->blocks_[static_cast<std::size_t>(block)];
-  const T* values = a_->values_.data() + info.val_begin;
+  const void* values = a_->value_ptr(info.val_begin);
   if (num_rhs_ == 1) {
     kernels_.forward(info.vxg_begin, info.vxg_end, a_->vxg_col_.data(), a_->vxg_q_.data(),
                      values, a_->masks_.data(), x, ytilde);
@@ -268,11 +274,11 @@ void SpmvPlan<T>::execute_transpose(std::span<const T> y, std::span<T> x) const 
           gather(b, y.data(), ytilde);
           if (num_rhs_ == 1) {
             kernels_.transpose(info.vxg_begin, info.vxg_end, a_->vxg_col_.data(),
-                               a_->vxg_q_.data(), a_->values_.data() + info.val_begin,
+                               a_->vxg_q_.data(), a_->value_ptr(info.val_begin),
                                a_->masks_.data(), ytilde, x.data());
           } else {
             kernels_.transpose_multi(info.vxg_begin, info.vxg_end, a_->vxg_col_.data(),
-                                     a_->vxg_q_.data(), a_->values_.data() + info.val_begin,
+                                     a_->vxg_q_.data(), a_->value_ptr(info.val_begin),
                                      a_->masks_.data(), ytilde, num_rhs_, x.data());
           }
         }
@@ -317,6 +323,8 @@ PlanStats SpmvPlan<T>::stats() const {
   s.isa_tier = tier_.tier;
   s.isa_forced = tier_.forced;
   s.isa_clamped = tier_.clamped;
+  s.value_type = value_type_;
+  s.bytes_per_value = static_cast<std::uint64_t>(a.value_bytes());
   std::uint64_t total_work = 0, max_work = 0;
   for (std::uint64_t w : work_) {
     total_work += w;

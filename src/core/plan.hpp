@@ -71,6 +71,10 @@ struct PlanStats {
   simd::IsaTier isa_tier = simd::IsaTier::kGeneric;
   bool isa_forced = false;
   bool isa_clamped = false;
+  /// Storage dtype of the matrix values this plan streams, and the bytes
+  /// each stored value occupies (2 for bf16/fp16 — docs/PRECISION.md).
+  ValueType value_type = ValueType::kF32;
+  std::uint64_t bytes_per_value = sizeof(float);
   /// max/mean of per-slot VxG work — 1.0 is a perfectly balanced partition.
   double load_imbalance = 0.0;
 
@@ -114,6 +118,8 @@ class SpmvPlan {
   [[nodiscard]] bool hardware_expand() const { return use_hw_; }
   /// The kernel ISA tier the plan resolved (never kAuto).
   [[nodiscard]] simd::IsaTier isa_tier() const { return tier_.tier; }
+  /// The storage dtype the plan's kernels decode (kAuto resolved).
+  [[nodiscard]] ValueType value_type() const { return value_type_; }
   [[nodiscard]] int num_rhs() const { return num_rhs_; }
   /// VxGs assigned to each forward-partition slot (load-balance checks).
   [[nodiscard]] std::span<const std::uint64_t> work_per_slot() const { return work_; }
@@ -134,8 +140,10 @@ class SpmvPlan {
   /// A/B runs) rebuilds instead of serving the stale tier's kernels.
   [[nodiscard]] bool matches(const CscvMatrix<T>& a, const PlanOptions& opts,
                              int threads) const {
-    return a_ == &a && requested_ == opts && threads_ == threads &&
-           tier_ == dispatch::select_tier(opts.isa);
+    const ValueType vt =
+        opts.value_type == ValueType::kAuto ? a.value_type() : opts.value_type;
+    return a_ == &a && requested_ == opts && threads_ == threads && value_type_ == vt &&
+           tier_ == dispatch::select_tier_for_dtype(opts.isa, vt);
   }
 
  private:
@@ -152,6 +160,7 @@ class SpmvPlan {
   int num_rhs_ = 1;
   ThreadScheme scheme_ = ThreadScheme::kRowPartition;  // resolved, never kAuto
   bool use_hw_ = false;
+  ValueType value_type_ = ValueType::kF32;  // resolved, never kAuto
   dispatch::TierChoice tier_;  // resolved ISA tier (level-one dispatch)
   dispatch::KernelSet<T> kernels_;
 

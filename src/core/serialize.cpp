@@ -1,5 +1,6 @@
 #include "core/serialize.hpp"
 
+#include <cmath>
 #include <cstdint>
 #include <fstream>
 #include <istream>
@@ -93,11 +94,19 @@ void CscvBuilderAccess<T>::write(std::ostream& out, const CscvMatrix<T>& m) {
   write_pod<std::int32_t>(out, m.layout_.num_views);
   write_pod<std::int64_t>(out, m.nnz_);
   write_pod<std::uint64_t>(out, m.ytilde_max_slots_);
+  // Precision header (v2): storage dtype + the sparsify certificate.
+  write_pod<std::int32_t>(out, static_cast<std::int32_t>(m.value_type_));
+  write_pod<double>(out, m.sparsify_eps_);
+  write_pod<double>(out, m.sparsify_bound_);
   write_array(out, m.blocks_);
   write_array(out, m.refs_);
   write_array(out, m.vxg_col_);
   write_array(out, m.vxg_q_);
-  write_array(out, m.values_);
+  if (m.value_type_ == ValueType::kF32) {
+    write_array(out, m.values_);
+  } else {
+    write_array(out, m.values16_);  // 2-byte elements, same slot layout
+  }
   write_array(out, m.masks_);
   CSCV_CHECK_MSG(static_cast<bool>(out), "CSCV write failed");
 }
@@ -112,8 +121,9 @@ template <typename T>
 CscvMatrix<T> CscvBuilderAccess<T>::read(std::istream& in) {
   CSCV_CHECK_MSG(read_pod<std::uint32_t>(in) == kCscvFileMagic,
                  "cscv.header.magic: not a CSCV file");
-  CSCV_CHECK_MSG(read_pod<std::uint32_t>(in) == kCscvFileVersion,
-                 "cscv.header.version: unsupported CSCV file version");
+  const auto version = read_pod<std::uint32_t>(in);
+  CSCV_CHECK_MSG(version == 1 || version == kCscvFileVersion,
+                 "cscv.header.version: unsupported CSCV file version " << version);
   CSCV_CHECK_MSG(read_pod<std::uint32_t>(in) == sizeof(T),
                  "cscv.header.elem_size: element type mismatch (saved with different "
                  "precision)");
@@ -159,6 +169,24 @@ CscvMatrix<T> CscvBuilderAccess<T>::read(std::istream& in) {
                                               m.layout_.num_cols(),
                  "cscv.header.nnz: nnz = " << m.nnz_ << " outside [0, rows*cols]");
   m.ytilde_max_slots_ = static_cast<std::size_t>(read_pod<std::uint64_t>(in));
+  if (version >= 2) {
+    const auto vt = read_pod<std::int32_t>(in);
+    CSCV_CHECK_MSG(vt == static_cast<std::int32_t>(ValueType::kF32) ||
+                       vt == static_cast<std::int32_t>(ValueType::kBf16) ||
+                       vt == static_cast<std::int32_t>(ValueType::kF16),
+                   "cscv.header.value_type: unknown value dtype tag " << vt);
+    m.value_type_ = static_cast<ValueType>(vt);
+    CSCV_CHECK_MSG(m.value_type_ == ValueType::kF32 || (std::is_same_v<T, float>),
+                   "cscv.header.value_type: reduced dtype "
+                       << value_type_name(m.value_type_) << " requires a float matrix");
+    m.sparsify_eps_ = read_pod<double>(in);
+    m.sparsify_bound_ = read_pod<double>(in);
+    CSCV_CHECK_MSG(std::isfinite(m.sparsify_eps_) && m.sparsify_eps_ >= 0.0 &&
+                       std::isfinite(m.sparsify_bound_) && m.sparsify_bound_ >= 0.0,
+                   "cscv.header.sparsify: eps " << m.sparsify_eps_ << " / bound "
+                                                << m.sparsify_bound_
+                                                << " must be finite and non-negative");
+  }  // version 1: fp32-in-T storage, never sparsified (the defaults)
 
   // Array counts are fully determined by the header plus the block table;
   // each read rejects a mismatched count before allocating.
@@ -185,7 +213,11 @@ CscvMatrix<T> CscvBuilderAccess<T>::read(std::istream& in) {
                 static_cast<std::uint64_t>(m.params_.s_vvec)
           : static_cast<std::uint64_t>(m.nnz_) +
                 static_cast<std::uint64_t>(m.params_.s_vvec);
-  read_array_checked(in, m.values_, expected_values, "values");
+  if (m.value_type_ == ValueType::kF32) {
+    read_array_checked(in, m.values_, expected_values, "values");
+  } else {
+    read_array_checked(in, m.values16_, expected_values, "values");
+  }
   const std::uint64_t expected_masks =
       m.variant_ == CscvMatrix<T>::Variant::kZ
           ? 0

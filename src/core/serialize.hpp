@@ -15,7 +15,10 @@
 namespace cscv::core {
 
 inline constexpr std::uint32_t kCscvFileMagic = 0x43534356;  // "CSCV"
-inline constexpr std::uint32_t kCscvFileVersion = 1;
+/// Version 2 added the precision header (value dtype tag + sparsify eps +
+/// certified error bound) and dtype-sized value payloads; version-1 files
+/// (always fp32-in-T, never sparsified) still load (docs/FORMAT.md).
+inline constexpr std::uint32_t kCscvFileVersion = 2;
 
 /// Writes `m` to a binary stream. Throws CheckError on I/O failure.
 template <typename T>

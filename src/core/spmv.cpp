@@ -63,7 +63,7 @@ void CscvMatrix<T>::run_block(int block, std::span<const T> x, T* ytilde,
                               const dispatch::KernelSet<T>& kernels) const {
   const BlockInfo& info = blocks_[static_cast<std::size_t>(block)];
   kernels.forward(info.vxg_begin, info.vxg_end, vxg_col_.data(), vxg_q_.data(),
-                  values_.data() + info.val_begin, masks_.data(), x.data(), ytilde);
+                  value_ptr(info.val_begin), masks_.data(), x.data(), ytilde);
 }
 
 template <typename T>
@@ -108,12 +108,13 @@ void CscvMatrix<T>::apply_accumulate(std::span<const T> x, std::span<T> y,
   // Both dispatch levels resolve once per apply, not once per block: pick
   // the ISA tier (honoring CSCV_FORCE_ISA), resolve the expand path against
   // it, and fetch the kernel set the block loop will reuse.
-  const simd::IsaTier tier = dispatch::select_tier().tier;
+  const simd::IsaTier tier =
+      dispatch::select_tier_for_dtype(simd::IsaTier::kAuto, value_type_).tier;
   const bool use_hw =
       variant_ == Variant::kM &&
       dispatch::resolve_expand_path(path, std::is_same_v<T, double>, params_.s_vvec, tier);
-  const dispatch::KernelSet<T> kernels =
-      dispatch::resolve_kernels<T>(variant_, params_.s_vvec, params_.s_vxg, use_hw, 1, tier);
+  const dispatch::KernelSet<T> kernels = dispatch::resolve_kernels<T>(
+      variant_, params_.s_vvec, params_.s_vxg, use_hw, 1, tier, value_type_);
   // Algorithm 3 verbatim: per block, reorder y into y~ with iota_k, run the
   // vectorized kernel, reorder back with the inverse mapping. Serial: blocks
   // of one view group overlap in y, so they must not run concurrently here.

@@ -3,7 +3,9 @@
 
 #include <algorithm>
 #include <bit>
+#include <cmath>
 #include <sstream>
+#include <type_traits>
 
 #include "core/plan.hpp"
 #include "util/assertx.hpp"
@@ -21,7 +23,7 @@ std::string VerifyReport::summary() const {
   if (ok()) {
     std::ostringstream os;
     os << "ok (" << blocks_checked << " blocks, " << vxgs_checked << " VxGs";
-    if (level == VerifyLevel::kFull) os << ", " << slots_checked << " live slots";
+    if (level != VerifyLevel::kCheap) os << ", " << slots_checked << " live slots";
     os << " checked)";
     return os.str();
   }
@@ -37,7 +39,9 @@ std::string VerifyReport::summary() const {
 util::Json VerifyReport::to_json() const {
   util::Json j = util::Json::object();
   j["ok"] = ok();
-  j["level"] = level == VerifyLevel::kCheap ? "cheap" : "full";
+  j["level"] = level == VerifyLevel::kCheap ? "cheap"
+               : level == VerifyLevel::kFull ? "full"
+                                             : "epsilon";
   j["total_violations"] = total_violations;
   util::Json list = util::Json::array();
   for (const VerifyIssue& issue : issues) {
@@ -135,11 +139,42 @@ bool verify_tables(const CscvMatrix<T>& m, VerifyReport& r) {
     return false;
   }
 
-  // Storage arrays sized for the variant.
+  // Precision header: the dtype tag must be a concrete storable dtype
+  // (reduced only on float matrices) and the sparsify fields finite.
+  const ValueType vt = m.value_type();
+  if (vt != ValueType::kF32 && !value_type_is_reduced(vt)) {
+    r.add("precision.dtype", detail("stored value dtype tag ", static_cast<int>(vt),
+                                    " is not a concrete dtype"));
+    return false;
+  }
+  if (value_type_is_reduced(vt) && !std::is_same_v<T, float>) {
+    r.add("precision.dtype", detail("reduced dtype ", value_type_name(vt),
+                                    " on a non-float matrix"));
+    return false;
+  }
+  if (!std::isfinite(m.sparsify_eps()) || m.sparsify_eps() < 0.0 ||
+      !std::isfinite(m.sparsify_error_bound()) || m.sparsify_error_bound() < 0.0) {
+    r.add("precision.header", detail("sparsify eps ", m.sparsify_eps(), " / error bound ",
+                                     m.sparsify_error_bound(),
+                                     " must be finite and non-negative"));
+    ok = false;
+  }
+
+  // Storage arrays sized for the variant; exactly one value array (per the
+  // dtype tag) is populated.
   const auto num_vxgs = static_cast<std::size_t>(m.num_vxgs());
+  const std::size_t stored = vt == ValueType::kF32 ? m.values().size()
+                                                   : m.values_u16().size();
+  const std::size_t other = vt == ValueType::kF32 ? m.values_u16().size()
+                                                  : m.values().size();
+  if (other != 0) {
+    r.add("storage.sizes", detail("matrix tagged ", value_type_name(vt), " also carries ",
+                                  other, " slots of the other value array"));
+    ok = false;
+  }
   if (m.variant() == CscvMatrix<T>::Variant::kZ) {
-    if (m.values().size() != num_vxgs * static_cast<std::size_t>(v) * s) {
-      r.add("storage.sizes", detail("kZ values array has ", m.values().size(),
+    if (stored != num_vxgs * static_cast<std::size_t>(v) * s) {
+      r.add("storage.sizes", detail("kZ values array has ", stored,
                                     " slots, want num_vxgs*S_VxG*S_VVec = ",
                                     num_vxgs * static_cast<std::size_t>(v) * s));
       ok = false;
@@ -150,8 +185,8 @@ bool verify_tables(const CscvMatrix<T>& m, VerifyReport& r) {
     }
   } else {
     // kM over-allocates one vector of zero slack for branch-free expanders.
-    if (m.values().size() != static_cast<std::size_t>(m.nnz()) + s) {
-      r.add("storage.sizes", detail("kM values array has ", m.values().size(),
+    if (stored != static_cast<std::size_t>(m.nnz()) + s) {
+      r.add("storage.sizes", detail("kM values array has ", stored,
                                     " slots, want nnz + S_VVec = ",
                                     static_cast<std::size_t>(m.nnz()) + s));
       ok = false;
@@ -374,11 +409,10 @@ void verify_contents(const CscvMatrix<T>& m, VerifyReport& r) {
       const int v0 = m.grid().first_view(info.view_group);
       const int s_eff = std::min(s, layout.num_views - v0);
       for (offset_t g = info.vxg_begin; g < info.vxg_end; ++g) {
-        const T* vals = m.values().data() + g * v * s;
         const std::int32_t q = m.vxg_q()[static_cast<std::size_t>(g)];
         for (int e = 0; e < v; ++e) {
           for (int l = 0; l < s; ++l) {
-            if (vals[e * s + l] == T(0)) continue;
+            if (m.stored_value(g * v * s + e * s + l) == T(0)) continue;
             ++r.values_nonzero;
             const int o_idx = q / s + e;
             const int bin = refs[static_cast<std::size_t>(b) * s + l] + info.o_min + o_idx;
@@ -400,6 +434,49 @@ void verify_contents(const CscvMatrix<T>& m, VerifyReport& r) {
   }
 }
 
+/// Epsilon tier: the sparsification certificate. A sparsified matrix
+/// promises every surviving stored nonzero has |v| >= eps — that is what
+/// makes the stored error bound a certificate rather than a log line. The
+/// walk sees widened stored values, and narrowing to a reduced dtype may
+/// round a kept value just below eps, so the threshold is relaxed by that
+/// dtype's worst-case rounding (relative unit roundoff plus half the
+/// smallest subnormal): survivors certify against eps as *converted*
+/// values, not as the exact fp32 values sparsify saw.
+template <typename T>
+void verify_epsilon(const CscvMatrix<T>& m, VerifyReport& r) {
+  double eps = m.sparsify_eps();
+  if (eps <= 0.0) return;  // never sparsified: nothing was certified
+  switch (m.value_type()) {
+    case ValueType::kBf16: eps -= eps * 0x1p-8 + 0x1p-133; break;
+    case ValueType::kF16: eps -= eps * 0x1p-11 + 0x1p-25; break;
+    default: break;
+  }
+  const int s = m.params().s_vvec;
+  const int v = m.params().s_vxg;
+  if (m.variant() == CscvMatrix<T>::Variant::kM) {
+    for (offset_t i = 0; i < m.nnz(); ++i) {
+      const double val = std::abs(static_cast<double>(m.stored_value(i)));
+      if (val < eps) {
+        r.add("sparsify.certificate",
+              detail("packed value ", i, " has |v| = ", val,
+                     " below the certified eps ", eps));
+      }
+    }
+  } else {
+    const offset_t total = static_cast<offset_t>(m.num_vxgs()) * v * s;
+    for (offset_t i = 0; i < total; ++i) {
+      const T stored = m.stored_value(i);
+      if (stored == T(0)) continue;
+      const double val = std::abs(static_cast<double>(stored));
+      if (val < eps) {
+        r.add("sparsify.certificate",
+              detail("kZ slot ", i, " has nonzero |v| = ", val,
+                     " below the certified eps ", eps));
+      }
+    }
+  }
+}
+
 }  // namespace
 
 template <typename T>
@@ -407,9 +484,10 @@ VerifyReport verify(const CscvMatrix<T>& m, VerifyLevel level) {
   VerifyReport r;
   r.level = level;
   const bool tables_ok = verify_tables(m, r);
-  // The full tier indexes the tables it walks; skip it when the cheap tier
-  // already found them inconsistent (the report says why).
-  if (level == VerifyLevel::kFull && tables_ok) verify_contents(m, r);
+  // The deeper tiers index the tables they walk; skip them when the cheap
+  // tier already found the tables inconsistent (the report says why).
+  if (level != VerifyLevel::kCheap && tables_ok) verify_contents(m, r);
+  if (level == VerifyLevel::kEpsilon && tables_ok) verify_epsilon(m, r);
   return r;
 }
 

@@ -27,10 +27,15 @@
 
 namespace cscv::core {
 
-/// How much of the format a verify() call walks.
+/// How much of the format a verify() call walks. kCheap and kFull stay
+/// exact for every dtype (they check structure, not arithmetic); kEpsilon
+/// additionally audits the precision header — the sparsify certificate
+/// (every stored nonzero of a sparsified matrix has |v| >= eps) and the
+/// sanity of the eps / error-bound fields (docs/PRECISION.md).
 enum class VerifyLevel {
-  kCheap,  // O(blocks + VxGs): header/table consistency, index bounds
-  kFull,   // adds O(nnz + slots): IOBLR injectivity, mask/value accounting
+  kCheap,    // O(blocks + VxGs): header/table consistency, index bounds
+  kFull,     // adds O(nnz + slots): IOBLR injectivity, mask/value accounting
+  kEpsilon,  // adds O(stored values): sparsify-certificate + precision header
 };
 
 /// One violated invariant. `invariant` is a stable dotted name (the names

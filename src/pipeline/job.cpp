@@ -1,5 +1,6 @@
 #include "pipeline/job.hpp"
 
+#include <cmath>
 #include <cstring>
 #include <initializer_list>
 #include <string>
@@ -92,6 +93,10 @@ util::Json ReconJob::to_json() const {
   j["cscv"] = std::move(c);
   j["variant"] = util::Json(variant_name(variant));
   j["algorithm"] = util::Json(algorithm_name(algorithm));
+  if (value_type != core::ValueType::kF32) {
+    j["value_type"] = util::Json(core::value_type_name(value_type));
+  }
+  if (sparsify_eps > 0.0) j["sparsify_eps"] = util::Json(sparsify_eps);
   util::Json s = util::Json::object();
   s["iterations"] = util::Json(solve.iterations);
   s["relaxation"] = util::Json(solve.relaxation);
@@ -111,8 +116,9 @@ util::Json ReconJob::to_json() const {
 ReconJob ReconJob::from_json(const util::Json& spec) {
   CSCV_CHECK_MSG(spec.is_object(), "job spec must be a JSON object");
   check_keys(spec,
-             {"geometry", "cscv", "variant", "algorithm", "solve", "os_sart_subsets",
-              "deadline_seconds", "tag", "tenant", "qos", "sinogram_b64", "sinogram"},
+             {"geometry", "cscv", "variant", "algorithm", "value_type", "sparsify_eps",
+              "solve", "os_sart_subsets", "deadline_seconds", "tag", "tenant", "qos",
+              "sinogram_b64", "sinogram"},
              "job spec");
   ReconJob job;
 
@@ -147,6 +153,16 @@ ReconJob ReconJob::from_json(const util::Json& spec) {
 
   job.variant = variant_from_name(get_string_field(spec, "variant", "m"));
   job.algorithm = algorithm_from_name(get_string_field(spec, "algorithm", "sirt"));
+
+  job.value_type = core::value_type_from_name(
+      get_string_field(spec, "value_type", core::value_type_name(job.value_type)));
+  // kAuto means "match the matrix" in PlanOptions; a job spec names the
+  // matrix dtype itself, so "auto" has nothing to resolve against.
+  CSCV_CHECK_MSG(job.value_type != core::ValueType::kAuto,
+                 "job spec: value_type must be fp32|bf16|fp16");
+  job.sparsify_eps = get_double_field(spec, "sparsify_eps", 0.0);
+  CSCV_CHECK_MSG(std::isfinite(job.sparsify_eps) && job.sparsify_eps >= 0.0,
+                 "job spec: sparsify_eps must be finite and >= 0");
 
   if (const util::Json* s = spec.find("solve")) {
     CSCV_CHECK_MSG(s->is_object(), "job spec: \"solve\" must be an object");

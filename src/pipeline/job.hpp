@@ -39,6 +39,13 @@ struct ReconJob {
   core::CscvMatrix<float>::Variant variant = core::CscvMatrix<float>::Variant::kM;
   Algorithm algorithm = Algorithm::kSirt;
 
+  /// Value storage dtype for the operator ("fp32" | "bf16" | "fp16" on the
+  /// wire, docs/PRECISION.md). Reduced storage halves operator bytes; the
+  /// solve still accumulates in fp32.
+  core::ValueType value_type = core::ValueType::kF32;
+  /// Certified sparsification threshold for the operator; 0 disables.
+  double sparsify_eps = 0.0;
+
   /// Solver knobs for the iterative algorithms (ignored by kFbp).
   recon::SolveOptions solve{};
   /// Subset count for kOsSart (ignored elsewhere).
@@ -63,7 +70,7 @@ struct ReconJob {
   util::AlignedVector<float> sinogram;
 
   [[nodiscard]] MatrixKey matrix_key() const {
-    return MatrixKey{geometry, cscv, variant, algorithm};
+    return MatrixKey{geometry, cscv, variant, algorithm, value_type, sparsify_eps};
   }
 
   /// The service wire format (docs/SERVICE.md): every field of the job as

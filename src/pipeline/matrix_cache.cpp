@@ -56,6 +56,12 @@ std::string MatrixKey::fingerprint() const {
      << core::vxg_order_name(cscv.order)
      << (variant == core::CscvMatrix<float>::Variant::kZ ? "-z-" : "-m-")
      << algorithm_name(algorithm);
+  // Suffix only when non-default: fp32/eps=0 keys keep their pre-precision
+  // fingerprints, so existing spill files restore without a rebuild.
+  if (value_type != core::ValueType::kF32) {
+    os << '-' << core::value_type_name(value_type);
+  }
+  if (sparsify_eps > 0.0) os << "-e" << sparsify_eps;
   return os.str();
 }
 
@@ -114,8 +120,14 @@ std::shared_ptr<SystemMatrixEntry> SystemMatrixCache::build_entry(const MatrixKe
   entry->layout = core::OperatorLayout::from_geometry(key.geometry);
   entry->algorithm = key.algorithm;
   const auto csc = ct::build_system_matrix_csc<float>(key.geometry);
-  entry->cscv = std::make_shared<const core::CscvMatrix<float>>(
-      core::CscvMatrix<float>::build(csc, entry->layout, key.cscv, key.variant));
+  auto cscv =
+      core::CscvMatrix<float>::build(csc, entry->layout, key.cscv, key.variant);
+  // Footprint reduction happens build-side so every consumer of the entry
+  // (and its spill file) sees the same certified operator: sparsify first —
+  // dropping in fp32 keeps the certificate exact — then narrow the survivors.
+  if (key.sparsify_eps > 0.0) cscv.sparsify(key.sparsify_eps);
+  if (key.value_type != core::ValueType::kF32) cscv.convert_values(key.value_type);
+  entry->cscv = std::make_shared<const core::CscvMatrix<float>>(std::move(cscv));
   if (key.algorithm == Algorithm::kOsSart) {
     entry->csr = std::make_shared<const sparse::CsrMatrix<float>>(sparse::csr_from_csc(csc));
   }
@@ -138,6 +150,8 @@ std::shared_ptr<SystemMatrixEntry> SystemMatrixCache::try_restore(
     auto m = core::load_cscv_file<float>(path);
     const auto layout = core::OperatorLayout::from_geometry(key.geometry);
     const bool matches = m.params() == key.cscv && m.variant() == key.variant &&
+                         m.value_type() == key.value_type &&
+                         m.sparsify_eps() == key.sparsify_eps &&
                          m.layout().image_size == layout.image_size &&
                          m.layout().num_bins == layout.num_bins &&
                          m.layout().num_views == layout.num_views;
@@ -194,7 +208,8 @@ void SystemMatrixCache::spill_entries(
     try {
       std::filesystem::create_directories(options_.spill_dir);
       MatrixKey key{entry->geometry, entry->cscv->params(), entry->cscv->variant(),
-                    entry->algorithm};
+                    entry->algorithm, entry->cscv->value_type(),
+                    entry->cscv->sparsify_eps()};
       core::save_cscv_file(spill_path(key), *entry->cscv);
       util::MutexLock lock(mu_);
       ++stats_.spills;

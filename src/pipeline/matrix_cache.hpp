@@ -65,9 +65,16 @@ struct MatrixKey {
   core::CscvParams cscv{};
   core::CscvMatrix<float>::Variant variant = core::CscvMatrix<float>::Variant::kM;
   Algorithm algorithm = Algorithm::kSirt;
+  /// Value storage dtype of the built CSCV matrix (docs/PRECISION.md).
+  core::ValueType value_type = core::ValueType::kF32;
+  /// Certified sparsification threshold applied after the build; 0 keeps
+  /// every stored coefficient.
+  double sparsify_eps = 0.0;
 
   /// Stable, filesystem-safe serialization of the key — the map key and
-  /// the spill file stem (docs/PIPELINE.md documents the format).
+  /// the spill file stem (docs/PIPELINE.md documents the format). Precision
+  /// fields append a suffix only when non-default, so fingerprints (and
+  /// spill files) from before the mixed-precision change stay valid.
   [[nodiscard]] std::string fingerprint() const;
 
   friend bool operator==(const MatrixKey&, const MatrixKey&) = default;

@@ -23,7 +23,7 @@
 #include <cstring>
 #include <type_traits>
 
-#if defined(__AVX512F__)
+#if defined(__AVX512F__) || defined(__F16C__)
 #include <immintrin.h>
 #endif
 

@@ -13,8 +13,13 @@
 // and the CPU-capability predicate.
 #pragma once
 
+#include <cstdint>
 #include <string>
 #include <string_view>
+
+#if defined(__x86_64__) || defined(__i386__)
+#include <cpuid.h>
+#endif
 
 #include "util/assertx.hpp"
 
@@ -27,6 +32,13 @@ struct IsaInfo {
   bool avx512f = false;
   bool avx512vl = false;  // 128/256-bit forms of AVX-512 ops (vexpand at width 4/8)
   bool avx512dq = false;
+  // Half-width value conversion (docs/PRECISION.md). f16c gates the fp16
+  // widen-on-load fast path; the avx512 bf16/fp16 extensions are detected
+  // and reported but deliberately not used for arithmetic — their dot
+  // product forms would change the fp32 accumulation-chain shape.
+  bool f16c = false;        // vcvtph2ps/vcvtps2ph (fp16 <-> fp32 convert)
+  bool avx512bf16 = false;  // vcvtne2ps2bf16/vdpbf16ps (reported only)
+  bool avx512fp16 = false;  // native binary16 arithmetic (reported only)
 
   /// True when hardware vexpand is usable at a given element width
   /// (AVX-512F provides the 512-bit form; VL the narrower forms).
@@ -47,6 +59,19 @@ inline const IsaInfo& cpu_isa() {
     i.avx512f = __builtin_cpu_supports("avx512f");
     i.avx512vl = __builtin_cpu_supports("avx512vl");
     i.avx512dq = __builtin_cpu_supports("avx512dq");
+    i.f16c = __builtin_cpu_supports("f16c");
+    // GCC's builtin name table has not always carried the two AVX-512
+    // half-precision extensions; read the CPUID leaves directly.
+    {
+      unsigned eax = 0, ebx = 0, ecx = 0, edx = 0;
+      if (__get_cpuid_count(7, 0, &eax, &ebx, &ecx, &edx) != 0) {
+        i.avx512fp16 = (edx & (1u << 23)) != 0;  // leaf 7.0 EDX[23]
+      }
+      eax = ebx = ecx = edx = 0;
+      if (__get_cpuid_count(7, 1, &eax, &ebx, &ecx, &edx) != 0) {
+        i.avx512bf16 = (eax & (1u << 5)) != 0;  // leaf 7.1 EAX[5]
+      }
+    }
 #endif
     return i;
   }();
@@ -125,6 +150,9 @@ inline std::string describe_isa() {
   s += i.avx512f ? " avx512f" : "";
   s += i.avx512vl ? " avx512vl" : "";
   s += i.avx512dq ? " avx512dq" : "";
+  s += i.f16c ? " f16c" : "";
+  s += i.avx512bf16 ? " avx512bf16" : "";
+  s += i.avx512fp16 ? " avx512fp16" : "";
   s += kCompiledAvx512f ? " (compiled avx512f)" : " (compiled generic)";
   return s;
 }

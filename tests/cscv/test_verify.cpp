@@ -29,7 +29,11 @@ constexpr std::size_t kOffVariant = 12;
 constexpr std::size_t kOffSVvec = 16;
 constexpr std::size_t kOffNnz = 48;
 constexpr std::size_t kOffYtildeMax = 56;
-constexpr std::size_t kOffArrays = 64;
+// Version-2 precision header (docs/PRECISION.md).
+constexpr std::size_t kOffValueType = 64;
+constexpr std::size_t kOffSparsifyEps = 68;
+constexpr std::size_t kOffSparsifyBound = 76;
+constexpr std::size_t kOffArrays = 84;
 
 template <typename T>
 CscvMatrix<T> make(typename CscvMatrix<T>::Variant variant, int num_views = 24) {

@@ -25,7 +25,16 @@ class WorkerHarness {
  public:
   WorkerHarness()
       : worker_(WorkerOptions{.host = "127.0.0.1", .port = 0, .poll_seconds = 0.05}),
-        thread_([this] { worker_.run(); }) {}
+        thread_([this] {
+          // OMP thread counts are per-thread ICVs: the set_num_threads(1)
+          // in make_job() does not reach this thread, which would otherwise
+          // inherit OMP_NUM_THREADS and break the bitwise remote-vs-local
+          // comparisons (the CSR stratum adjoint is only bitwise
+          // reproducible at a fixed thread count). Pin it like the real
+          // cscv_shardd daemon does.
+          util::set_num_threads(1);
+          worker_.run();
+        }) {}
   ~WorkerHarness() { kill(); }
 
   [[nodiscard]] Endpoint endpoint() const { return {"127.0.0.1", worker_.port()}; }

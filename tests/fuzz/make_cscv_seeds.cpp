@@ -6,9 +6,11 @@
 // header, the counts, and the payload. Build-time generation keeps the
 // seeds in lockstep with the current format version.
 #include <cstddef>
+#include <cstring>
 #include <filesystem>
 #include <fstream>
 #include <iostream>
+#include <limits>
 #include <sstream>
 #include <string>
 
@@ -47,14 +49,27 @@ int main(int argc, char** argv) {
   const cscv::core::CscvParams params{.s_vvec = 8, .s_imgb = 8, .s_vxg = 2};
 
   std::string valid;
+  std::string valid_bf16_m;
   for (const auto variant : {Matrix::Variant::kZ, Matrix::Variant::kM}) {
-    const Matrix matrix = Matrix::build(csc, layout, params, variant);
+    Matrix matrix = Matrix::build(csc, layout, params, variant);
     std::ostringstream out(std::ios::out | std::ios::binary);
     cscv::core::save_cscv(out, matrix);
     const std::string bytes = out.str();
     const char* name = variant == Matrix::Variant::kZ ? "valid_z.cscv" : "valid_m.cscv";
     write_file(dir / name, bytes);
     valid = bytes;
+
+    // v2 precision seeds: the same matrix with reduced (bf16) storage and a
+    // sparsify certificate — exercises the dtype-sized value payload and the
+    // precision-header validation paths.
+    matrix.sparsify(1e-3);
+    matrix.convert_values(cscv::core::ValueType::kBf16);
+    std::ostringstream out16(std::ios::out | std::ios::binary);
+    cscv::core::save_cscv(out16, matrix);
+    const char* name16 =
+        variant == Matrix::Variant::kZ ? "valid_bf16_z.cscv" : "valid_bf16_m.cscv";
+    write_file(dir / name16, out16.str());
+    valid_bf16_m = out16.str();
   }
 
   write_file(dir / "empty.cscv", "");
@@ -72,6 +87,35 @@ int main(int argc, char** argv) {
     corrupt[at] = static_cast<char>(corrupt[at] ^ 0x5A);
     write_file(dir / ("corrupt_" + std::to_string(index++) + ".cscv"), corrupt);
   }
+
+  // v2-header corruptions on the reduced-storage seed. Offsets follow the
+  // documented layout (docs/FORMAT.md): value_type is the i32 at byte 64,
+  // right after the u64 ytilde_max_slots. All of these must be rejected
+  // structurally (CheckError), never crash the loader.
+  constexpr std::size_t kOffValueType = 64;
+  {
+    // Unknown dtype tag.
+    std::string bad = valid_bf16_m;
+    bad[kOffValueType] = 7;
+    write_file(dir / "bad_dtype_tag.cscv", bad);
+  }
+  {
+    // Dtype/payload mismatch: header claims fp32 but the value array holds
+    // 2-byte elements — the count check must catch the size lie.
+    std::string bad = valid_bf16_m;
+    bad[kOffValueType] = 0;  // ValueType::kF32
+    write_file(dir / "dtype_payload_mismatch.cscv", bad);
+  }
+  {
+    // Non-finite sparsify certificate (NaN eps).
+    std::string bad = valid_bf16_m;
+    const double nan = std::numeric_limits<double>::quiet_NaN();
+    std::memcpy(bad.data() + kOffValueType + 4, &nan, sizeof(nan));
+    write_file(dir / "bad_sparsify_eps.cscv", bad);
+  }
+  // Truncated 16-bit value array: cut inside the reduced payload.
+  write_file(dir / "truncated_values16.cscv",
+             valid_bf16_m.substr(0, valid_bf16_m.size() - valid_bf16_m.size() / 4));
 
   std::cout << "make_cscv_seeds: wrote corpus into " << dir << "\n";
   return 0;

@@ -116,6 +116,76 @@ void run_precision(const benchlib::Dataset& dataset, const SuiteFlags& flags,
   }
 }
 
+// Mixed-precision workload (docs/PRECISION.md): the large clinical CSCV-M
+// operator at fp32/bf16/fp16 value storage, timed under the paper protocol.
+// bytes_per_value is structural (gate candidate); max_rel_error is the
+// worst per-bin deviation of one SpMV against the fp32 engine of this same
+// run, relative to the fp32 output's peak — structural too, since the
+// widen-on-load kernels keep the fp32 accumulation chain identical in
+// shape on every tier. speedup_vs_fp32 is the timing headline: how much
+// the halved value traffic buys on the dispatched tier.
+void run_mixed_precision(const SuiteFlags& flags, benchlib::BenchReport& report,
+                         util::Table& table) {
+  const auto datasets = benchlib::standard_datasets(flags.scale);
+  const benchlib::Dataset& dataset = datasets[2];  // the paper's large clinical matrix
+  auto csc = ct::build_system_matrix_csc<float>(dataset.geometry);
+  const auto layout = core::OperatorLayout::from_geometry(dataset.geometry);
+  const auto cols = static_cast<std::size_t>(csc.cols());
+  const auto rows = static_cast<std::size_t>(csc.rows());
+  const int threads = flags.threads > 0 ? flags.threads : util::max_threads();
+  const core::CscvParams params{.s_vvec = 8, .s_imgb = 16, .s_vxg = 4};
+
+  // Same seeded input the timing loop uses, so the error metric audits the
+  // exact kernels being timed.
+  const auto x = sparse::random_vector<float>(cols, 12345, 0.0, 1.0);
+  util::AlignedVector<float> y_ref(rows);
+
+  double fp32_median = 0.0;
+  for (const core::ValueType vt :
+       {core::ValueType::kF32, core::ValueType::kBf16, core::ValueType::kF16}) {
+    auto m = std::make_shared<core::CscvMatrix<float>>(core::CscvMatrix<float>::build(
+        csc, layout, params, core::CscvMatrix<float>::Variant::kM));
+    if (vt != core::ValueType::kF32) m->convert_values(vt);
+    benchlib::Engine<float> engine{
+        std::string("CSCV-M-") + core::value_type_name(vt),
+        [m](auto xs, auto ys) { m->spmv(xs, ys); },
+        m->matrix_bytes(),
+        m->nnz(),
+        m,
+        [m] { (void)m->plan(); }};
+    auto samples =
+        benchlib::measure_spmv_samples(engine, cols, rows, threads, flags.iters);
+    auto record = benchlib::make_spmv_record("mixed_precision", engine, threads,
+                                             flags.iters, cols, rows, samples);
+    record.set("bytes_per_value", static_cast<double>(m->value_bytes()));
+
+    util::AlignedVector<float> y(rows);
+    m->spmv(x, y);
+    if (vt == core::ValueType::kF32) {
+      fp32_median = samples.median;
+      y_ref = y;
+      record.set("max_rel_error", 0.0);
+    } else {
+      double peak = 0.0;
+      double max_abs = 0.0;
+      for (std::size_t i = 0; i < rows; ++i) {
+        peak = std::max(peak, std::abs(static_cast<double>(y_ref[i])));
+        max_abs = std::max(
+            max_abs, std::abs(static_cast<double>(y[i]) - static_cast<double>(y_ref[i])));
+      }
+      record.set("max_rel_error", peak > 0.0 ? max_abs / peak : 0.0);
+      if (fp32_median > 0.0 && samples.median > 0.0) {
+        record.set("speedup_vs_fp32", fp32_median / samples.median);
+      }
+    }
+    table.add("mixed_precision", engine.name, record.precision, threads,
+              util::fmt_fixed(samples.median * 1e3, 3),
+              util::fmt_fixed(*record.find("gflops"), 2),
+              util::fmt_fixed(*record.find("gbps"), 2));
+    report.records.push_back(std::move(record));
+  }
+}
+
 // End-to-end serving throughput: a burst of reconstruction jobs through
 // ReconService vs the same jobs run serially through execute_job. One
 // warm-up job per distinct operator key makes the cache hit rate of the
@@ -336,8 +406,19 @@ void run_sharded(const SuiteFlags& flags, benchlib::BenchReport& report) {
       dist::ShardWorker worker;
       std::thread thread;
       explicit Worker()
-          : worker({.host = "127.0.0.1", .port = 0, .poll_seconds = 0.1}),
-            thread([this] { worker.run(); }) {}
+          : worker({.host = "127.0.0.1",
+                    .port = 0,
+                    .spill_dir = {},
+                    .limits = {},
+                    .poll_seconds = 0.1}),
+            // Pin the serving thread to one OMP thread (per-thread ICV —
+            // the ambient OMP_NUM_THREADS would otherwise apply): shard
+            // determinism_ok is a remote-vs-local bitwise contract, and
+            // kernel results are only bitwise at a fixed thread count.
+            thread([this] {
+              util::set_num_threads(1);
+              worker.run();
+            }) {}
       ~Worker() {
         worker.stop();
         thread.join();
@@ -438,6 +519,7 @@ int main(int argc, char** argv) try {
     if (flags.f32) run_precision<float>(dataset, flags, report, table);
     if (flags.f64) run_precision<double>(dataset, flags, report, table);
   }
+  run_mixed_precision(flags, report, table);
   table.print(std::cout);
   run_pipeline_throughput(flags, report);
   run_pipeline_batched(flags, report);

@@ -332,7 +332,9 @@ int cmd_isa(util::CliFlags& cli) {
   const std::pair<const char*, bool> features[] = {
       {"avx2", cpu.avx2},         {"fma", cpu.fma},
       {"avx512f", cpu.avx512f},   {"avx512vl", cpu.avx512vl},
-      {"avx512dq", cpu.avx512dq},
+      {"avx512dq", cpu.avx512dq}, {"f16c", cpu.f16c},
+      {"avx512bf16", cpu.avx512bf16},
+      {"avx512fp16", cpu.avx512fp16},
   };
   constexpr int kWidths[] = {4, 8, 16};
 
